@@ -1,0 +1,145 @@
+// Figure 10(a) reproduction: response-time CDF for the ad-analytics workload
+// (15 queries: five each with 1, 4 and 8 groups), plus the Section 6.6
+// bandwidth sensitivity check (100 Mbps/10 ms and 10 Mbps/100 ms links).
+//
+// Paper: Seabed 1.08–1.45x NoEnc (median +27%); Paillier median 6.7x Seabed;
+// low-bandwidth links add only 1% / 12% because ID lists stay small
+// (~163.5 KB average).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/workload/ad_analytics.h"
+
+namespace seabed {
+namespace {
+
+int Main() {
+  AdAnalyticsSpec spec;
+  spec.rows = EnvU64("SEABED_BENCH_ADA_ROWS", 200000);
+  const Cluster cluster(BenchClusterConfig(100));
+  const ClientKeys keys = ClientKeys::FromSeed(11);
+
+  const auto table = MakeAdAnalyticsTable(spec);
+  const PlainSchema schema = AdAnalyticsSchema(spec);
+  PlannerOptions popts;
+  popts.expected_rows = spec.rows;
+  popts.max_storage_expansion = 3.0;  // the paper's storage-budget regime
+  const EncryptionPlan plan = PlanEncryption(schema, AdAnalyticsSampleQueries(spec), popts);
+  const Encryptor encryptor(keys);
+  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
+  Server server;
+  server.RegisterTable(db.table);
+
+  const uint64_t scale = EnvU64("SEABED_BENCH_ADA_PAILLIER_SCALE", 8);
+  AdAnalyticsSpec small = spec;
+  small.rows = std::max<uint64_t>(1, spec.rows / scale);
+  const auto table_small = MakeAdAnalyticsTable(small);
+  Rng rng(5);
+  const Paillier paillier =
+      Paillier::GenerateKey(rng, static_cast<int>(EnvU64("SEABED_BENCH_PAILLIER_BITS", 512)));
+  const EncryptedDatabase base =
+      encryptor.EncryptPaillierBaseline(*table_small, schema, plan, paillier, rng);
+
+  // 15 queries: five variants at each group count, as in the paper.
+  struct Sample {
+    double noenc;
+    double seabed;
+    double paillier;
+    uint64_t prf_calls;
+    size_t id_bytes;
+  };
+  std::vector<Sample> samples;
+  for (size_t groups : {1, 4, 8}) {
+    for (uint64_t variant = 0; variant < 5; ++variant) {
+      const Query q = AdAnalyticsPerfQuery(groups, 2, variant);
+
+      Sample s{};
+      s.noenc = ExecutePlain(*table, q, cluster).TotalSeconds();
+
+      TranslatorOptions topts;
+      topts.cluster_workers = cluster.num_workers();
+      const Translator translator(db, keys);
+      const TranslatedQuery tq = translator.Translate(q, topts);
+      const EncryptedResponse response = server.Execute(tq.server, cluster);
+      const Client client(db, keys);
+      const ResultSet enc = client.Decrypt(response, tq, cluster);
+      s.seabed = enc.TotalSeconds();
+      s.prf_calls = client.last_prf_calls();
+      s.id_bytes = response.response_bytes;
+
+      TranslatorOptions base_topts = topts;
+      base_topts.enable_group_inflation = false;
+      const Translator base_translator(base, keys);
+      const TranslatedQuery base_tq = base_translator.Translate(q, base_topts);
+      const PaillierBaseline exec(paillier);
+      ResultSet pr = exec.Execute(base, base_tq, cluster);
+      pr.job.server_seconds *= static_cast<double>(scale);
+      s.paillier = pr.TotalSeconds();
+      samples.push_back(s);
+    }
+  }
+
+  auto cdf = [](std::vector<double> xs, const char* label) {
+    std::sort(xs.begin(), xs.end());
+    std::printf("%-10s", label);
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      const size_t idx = std::min(xs.size() - 1, static_cast<size_t>(p * xs.size()));
+      std::printf("  p%-3.0f=%8.3fs", p * 100, xs[idx]);
+    }
+    std::printf("\n");
+  };
+
+  std::printf("=== Figure 10(a): Ad Analytics response-time CDF (rows=%llu, 15 queries) ===\n",
+              static_cast<unsigned long long>(spec.rows));
+  std::vector<double> noenc, seabed_t, paillier_t;
+  double total_prf = 0;
+  double total_bytes = 0;
+  for (const Sample& s : samples) {
+    noenc.push_back(s.noenc);
+    seabed_t.push_back(s.seabed);
+    paillier_t.push_back(s.paillier);
+    total_prf += static_cast<double>(s.prf_calls);
+    total_bytes += static_cast<double>(s.id_bytes);
+  }
+  cdf(noenc, "NoEnc");
+  cdf(seabed_t, "Seabed");
+  cdf(paillier_t, "Paillier");
+
+  const double med_noenc = noenc[noenc.size() / 2];
+  const double med_seabed = seabed_t[seabed_t.size() / 2];
+  const double med_paillier = paillier_t[paillier_t.size() / 2];
+  std::printf("\nmedian Seabed / NoEnc   = %.2fx (paper: 1.27x)\n", med_seabed / med_noenc);
+  std::printf("median Paillier / Seabed = %.2fx (paper: 6.7x)\n", med_paillier / med_seabed);
+  std::printf("avg ID-list bytes per query = %.1f KB, avg PRF calls per decrypt = %.0f\n",
+              total_bytes / samples.size() / 1e3, total_prf / samples.size());
+
+  // Bandwidth sensitivity (Section 6.6): rerun one 8-group query on slower
+  // client links; only the network term changes.
+  std::printf("\n=== link sensitivity (8-group query) ===\n");
+  const Query q = AdAnalyticsPerfQuery(8, 2, 0);
+  for (auto [label, model] :
+       std::initializer_list<std::pair<const char*, NetworkModel>>{
+           {"2Gbps/0.5ms", NetworkModel::InCluster()},
+           {"100Mbps/10ms", NetworkModel::Wan100Mbps()},
+           {"10Mbps/100ms", NetworkModel::Wan10Mbps()}}) {
+    ClusterConfig cfg = BenchClusterConfig(100);
+    cfg.client_link = model;
+    const Cluster link_cluster(cfg);
+    TranslatorOptions topts;
+    topts.cluster_workers = link_cluster.num_workers();
+    const Translator translator(db, keys);
+    const TranslatedQuery tq = translator.Translate(q, topts);
+    const EncryptedResponse response = server.Execute(tq.server, link_cluster);
+    const Client client(db, keys);
+    const ResultSet r = client.Decrypt(response, tq, link_cluster);
+    std::printf("%s\n", LatencyLine(label, r).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace seabed
+
+int main() { return seabed::Main(); }

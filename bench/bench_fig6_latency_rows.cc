@@ -1,0 +1,80 @@
+// Figure 6 reproduction: end-to-end aggregation latency vs dataset size.
+//
+// Paper: NoEnc flat ~0.6 s; Seabed linear, 1.8–11 s worst case at 1.75 B
+// rows; Paillier > 1000 s. Series: NoEnc, ASHE sel=100% (best case),
+// ASHE sel=50% (worst case), Paillier.
+//
+// Two blocks are printed: raw laptop-scale measurements (SEABED_BENCH_ROWS,
+// default 2 M) and the projection to the paper's row counts (fixed cluster
+// overhead + per-row costs scaled by paper_rows / measured_rows).
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace seabed {
+namespace {
+
+int Main() {
+  const uint64_t max_rows = EnvU64("SEABED_BENCH_ROWS", 2000000);
+  const size_t workers = 100;
+  const ClusterConfig cfg = BenchClusterConfig(workers);
+  const Cluster cluster(cfg);
+
+  struct Row {
+    uint64_t rows;
+    ResultSet noenc;
+    ResultSet sel100;
+    ResultSet sel50;
+    ResultSet paillier;
+  };
+  std::vector<Row> rows_out;
+
+  const std::vector<double> fractions = {0.142857, 0.285714, 0.571429, 1.0};
+  for (double f : fractions) {
+    Row out;
+    out.rows = static_cast<uint64_t>(static_cast<double>(max_rows) * f);
+    SyntheticHarness::Options options = SyntheticHarness::FromEnv();
+    options.rows = out.rows;
+    const SyntheticHarness harness(options);
+    const Query q100 = SyntheticSumQuery(100);
+    const Query q50 = SyntheticSumQuery(50);
+    out.noenc = harness.RunNoEnc(q100, cluster);
+    out.sel100 = harness.RunSeabed(q100, cluster);
+    out.sel50 = harness.RunSeabed(q50, cluster);
+    out.paillier = harness.RunPaillier(q100, cluster);
+    rows_out.push_back(std::move(out));
+  }
+
+  std::printf("=== Figure 6: end-to-end latency vs rows (workers=%zu) ===\n", workers);
+  std::printf("--- measured (laptop scale) ---\n");
+  std::printf("%12s %12s %18s %18s %14s\n", "rows", "NoEnc(s)", "ASHE sel=100%(s)",
+              "ASHE sel=50%(s)", "Paillier(s)");
+  for (const Row& r : rows_out) {
+    std::printf("%12llu %12.3f %18.3f %18.3f %14.3f\n",
+                static_cast<unsigned long long>(r.rows), r.noenc.TotalSeconds(),
+                r.sel100.TotalSeconds(), r.sel50.TotalSeconds(), r.paillier.TotalSeconds());
+  }
+
+  std::printf("--- projected to paper scale (row counts x%.0f) ---\n",
+              kPaperRows / static_cast<double>(max_rows));
+  std::printf("%12s %12s %18s %18s %14s\n", "rows(paper)", "NoEnc(s)", "ASHE sel=100%(s)",
+              "ASHE sel=50%(s)", "Paillier(s)");
+  for (const Row& r : rows_out) {
+    const double scale = kPaperRows / static_cast<double>(max_rows);
+    const double paper_rows = static_cast<double>(r.rows) * scale;
+    std::printf("%12.0f %12.3f %18.3f %18.3f %14.1f\n", paper_rows,
+                ProjectTotalSeconds(r.noenc, scale, cfg.job_overhead_seconds),
+                ProjectTotalSeconds(r.sel100, scale, cfg.job_overhead_seconds),
+                ProjectTotalSeconds(r.sel50, scale, cfg.job_overhead_seconds),
+                ProjectTotalSeconds(r.paillier, scale, cfg.job_overhead_seconds));
+  }
+  std::printf("\npaper targets at 1.75B rows: NoEnc ~0.6s flat, ASHE 1.8-11s, "
+              "Paillier >1000s.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace seabed
+
+int main() { return seabed::Main(); }

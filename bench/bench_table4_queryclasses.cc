@@ -1,0 +1,37 @@
+// Table 4 reproduction: how the three query sets split across Seabed's four
+// support categories.
+//
+// Paper:        Total     Server    CPre    CPost   2RT
+//   AdAnalytics 168,352   134,298   0       34,054  0
+//   TPC-DS      99        69        2       25      3
+//   MDX         38        17        12      4       5
+#include <cstdio>
+
+#include "src/workload/ad_analytics.h"
+#include "src/workload/classifier.h"
+
+namespace seabed {
+namespace {
+
+void PrintRow(const char* label, const CategoryCounts& counts) {
+  std::printf("%-14s %10zu %12zu %10zu %10zu %10zu\n", label, counts.Total(),
+              counts.server_only, counts.client_pre, counts.client_post,
+              counts.two_round_trips);
+}
+
+int Main() {
+  std::printf("=== Table 4: query-support categories ===\n");
+  std::printf("%-14s %10s %12s %10s %10s %10s\n", "query set", "total", "server-only",
+              "client-pre", "client-post", "two-RT");
+
+  AdAnalyticsSpec spec;
+  PrintRow("Ad Analytics", ClassifyAll(AdAnalyticsQueryLog(spec)));
+  PrintRow("TPC-DS", ClassifyAll(TpcDsQuerySet()));
+  PrintRow("MDX", ClassifyAll(MdxQuerySet()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace seabed
+
+int main() { return seabed::Main(); }

@@ -1,0 +1,119 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace seabed {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  return std::strtoull(value, nullptr, 10);
+}
+
+ClusterConfig BenchClusterConfig(size_t workers) {
+  ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.job_overhead_seconds = 0.25;
+  cfg.task_overhead_seconds = 0.004;
+  return cfg;
+}
+
+SyntheticHarness::Options SyntheticHarness::FromEnv() { return FromEnv(Options()); }
+
+SyntheticHarness::Options SyntheticHarness::FromEnv(Options options) {
+  options.rows = EnvU64("SEABED_BENCH_ROWS", options.rows);
+  options.paillier_rows = EnvU64("SEABED_BENCH_PAILLIER_ROWS", options.paillier_rows);
+  options.paillier_bits =
+      static_cast<int>(EnvU64("SEABED_BENCH_PAILLIER_BITS",
+                              static_cast<uint64_t>(options.paillier_bits)));
+  return options;
+}
+
+SyntheticHarness::SyntheticHarness(const Options& options)
+    : options_(options), keys_(ClientKeys::FromSeed(options.seed)) {
+  if (options_.paillier_rows == 0) {
+    options_.paillier_rows = std::max<uint64_t>(1, options_.rows / 8);
+  }
+
+  SyntheticSpec spec;
+  spec.rows = options_.rows;
+  spec.seed = options_.seed;
+  spec.group_cardinality = options_.group_cardinality;
+  plain_ = MakeSyntheticTable(spec);
+
+  const PlainSchema schema = SyntheticSchema(spec);
+  PlannerOptions popts;
+  popts.expected_rows = options_.rows;
+  const EncryptionPlan plan = PlanEncryption(schema, SyntheticSampleQueries(spec), popts);
+
+  const Encryptor encryptor(keys_);
+  db_ = encryptor.Encrypt(*plain_, schema, plan);
+  server_.RegisterTable(db_.table);
+
+  if (options_.build_paillier) {
+    SyntheticSpec small = spec;
+    small.rows = options_.paillier_rows;
+    plain_small_ = MakeSyntheticTable(small);
+    Rng rng(options_.seed + 1);
+    paillier_.emplace(Paillier::GenerateKey(rng, options_.paillier_bits));
+    paillier_db_ = encryptor.EncryptPaillierBaseline(*plain_small_, schema, plan,
+                                                     *paillier_, rng);
+  }
+}
+
+ResultSet SyntheticHarness::RunNoEnc(const Query& q, const Cluster& cluster) const {
+  return ExecutePlain(*plain_, q, cluster);
+}
+
+ResultSet SyntheticHarness::RunSeabed(const Query& q, const Cluster& cluster,
+                                      TranslatorOptions topts) const {
+  topts.cluster_workers = cluster.num_workers();
+  const Translator translator(db_, keys_);
+  const TranslatedQuery tq = translator.Translate(q, topts);
+  const EncryptedResponse response = server_.Execute(tq.server, cluster);
+  const Client client(db_, keys_);
+  return client.Decrypt(response, tq, cluster);
+}
+
+ResultSet SyntheticHarness::RunPaillier(const Query& q, const Cluster& cluster) const {
+  SEABED_CHECK_MSG(paillier_db_.has_value(), "harness built without the Paillier baseline");
+  TranslatorOptions topts;
+  topts.cluster_workers = cluster.num_workers();
+  topts.enable_group_inflation = false;
+  const Translator translator(*paillier_db_, keys_);
+  const TranslatedQuery tq = translator.Translate(q, topts);
+  const PaillierBaseline exec(*paillier_);
+  ResultSet result = exec.Execute(*paillier_db_, tq, cluster);
+  // Scale per-row server compute up to the full table size (the baseline
+  // table is built smaller because Paillier dataset construction is slow).
+  const double scale =
+      static_cast<double>(options_.rows) / static_cast<double>(options_.paillier_rows);
+  result.job.server_seconds *= scale;
+  result.job.total_compute_seconds *= scale;
+  return result;
+}
+
+double ProjectServerSeconds(const ResultSet& r, double scale, double job_overhead) {
+  const double variable = r.job.server_seconds - job_overhead;
+  return job_overhead + std::max(0.0, variable) * scale;
+}
+
+double ProjectTotalSeconds(const ResultSet& r, double scale, double job_overhead) {
+  return ProjectServerSeconds(r, scale, job_overhead) +
+         (r.network_seconds + r.client_seconds) * scale;
+}
+
+std::string LatencyLine(const std::string& label, const ResultSet& r, double scale) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-28s total %9.3f s  (server %9.3f  network %7.3f  client %7.3f)",
+                label.c_str(), r.TotalSeconds() * scale, r.job.server_seconds * scale,
+                r.network_seconds * scale, r.client_seconds * scale);
+  return buf;
+}
+
+}  // namespace seabed

@@ -1,0 +1,98 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// Builds the three systems under test over the synthetic workload —
+//   NoEnc   : plaintext Spark-style execution,
+//   Seabed  : ASHE/SPLASHE/DET/ORE pipeline,
+//   Paillier: CryptDB/Monomi-style baseline —
+// and runs queries end-to-end, returning the latency breakdown the paper
+// plots (server / network / client).
+//
+// Environment knobs (all optional):
+//   SEABED_BENCH_ROWS          synthetic row count       (default 2,000,000)
+//   SEABED_BENCH_PAILLIER_ROWS baseline row count        (default rows / 8)
+//   SEABED_BENCH_PAILLIER_BITS Paillier modulus bits     (default 512)
+//   SEABED_BENCH_REPEAT        repetitions per point     (default 3)
+#ifndef SEABED_BENCH_HARNESS_H_
+#define SEABED_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/crypto/paillier.h"
+#include "src/query/plain_executor.h"
+#include "src/seabed/client.h"
+#include "src/seabed/paillier_baseline.h"
+#include "src/seabed/planner.h"
+#include "src/seabed/server.h"
+#include "src/workload/synthetic.h"
+
+namespace seabed {
+
+// Reads a uint64 environment knob with a default.
+uint64_t EnvU64(const char* name, uint64_t fallback);
+
+// Paper-style cluster config with `workers` logical cores.
+ClusterConfig BenchClusterConfig(size_t workers);
+
+// A built set of systems over one synthetic table.
+class SyntheticHarness {
+ public:
+  struct Options {
+    uint64_t rows = 2000000;
+    uint64_t paillier_rows = 0;     // 0 = rows / 8
+    uint64_t group_cardinality = 0;  // adds the grp column
+    int paillier_bits = 512;
+    bool build_paillier = true;
+    uint64_t seed = 42;
+  };
+
+  // Reads row counts from the environment, then applies `options` overrides.
+  static Options FromEnv(Options options);
+  static Options FromEnv();
+
+  explicit SyntheticHarness(const Options& options);
+
+  ResultSet RunNoEnc(const Query& q, const Cluster& cluster) const;
+  ResultSet RunSeabed(const Query& q, const Cluster& cluster,
+                      TranslatorOptions topts = {}) const;
+  // Runs on the (possibly smaller) baseline table; latencies are scaled by
+  // rows / paillier_rows so the reported numbers are per-full-table.
+  ResultSet RunPaillier(const Query& q, const Cluster& cluster) const;
+
+  uint64_t rows() const { return options_.rows; }
+  uint64_t paillier_rows() const { return options_.paillier_rows; }
+  const EncryptedDatabase& seabed_db() const { return db_; }
+  const Table& plain_table() const { return *plain_; }
+  const Server& server() const { return server_; }
+  const ClientKeys& keys() const { return keys_; }
+
+ private:
+  Options options_;
+  ClientKeys keys_;
+  std::shared_ptr<Table> plain_;         // full size
+  std::shared_ptr<Table> plain_small_;   // baseline size
+  EncryptedDatabase db_;
+  std::optional<Paillier> paillier_;
+  std::optional<EncryptedDatabase> paillier_db_;
+  Server server_;
+};
+
+// Formats a latency line: "label  total  (server/network/client)".
+std::string LatencyLine(const std::string& label, const ResultSet& r, double scale = 1.0);
+
+// Projects a measured latency to the paper's dataset scale: the fixed job
+// overhead stays constant, per-row costs (server compute, shuffle, network,
+// client decryption) multiply by `scale`. This is how the benches report
+// "at 1.75 B rows" numbers from laptop-scale measurements; both raw and
+// projected values are printed. `job_overhead` is the cluster's fixed cost.
+double ProjectTotalSeconds(const ResultSet& r, double scale, double job_overhead);
+double ProjectServerSeconds(const ResultSet& r, double scale, double job_overhead);
+
+// The paper's flagship dataset size (Synthetic-Large).
+constexpr double kPaperRows = 1.75e9;
+
+}  // namespace seabed
+
+#endif  // SEABED_BENCH_HARNESS_H_

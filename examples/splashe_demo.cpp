@@ -1,0 +1,142 @@
+// SPLASHE demo: why deterministic encryption leaks and how SPLASHE closes
+// the leak (paper Sections 3.3–3.4 and Naveed et al.'s frequency attack).
+//
+// The demo encrypts the same skewed "country" column twice — once with plain
+// DET, once with enhanced SPLASHE — then plays the adversary: it histograms
+// the ciphertexts and tries to match them to a public auxiliary distribution.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/crypto/det.h"
+#include "src/seabed/client.h"
+#include "src/seabed/planner.h"
+#include "src/seabed/server.h"
+
+using namespace seabed;
+
+int main() {
+  constexpr int kRows = 50000;
+  const std::vector<std::string> values = {"usa", "canada", "india", "chile", "iraq", "japan"};
+  const std::vector<double> freq = {0.40, 0.30, 0.12, 0.08, 0.06, 0.04};
+
+  Rng rng(99);
+  std::vector<std::string> column;
+  std::vector<double> cdf(freq.size());
+  double acc = 0;
+  for (size_t i = 0; i < freq.size(); ++i) {
+    acc += freq[i];
+    cdf[i] = acc;
+  }
+  for (int i = 0; i < kRows; ++i) {
+    const double u = rng.NextDouble();
+    size_t pick = 0;
+    while (u > cdf[pick]) {
+      ++pick;
+    }
+    column.push_back(values[pick]);
+  }
+
+  // --- Attack 1: plain DET ------------------------------------------------------
+  const DetToken det(AesKey::FromSeed(1));
+  std::map<uint64_t, int> det_hist;
+  for (const auto& v : column) {
+    ++det_hist[det.Tag(v)];
+  }
+  // Adversary: sort ciphertexts by frequency, match against the public
+  // distribution sorted by frequency.
+  std::vector<std::pair<int, uint64_t>> by_freq;
+  for (const auto& [token, count] : det_hist) {
+    by_freq.push_back({count, token});
+  }
+  std::sort(by_freq.rbegin(), by_freq.rend());
+
+  std::printf("--- frequency attack on plain DET ---\n");
+  std::printf("%-10s %-10s %-22s\n", "rank", "count", "adversary's guess");
+  int correct = 0;
+  for (size_t i = 0; i < by_freq.size(); ++i) {
+    const bool hit = det.Tag(values[i]) == by_freq[i].second;
+    correct += hit;
+    std::printf("%-10zu %-10d %-12s %s\n", i + 1, by_freq[i].first, values[i].c_str(),
+                hit ? "CORRECT" : "wrong");
+  }
+  std::printf("adversary decodes %d/%zu values from ciphertext frequencies alone\n\n",
+              correct, values.size());
+
+  // --- Attack 2: enhanced SPLASHE ------------------------------------------------
+  auto table = std::make_shared<Table>("demo");
+  auto country_col = std::make_shared<StringColumn>();
+  auto one_col = std::make_shared<Int64Column>();
+  for (const auto& v : column) {
+    country_col->Append(v);
+    one_col->Append(1);
+  }
+  table->AddColumn("country", country_col);
+  table->AddColumn("ones", one_col);
+
+  PlainSchema schema;
+  schema.table_name = "demo";
+  ValueDistribution dist;
+  dist.values = values;
+  dist.frequencies = freq;
+  schema.columns.push_back({"country", ColumnType::kString, true, dist});
+  schema.columns.push_back({"ones", ColumnType::kInt64, true, std::nullopt});
+
+  Query sample;
+  sample.table = "demo";
+  sample.Sum("ones").Where("country", CmpOp::kEq, std::string("india"));
+  PlannerOptions popts;
+  popts.expected_rows = kRows;
+  const EncryptionPlan plan = PlanEncryption(schema, {sample}, popts);
+  const SplasheLayout* layout = plan.FindSplashe("country");
+  if (layout == nullptr) {
+    std::printf("planner did not splay the dimension — unexpected\n");
+    return 1;
+  }
+  const ClientKeys keys = ClientKeys::FromSeed(2);
+  const Encryptor encryptor(keys);
+  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
+
+  std::printf("--- the same attack on enhanced SPLASHE ---\n");
+  std::printf("splayed (frequent) values: ");
+  for (const auto& v : layout->splayed_values) {
+    std::printf("%s ", v.c_str());
+  }
+  std::printf("\nwhat the adversary sees of the remaining DET column:\n");
+  const auto* enc_det =
+      static_cast<const DetColumn*>(db.table->GetColumn(layout->DetColumn()).get());
+  std::map<uint64_t, int> splashe_hist;
+  for (size_t row = 0; row < enc_det->RowCount(); ++row) {
+    ++splashe_hist[enc_det->Get(row)];
+  }
+  for (const auto& [token, count] : splashe_hist) {
+    std::printf("  token %016llx : %d occurrences\n",
+                static_cast<unsigned long long>(token), count);
+  }
+  std::printf("every token occurs (near-)equally often -> frequency matching "
+              "yields no information.\n\n");
+
+  // And the data is still queryable:
+  Server server;
+  server.RegisterTable(db.table);
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  const Cluster cluster(cfg);
+  for (const auto& v : values) {
+    Query q;
+    q.table = "demo";
+    q.Sum("ones", "count");
+    q.Where("country", CmpOp::kEq, v);
+    TranslatorOptions topts;
+    topts.cluster_workers = 4;
+    const Translator translator(db, keys);
+    const TranslatedQuery tq = translator.Translate(q, topts);
+    const Client client(db, keys);
+    const ResultSet r = client.Decrypt(server.Execute(tq.server, cluster), tq, cluster);
+    std::printf("COUNT(country = %-7s) = %s\n", v.c_str(),
+                ValueToString(r.rows[0][0]).c_str());
+  }
+  return 0;
+}

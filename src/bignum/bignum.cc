@@ -1,0 +1,472 @@
+#include "src/bignum/bignum.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace seabed {
+namespace {
+
+constexpr int kLimbBits = 32;
+constexpr uint64_t kLimbBase = uint64_t{1} << kLimbBits;
+
+}  // namespace
+
+BigNum::BigNum(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value));
+    if (value >> 32) {
+      limbs_.push_back(static_cast<uint32_t>(value >> 32));
+    }
+  }
+}
+
+void BigNum::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+BigNum BigNum::FromDecimal(const std::string& text) {
+  SEABED_CHECK(!text.empty());
+  BigNum result;
+  const BigNum ten(10);
+  for (char c : text) {
+    SEABED_CHECK_MSG(c >= '0' && c <= '9', "non-digit in decimal literal");
+    result = Add(Mul(result, ten), BigNum(static_cast<uint64_t>(c - '0')));
+  }
+  return result;
+}
+
+BigNum BigNum::RandomWithBits(Rng& rng, int bits) {
+  SEABED_CHECK(bits >= 1);
+  BigNum r;
+  const int limbs = (bits + kLimbBits - 1) / kLimbBits;
+  r.limbs_.resize(limbs);
+  for (int i = 0; i < limbs; ++i) {
+    r.limbs_[i] = static_cast<uint32_t>(rng.Next());
+  }
+  // Clear bits above `bits`, then force the top bit on.
+  const int top = (bits - 1) % kLimbBits;
+  r.limbs_.back() &= (top == kLimbBits - 1) ? ~uint32_t{0} : ((uint32_t{1} << (top + 1)) - 1);
+  r.limbs_.back() |= uint32_t{1} << top;
+  r.Trim();
+  return r;
+}
+
+BigNum BigNum::RandomBelow(Rng& rng, const BigNum& bound) {
+  SEABED_CHECK(!bound.IsZero());
+  const int bits = bound.BitLength();
+  const int limbs = (bits + kLimbBits - 1) / kLimbBits;
+  const int top = (bits - 1) % kLimbBits;
+  const uint32_t mask = (top == kLimbBits - 1) ? ~uint32_t{0} : ((uint32_t{1} << (top + 1)) - 1);
+  // Rejection sampling: expected < 2 iterations.
+  for (;;) {
+    BigNum r;
+    r.limbs_.resize(limbs);
+    for (int i = 0; i < limbs; ++i) {
+      r.limbs_[i] = static_cast<uint32_t>(rng.Next());
+    }
+    r.limbs_.back() &= mask;
+    r.Trim();
+    if (r < bound) {
+      return r;
+    }
+  }
+}
+
+int BigNum::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  const uint32_t top = limbs_.back();
+  return static_cast<int>(limbs_.size() - 1) * kLimbBits + (32 - __builtin_clz(top));
+}
+
+bool BigNum::Bit(int i) const {
+  SEABED_CHECK(i >= 0);
+  const size_t limb = static_cast<size_t>(i) / kLimbBits;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (i % kLimbBits)) & 1;
+}
+
+uint64_t BigNum::Low64() const {
+  uint64_t v = 0;
+  if (!limbs_.empty()) {
+    v = limbs_[0];
+  }
+  if (limbs_.size() > 1) {
+    v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  }
+  return v;
+}
+
+int BigNum::Compare(const BigNum& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigNum BigNum::Add(const BigNum& a, const BigNum& b) {
+  BigNum r;
+  const size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  r.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) {
+      sum += a.limbs_[i];
+    }
+    if (i < b.limbs_.size()) {
+      sum += b.limbs_[i];
+    }
+    r.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> kLimbBits;
+  }
+  r.limbs_[n] = static_cast<uint32_t>(carry);
+  r.Trim();
+  return r;
+}
+
+BigNum BigNum::Sub(const BigNum& a, const BigNum& b) {
+  SEABED_CHECK_MSG(a >= b, "BigNum::Sub underflow");
+  BigNum r;
+  r.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) {
+      diff -= b.limbs_[i];
+    }
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  r.Trim();
+  return r;
+}
+
+BigNum BigNum::Mul(const BigNum& a, const BigNum& b) {
+  if (a.IsZero() || b.IsZero()) {
+    return BigNum();
+  }
+  BigNum r;
+  r.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      const uint64_t cur = static_cast<uint64_t>(r.limbs_[i + j]) + ai * b.limbs_[j] + carry;
+      r.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> kLimbBits;
+    }
+    size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      const uint64_t cur = static_cast<uint64_t>(r.limbs_[k]) + carry;
+      r.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> kLimbBits;
+      ++k;
+    }
+  }
+  r.Trim();
+  return r;
+}
+
+BigNum BigNum::ShiftLeft(const BigNum& a, int bits) {
+  SEABED_CHECK(bits >= 0);
+  if (a.IsZero() || bits == 0) {
+    return a;
+  }
+  const int limb_shift = bits / kLimbBits;
+  const int bit_shift = bits % kLimbBits;
+  BigNum r;
+  r.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    const uint64_t v = static_cast<uint64_t>(a.limbs_[i]) << bit_shift;
+    r.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    r.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> kLimbBits);
+  }
+  r.Trim();
+  return r;
+}
+
+BigNum BigNum::ShiftRight(const BigNum& a, int bits) {
+  SEABED_CHECK(bits >= 0);
+  if (a.IsZero() || bits == 0) {
+    return a;
+  }
+  const int limb_shift = bits / kLimbBits;
+  const int bit_shift = bits % kLimbBits;
+  if (static_cast<size_t>(limb_shift) >= a.limbs_.size()) {
+    return BigNum();
+  }
+  BigNum r;
+  r.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < r.limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(a.limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<uint64_t>(a.limbs_[i + limb_shift + 1]) << (kLimbBits - bit_shift);
+    }
+    r.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  r.Trim();
+  return r;
+}
+
+void BigNum::DivMod(const BigNum& a, const BigNum& b, BigNum* quotient, BigNum* remainder) {
+  SEABED_CHECK_MSG(!b.IsZero(), "division by zero");
+  if (a < b) {
+    if (quotient != nullptr) {
+      *quotient = BigNum();
+    }
+    if (remainder != nullptr) {
+      *remainder = a;
+    }
+    return;
+  }
+  if (b.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const uint64_t d = b.limbs_[0];
+    BigNum q;
+    q.limbs_.resize(a.limbs_.size());
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      const uint64_t cur = (rem << kLimbBits) | a.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Trim();
+    if (quotient != nullptr) {
+      *quotient = std::move(q);
+    }
+    if (remainder != nullptr) {
+      *remainder = BigNum(rem);
+    }
+    return;
+  }
+
+  // Knuth algorithm D. Normalize so the top limb of the divisor has its high
+  // bit set.
+  const int shift = kLimbBits - (b.BitLength() % kLimbBits == 0
+                                     ? kLimbBits
+                                     : b.BitLength() % kLimbBits);
+  const BigNum u = ShiftLeft(a, shift);
+  const BigNum v = ShiftLeft(b, shift);
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() - n;
+
+  std::vector<uint32_t> un(u.limbs_);
+  un.resize(u.limbs_.size() + 1, 0);
+  const std::vector<uint32_t>& vn = v.limbs_;
+
+  BigNum q;
+  q.limbs_.assign(m + 1, 0);
+
+  const uint64_t v_top = vn[n - 1];
+  const uint64_t v_next = vn[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    const uint64_t numerator = (static_cast<uint64_t>(un[j + n]) << kLimbBits) | un[j + n - 1];
+    uint64_t qhat = numerator / v_top;
+    uint64_t rhat = numerator % v_top;
+    while (qhat >= kLimbBase ||
+           qhat * v_next > ((rhat << kLimbBits) | un[j + n - 2])) {
+      --qhat;
+      rhat += v_top;
+      if (rhat >= kLimbBase) {
+        break;
+      }
+    }
+    // Multiply-subtract qhat * v from un[j .. j+n].
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t p = qhat * vn[i] + carry;
+      carry = p >> kLimbBits;
+      const int64_t t = static_cast<int64_t>(un[i + j]) - static_cast<int64_t>(p & 0xffffffffULL) - borrow;
+      un[i + j] = static_cast<uint32_t>(t);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const int64_t t = static_cast<int64_t>(un[j + n]) - static_cast<int64_t>(carry) - borrow;
+    un[j + n] = static_cast<uint32_t>(t);
+
+    if (t < 0) {
+      // qhat was one too large: add v back.
+      --qhat;
+      uint64_t c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t s = static_cast<uint64_t>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<uint32_t>(s);
+        c = s >> kLimbBits;
+      }
+      un[j + n] = static_cast<uint32_t>(un[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<uint32_t>(qhat);
+  }
+  q.Trim();
+
+  if (quotient != nullptr) {
+    *quotient = std::move(q);
+  }
+  if (remainder != nullptr) {
+    BigNum r;
+    r.limbs_.assign(un.begin(), un.begin() + n);
+    r.Trim();
+    *remainder = ShiftRight(r, shift);
+  }
+}
+
+BigNum BigNum::Mod(const BigNum& a, const BigNum& m) {
+  BigNum r;
+  DivMod(a, m, nullptr, &r);
+  return r;
+}
+
+BigNum BigNum::ModMul(const BigNum& a, const BigNum& b, const BigNum& m) {
+  return Mod(Mul(a, b), m);
+}
+
+BigNum BigNum::ModExp(const BigNum& base, const BigNum& exp, const BigNum& m) {
+  SEABED_CHECK(!m.IsZero());
+  if (m.IsOne()) {
+    return BigNum();
+  }
+  BigNum result(1);
+  BigNum b = Mod(base, m);
+  const int bits = exp.BitLength();
+  for (int i = 0; i < bits; ++i) {
+    if (exp.Bit(i)) {
+      result = ModMul(result, b, m);
+    }
+    if (i + 1 < bits) {
+      b = ModMul(b, b, m);
+    }
+  }
+  return result;
+}
+
+BigNum BigNum::Gcd(const BigNum& a, const BigNum& b) {
+  BigNum x = a;
+  BigNum y = b;
+  while (!y.IsZero()) {
+    BigNum r = Mod(x, y);
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigNum BigNum::Lcm(const BigNum& a, const BigNum& b) {
+  if (a.IsZero() || b.IsZero()) {
+    return BigNum();
+  }
+  BigNum g = Gcd(a, b);
+  BigNum q;
+  DivMod(a, g, &q, nullptr);
+  return Mul(q, b);
+}
+
+BigNum BigNum::ModInverse(const BigNum& a, const BigNum& m) {
+  // Extended Euclid, tracking only the coefficient of `a`. Coefficients can go
+  // negative, so carry a sign flag alongside each magnitude.
+  BigNum r0 = Mod(a, m);
+  BigNum r1 = m;
+  BigNum s0(1);
+  bool s0_neg = false;
+  BigNum s1;
+  bool s1_neg = false;
+
+  while (!r1.IsZero()) {
+    BigNum q;
+    BigNum r2;
+    DivMod(r0, r1, &q, &r2);
+    // s2 = s0 - q * s1 (signed).
+    const BigNum qs1 = Mul(q, s1);
+    BigNum s2;
+    bool s2_neg;
+    if (s0_neg == s1_neg) {
+      // s0 and q*s1 have the same sign: subtract magnitudes.
+      if (s0 >= qs1) {
+        s2 = Sub(s0, qs1);
+        s2_neg = s0_neg;
+      } else {
+        s2 = Sub(qs1, s0);
+        s2_neg = !s0_neg;
+      }
+    } else {
+      s2 = Add(s0, qs1);
+      s2_neg = s0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    s0 = std::move(s1);
+    s0_neg = s1_neg;
+    s1 = std::move(s2);
+    s1_neg = s2_neg;
+  }
+  SEABED_CHECK_MSG(r0.IsOne(), "ModInverse: arguments are not coprime");
+  if (s0_neg) {
+    return Sub(m, Mod(s0, m));
+  }
+  return Mod(s0, m);
+}
+
+std::string BigNum::ToDecimal() const {
+  if (IsZero()) {
+    return "0";
+  }
+  BigNum v = *this;
+  const BigNum billion(1000000000ULL);
+  std::vector<uint32_t> chunks;
+  while (!v.IsZero()) {
+    BigNum q;
+    BigNum r;
+    DivMod(v, billion, &q, &r);
+    chunks.push_back(static_cast<uint32_t>(r.Low64()));
+    v = std::move(q);
+  }
+  std::string out = std::to_string(chunks.back());
+  for (size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(9 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+std::vector<uint8_t> BigNum::ToBytes() const {
+  std::vector<uint8_t> out;
+  out.reserve(limbs_.size() * 4);
+  for (uint32_t limb : limbs_) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<uint8_t>(limb >> (8 * i)));
+    }
+  }
+  while (!out.empty() && out.back() == 0) {
+    out.pop_back();
+  }
+  return out;
+}
+
+BigNum BigNum::FromBytes(const uint8_t* data, size_t len) {
+  BigNum r;
+  r.limbs_.assign((len + 3) / 4, 0);
+  for (size_t i = 0; i < len; ++i) {
+    r.limbs_[i / 4] |= static_cast<uint32_t>(data[i]) << (8 * (i % 4));
+  }
+  r.Trim();
+  return r;
+}
+
+}  // namespace seabed

@@ -1,0 +1,111 @@
+// Arbitrary-precision unsigned integers.
+//
+// This is the substrate for the Paillier baseline (src/crypto/paillier.h):
+// CryptDB/Monomi-style systems encrypt measures with 2048-bit Paillier, so the
+// baseline needs multi-precision modular arithmetic. The representation is a
+// little-endian vector of 32-bit limbs (64-bit intermediates), which keeps
+// Knuth's division algorithm simple and portable.
+//
+// Values are non-negative. Subtraction requires a >= b and checks it.
+#ifndef SEABED_SRC_BIGNUM_BIGNUM_H_
+#define SEABED_SRC_BIGNUM_BIGNUM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace seabed {
+
+class BigNum {
+ public:
+  // Zero.
+  BigNum() = default;
+
+  // From a 64-bit value.
+  explicit BigNum(uint64_t value);
+
+  // Parses a decimal string (digits only). Aborts on malformed input.
+  static BigNum FromDecimal(const std::string& text);
+
+  // Uniform value with exactly `bits` bits (top bit set). bits >= 1.
+  static BigNum RandomWithBits(Rng& rng, int bits);
+
+  // Uniform value in [0, bound).
+  static BigNum RandomBelow(Rng& rng, const BigNum& bound);
+
+  // --- predicates & accessors -------------------------------------------------
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+  // Number of significant bits (0 for zero).
+  int BitLength() const;
+
+  // Bit i (0 = least significant).
+  bool Bit(int i) const;
+
+  // Value of the low 64 bits.
+  uint64_t Low64() const;
+
+  // Comparison: negative / zero / positive like memcmp.
+  int Compare(const BigNum& other) const;
+
+  bool operator==(const BigNum& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigNum& o) const { return Compare(o) != 0; }
+  bool operator<(const BigNum& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigNum& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigNum& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigNum& o) const { return Compare(o) >= 0; }
+
+  // --- arithmetic -------------------------------------------------------------
+
+  static BigNum Add(const BigNum& a, const BigNum& b);
+  // Requires a >= b.
+  static BigNum Sub(const BigNum& a, const BigNum& b);
+  static BigNum Mul(const BigNum& a, const BigNum& b);
+  // Quotient and remainder; b must be non-zero.
+  static void DivMod(const BigNum& a, const BigNum& b, BigNum* quotient, BigNum* remainder);
+  static BigNum Mod(const BigNum& a, const BigNum& m);
+
+  static BigNum ShiftLeft(const BigNum& a, int bits);
+  static BigNum ShiftRight(const BigNum& a, int bits);
+
+  // (a * b) mod m.
+  static BigNum ModMul(const BigNum& a, const BigNum& b, const BigNum& m);
+  // (base ^ exp) mod m, square-and-multiply.
+  static BigNum ModExp(const BigNum& base, const BigNum& exp, const BigNum& m);
+  // Multiplicative inverse of a mod m; aborts if gcd(a, m) != 1.
+  static BigNum ModInverse(const BigNum& a, const BigNum& m);
+  // Greatest common divisor.
+  static BigNum Gcd(const BigNum& a, const BigNum& b);
+  // Least common multiple.
+  static BigNum Lcm(const BigNum& a, const BigNum& b);
+
+  BigNum operator+(const BigNum& o) const { return Add(*this, o); }
+  BigNum operator-(const BigNum& o) const { return Sub(*this, o); }
+  BigNum operator*(const BigNum& o) const { return Mul(*this, o); }
+  BigNum operator%(const BigNum& o) const { return Mod(*this, o); }
+
+  // Decimal rendering (for tests / debugging).
+  std::string ToDecimal() const;
+
+  // Serialized little-endian byte form (no padding) and its inverse.
+  std::vector<uint8_t> ToBytes() const;
+  static BigNum FromBytes(const uint8_t* data, size_t len);
+
+  // Approximate byte size of the in-memory representation.
+  size_t ByteSize() const { return limbs_.size() * sizeof(uint32_t); }
+
+ private:
+  void Trim();
+
+  // Little-endian 32-bit limbs; empty vector encodes zero.
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_BIGNUM_BIGNUM_H_

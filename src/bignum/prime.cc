@@ -1,0 +1,77 @@
+#include "src/bignum/prime.h"
+
+#include "src/common/check.h"
+
+namespace seabed {
+namespace {
+
+// Small primes for cheap trial division before Miller–Rabin.
+constexpr uint32_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,
+    53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113,
+    127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197,
+    199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+bool IsProbablePrime(const BigNum& n, Rng& rng, int rounds) {
+  if (n < BigNum(2)) {
+    return false;
+  }
+  for (uint32_t p : kSmallPrimes) {
+    const BigNum bp(p);
+    if (n == bp) {
+      return true;
+    }
+    if (BigNum::Mod(n, bp).IsZero()) {
+      return false;
+    }
+  }
+
+  // Write n - 1 = d * 2^r with d odd.
+  const BigNum n_minus_1 = BigNum::Sub(n, BigNum(1));
+  BigNum d = n_minus_1;
+  int r = 0;
+  while (!d.IsOdd()) {
+    d = BigNum::ShiftRight(d, 1);
+    ++r;
+  }
+
+  const BigNum two(2);
+  for (int round = 0; round < rounds; ++round) {
+    // Witness a in [2, n-2].
+    const BigNum a =
+        BigNum::Add(BigNum::RandomBelow(rng, BigNum::Sub(n, BigNum(3))), two);
+    BigNum x = BigNum::ModExp(a, d, n);
+    if (x.IsOne() || x == n_minus_1) {
+      continue;
+    }
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = BigNum::ModMul(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BigNum GeneratePrime(Rng& rng, int bits) {
+  SEABED_CHECK(bits >= 8);
+  for (;;) {
+    BigNum candidate = BigNum::RandomWithBits(rng, bits);
+    if (!candidate.IsOdd()) {
+      candidate = BigNum::Add(candidate, BigNum(1));
+    }
+    if (IsProbablePrime(candidate, rng)) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace seabed

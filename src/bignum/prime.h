@@ -1,0 +1,21 @@
+// Probabilistic primality testing and random prime generation.
+//
+// Used by Paillier key generation. Miller–Rabin with 20 rounds gives an error
+// probability below 2^-40, which is standard for benchmark-grade keys.
+#ifndef SEABED_SRC_BIGNUM_PRIME_H_
+#define SEABED_SRC_BIGNUM_PRIME_H_
+
+#include "src/bignum/bignum.h"
+#include "src/common/rng.h"
+
+namespace seabed {
+
+// Miller–Rabin primality test with `rounds` random witnesses.
+bool IsProbablePrime(const BigNum& n, Rng& rng, int rounds = 20);
+
+// Generates a random prime with exactly `bits` bits.
+BigNum GeneratePrime(Rng& rng, int bits);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_BIGNUM_PRIME_H_

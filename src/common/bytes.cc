@@ -1,0 +1,23 @@
+#include "src/common/bytes.h"
+
+#include <bit>
+
+namespace seabed {
+
+static_assert(std::endian::native == std::endian::little,
+              "Seabed's serialized formats assume a little-endian host.");
+
+std::string ToHex(const uint8_t* data, size_t len) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string ToHex(const Bytes& bytes) { return ToHex(bytes.data(), bytes.size()); }
+
+}  // namespace seabed

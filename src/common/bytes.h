@@ -1,0 +1,46 @@
+// Byte-buffer helpers shared by the crypto and encoding layers.
+#ifndef SEABED_SRC_COMMON_BYTES_H_
+#define SEABED_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace seabed {
+
+using Bytes = std::vector<uint8_t>;
+
+// Appends `value` to `out` in little-endian order.
+inline void PutU64(Bytes& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+// Reads a little-endian u64 at `offset`; the caller guarantees 8 bytes exist.
+inline uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  return v;  // assumes little-endian host; asserted in bytes.cc
+}
+
+inline void PutU32(Bytes& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// Hex rendering, for tests and debugging.
+std::string ToHex(const uint8_t* data, size_t len);
+std::string ToHex(const Bytes& bytes);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_COMMON_BYTES_H_

@@ -1,0 +1,14 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace seabed {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[seabed fatal] %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace seabed

@@ -1,0 +1,36 @@
+// Lightweight invariant checking used across the Seabed libraries.
+//
+// SEABED_CHECK(cond) aborts with a diagnostic when `cond` is false. Unlike
+// assert(), the checks stay enabled in release builds: the library manages
+// ciphertexts and compressed ID lists where silent corruption would produce
+// wrong (and hard-to-debug) aggregates rather than crashes.
+#ifndef SEABED_SRC_COMMON_CHECK_H_
+#define SEABED_SRC_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace seabed {
+
+// Terminates the process after printing `message` with source location.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+}  // namespace seabed
+
+#define SEABED_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::seabed::CheckFailed(__FILE__, __LINE__, "check failed: " #cond); \
+    }                                                                   \
+  } while (0)
+
+#define SEABED_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream seabed_check_oss;                                   \
+      seabed_check_oss << "check failed: " #cond << " — " << msg;            \
+      ::seabed::CheckFailed(__FILE__, __LINE__, seabed_check_oss.str());     \
+    }                                                                        \
+  } while (0)
+
+#endif  // SEABED_SRC_COMMON_CHECK_H_

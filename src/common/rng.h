@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All Seabed experiments are seeded so that benchmark rows and query sets are
+// reproducible run-to-run. The generator is SplitMix64 (for seeding) feeding
+// xoshiro256**, which is fast, well distributed, and has a tiny state.
+//
+// These generators are NOT cryptographic. Cryptographic pseudo-randomness
+// (the ASHE PRF, DET, ORE) lives in src/crypto and is AES-based.
+#ifndef SEABED_SRC_COMMON_RNG_H_
+#define SEABED_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace seabed {
+
+// xoshiro256** seeded via SplitMix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  // Next 64 uniform bits.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be non-zero.
+  uint64_t Below(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli draw with probability `p` of returning true.
+  bool Chance(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf(s) sampler over {0, ..., n-1}: value k has probability proportional to
+// 1 / (k+1)^s. Used to synthesize the skewed dimension-value distributions
+// that enhanced SPLASHE exploits (Section 3.4 of the paper).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  // Probability mass of value `k`.
+  double Pmf(uint64_t k) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cumulative distribution, cdf_[k] = P(value <= k)
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_COMMON_RNG_H_

@@ -1,0 +1,22 @@
+#include "src/common/stopwatch.h"
+
+namespace seabed {
+
+double Stopwatch::Restart() {
+  const auto now = Now();
+  const double elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now - start_).count();
+  start_ = now;
+  return elapsed;
+}
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(Now() - start_).count();
+}
+
+uint64_t Stopwatch::ElapsedNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - start_).count());
+}
+
+}  // namespace seabed

@@ -1,0 +1,35 @@
+// Wall-clock timing helpers used by the cluster model and benchmarks.
+#ifndef SEABED_SRC_COMMON_STOPWATCH_H_
+#define SEABED_SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace seabed {
+
+// Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  // Restarts the stopwatch and returns the elapsed time since construction
+  // (or the previous Restart) in seconds.
+  double Restart();
+
+  // Elapsed seconds since construction / last Restart, without resetting.
+  double ElapsedSeconds() const;
+
+  // Elapsed nanoseconds since construction / last Restart.
+  uint64_t ElapsedNanos() const;
+
+ private:
+  static std::chrono::steady_clock::time_point Now() {
+    return std::chrono::steady_clock::now();
+  }
+
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_COMMON_STOPWATCH_H_

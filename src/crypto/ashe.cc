@@ -1,0 +1,20 @@
+#include "src/crypto/ashe.h"
+
+namespace seabed {
+
+AsheCiphertext Ashe::Encrypt(uint64_t m, uint64_t id) const {
+  AsheCiphertext ct;
+  ct.value = EncryptCell(m, id);
+  ct.ids = IdSet::Single(id);
+  return ct;
+}
+
+uint64_t Ashe::Decrypt(const AsheCiphertext& ct) const {
+  uint64_t pad = 0;
+  for (const IdSet::Run& run : ct.ids.runs()) {
+    pad += run.count * prf_.RangeDelta(run.lo, run.hi);
+  }
+  return ct.value + pad;
+}
+
+}  // namespace seabed

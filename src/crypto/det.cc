@@ -1,0 +1,68 @@
+#include "src/crypto/det.h"
+
+#include <cstring>
+
+namespace seabed {
+
+uint32_t DetInt::RoundF(uint32_t half, uint32_t round) const {
+  uint8_t block[16] = {};
+  std::memcpy(block, &half, 4);
+  std::memcpy(block + 4, &round, 4);
+  block[8] = 0xf5;  // domain separation from the PRF / token uses
+  uint8_t out[16];
+  aes_.EncryptBlock(block, out);
+  uint32_t result = 0;
+  std::memcpy(&result, out, 4);
+  return result;
+}
+
+uint64_t DetInt::Encrypt(uint64_t plaintext) const {
+  uint32_t left = static_cast<uint32_t>(plaintext >> 32);
+  uint32_t right = static_cast<uint32_t>(plaintext);
+  for (uint32_t round = 0; round < 4; ++round) {
+    const uint32_t next_left = right;
+    right = left ^ RoundF(right, round);
+    left = next_left;
+  }
+  return (static_cast<uint64_t>(left) << 32) | right;
+}
+
+uint64_t DetInt::Decrypt(uint64_t ciphertext) const {
+  uint32_t left = static_cast<uint32_t>(ciphertext >> 32);
+  uint32_t right = static_cast<uint32_t>(ciphertext);
+  for (uint32_t round = 4; round-- > 0;) {
+    const uint32_t prev_right = left;
+    left = right ^ RoundF(left, round);
+    right = prev_right;
+  }
+  return (static_cast<uint64_t>(left) << 32) | right;
+}
+
+uint64_t DetToken::Tag(const std::string& text) const {
+  // CBC-MAC over zero-padded 16-byte blocks with a length block appended.
+  // Fine as a PRF for our fixed-key, trusted-encryptor setting.
+  uint8_t state[16] = {};
+  const size_t len = text.size();
+  for (size_t off = 0; off < len; off += 16) {
+    uint8_t block[16] = {};
+    const size_t chunk = std::min<size_t>(16, len - off);
+    std::memcpy(block, text.data() + off, chunk);
+    for (int i = 0; i < 16; ++i) {
+      state[i] ^= block[i];
+    }
+    aes_.EncryptBlock(state, state);
+  }
+  uint8_t length_block[16] = {};
+  const uint64_t len64 = len;
+  std::memcpy(length_block, &len64, 8);
+  length_block[15] = 0xa7;  // domain separation
+  for (int i = 0; i < 16; ++i) {
+    state[i] ^= length_block[i];
+  }
+  aes_.EncryptBlock(state, state);
+  uint64_t tag = 0;
+  std::memcpy(&tag, state, 8);
+  return tag;
+}
+
+}  // namespace seabed

@@ -1,0 +1,162 @@
+#include "src/crypto/id_set.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace seabed {
+
+IdSet IdSet::Single(uint64_t id) {
+  IdSet s;
+  s.runs_.push_back({id, id, 1});
+  return s;
+}
+
+IdSet IdSet::FromRange(uint64_t lo, uint64_t hi) {
+  SEABED_CHECK(lo <= hi);
+  IdSet s;
+  s.runs_.push_back({lo, hi, 1});
+  return s;
+}
+
+void IdSet::Add(uint64_t id) {
+  if (!runs_.empty()) {
+    Run& back = runs_.back();
+    if (id == back.hi + 1 && back.count == 1) {
+      back.hi = id;  // extend the trailing run — the common sequential case
+      return;
+    }
+    if (id <= back.hi) {
+      runs_.push_back({id, id, 1});
+      Normalize();
+      return;
+    }
+  }
+  runs_.push_back({id, id, 1});
+}
+
+void IdSet::AddRange(uint64_t lo, uint64_t hi) {
+  SEABED_CHECK(lo <= hi);
+  if (!runs_.empty()) {
+    Run& back = runs_.back();
+    if (lo == back.hi + 1 && back.count == 1) {
+      back.hi = hi;
+      return;
+    }
+    if (lo <= back.hi) {
+      runs_.push_back({lo, hi, 1});
+      Normalize();
+      return;
+    }
+  }
+  runs_.push_back({lo, hi, 1});
+}
+
+void IdSet::UnionWith(const IdSet& other) {
+  if (other.runs_.empty()) {
+    return;
+  }
+  if (runs_.empty()) {
+    runs_ = other.runs_;
+    return;
+  }
+  // Fast path: disjoint and ordered (partition-wise aggregation produces
+  // exactly this shape).
+  if (other.runs_.front().lo > runs_.back().hi) {
+    // Possibly coalesce across the seam.
+    const Run& first = other.runs_.front();
+    Run& back = runs_.back();
+    size_t start = 0;
+    if (first.lo == back.hi + 1 && first.count == back.count) {
+      back.hi = first.hi;
+      start = 1;
+    }
+    runs_.insert(runs_.end(), other.runs_.begin() + start, other.runs_.end());
+    return;
+  }
+  runs_.insert(runs_.end(), other.runs_.begin(), other.runs_.end());
+  Normalize();
+}
+
+IdSet IdSet::MergeAll(const std::vector<IdSet>& parts) {
+  IdSet merged;
+  size_t total_runs = 0;
+  for (const IdSet& p : parts) {
+    total_runs += p.runs_.size();
+  }
+  merged.runs_.reserve(total_runs);
+  bool sorted_disjoint = true;
+  for (const IdSet& p : parts) {
+    if (p.runs_.empty()) {
+      continue;
+    }
+    if (!merged.runs_.empty() && p.runs_.front().lo <= merged.runs_.back().hi) {
+      sorted_disjoint = false;
+    }
+    merged.runs_.insert(merged.runs_.end(), p.runs_.begin(), p.runs_.end());
+  }
+  if (!sorted_disjoint) {
+    merged.Normalize();
+  }
+  return merged;
+}
+
+uint64_t IdSet::TotalCount() const {
+  uint64_t total = 0;
+  for (const Run& r : runs_) {
+    total += (r.hi - r.lo + 1) * r.count;
+  }
+  return total;
+}
+
+bool IdSet::IsPlainSet() const {
+  for (const Run& r : runs_) {
+    if (r.count != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void IdSet::Normalize() {
+  // Event sweep: +count at lo, -count at hi+1; emit runs where the active
+  // multiplicity is positive. Handles arbitrary overlap, which arises when a
+  // ciphertext is added to an aggregate more than once.
+  struct Event {
+    uint64_t pos;
+    int64_t delta;
+  };
+  std::vector<Event> events;
+  events.reserve(runs_.size() * 2);
+  for (const Run& r : runs_) {
+    events.push_back({r.lo, static_cast<int64_t>(r.count)});
+    events.push_back({r.hi + 1, -static_cast<int64_t>(r.count)});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.pos < b.pos; });
+
+  std::vector<Run> merged;
+  int64_t active = 0;
+  uint64_t prev_pos = 0;
+  for (size_t i = 0; i < events.size();) {
+    const uint64_t pos = events[i].pos;
+    if (active > 0 && pos > prev_pos) {
+      // Emit [prev_pos, pos - 1] with multiplicity `active`.
+      if (!merged.empty() && merged.back().hi + 1 == prev_pos &&
+          merged.back().count == static_cast<uint64_t>(active)) {
+        merged.back().hi = pos - 1;
+      } else {
+        merged.push_back({prev_pos, pos - 1, static_cast<uint64_t>(active)});
+      }
+    }
+    while (i < events.size() && events[i].pos == pos) {
+      active += events[i].delta;
+      ++i;
+    }
+    prev_pos = pos;
+  }
+  SEABED_CHECK(active == 0);
+  runs_ = std::move(merged);
+}
+
+}  // namespace seabed

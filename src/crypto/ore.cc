@@ -1,0 +1,47 @@
+#include "src/crypto/ore.h"
+
+#include <cstring>
+
+namespace seabed {
+
+OreCiphertext Ore::Encrypt(uint64_t m) const {
+  OreCiphertext ct;
+  uint64_t prefix = 0;  // b_1 ... b_{i-1} left-aligned, zero-padded
+  for (int i = 0; i < 64; ++i) {
+    const uint8_t bit = static_cast<uint8_t>((m >> (63 - i)) & 1);
+    // PRF input: (index, prefix) with domain separation.
+    uint8_t block[16] = {};
+    block[0] = static_cast<uint8_t>(i);
+    block[1] = 0x0e;  // domain tag: ORE
+    std::memcpy(block + 2, &prefix, 8);
+    uint8_t out[16];
+    aes_.EncryptBlock(block, out);
+    const uint8_t f_mod3 = static_cast<uint8_t>(out[0] % 3);
+    ct.SetU(i, static_cast<uint8_t>((f_mod3 + bit) % 3));
+    prefix |= static_cast<uint64_t>(bit) << (63 - i);
+  }
+  return ct;
+}
+
+OreComparison Ore::Compare(const OreCiphertext& ct1, const OreCiphertext& ct2) {
+  OreComparison result;
+  for (int byte = 0; byte < 16; ++byte) {
+    if (ct1.packed[byte] == ct2.packed[byte]) {
+      continue;  // four u-values at a time
+    }
+    for (int slot = 0; slot < 4; ++slot) {
+      const int i = byte * 4 + slot;
+      const uint8_t u1 = ct1.U(i);
+      const uint8_t u2 = ct2.U(i);
+      if (u1 == u2) {
+        continue;
+      }
+      result.inddiff = i;
+      result.order = (u1 == (u2 + 1) % 3) ? 1 : -1;
+      return result;
+    }
+  }
+  return result;  // equal
+}
+
+}  // namespace seabed

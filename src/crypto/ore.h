@@ -1,0 +1,67 @@
+// Order-revealing encryption with limited leakage (Chenette–Lewi–Weis–Wu,
+// FSE 2016) — the OPE scheme Seabed adopts for range predicates (paper
+// Section 4.2 and Appendix A.3).
+//
+// For a 64-bit message with bits b_1 ... b_64 (most significant first), the
+// ciphertext is (u_1, ..., u_64) with
+//
+//     u_i = ( F(k, (i, b_1 b_2 ... b_{i-1} || 0^{64-i})) + b_i ) mod 3
+//
+// Compare() finds the first index where two ciphertexts differ; ct1 encrypts
+// the larger message iff u_i = u'_i + 1 (mod 3). The only leakage beyond
+// order is inddiff — the index of the most significant differing bit.
+//
+// Each u_i takes 2 bits, so a ciphertext is 16 bytes.
+#ifndef SEABED_SRC_CRYPTO_ORE_H_
+#define SEABED_SRC_CRYPTO_ORE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/crypto/aes128.h"
+
+namespace seabed {
+
+struct OreCiphertext {
+  // u_i for i in [0, 64), 2 bits each, packed little-endian within bytes.
+  std::array<uint8_t, 16> packed{};
+
+  uint8_t U(int i) const { return (packed[i >> 2] >> ((i & 3) * 2)) & 3; }
+  void SetU(int i, uint8_t v) {
+    packed[i >> 2] = static_cast<uint8_t>(
+        (packed[i >> 2] & ~(3u << ((i & 3) * 2))) | (static_cast<unsigned>(v) << ((i & 3) * 2)));
+  }
+
+  bool operator==(const OreCiphertext&) const = default;
+};
+
+// Result of a comparison with its leakage.
+struct OreComparison {
+  int order = 0;     // -1: ct1 < ct2, 0: equal, +1: ct1 > ct2
+  int inddiff = 64;  // index (0 = MSB) of the first differing bit; 64 if equal
+};
+
+class Ore {
+ public:
+  explicit Ore(const AesKey& key) : aes_(key) {}
+
+  OreCiphertext Encrypt(uint64_t m) const;
+
+  // Order of the underlying plaintexts, plus the scheme's leakage.
+  static OreComparison Compare(const OreCiphertext& ct1, const OreCiphertext& ct2);
+
+  // Convenience predicates used by the query engine.
+  static bool Less(const OreCiphertext& a, const OreCiphertext& b) {
+    return Compare(a, b).order < 0;
+  }
+  static bool LessEq(const OreCiphertext& a, const OreCiphertext& b) {
+    return Compare(a, b).order <= 0;
+  }
+
+ private:
+  Aes128 aes_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_CRYPTO_ORE_H_

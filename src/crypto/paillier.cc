@@ -1,0 +1,114 @@
+#include "src/crypto/paillier.h"
+
+#include "src/bignum/prime.h"
+#include "src/common/check.h"
+
+namespace seabed {
+
+Paillier Paillier::GenerateKey(Rng& rng, int modulus_bits) {
+  SEABED_CHECK(modulus_bits >= 32);
+  const int prime_bits = modulus_bits / 2;
+  for (;;) {
+    const BigNum p = GeneratePrime(rng, prime_bits);
+    const BigNum q = GeneratePrime(rng, prime_bits);
+    if (p == q) {
+      continue;
+    }
+    const BigNum n = BigNum::Mul(p, q);
+    // gcd(n, (p-1)(q-1)) must be 1; guaranteed for distinct primes of equal
+    // length per Paillier's paper, but we assert anyway.
+    const BigNum p1 = BigNum::Sub(p, BigNum(1));
+    const BigNum q1 = BigNum::Sub(q, BigNum(1));
+    if (!BigNum::Gcd(n, BigNum::Mul(p1, q1)).IsOne()) {
+      continue;
+    }
+    PaillierPublicKey pub;
+    pub.n = n;
+    pub.n_squared = BigNum::Mul(n, n);
+
+    PaillierPrivateKey priv;
+    priv.lambda = BigNum::Lcm(p1, q1);
+    // With g = n+1: L(g^lambda mod n^2) = lambda mod n, so mu = lambda^{-1}.
+    priv.mu = BigNum::ModInverse(BigNum::Mod(priv.lambda, n), n);
+    return Paillier(std::move(pub), std::move(priv));
+  }
+}
+
+BigNum Paillier::Encrypt(const BigNum& m, Rng& rng) const {
+  const BigNum& n = public_key_.n;
+  const BigNum& n2 = public_key_.n_squared;
+  const BigNum m_mod = BigNum::Mod(m, n);
+  // (1 + m n) mod n^2.
+  const BigNum gm = BigNum::Mod(BigNum::Add(BigNum(1), BigNum::Mul(m_mod, n)), n2);
+  // r uniform in Z_n^*.
+  BigNum r;
+  do {
+    r = BigNum::RandomBelow(rng, n);
+  } while (r.IsZero() || !BigNum::Gcd(r, n).IsOne());
+  const BigNum rn = BigNum::ModExp(r, n, n2);
+  return BigNum::ModMul(gm, rn, n2);
+}
+
+BigNum Paillier::EncryptSigned(int64_t m, Rng& rng) const {
+  if (m >= 0) {
+    return Encrypt(BigNum(static_cast<uint64_t>(m)), rng);
+  }
+  const BigNum mag(static_cast<uint64_t>(-(m + 1)) + 1);  // |m| without UB at INT64_MIN
+  return Encrypt(BigNum::Sub(public_key_.n, mag), rng);
+}
+
+BigNum Paillier::Add(const BigNum& c1, const BigNum& c2) const {
+  return BigNum::ModMul(c1, c2, public_key_.n_squared);
+}
+
+BigNum Paillier::Decrypt(const BigNum& c) const {
+  const BigNum& n = public_key_.n;
+  const BigNum& n2 = public_key_.n_squared;
+  const BigNum u = BigNum::ModExp(c, private_key_.lambda, n2);
+  // L(u) = (u - 1) / n.
+  BigNum l;
+  BigNum::DivMod(BigNum::Sub(u, BigNum(1)), n, &l, nullptr);
+  return BigNum::ModMul(l, private_key_.mu, n);
+}
+
+std::vector<BigNum> Paillier::MakeRandomnessPool(Rng& rng, size_t size) const {
+  const BigNum& n = public_key_.n;
+  const BigNum& n2 = public_key_.n_squared;
+  std::vector<BigNum> pool;
+  pool.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    BigNum r;
+    do {
+      r = BigNum::RandomBelow(rng, n);
+    } while (r.IsZero() || !BigNum::Gcd(r, n).IsOne());
+    pool.push_back(BigNum::ModExp(r, n, n2));
+  }
+  return pool;
+}
+
+BigNum Paillier::EncryptSignedPooled(int64_t m, const BigNum& pool_entry) const {
+  const BigNum& n = public_key_.n;
+  const BigNum& n2 = public_key_.n_squared;
+  BigNum m_mod;
+  if (m >= 0) {
+    m_mod = BigNum(static_cast<uint64_t>(m));
+  } else {
+    const BigNum mag(static_cast<uint64_t>(-(m + 1)) + 1);
+    m_mod = BigNum::Sub(n, mag);
+  }
+  const BigNum gm = BigNum::Mod(BigNum::Add(BigNum(1), BigNum::Mul(m_mod, n)), n2);
+  return BigNum::ModMul(gm, pool_entry, n2);
+}
+
+int64_t Paillier::DecryptSigned(const BigNum& c) const {
+  const BigNum& n = public_key_.n;
+  const BigNum residue = Decrypt(c);
+  const BigNum half = BigNum::ShiftRight(n, 1);
+  if (residue > half) {
+    const BigNum mag = BigNum::Sub(n, residue);
+    return -static_cast<int64_t>(mag.Low64());
+  }
+  return static_cast<int64_t>(residue.Low64());
+}
+
+}  // namespace seabed

@@ -1,0 +1,81 @@
+// Paillier additively homomorphic public-key encryption.
+//
+// This is the baseline Seabed is compared against: CryptDB and Monomi encrypt
+// aggregable measures with Paillier (paper Sections 2.1, 6). We implement the
+// standard scheme with the g = n + 1 optimization:
+//
+//   keygen:  n = p q (distinct primes), lambda = lcm(p-1, q-1),
+//            mu = lambda^{-1} mod n
+//   enc(m):  c = (1 + m n) r^n mod n^2,   r uniform in Z_n^*
+//   dec(c):  m = L(c^lambda mod n^2) * mu mod n,  L(x) = (x-1)/n
+//   add:     c1 * c2 mod n^2
+//
+// Signed measures use the two's-complement-style embedding around n/2.
+#ifndef SEABED_SRC_CRYPTO_PAILLIER_H_
+#define SEABED_SRC_CRYPTO_PAILLIER_H_
+
+#include <cstdint>
+
+#include "src/bignum/bignum.h"
+#include "src/common/rng.h"
+
+namespace seabed {
+
+struct PaillierPublicKey {
+  BigNum n;
+  BigNum n_squared;
+
+  // Serialized ciphertext size in bytes (2 * |n|), used for storage accounting.
+  size_t CiphertextBytes() const { return static_cast<size_t>(2 * ((n.BitLength() + 7) / 8)); }
+};
+
+struct PaillierPrivateKey {
+  BigNum lambda;
+  BigNum mu;
+};
+
+class Paillier {
+ public:
+  // Generates a key pair with an n of roughly `modulus_bits` bits. The paper
+  // uses 2048-bit ciphertexts, i.e. modulus_bits = 1024; tests use smaller
+  // keys to stay fast.
+  static Paillier GenerateKey(Rng& rng, int modulus_bits);
+
+  // Encrypts m (interpreted mod n).
+  BigNum Encrypt(const BigNum& m, Rng& rng) const;
+
+  // Encrypts a signed 64-bit value using the centered embedding.
+  BigNum EncryptSigned(int64_t m, Rng& rng) const;
+
+  // Homomorphic addition of two ciphertexts.
+  BigNum Add(const BigNum& c1, const BigNum& c2) const;
+
+  // Decrypts to the raw residue in [0, n).
+  BigNum Decrypt(const BigNum& c) const;
+
+  // Decrypts and undoes the centered embedding (values in (-n/2, n/2]).
+  int64_t DecryptSigned(const BigNum& c) const;
+
+  // Bulk-encryption support: Paillier encryption is dominated by the r^n
+  // mod n^2 exponentiation, which is independent of the message. A
+  // randomness pool precomputes `size` such factors so baseline *datasets*
+  // can be built in reasonable time (one modular multiplication per cell).
+  // Reusing pool entries weakens semantic security, so this is strictly a
+  // benchmark-construction device — per-operation costs (Table 1) are always
+  // measured with full Encrypt(). See DESIGN.md.
+  std::vector<BigNum> MakeRandomnessPool(Rng& rng, size_t size) const;
+  BigNum EncryptSignedPooled(int64_t m, const BigNum& pool_entry) const;
+
+  const PaillierPublicKey& public_key() const { return public_key_; }
+
+ private:
+  Paillier(PaillierPublicKey pub, PaillierPrivateKey priv)
+      : public_key_(std::move(pub)), private_key_(std::move(priv)) {}
+
+  PaillierPublicKey public_key_;
+  PaillierPrivateKey private_key_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_CRYPTO_PAILLIER_H_

@@ -1,0 +1,26 @@
+#include "src/crypto/prf.h"
+
+#include "src/common/check.h"
+
+namespace seabed {
+
+uint64_t Prf::Eval(uint64_t id) const {
+  const uint64_t block = id >> 1;
+  if (block != cached_block_) {
+    aes_.EncryptCounter(block, cached_words_);
+    cached_block_ = block;
+  }
+  return cached_words_[id & 1];
+}
+
+uint64_t Prf::Delta(uint64_t id) const {
+  SEABED_CHECK(id >= 1);
+  return Eval(id) - Eval(id - 1);
+}
+
+uint64_t Prf::RangeDelta(uint64_t lo, uint64_t hi) const {
+  SEABED_CHECK(lo >= 1 && lo <= hi);
+  return Eval(hi) - Eval(lo - 1);
+}
+
+}  // namespace seabed

@@ -1,0 +1,45 @@
+// The AES-based pseudo-random function used by ASHE.
+//
+// ASHE (Section 3.1) needs F_k : I -> Z_n. We fix n = 2^64 so the group
+// operation is native wrap-around arithmetic on uint64_t, and instantiate F_k
+// with AES-128 in counter mode. Section 4.3's batching optimization is
+// implemented here: one AES call on block (i >> 1) yields two 64-bit
+// pseudo-random words, covering identifiers 2j and 2j+1. Sequential row IDs
+// therefore cost ~0.5 AES invocations per encryption, and a tiny one-entry
+// cache makes Delta(i) = F(i) - F(i-1) of consecutive IDs nearly free.
+#ifndef SEABED_SRC_CRYPTO_PRF_H_
+#define SEABED_SRC_CRYPTO_PRF_H_
+
+#include <cstdint>
+
+#include "src/crypto/aes128.h"
+
+namespace seabed {
+
+class Prf {
+ public:
+  explicit Prf(const AesKey& key) : aes_(key) {}
+
+  // F_k(id): 64-bit pseudo-random word for `id`.
+  uint64_t Eval(uint64_t id) const;
+
+  // F_k(id) - F_k(id - 1), the per-row pad used by ASHE. id >= 1.
+  uint64_t Delta(uint64_t id) const;
+
+  // Sum over id in [lo, hi] of Delta(id) = F_k(hi) - F_k(lo - 1).
+  // This is the telescoping trick that lets a contiguous range decrypt with
+  // two PRF calls regardless of length. lo >= 1, lo <= hi.
+  uint64_t RangeDelta(uint64_t lo, uint64_t hi) const;
+
+  bool using_hardware() const { return aes_.using_hardware(); }
+
+ private:
+  Aes128 aes_;
+  // One-block cache: both words of the most recently evaluated AES block.
+  mutable uint64_t cached_block_ = ~uint64_t{0};
+  mutable uint64_t cached_words_[2] = {0, 0};
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_CRYPTO_PRF_H_

@@ -1,0 +1,48 @@
+#include "src/encoding/bitmap.h"
+
+#include "src/common/check.h"
+#include "src/encoding/varint.h"
+
+namespace seabed {
+
+Bytes BitmapEncode(const IdSet& ids) {
+  SEABED_CHECK_MSG(ids.IsPlainSet(), "bitmap codec requires multiplicity-1 sets");
+  Bytes out;
+  if (ids.Empty()) {
+    PutVarint(out, 0);  // width 0 encodes the empty set
+    return out;
+  }
+  const uint64_t base = ids.runs().front().lo;
+  const uint64_t top = ids.runs().back().hi;
+  const uint64_t width = top - base + 1;
+  PutVarint(out, width);
+  PutVarint(out, base);
+  const size_t bitmap_offset = out.size();
+  out.resize(bitmap_offset + (width + 7) / 8, 0);
+  for (const IdSet::Run& run : ids.runs()) {
+    for (uint64_t id = run.lo; id <= run.hi; ++id) {
+      const uint64_t bit = id - base;
+      out[bitmap_offset + bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    }
+  }
+  return out;
+}
+
+IdSet BitmapDecode(const Bytes& bytes) {
+  size_t cursor = 0;
+  const uint64_t width = GetVarint(bytes, &cursor);
+  IdSet ids;
+  if (width == 0) {
+    return ids;
+  }
+  const uint64_t base = GetVarint(bytes, &cursor);
+  SEABED_CHECK(cursor + (width + 7) / 8 <= bytes.size());
+  for (uint64_t bit = 0; bit < width; ++bit) {
+    if (bytes[cursor + bit / 8] & (1u << (bit % 8))) {
+      ids.Add(base + bit);
+    }
+  }
+  return ids;
+}
+
+}  // namespace seabed

@@ -1,0 +1,24 @@
+// Bitmap encoding of ID sets — evaluated and rejected by the paper.
+//
+// Section 6.4: "The bitmap algorithms performed poorly, so we omit them here
+// for brevity." We keep the codec so the Figure 8 ablation can show *why*
+// (bitmaps pay for the full id universe between min and max, which is exactly
+// wrong for sparse selections). Only plain sets (multiplicity 1) are
+// representable; callers fall back to the run codec otherwise.
+#ifndef SEABED_SRC_ENCODING_BITMAP_H_
+#define SEABED_SRC_ENCODING_BITMAP_H_
+
+#include "src/common/bytes.h"
+#include "src/crypto/id_set.h"
+
+namespace seabed {
+
+// Encodes `ids` (must satisfy IsPlainSet()) as base + bit array.
+Bytes BitmapEncode(const IdSet& ids);
+
+// Inverse of BitmapEncode.
+IdSet BitmapDecode(const Bytes& bytes);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_ENCODING_BITMAP_H_

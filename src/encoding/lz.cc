@@ -1,0 +1,143 @@
+#include "src/encoding/lz.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/encoding/varint.h"
+
+namespace seabed {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 1 << 16;
+constexpr size_t kHashBits = 16;
+constexpr size_t kHashSize = 1 << kHashBits;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+size_t MatchLength(const uint8_t* a, const uint8_t* b, size_t max_len) {
+  size_t len = 0;
+  while (len < max_len && a[len] == b[len]) {
+    ++len;
+  }
+  return len;
+}
+
+void FlushLiterals(Bytes& out, const Bytes& input, size_t start, size_t end) {
+  while (start < end) {
+    const size_t chunk = end - start;
+    PutVarint(out, static_cast<uint64_t>(chunk) << 1);
+    out.insert(out.end(), input.begin() + start, input.begin() + start + chunk);
+    start += chunk;
+  }
+}
+
+struct Match {
+  size_t length = 0;
+  size_t distance = 0;
+};
+
+Match FindMatch(const Bytes& input, size_t pos, const std::vector<uint32_t>& head,
+                size_t window) {
+  Match best;
+  if (pos + kMinMatch > input.size()) {
+    return best;
+  }
+  const uint32_t candidate = head[Hash4(input.data() + pos)];
+  if (candidate == UINT32_MAX) {
+    return best;
+  }
+  const size_t cand_pos = candidate;
+  if (cand_pos >= pos || pos - cand_pos > window) {
+    return best;
+  }
+  const size_t max_len = std::min(input.size() - pos, kMaxMatch);
+  const size_t len = MatchLength(input.data() + cand_pos, input.data() + pos, max_len);
+  if (len >= kMinMatch) {
+    best.length = len;
+    best.distance = pos - cand_pos;
+  }
+  return best;
+}
+
+}  // namespace
+
+Bytes LzCompress(const Bytes& input, LzLevel level) {
+  Bytes out;
+  PutVarint(out, input.size());
+  if (input.empty()) {
+    return out;
+  }
+  const size_t window = level == LzLevel::kFast ? (1u << 16) : (1u << 20);
+  const bool lazy = level == LzLevel::kCompact;
+
+  std::vector<uint32_t> head(kHashSize, UINT32_MAX);
+  size_t literal_start = 0;
+  size_t pos = 0;
+  while (pos < input.size()) {
+    Match m = FindMatch(input, pos, head, window);
+    if (m.length >= kMinMatch && lazy && pos + 1 + kMinMatch <= input.size()) {
+      // Lazy matching: if the next position has a strictly longer match, emit
+      // this byte as a literal instead.
+      if (pos + 4 <= input.size()) {
+        head[Hash4(input.data() + pos)] = static_cast<uint32_t>(pos);
+      }
+      const Match next = FindMatch(input, pos + 1, head, window);
+      if (next.length > m.length) {
+        ++pos;
+        continue;
+      }
+    }
+    if (m.length >= kMinMatch) {
+      FlushLiterals(out, input, literal_start, pos);
+      PutVarint(out, (static_cast<uint64_t>(m.length) << 1) | 1);
+      PutVarint(out, m.distance);
+      // Insert hash entries across the match (sparsely for speed).
+      const size_t step = level == LzLevel::kFast ? 4 : 1;
+      const size_t match_end = pos + m.length;
+      for (size_t i = pos; i + 4 <= input.size() && i < match_end; i += step) {
+        head[Hash4(input.data() + i)] = static_cast<uint32_t>(i);
+      }
+      pos = match_end;
+      literal_start = pos;
+    } else {
+      if (pos + 4 <= input.size()) {
+        head[Hash4(input.data() + pos)] = static_cast<uint32_t>(pos);
+      }
+      ++pos;
+    }
+  }
+  FlushLiterals(out, input, literal_start, input.size());
+  return out;
+}
+
+Bytes LzDecompress(const Bytes& input) {
+  size_t cursor = 0;
+  const uint64_t total = GetVarint(input, &cursor);
+  Bytes out;
+  out.reserve(total);
+  while (out.size() < total) {
+    const uint64_t token = GetVarint(input, &cursor);
+    const uint64_t len = token >> 1;
+    if (token & 1) {
+      const uint64_t distance = GetVarint(input, &cursor);
+      SEABED_CHECK_MSG(distance >= 1 && distance <= out.size(), "corrupt LZ match");
+      size_t src = out.size() - distance;
+      for (uint64_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);  // byte-wise: overlapping matches are legal
+      }
+    } else {
+      SEABED_CHECK_MSG(cursor + len <= input.size(), "corrupt LZ literal run");
+      out.insert(out.end(), input.begin() + cursor, input.begin() + cursor + len);
+      cursor += len;
+    }
+  }
+  SEABED_CHECK(out.size() == total);
+  return out;
+}
+
+}  // namespace seabed

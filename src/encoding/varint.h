@@ -1,0 +1,25 @@
+// Variable-byte (VB) integer encoding — one of the three ID-list encodings
+// Seabed combines (paper Table 3): smaller numbers use fewer bytes.
+// LEB128 format: 7 payload bits per byte, high bit = continuation.
+#ifndef SEABED_SRC_ENCODING_VARINT_H_
+#define SEABED_SRC_ENCODING_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace seabed {
+
+// Appends the VB encoding of `value` to `out`.
+void PutVarint(Bytes& out, uint64_t value);
+
+// Decodes a VB integer at *cursor, advancing it. Aborts on truncated input.
+uint64_t GetVarint(const Bytes& in, size_t* cursor);
+
+// Number of bytes PutVarint would append.
+size_t VarintSize(uint64_t value);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_ENCODING_VARINT_H_

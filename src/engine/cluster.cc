@@ -1,0 +1,59 @@
+#include "src/engine/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+
+namespace seabed {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  SEABED_CHECK(config_.num_workers >= 1);
+  const size_t host_threads =
+      std::min<size_t>(config_.num_workers,
+                       std::max<unsigned>(1, std::thread::hardware_concurrency()));
+  pool_ = std::make_unique<ThreadPool>(host_threads);
+}
+
+Cluster::~Cluster() = default;
+
+JobStats Cluster::RunJob(size_t num_tasks, const std::function<void(size_t)>& fn) const {
+  JobStats stats;
+  stats.num_tasks = num_tasks;
+  stats.worker_seconds.assign(config_.num_workers, 0.0);
+  if (num_tasks == 0) {
+    stats.server_seconds = config_.job_overhead_seconds;
+    return stats;
+  }
+
+  std::vector<double> task_seconds(num_tasks, 0.0);
+  pool_->ParallelFor(num_tasks, [&](size_t i) {
+    Stopwatch sw;
+    fn(i);
+    task_seconds[i] = sw.ElapsedSeconds();
+  });
+
+  // Round-robin assignment of tasks to logical workers.
+  for (size_t i = 0; i < num_tasks; ++i) {
+    const size_t worker = i % config_.num_workers;
+    stats.worker_seconds[worker] += task_seconds[i] + config_.task_overhead_seconds;
+    stats.total_compute_seconds += task_seconds[i];
+  }
+  stats.server_seconds =
+      config_.job_overhead_seconds +
+      *std::max_element(stats.worker_seconds.begin(), stats.worker_seconds.end());
+  return stats;
+}
+
+double Cluster::ShuffleSeconds(size_t total_bytes, size_t num_reducers) const {
+  if (total_bytes == 0) {
+    return 0;
+  }
+  const size_t active = std::max<size_t>(1, std::min(num_reducers, config_.num_workers));
+  const double aggregate_bw =
+      config_.shuffle_bandwidth_bits_per_sec_per_worker * static_cast<double>(active);
+  return static_cast<double>(total_bytes) * 8.0 / aggregate_bw;
+}
+
+}  // namespace seabed

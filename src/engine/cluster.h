@@ -1,0 +1,85 @@
+// The cluster execution model — Seabed's stand-in for a Spark cluster.
+//
+// The paper runs on an Azure HDInsight cluster and sweeps the number of cores
+// (Figure 7). This repo runs on one machine, so the cluster is modeled: a job
+// is a set of per-partition tasks; every task's wall-clock compute time is
+// measured for real on a host thread pool, tasks are assigned round-robin to
+// `num_workers` logical workers, and the *simulated server latency* is
+//
+//     job_overhead + max over workers ( Σ assigned task times
+//                                       + per-task scheduling overhead )
+//
+// This keeps core-count sweeps meaningful and monotone on any host: per-row
+// crypto and ID-list costs are real measurements, only the parallel fabric is
+// synthetic. Shuffle and client-transfer costs are added by the callers using
+// NetworkModel (they know the bytes moved).
+#ifndef SEABED_SRC_ENGINE_CLUSTER_H_
+#define SEABED_SRC_ENGINE_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/engine/network_model.h"
+
+namespace seabed {
+
+struct ClusterConfig {
+  // Logical workers ("cores" in the paper's Figure 7).
+  size_t num_workers = 10;
+
+  // Fixed per-job driver overhead (job setup, result collection). The paper's
+  // NoEnc floor of ~0.6 s is dominated by this kind of cost.
+  double job_overhead_seconds = 0.25;
+
+  // Per-task scheduling overhead (Spark task creation).
+  double task_overhead_seconds = 0.004;
+
+  // Link between the driver and the (trusted) client proxy.
+  NetworkModel client_link = NetworkModel::InCluster();
+
+  // Aggregate bisection bandwidth available to the shuffle phase, per worker.
+  double shuffle_bandwidth_bits_per_sec_per_worker = 1e9;
+};
+
+struct JobStats {
+  // Simulated cluster latency for the job (the Figure 6/7 quantity).
+  double server_seconds = 0;
+  // Sum of real measured task compute time.
+  double total_compute_seconds = 0;
+  // Per logical worker busy time.
+  std::vector<double> worker_seconds;
+  size_t num_tasks = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  size_t num_workers() const { return config_.num_workers; }
+
+  // Runs `num_tasks` closures; task i executes fn(i) on some host thread.
+  // Tasks must be independent (no ordering guarantees). Returns simulated
+  // latency statistics.
+  JobStats RunJob(size_t num_tasks, const std::function<void(size_t)>& fn) const;
+
+  // Simulated duration of a shuffle moving `total_bytes` across the cluster
+  // into `num_reducers` reduce tasks. With fewer reducers than workers, only
+  // `num_reducers` links drain the data — the bottleneck Section 4.5
+  // describes and the group-inflation optimization removes.
+  double ShuffleSeconds(size_t total_bytes, size_t num_reducers) const;
+
+ private:
+  ClusterConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_ENGINE_CLUSTER_H_

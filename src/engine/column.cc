@@ -1,0 +1,54 @@
+#include "src/engine/column.h"
+
+namespace seabed {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kAshe:
+      return "ashe";
+    case ColumnType::kDet:
+      return "det";
+    case ColumnType::kOre:
+      return "ore";
+    case ColumnType::kPaillier:
+      return "paillier";
+  }
+  return "?";
+}
+
+size_t StringColumn::ByteSize() const {
+  size_t total = codes_.size() * sizeof(uint32_t);
+  for (const auto& s : dictionary_) {
+    total += s.size() + sizeof(uint32_t);
+  }
+  return total;
+}
+
+void StringColumn::Append(const std::string& v) {
+  auto it = index_.find(v);
+  if (it == index_.end()) {
+    const uint32_t code = static_cast<uint32_t>(dictionary_.size());
+    dictionary_.push_back(v);
+    it = index_.emplace(v, code).first;
+  }
+  codes_.push_back(it->second);
+}
+
+uint32_t StringColumn::Lookup(const std::string& v) const {
+  const auto it = index_.find(v);
+  return it == index_.end() ? UINT32_MAX : it->second;
+}
+
+size_t PaillierColumn::ByteSize() const {
+  size_t total = 0;
+  for (const auto& c : cells_) {
+    total += c.ByteSize();
+  }
+  return total;
+}
+
+}  // namespace seabed

@@ -1,0 +1,3 @@
+#include "src/engine/network_model.h"
+
+// Header-only today; this file anchors the library target.

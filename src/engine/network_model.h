@@ -1,0 +1,29 @@
+// Network cost model for the server ↔ client link.
+//
+// The paper's cluster places the client on a node with a 2 Gbps / sub-ms link
+// and then re-runs experiments at 100 Mbps/10 ms and 10 Mbps/100 ms with `tc`
+// (Section 6.6). We model transfers as latency + bytes/bandwidth, which is
+// all those experiments exercise (ID lists are the payload).
+#ifndef SEABED_SRC_ENGINE_NETWORK_MODEL_H_
+#define SEABED_SRC_ENGINE_NETWORK_MODEL_H_
+
+#include <cstddef>
+
+namespace seabed {
+
+struct NetworkModel {
+  double bandwidth_bits_per_sec = 2e9;  // default: in-cluster 2 Gbps TCP
+  double latency_seconds = 0.0005;
+
+  double TransferSeconds(size_t bytes) const {
+    return latency_seconds + static_cast<double>(bytes) * 8.0 / bandwidth_bits_per_sec;
+  }
+
+  static NetworkModel InCluster() { return NetworkModel{2e9, 0.0005}; }
+  static NetworkModel Wan100Mbps() { return NetworkModel{100e6, 0.010}; }
+  static NetworkModel Wan10Mbps() { return NetworkModel{10e6, 0.100}; }
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_ENGINE_NETWORK_MODEL_H_

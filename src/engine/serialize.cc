@@ -1,0 +1,212 @@
+#include "src/engine/serialize.h"
+
+#include "src/common/check.h"
+#include "src/encoding/varint.h"
+
+namespace seabed {
+namespace {
+
+constexpr uint32_t kMagic = 0x44454253;  // "SBED"
+constexpr uint8_t kVersion = 1;
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void PutString(Bytes& out, const std::string& s) {
+  PutVarint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string GetString(const Bytes& in, size_t* cursor) {
+  const uint64_t len = GetVarint(in, cursor);
+  SEABED_CHECK(*cursor + len <= in.size());
+  std::string s(in.begin() + *cursor, in.begin() + *cursor + len);
+  *cursor += len;
+  return s;
+}
+
+void SerializeColumn(Bytes& out, const std::string& name, const Column& col) {
+  PutString(out, name);
+  out.push_back(static_cast<uint8_t>(col.type()));
+  PutVarint(out, col.RowCount());
+  switch (col.type()) {
+    case ColumnType::kInt64: {
+      const auto& c = static_cast<const Int64Column&>(col);
+      int64_t prev = 0;
+      for (size_t row = 0; row < c.RowCount(); ++row) {
+        PutVarint(out, ZigZag(c.Get(row) - prev));
+        prev = c.Get(row);
+      }
+      break;
+    }
+    case ColumnType::kString: {
+      const auto& c = static_cast<const StringColumn&>(col);
+      PutVarint(out, c.DictionarySize());
+      // Dictionary entries appear in code order; emitting the first
+      // occurrence of each code preserves that order on reload.
+      std::vector<bool> emitted(c.DictionarySize(), false);
+      std::vector<std::string> dict(c.DictionarySize());
+      for (size_t row = 0; row < c.RowCount(); ++row) {
+        const uint32_t code = c.GetCode(row);
+        if (!emitted[code]) {
+          emitted[code] = true;
+          dict[code] = c.Get(row);
+        }
+      }
+      for (const auto& entry : dict) {
+        PutString(out, entry);
+      }
+      for (size_t row = 0; row < c.RowCount(); ++row) {
+        PutVarint(out, c.GetCode(row));
+      }
+      break;
+    }
+    case ColumnType::kAshe: {
+      const auto& c = static_cast<const AsheColumn&>(col);
+      PutVarint(out, c.base_id());
+      for (size_t row = 0; row < c.RowCount(); ++row) {
+        PutU64(out, c.Get(row));  // ciphertexts are incompressible
+      }
+      break;
+    }
+    case ColumnType::kDet: {
+      const auto& c = static_cast<const DetColumn&>(col);
+      for (size_t row = 0; row < c.RowCount(); ++row) {
+        PutU64(out, c.Get(row));
+      }
+      break;
+    }
+    case ColumnType::kOre: {
+      const auto& c = static_cast<const OreColumn&>(col);
+      for (size_t row = 0; row < c.RowCount(); ++row) {
+        const auto& ct = c.Get(row);
+        out.insert(out.end(), ct.packed.begin(), ct.packed.end());
+      }
+      break;
+    }
+    case ColumnType::kPaillier: {
+      const auto& c = static_cast<const PaillierColumn&>(col);
+      for (size_t row = 0; row < c.RowCount(); ++row) {
+        const auto bytes = c.Get(row).ToBytes();
+        PutVarint(out, bytes.size());
+        out.insert(out.end(), bytes.begin(), bytes.end());
+      }
+      break;
+    }
+  }
+}
+
+ColumnPtr DeserializeColumn(const Bytes& in, size_t* cursor, ColumnType type, uint64_t rows) {
+  switch (type) {
+    case ColumnType::kInt64: {
+      auto col = std::make_shared<Int64Column>();
+      int64_t prev = 0;
+      for (uint64_t row = 0; row < rows; ++row) {
+        prev += UnZigZag(GetVarint(in, cursor));
+        col->Append(prev);
+      }
+      return col;
+    }
+    case ColumnType::kString: {
+      auto col = std::make_shared<StringColumn>();
+      const uint64_t dict_size = GetVarint(in, cursor);
+      std::vector<std::string> dict;
+      dict.reserve(dict_size);
+      for (uint64_t i = 0; i < dict_size; ++i) {
+        dict.push_back(GetString(in, cursor));
+      }
+      for (uint64_t row = 0; row < rows; ++row) {
+        const uint64_t code = GetVarint(in, cursor);
+        SEABED_CHECK(code < dict.size());
+        col->Append(dict[code]);
+      }
+      return col;
+    }
+    case ColumnType::kAshe: {
+      const uint64_t base_id = GetVarint(in, cursor);
+      auto col = std::make_shared<AsheColumn>(base_id);
+      for (uint64_t row = 0; row < rows; ++row) {
+        SEABED_CHECK(*cursor + 8 <= in.size());
+        col->Append(GetU64(in.data() + *cursor));
+        *cursor += 8;
+      }
+      return col;
+    }
+    case ColumnType::kDet: {
+      auto col = std::make_shared<DetColumn>();
+      for (uint64_t row = 0; row < rows; ++row) {
+        SEABED_CHECK(*cursor + 8 <= in.size());
+        col->Append(GetU64(in.data() + *cursor));
+        *cursor += 8;
+      }
+      return col;
+    }
+    case ColumnType::kOre: {
+      auto col = std::make_shared<OreColumn>();
+      for (uint64_t row = 0; row < rows; ++row) {
+        SEABED_CHECK(*cursor + 16 <= in.size());
+        OreCiphertext ct;
+        std::copy(in.begin() + *cursor, in.begin() + *cursor + 16, ct.packed.begin());
+        *cursor += 16;
+        col->Append(ct);
+      }
+      return col;
+    }
+    case ColumnType::kPaillier: {
+      auto col = std::make_shared<PaillierColumn>();
+      for (uint64_t row = 0; row < rows; ++row) {
+        const uint64_t len = GetVarint(in, cursor);
+        SEABED_CHECK(*cursor + len <= in.size());
+        col->Append(BigNum::FromBytes(in.data() + *cursor, len));
+        *cursor += len;
+      }
+      return col;
+    }
+  }
+  SEABED_CHECK_MSG(false, "unknown column type tag");
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+Bytes SerializeTable(const Table& table) {
+  Bytes out;
+  PutU32(out, kMagic);
+  out.push_back(kVersion);
+  PutString(out, table.name());
+  PutVarint(out, table.NumColumns());
+  for (const auto& name : table.column_names()) {
+    SerializeColumn(out, name, *table.GetColumn(name));
+  }
+  return out;
+}
+
+std::shared_ptr<Table> DeserializeTable(const Bytes& bytes) {
+  size_t cursor = 0;
+  SEABED_CHECK(bytes.size() >= 5);
+  SEABED_CHECK_MSG(GetU32(bytes.data()) == kMagic, "bad table magic");
+  cursor += 4;
+  SEABED_CHECK_MSG(bytes[cursor] == kVersion, "unsupported table version");
+  ++cursor;
+  auto table = std::make_shared<Table>(GetString(bytes, &cursor));
+  const uint64_t columns = GetVarint(bytes, &cursor);
+  for (uint64_t i = 0; i < columns; ++i) {
+    const std::string name = GetString(bytes, &cursor);
+    SEABED_CHECK(cursor < bytes.size());
+    const auto type = static_cast<ColumnType>(bytes[cursor]);
+    ++cursor;
+    const uint64_t rows = GetVarint(bytes, &cursor);
+    table->AddColumn(name, DeserializeColumn(bytes, &cursor, type, rows));
+  }
+  SEABED_CHECK_MSG(cursor == bytes.size(), "trailing bytes after table");
+  return table;
+}
+
+size_t SerializedTableSize(const Table& table) { return SerializeTable(table).size(); }
+
+}  // namespace seabed

@@ -1,0 +1,36 @@
+// Table serialization — the upload/storage format.
+//
+// The paper stores tables in HDFS using protobuf serialization (Section 6.1)
+// and reports both disk and in-memory sizes (Table 5). This module provides
+// the equivalent: a compact self-describing binary encoding of any Table
+// (plaintext or encrypted), used by the storage benchmarks for "disk size"
+// and usable to persist/upload encrypted databases.
+//
+// Format (little-endian, varint-framed):
+//   magic "SBED" u32 | version u8 | name | column count
+//   per column: name | type tag u8 | row count | payload
+// Int64 payloads are zigzag-delta-varint coded; dictionary strings are
+// length-prefixed; ASHE/DET cells are raw 8-byte words; ORE cells 16 bytes;
+// Paillier cells length-prefixed byte strings.
+#ifndef SEABED_SRC_ENGINE_SERIALIZE_H_
+#define SEABED_SRC_ENGINE_SERIALIZE_H_
+
+#include <memory>
+
+#include "src/common/bytes.h"
+#include "src/engine/table.h"
+
+namespace seabed {
+
+// Serializes the table (all column types supported).
+Bytes SerializeTable(const Table& table);
+
+// Inverse of SerializeTable. Aborts on corrupt input (trusted storage).
+std::shared_ptr<Table> DeserializeTable(const Bytes& bytes);
+
+// Serialized ("disk") size without materializing the buffer.
+size_t SerializedTableSize(const Table& table);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_ENGINE_SERIALIZE_H_

@@ -1,0 +1,63 @@
+#include "src/engine/table.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace seabed {
+
+void Table::AddColumn(const std::string& column_name, ColumnPtr column) {
+  SEABED_CHECK(column != nullptr);
+  SEABED_CHECK_MSG(!HasColumn(column_name), "duplicate column " << column_name);
+  names_.push_back(column_name);
+  columns_.push_back(std::move(column));
+}
+
+bool Table::HasColumn(const std::string& column_name) const {
+  return std::find(names_.begin(), names_.end(), column_name) != names_.end();
+}
+
+const ColumnPtr& Table::GetColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == column_name) {
+      return columns_[i];
+    }
+  }
+  SEABED_CHECK_MSG(false, "no such column: " << column_name << " in table " << name_);
+  __builtin_unreachable();
+}
+
+size_t Table::NumRows() const {
+  if (columns_.empty()) {
+    return 0;
+  }
+  const size_t rows = columns_.front()->RowCount();
+  for (const auto& col : columns_) {
+    SEABED_CHECK(col->RowCount() == rows);
+  }
+  return rows;
+}
+
+size_t Table::ByteSize() const {
+  size_t total = 0;
+  for (const auto& col : columns_) {
+    total += col->ByteSize();
+  }
+  return total;
+}
+
+std::vector<RowRange> Table::Partitions(size_t n) const {
+  SEABED_CHECK(n >= 1);
+  const size_t rows = NumRows();
+  std::vector<RowRange> parts;
+  const size_t actual = std::min(n, std::max<size_t>(rows, 1));
+  parts.reserve(actual);
+  for (size_t i = 0; i < actual; ++i) {
+    const size_t begin = rows * i / actual;
+    const size_t end = rows * (i + 1) / actual;
+    parts.push_back({begin, end});
+  }
+  return parts;
+}
+
+}  // namespace seabed

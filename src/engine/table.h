@@ -1,0 +1,59 @@
+// Tables: named typed columns with horizontal partitioning.
+//
+// Partitions are the unit of parallel work in the cluster model (one Spark
+// task per partition). Encrypted and plaintext tables share this type; the
+// distinction lives in the column types and the accompanying schema object.
+#ifndef SEABED_SRC_ENGINE_TABLE_H_
+#define SEABED_SRC_ENGINE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/column.h"
+
+namespace seabed {
+
+// Half-open row range [begin, end).
+struct RowRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+};
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Adds a column. All columns must have equal row counts by query time.
+  void AddColumn(const std::string& column_name, ColumnPtr column);
+
+  bool HasColumn(const std::string& column_name) const;
+  const ColumnPtr& GetColumn(const std::string& column_name) const;
+
+  // Mutable access for appends (database insertions — paper Section 4.1).
+  Column* GetMutableColumn(const std::string& column_name) {
+    return const_cast<Column*>(GetColumn(column_name).get());
+  }
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  size_t NumColumns() const { return columns_.size(); }
+  size_t NumRows() const;
+
+  // Total payload bytes across columns (Table 5 accounting).
+  size_t ByteSize() const;
+
+  // Splits rows into `n` near-equal partitions.
+  std::vector<RowRange> Partitions(size_t n) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> names_;
+  std::vector<ColumnPtr> columns_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_ENGINE_TABLE_H_

@@ -1,0 +1,30 @@
+// Scalar values flowing through the query layers.
+//
+// Measures are 64-bit integers: Seabed's ASHE works over Z_{2^64}, so
+// fractional measures (e.g. BDB's adRevenue) are stored in fixed point
+// (scaled by 100) exactly as a production deployment would scale currency.
+#ifndef SEABED_SRC_ENGINE_VALUE_H_
+#define SEABED_SRC_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace seabed {
+
+using Value = std::variant<int64_t, double, std::string>;
+
+// Render a value for test assertions and example output.
+inline std::string ValueToString(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    return std::to_string(*d);
+  }
+  return std::get<std::string>(v);
+}
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_ENGINE_VALUE_H_

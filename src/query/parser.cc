@@ -1,0 +1,417 @@
+#include "src/query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace seabed {
+namespace {
+
+enum class TokenType {
+  kIdent,
+  kInt,
+  kString,
+  kSymbol,  // punctuation / comparison operator
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifiers upper-cased copy in `upper`
+  std::string upper;
+  int64_t int_value = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  // Tokenizes fully; returns false (with error_) on bad input.
+  bool Run() {
+    size_t i = 0;
+    while (i < input_.size()) {
+      const char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[j])) || input_[j] == '_' ||
+                input_[j] == '.')) {
+          ++j;
+        }
+        Token t;
+        t.type = TokenType::kIdent;
+        t.text = input_.substr(i, j - i);
+        t.upper = Upper(t.text);
+        t.pos = i;
+        tokens_.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[i + 1])))) {
+        size_t j = i + 1;
+        while (j < input_.size() && std::isdigit(static_cast<unsigned char>(input_[j]))) {
+          ++j;
+        }
+        Token t;
+        t.type = TokenType::kInt;
+        t.text = input_.substr(i, j - i);
+        t.int_value = std::stoll(t.text);
+        t.pos = i;
+        tokens_.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (c == '\'') {
+        const size_t close = input_.find('\'', i + 1);
+        if (close == std::string::npos) {
+          error_ = "unterminated string literal at position " + std::to_string(i);
+          return false;
+        }
+        Token t;
+        t.type = TokenType::kString;
+        t.text = input_.substr(i + 1, close - i - 1);
+        t.pos = i;
+        tokens_.push_back(std::move(t));
+        i = close + 1;
+        continue;
+      }
+      // Two-char comparison operators first.
+      static const char* kTwoChar[] = {"<=", ">=", "!=", "<>"};
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (input_.compare(i, 2, op) == 0) {
+          Token t;
+          t.type = TokenType::kSymbol;
+          t.text = op;
+          t.pos = i;
+          tokens_.push_back(std::move(t));
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        continue;
+      }
+      if (std::string("(),*=<>").find(c) != std::string::npos) {
+        Token t;
+        t.type = TokenType::kSymbol;
+        t.text = std::string(1, c);
+        t.pos = i;
+        tokens_.push_back(std::move(t));
+        ++i;
+        continue;
+      }
+      error_ = std::string("unexpected character '") + c + "' at position " + std::to_string(i);
+      return false;
+    }
+    Token end;
+    end.type = TokenType::kEnd;
+    end.pos = input_.size();
+    tokens_.push_back(std::move(end));
+    return true;
+  }
+
+  static std::string Upper(const std::string& s) {
+    std::string u = s;
+    std::transform(u.begin(), u.end(), u.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return u;
+  }
+
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  const std::string& input_;
+  std::vector<Token> tokens_;
+  std::string error_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    if (!ParseQuery(&result.query)) {
+      result.error = error_;
+      return result;
+    }
+    if (!AtEnd()) {
+      result.error = "trailing input at position " + std::to_string(Peek().pos);
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[cursor_]; }
+  const Token& Advance() { return tokens_[cursor_++]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool Fail(const std::string& message) {
+    error_ = message + " at position " + std::to_string(Peek().pos);
+    return false;
+  }
+
+  bool ConsumeKeyword(const char* keyword) {
+    if (Peek().type == TokenType::kIdent && Peek().upper == keyword) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ExpectKeyword(const char* keyword) {
+    if (!ConsumeKeyword(keyword)) {
+      return Fail(std::string("expected ") + keyword);
+    }
+    return true;
+  }
+
+  bool ConsumeSymbol(const char* symbol) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ExpectSymbol(const char* symbol) {
+    if (!ConsumeSymbol(symbol)) {
+      return Fail(std::string("expected '") + symbol + "'");
+    }
+    return true;
+  }
+
+  bool ExpectIdent(std::string* out) {
+    if (Peek().type != TokenType::kIdent) {
+      return Fail("expected identifier");
+    }
+    *out = Advance().text;
+    return true;
+  }
+
+  // table.column -> right:column (the engine's joined-table reference).
+  std::string MapColumnRef(const std::string& ident, const std::string& fact_table) const {
+    const size_t dot = ident.find('.');
+    if (dot == std::string::npos) {
+      return ident;
+    }
+    const std::string table = ident.substr(0, dot);
+    const std::string column = ident.substr(dot + 1);
+    if (table == fact_table) {
+      return column;
+    }
+    return "right:" + column;
+  }
+
+  bool ParseQuery(Query* q) {
+    if (!ExpectKeyword("SELECT")) {
+      return false;
+    }
+    struct PendingItem {
+      bool is_aggregate = false;
+      AggFunc func = AggFunc::kSum;
+      std::string column;
+      std::string alias;
+    };
+    std::vector<PendingItem> items;
+    do {
+      PendingItem item;
+      if (!ParseSelectItem(&item.is_aggregate, &item.func, &item.column, &item.alias)) {
+        return false;
+      }
+      items.push_back(std::move(item));
+    } while (ConsumeSymbol(","));
+
+    if (!ExpectKeyword("FROM") || !ExpectIdent(&q->table)) {
+      return false;
+    }
+
+    if (ConsumeKeyword("JOIN")) {
+      Join join;
+      if (!ExpectIdent(&join.right_table) || !ExpectKeyword("ON")) {
+        return false;
+      }
+      std::string left;
+      std::string right;
+      if (!ExpectIdent(&left) || !ExpectSymbol("=") || !ExpectIdent(&right)) {
+        return false;
+      }
+      join.left_column = MapColumnRef(left, q->table);
+      join.right_column = MapColumnRef(right, q->table);
+      if (join.left_column.rfind("right:", 0) == 0) {
+        std::swap(join.left_column, join.right_column);
+      }
+      q->join = std::move(join);
+    }
+
+    if (ConsumeKeyword("WHERE")) {
+      do {
+        Predicate pred;
+        std::string column;
+        if (!ExpectIdent(&column)) {
+          return false;
+        }
+        pred.column = MapColumnRef(column, q->table);
+        if (!ParseCmpOp(&pred.op)) {
+          return false;
+        }
+        if (Peek().type == TokenType::kInt) {
+          pred.operand = Advance().int_value;
+        } else if (Peek().type == TokenType::kString) {
+          pred.operand = Advance().text;
+        } else {
+          return Fail("expected literal");
+        }
+        q->filters.push_back(std::move(pred));
+      } while (ConsumeKeyword("AND"));
+    }
+
+    if (ConsumeKeyword("GROUP")) {
+      if (!ExpectKeyword("BY")) {
+        return false;
+      }
+      do {
+        std::string column;
+        if (!ExpectIdent(&column)) {
+          return false;
+        }
+        q->group_by.push_back(MapColumnRef(column, q->table));
+      } while (ConsumeSymbol(","));
+    }
+
+    // Materialize select items: bare identifiers must be group-by columns
+    // (SQL projection of the key); aggregates become Aggregate entries.
+    for (auto& item : items) {
+      if (!item.is_aggregate) {
+        const std::string mapped = MapColumnRef(item.column, q->table);
+        const bool in_group = std::find(q->group_by.begin(), q->group_by.end(), mapped) !=
+                              q->group_by.end();
+        if (!in_group) {
+          error_ = "bare column '" + item.column + "' must appear in GROUP BY";
+          return false;
+        }
+        continue;  // group columns are always projected
+      }
+      Aggregate agg;
+      agg.func = item.func;
+      agg.column = item.column.empty() ? "" : MapColumnRef(item.column, q->table);
+      if (!item.alias.empty()) {
+        agg.alias = item.alias;
+      } else {
+        agg.alias = std::string(AggFuncName(item.func)) +
+                    (agg.column.empty() ? "" : "_" + agg.column);
+      }
+      q->aggregates.push_back(std::move(agg));
+    }
+    if (q->aggregates.empty()) {
+      error_ = "query has no aggregate functions";
+      return false;
+    }
+    return true;
+  }
+
+  bool ParseSelectItem(bool* is_aggregate, AggFunc* func, std::string* column,
+                       std::string* alias) {
+    std::string head;
+    if (!ExpectIdent(&head)) {
+      return false;
+    }
+    const std::string upper = Lexer::Upper(head);
+    static const std::pair<const char*, AggFunc> kAggs[] = {
+        {"SUM", AggFunc::kSum},     {"COUNT", AggFunc::kCount},
+        {"AVG", AggFunc::kAvg},     {"MIN", AggFunc::kMin},
+        {"MAX", AggFunc::kMax},     {"VARIANCE", AggFunc::kVariance},
+        {"VAR", AggFunc::kVariance}, {"STDDEV", AggFunc::kStddev}};
+    const auto agg_it =
+        std::find_if(std::begin(kAggs), std::end(kAggs),
+                     [&](const auto& entry) { return upper == entry.first; });
+    if (agg_it != std::end(kAggs) && Peek().type == TokenType::kSymbol &&
+        Peek().text == "(") {
+      Advance();  // '('
+      *is_aggregate = true;
+      *func = agg_it->second;
+      if (ConsumeSymbol("*")) {
+        if (*func != AggFunc::kCount) {
+          return Fail("'*' argument is only valid for COUNT");
+        }
+        column->clear();
+      } else if (!ExpectIdent(column)) {
+        return false;
+      }
+      if (!ExpectSymbol(")")) {
+        return false;
+      }
+    } else {
+      *is_aggregate = false;
+      *column = head;
+    }
+    if (ConsumeKeyword("AS")) {
+      if (!ExpectIdent(alias)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ParseCmpOp(CmpOp* op) {
+    if (Peek().type != TokenType::kSymbol) {
+      return Fail("expected comparison operator");
+    }
+    const std::string symbol = Advance().text;
+    if (symbol == "=") {
+      *op = CmpOp::kEq;
+    } else if (symbol == "!=" || symbol == "<>") {
+      *op = CmpOp::kNe;
+    } else if (symbol == "<") {
+      *op = CmpOp::kLt;
+    } else if (symbol == "<=") {
+      *op = CmpOp::kLe;
+    } else if (symbol == ">") {
+      *op = CmpOp::kGt;
+    } else if (symbol == ">=") {
+      *op = CmpOp::kGe;
+    } else {
+      return Fail("unknown comparison operator '" + symbol + "'");
+    }
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  size_t cursor_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  if (!lexer.Run()) {
+    ParseResult result;
+    result.error = lexer.error();
+    return result;
+  }
+  Parser parser(lexer.tokens());
+  return parser.Run();
+}
+
+Query MustParseSql(const std::string& sql) {
+  ParseResult result = ParseSql(sql);
+  SEABED_CHECK_MSG(result.ok, "SQL parse error: " << result.error << " in: " << sql);
+  return std::move(result.query);
+}
+
+}  // namespace seabed

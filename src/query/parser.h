@@ -1,0 +1,46 @@
+// A small SQL parser for the Seabed query subset.
+//
+// Users of the paper's system write SQL (or MDX); the proxy's translator
+// consumes a parsed form. This parser covers the grammar the engine
+// executes:
+//
+//   SELECT item {, item}
+//   FROM ident
+//   [JOIN ident ON ident = ident]        -- right side as table.column
+//   [WHERE pred {AND pred}]
+//   [GROUP BY ident {, ident}]
+//
+//   item  := agg '(' (ident | '*') ')' ['AS' ident]
+//   agg   := SUM | COUNT | AVG | MIN | MAX | VARIANCE | STDDEV
+//          | ident (bare column in GROUP BY position is implied)
+//   pred  := operand cmp literal
+//   cmp   := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//   literal := integer | 'single quoted string'
+//
+// Keywords are case-insensitive. Joined-table columns are written
+// table.column and mapped to the engine's "right:" prefix.
+#ifndef SEABED_SRC_QUERY_PARSER_H_
+#define SEABED_SRC_QUERY_PARSER_H_
+
+#include <string>
+
+#include "src/query/query.h"
+
+namespace seabed {
+
+// Result of a parse: either a query or a diagnostic.
+struct ParseResult {
+  bool ok = false;
+  Query query;
+  std::string error;  // human-readable, with position info
+};
+
+// Parses `sql` into a Query. Never aborts; malformed input yields ok=false.
+ParseResult ParseSql(const std::string& sql);
+
+// Convenience for tests/examples: parses or dies with the diagnostic.
+Query MustParseSql(const std::string& sql);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_QUERY_PARSER_H_

@@ -1,0 +1,223 @@
+#include "src/query/plain_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+
+namespace seabed {
+namespace {
+
+int CompareInt(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+bool ApplyCmp(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+// Running state for one aggregate within one group.
+struct AggState {
+  int64_t sum = 0;
+  double sum_squares = 0;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  int64_t count = 0;
+
+  void Observe(int64_t v) {
+    sum += v;
+    sum_squares += static_cast<double>(v) * static_cast<double>(v);
+    min = std::min(min, v);
+    max = std::max(max, v);
+    ++count;
+  }
+
+  void Merge(const AggState& o) {
+    sum += o.sum;
+    sum_squares += o.sum_squares;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+    count += o.count;
+  }
+};
+
+struct GroupState {
+  std::vector<Value> group_values;
+  std::vector<AggState> aggs;
+};
+
+Value Finalize(const Aggregate& agg, const AggState& s) {
+  switch (agg.func) {
+    case AggFunc::kSum:
+      return s.sum;
+    case AggFunc::kCount:
+      return s.count;
+    case AggFunc::kAvg:
+      return s.count == 0 ? 0.0 : static_cast<double>(s.sum) / static_cast<double>(s.count);
+    case AggFunc::kMin:
+      return s.count == 0 ? int64_t{0} : s.min;
+    case AggFunc::kMax:
+      return s.count == 0 ? int64_t{0} : s.max;
+    case AggFunc::kVariance: {
+      if (s.count == 0) {
+        return 0.0;
+      }
+      const double mean = static_cast<double>(s.sum) / static_cast<double>(s.count);
+      return s.sum_squares / static_cast<double>(s.count) - mean * mean;
+    }
+    case AggFunc::kStddev: {
+      if (s.count == 0) {
+        return 0.0;
+      }
+      const double mean = static_cast<double>(s.sum) / static_cast<double>(s.count);
+      const double var = s.sum_squares / static_cast<double>(s.count) - mean * mean;
+      return std::sqrt(std::max(0.0, var));
+    }
+  }
+  return int64_t{0};
+}
+
+}  // namespace
+
+bool RowMatches(const Table& table, const std::vector<Predicate>& filters, size_t row) {
+  for (const Predicate& pred : filters) {
+    const ColumnPtr& col = table.GetColumn(pred.column);
+    switch (col->type()) {
+      case ColumnType::kInt64: {
+        const auto* c = static_cast<const Int64Column*>(col.get());
+        const int64_t operand = std::get<int64_t>(pred.operand);
+        if (!ApplyCmp(pred.op, CompareInt(c->Get(row), operand))) {
+          return false;
+        }
+        break;
+      }
+      case ColumnType::kString: {
+        const auto* c = static_cast<const StringColumn*>(col.get());
+        SEABED_CHECK_MSG(pred.op == CmpOp::kEq || pred.op == CmpOp::kNe,
+                         "string predicates support equality only");
+        const bool eq = c->Get(row) == std::get<std::string>(pred.operand);
+        if ((pred.op == CmpOp::kEq) != eq) {
+          return false;
+        }
+        break;
+      }
+      default:
+        SEABED_CHECK_MSG(false, "plaintext predicate on encrypted column " << pred.column);
+    }
+  }
+  return true;
+}
+
+std::string GroupKeyOfRow(const Table& table, const std::vector<std::string>& group_by,
+                          size_t row) {
+  std::string key;
+  for (const std::string& name : group_by) {
+    const ColumnPtr& col = table.GetColumn(name);
+    if (col->type() == ColumnType::kInt64) {
+      key += std::to_string(static_cast<const Int64Column*>(col.get())->Get(row));
+    } else if (col->type() == ColumnType::kString) {
+      key += static_cast<const StringColumn*>(col.get())->Get(row);
+    } else {
+      SEABED_CHECK_MSG(false, "group-by on unsupported column type");
+    }
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cluster) {
+  const auto partitions = table.Partitions(cluster.num_workers());
+  std::vector<std::unordered_map<std::string, GroupState>> partials(partitions.size());
+
+  const size_t num_aggs = query.aggregates.size();
+  const JobStats job = cluster.RunJob(partitions.size(), [&](size_t p) {
+    auto& local = partials[p];
+    for (size_t row = partitions[p].begin; row < partitions[p].end; ++row) {
+      if (!RowMatches(table, query.filters, row)) {
+        continue;
+      }
+      const std::string key = GroupKeyOfRow(table, query.group_by, row);
+      GroupState& group = local[key];
+      if (group.aggs.empty()) {
+        group.aggs.resize(num_aggs);
+        for (const std::string& name : query.group_by) {
+          const ColumnPtr& col = table.GetColumn(name);
+          if (col->type() == ColumnType::kInt64) {
+            group.group_values.emplace_back(
+                static_cast<const Int64Column*>(col.get())->Get(row));
+          } else {
+            group.group_values.emplace_back(
+                static_cast<const StringColumn*>(col.get())->Get(row));
+          }
+        }
+      }
+      for (size_t a = 0; a < num_aggs; ++a) {
+        const Aggregate& agg = query.aggregates[a];
+        int64_t v = 0;
+        if (!agg.column.empty()) {
+          const ColumnPtr& col = table.GetColumn(agg.column);
+          SEABED_CHECK(col->type() == ColumnType::kInt64);
+          v = static_cast<const Int64Column*>(col.get())->Get(row);
+        }
+        group.aggs[a].Observe(v);
+      }
+    }
+  });
+
+  // Driver-side merge (ordered map for deterministic output).
+  Stopwatch client_sw;
+  std::map<std::string, GroupState> merged;
+  for (auto& partial : partials) {
+    for (auto& [key, group] : partial) {
+      auto [it, inserted] = merged.try_emplace(key, std::move(group));
+      if (!inserted) {
+        for (size_t a = 0; a < num_aggs; ++a) {
+          it->second.aggs[a].Merge(group.aggs[a]);
+        }
+      }
+    }
+  }
+
+  // SQL semantics: a global aggregate (no GROUP BY) over zero rows still
+  // yields one result row.
+  if (merged.empty() && query.group_by.empty()) {
+    merged.emplace("", GroupState{{}, std::vector<AggState>(num_aggs)});
+  }
+
+  ResultSet result;
+  for (const std::string& g : query.group_by) {
+    result.column_names.push_back(g);
+  }
+  for (const Aggregate& agg : query.aggregates) {
+    result.column_names.push_back(agg.alias);
+  }
+  for (auto& [key, group] : merged) {
+    std::vector<Value> row = group.group_values;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      row.push_back(Finalize(query.aggregates[a], group.aggs[a]));
+    }
+    result.result_bytes += row.size() * 8;
+    result.rows.push_back(std::move(row));
+  }
+  result.job = job;
+  result.network_seconds = cluster.config().client_link.TransferSeconds(result.result_bytes);
+  result.client_seconds = client_sw.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace seabed

@@ -1,0 +1,26 @@
+// Plaintext query execution — the paper's "NoEnc" baseline.
+//
+// Executes the Query AST directly over plaintext columns on the cluster
+// model. Also exports the row-predicate helper shared with the encrypted
+// executors (filters on plaintext helper columns behave identically there).
+#ifndef SEABED_SRC_QUERY_PLAIN_EXECUTOR_H_
+#define SEABED_SRC_QUERY_PLAIN_EXECUTOR_H_
+
+#include "src/engine/table.h"
+#include "src/query/query.h"
+
+namespace seabed {
+
+// Runs `query` over `table`, parallelized across the cluster's workers.
+ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cluster);
+
+// True when row `row` of `table` satisfies every filter in `filters`.
+bool RowMatches(const Table& table, const std::vector<Predicate>& filters, size_t row);
+
+// Serialized composite group key for row `row` (empty group_by -> "" key).
+std::string GroupKeyOfRow(const Table& table, const std::vector<std::string>& group_by,
+                          size_t row);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_QUERY_PLAIN_EXECUTOR_H_

@@ -1,0 +1,102 @@
+#include "src/query/query.h"
+
+#include <sstream>
+
+namespace seabed {
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kVariance:
+      return "variance";
+    case AggFunc::kStddev:
+      return "stddev";
+  }
+  return "?";
+}
+
+namespace {
+std::string DefaultAlias(AggFunc func, const std::string& column) {
+  std::string name = AggFuncName(func);
+  if (!column.empty()) {
+    name += "_" + column;
+  }
+  return name;
+}
+}  // namespace
+
+Query& Query::Sum(const std::string& column, const std::string& alias) {
+  aggregates.push_back({AggFunc::kSum, column,
+                        alias.empty() ? DefaultAlias(AggFunc::kSum, column) : alias});
+  return *this;
+}
+
+Query& Query::Count(const std::string& alias) {
+  aggregates.push_back({AggFunc::kCount, "", alias.empty() ? "count" : alias});
+  return *this;
+}
+
+Query& Query::Avg(const std::string& column, const std::string& alias) {
+  aggregates.push_back({AggFunc::kAvg, column,
+                        alias.empty() ? DefaultAlias(AggFunc::kAvg, column) : alias});
+  return *this;
+}
+
+Query& Query::Min(const std::string& column, const std::string& alias) {
+  aggregates.push_back({AggFunc::kMin, column,
+                        alias.empty() ? DefaultAlias(AggFunc::kMin, column) : alias});
+  return *this;
+}
+
+Query& Query::Max(const std::string& column, const std::string& alias) {
+  aggregates.push_back({AggFunc::kMax, column,
+                        alias.empty() ? DefaultAlias(AggFunc::kMax, column) : alias});
+  return *this;
+}
+
+Query& Query::Variance(const std::string& column, const std::string& alias) {
+  aggregates.push_back({AggFunc::kVariance, column,
+                        alias.empty() ? DefaultAlias(AggFunc::kVariance, column) : alias});
+  return *this;
+}
+
+Query& Query::Where(const std::string& column, CmpOp op, Value operand) {
+  filters.push_back({column, op, std::move(operand)});
+  return *this;
+}
+
+Query& Query::GroupBy(const std::string& column) {
+  group_by.push_back(column);
+  return *this;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    oss << (i ? " | " : "") << column_names[i];
+  }
+  oss << "\n";
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ == max_rows) {
+      oss << "... (" << rows.size() - max_rows << " more rows)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      oss << (i ? " | " : "") << ValueToString(row[i]);
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace seabed

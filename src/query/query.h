@@ -1,0 +1,116 @@
+// Query AST for the OLAP subset Seabed targets.
+//
+// Section 5 of the paper finds that BI workloads are dominated by filtered
+// aggregations with group-by: SUM / COUNT / AVG / MIN / MAX plus quadratic
+// aggregates (VARIANCE, STDDEV) that the client supports by pre-computing a
+// squared column. That subset is exactly what this AST expresses. The same
+// Query object is executed by the plaintext engine (NoEnc baseline), by the
+// Paillier baseline, and — after rewriting by the Seabed translator — by the
+// encrypted server.
+#ifndef SEABED_SRC_QUERY_QUERY_H_
+#define SEABED_SRC_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/engine/cluster.h"
+#include "src/engine/value.h"
+
+namespace seabed {
+
+enum class AggFunc {
+  kSum,
+  kCount,
+  kAvg,
+  kMin,
+  kMax,
+  kVariance,  // needs the client-uploaded squared column on the server path
+  kStddev,
+};
+
+const char* AggFuncName(AggFunc func);
+
+enum class CmpOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Aggregate {
+  AggFunc func = AggFunc::kSum;
+  std::string column;  // empty for COUNT(*)
+  std::string alias;
+};
+
+struct Predicate {
+  std::string column;
+  CmpOp op = CmpOp::kEq;
+  Value operand;
+};
+
+// Equi-join of the query's (fact) table against a second table. Columns of
+// the joined table are referenced with a "right:" prefix in aggregates,
+// filters and group-bys. On the encrypted path the join key must be DET
+// encrypted (SPLASHE cannot support joins — paper Section 3.5).
+struct Join {
+  std::string right_table;
+  std::string left_column;   // column of the fact table
+  std::string right_column;  // column of the joined table
+};
+
+struct Query {
+  std::string table;
+  std::vector<Aggregate> aggregates;
+  std::vector<Predicate> filters;
+  std::vector<std::string> group_by;
+  std::optional<Join> join;
+
+  // Client hint: expected number of result groups, used by the group-by
+  // inflation optimization (Section 4.5). 0 = unknown.
+  size_t expected_groups = 0;
+
+  // Markers used by the Section 5 classifier and the translator: a UDF means
+  // the server returns raw aggregates and the client applies the function; a
+  // two-round-trip query (e.g. iterative regression) re-encrypts an
+  // intermediate result.
+  bool has_udf = false;
+  bool needs_two_round_trips = false;
+
+  // Fluent builders for tests/examples.
+  Query& Sum(const std::string& column, const std::string& alias = "");
+  Query& Count(const std::string& alias = "");
+  Query& Avg(const std::string& column, const std::string& alias = "");
+  Query& Min(const std::string& column, const std::string& alias = "");
+  Query& Max(const std::string& column, const std::string& alias = "");
+  Query& Variance(const std::string& column, const std::string& alias = "");
+  Query& Where(const std::string& column, CmpOp op, Value operand);
+  Query& GroupBy(const std::string& column);
+};
+
+// A fully-processed query answer, with the latency breakdown the paper
+// reports: server (simulated cluster), network (modeled transfer), client
+// (measured decryption/post-processing).
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Value>> rows;  // sorted by group key
+
+  JobStats job;                 // server side
+  double network_seconds = 0;   // driver -> client transfer
+  double client_seconds = 0;    // decryption + post-processing (measured)
+  size_t result_bytes = 0;      // payload shipped to the client
+
+  double TotalSeconds() const {
+    return job.server_seconds + network_seconds + client_seconds;
+  }
+
+  // Pretty-printer for examples.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_QUERY_QUERY_H_

@@ -1,0 +1,43 @@
+// The Seabed decryption module (paper Section 4.6).
+//
+// Takes the server's encrypted response, decompresses the ID lists, runs the
+// ASHE PRF over the identifier runs to remove the pads, undoes group-by
+// inflation, renders DET tokens back to plaintext values, and applies the
+// client-side post-processing the translator scheduled (AVG division,
+// variance/stddev formulas, MIN/MAX cell decryption).
+//
+// All client work is wall-clock measured and reported in
+// ResultSet::client_seconds; the modeled server→client transfer goes to
+// ResultSet::network_seconds.
+#ifndef SEABED_SRC_SEABED_CLIENT_H_
+#define SEABED_SRC_SEABED_CLIENT_H_
+
+#include "src/query/query.h"
+#include "src/seabed/encryptor.h"
+#include "src/seabed/server.h"
+#include "src/seabed/translator.h"
+
+namespace seabed {
+
+class Client {
+ public:
+  Client(const EncryptedDatabase& db, const ClientKeys& keys) : db_(&db), keys_(&keys) {}
+
+  // Decrypts `response` for the translated query `tq`. `right_db` supplies
+  // keys/dictionaries for joined-table aggregates and group columns.
+  ResultSet Decrypt(const EncryptedResponse& response, const TranslatedQuery& tq,
+                    const Cluster& cluster, const EncryptedDatabase* right_db = nullptr) const;
+
+  // Total PRF invocations performed by the last Decrypt call — the
+  // "AES operations required for decryption" statistic of Section 6.6.
+  uint64_t last_prf_calls() const { return last_prf_calls_; }
+
+ private:
+  const EncryptedDatabase* db_;
+  const ClientKeys* keys_;
+  mutable uint64_t last_prf_calls_ = 0;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_CLIENT_H_

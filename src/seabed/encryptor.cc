@@ -1,0 +1,490 @@
+#include "src/seabed/encryptor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/check.h"
+#include "src/crypto/ashe.h"
+#include "src/crypto/det.h"
+#include "src/crypto/ore.h"
+
+namespace seabed {
+namespace {
+
+// Reads row `row` of a plaintext column as an int64 (int columns only).
+int64_t IntAt(const ColumnPtr& col, size_t row) {
+  SEABED_CHECK(col->type() == ColumnType::kInt64);
+  return static_cast<const Int64Column*>(col.get())->Get(row);
+}
+
+// Reads row `row` as the string form used by SPLASHE value matching: string
+// columns verbatim, int columns via decimal rendering.
+std::string StringAt(const ColumnPtr& col, size_t row) {
+  if (col->type() == ColumnType::kString) {
+    return static_cast<const StringColumn*>(col.get())->Get(row);
+  }
+  return std::to_string(IntAt(col, row));
+}
+
+}  // namespace
+
+EncryptedDatabase Encryptor::Encrypt(const Table& plain, const PlainSchema& schema,
+                                     const EncryptionPlan& plan) const {
+  EncryptedDatabase db;
+  db.plan = plan;
+  db.table = std::make_shared<Table>(plan.table_name + "#enc");
+  const size_t rows = plain.NumRows();
+
+  // Dimensions consumed by a SPLASHE layout do not appear under their own
+  // name; collect them for the skip check below.
+  auto splayed_dim = [&](const std::string& name) { return plan.FindSplashe(name) != nullptr; };
+
+  for (const auto& spec : schema.columns) {
+    const ColumnPlan& cp = plan.Plan(spec.name);
+    const ColumnPtr& source = plain.GetColumn(spec.name);
+
+    if (cp.scheme == EncScheme::kPlain) {
+      db.table->AddColumn(spec.name, source);
+      continue;
+    }
+
+    const bool is_splashe = cp.scheme == EncScheme::kSplasheBasic ||
+                            cp.scheme == EncScheme::kSplasheEnhanced;
+
+    // ASHE column (primary for measures, additional for "both"-role dims).
+    if (cp.scheme == EncScheme::kAshe || cp.add_ashe) {
+      const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, spec.name + "#ashe")));
+      auto col = std::make_shared<AsheColumn>();
+      for (size_t row = 0; row < rows; ++row) {
+        const auto m = static_cast<uint64_t>(IntAt(source, row));
+        col->Append(ashe.EncryptCell(m, col->IdOfRow(row)));
+      }
+      db.table->AddColumn(spec.name + "#ashe", std::move(col));
+    }
+    if (cp.needs_square) {
+      const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, spec.name + "#sq#ashe")));
+      auto col = std::make_shared<AsheColumn>();
+      for (size_t row = 0; row < rows; ++row) {
+        const int64_t v = IntAt(source, row);
+        col->Append(ashe.EncryptCell(static_cast<uint64_t>(v) * static_cast<uint64_t>(v),
+                                     col->IdOfRow(row)));
+      }
+      db.table->AddColumn(spec.name + "#sq#ashe", std::move(col));
+    }
+    if (cp.scheme == EncScheme::kOpe || cp.add_ope) {
+      const Ore ore(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, spec.name + "#ope")));
+      auto col = std::make_shared<OreColumn>();
+      for (size_t row = 0; row < rows; ++row) {
+        col->Append(ore.Encrypt(static_cast<uint64_t>(IntAt(source, row))));
+      }
+      db.table->AddColumn(spec.name + "#ope", std::move(col));
+    }
+    if (cp.scheme == EncScheme::kDet || cp.add_det) {
+      const std::string col_name = spec.name + "#det";
+      auto col = std::make_shared<DetColumn>();
+      if (spec.type == ColumnType::kInt64) {
+        const DetInt det(keys_.DeriveColumnKey(plan.DetKeyLabelFor(spec.name)));
+        for (size_t row = 0; row < rows; ++row) {
+          col->Append(det.Encrypt(static_cast<uint64_t>(IntAt(source, row))));
+        }
+        db.det_value_types[col_name] = ColumnType::kInt64;
+      } else {
+        const DetToken det(keys_.DeriveColumnKey(plan.DetKeyLabelFor(spec.name)));
+        auto& dictionary = db.det_dictionaries[col_name];
+        for (size_t row = 0; row < rows; ++row) {
+          const std::string& v = static_cast<const StringColumn*>(source.get())->Get(row);
+          const uint64_t token = det.Tag(v);
+          dictionary.emplace(token, v);
+          col->Append(token);
+        }
+        db.det_value_types[col_name] = ColumnType::kString;
+      }
+      db.table->AddColumn(col_name, std::move(col));
+    }
+
+    if (!is_splashe && (cp.scheme == EncScheme::kAshe || cp.scheme == EncScheme::kDet ||
+                        cp.scheme == EncScheme::kOpe)) {
+      continue;
+    }
+    if (!is_splashe) {
+      continue;
+    }
+
+    // --- SPLASHE splaying (basic or enhanced) --------------------------------
+    SEABED_CHECK(splayed_dim(spec.name));
+    const SplasheLayout& layout = *plan.FindSplashe(spec.name);
+
+    // Indicator (count) columns for splayed values.
+    for (const std::string& value : layout.splayed_values) {
+      const std::string col_name = layout.CountColumn(value);
+      const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
+      auto col = std::make_shared<AsheColumn>();
+      for (size_t row = 0; row < rows; ++row) {
+        const uint64_t bit = StringAt(source, row) == value ? 1 : 0;
+        col->Append(ashe.EncryptCell(bit, col->IdOfRow(row)));
+      }
+      db.table->AddColumn(col_name, std::move(col));
+    }
+
+    // Splayed measure columns.
+    for (const std::string& measure : layout.splayed_measures) {
+      const ColumnPtr& m_src = plain.GetColumn(measure);
+      for (const std::string& value : layout.splayed_values) {
+        const std::string col_name = SplasheLayout::MeasureColumn(measure, value);
+        const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
+        auto col = std::make_shared<AsheColumn>();
+        for (size_t row = 0; row < rows; ++row) {
+          const uint64_t v = StringAt(source, row) == value
+                                 ? static_cast<uint64_t>(IntAt(m_src, row))
+                                 : 0;
+          col->Append(ashe.EncryptCell(v, col->IdOfRow(row)));
+        }
+        db.table->AddColumn(col_name, std::move(col));
+      }
+    }
+
+    if (!layout.enhanced) {
+      continue;
+    }
+
+    // Enhanced SPLASHE: "others" indicator + measures, and the
+    // frequency-equalized DET column.
+    auto is_splayed_row = [&](size_t row) { return layout.IsSplayedValue(StringAt(source, row)); };
+
+    {
+      const std::string col_name = layout.OthersCountColumn();
+      const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
+      auto col = std::make_shared<AsheColumn>();
+      for (size_t row = 0; row < rows; ++row) {
+        col->Append(ashe.EncryptCell(is_splayed_row(row) ? 0 : 1, col->IdOfRow(row)));
+      }
+      db.table->AddColumn(col_name, std::move(col));
+    }
+    for (const std::string& measure : layout.splayed_measures) {
+      const ColumnPtr& m_src = plain.GetColumn(measure);
+      const std::string col_name = SplasheLayout::OthersMeasureColumn(measure);
+      const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
+      auto col = std::make_shared<AsheColumn>();
+      for (size_t row = 0; row < rows; ++row) {
+        const uint64_t v =
+            is_splayed_row(row) ? 0 : static_cast<uint64_t>(IntAt(m_src, row));
+        col->Append(ashe.EncryptCell(v, col->IdOfRow(row)));
+      }
+      db.table->AddColumn(col_name, std::move(col));
+    }
+
+    // Equalized DET column (Section 3.4): real rows of infrequent value v
+    // carry DET(v); rows of frequent values are "dummy" cells reused to pad
+    // every infrequent value up to the same count T.
+    {
+      const std::string col_name = layout.DetColumn();
+      const DetToken det(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
+      auto& dictionary = db.det_dictionaries[col_name];
+      db.det_value_types[col_name] = ColumnType::kString;
+
+      // Actual counts of the "other" values.
+      std::map<std::string, uint64_t> counts;
+      for (const std::string& v : layout.other_values) {
+        counts[v] = 0;
+      }
+      uint64_t dummy_cells = 0;
+      for (size_t row = 0; row < rows; ++row) {
+        if (is_splayed_row(row)) {
+          ++dummy_cells;
+        } else {
+          ++counts[StringAt(source, row)];
+        }
+      }
+      uint64_t target = 0;
+      for (const auto& [v, n] : counts) {
+        target = std::max(target, n);
+      }
+      // Fill list: each other value repeated (target - count) times, then the
+      // remaining dummy cells cycle round-robin to keep counts balanced.
+      std::vector<std::string> fill;
+      for (const std::string& v : layout.other_values) {
+        for (uint64_t i = counts[v]; i < target; ++i) {
+          fill.push_back(v);
+        }
+      }
+      size_t fill_cursor = 0;
+      size_t cycle_cursor = 0;
+      auto col = std::make_shared<DetColumn>();
+      for (size_t row = 0; row < rows; ++row) {
+        std::string v;
+        if (is_splayed_row(row)) {
+          if (fill_cursor < fill.size()) {
+            v = fill[fill_cursor++];
+          } else if (!layout.other_values.empty()) {
+            v = layout.other_values[cycle_cursor++ % layout.other_values.size()];
+          } else {
+            v = "(none)";
+          }
+        } else {
+          v = StringAt(source, row);
+        }
+        const uint64_t token = det.Tag(v);
+        dictionary.emplace(token, v);
+        col->Append(token);
+      }
+      db.table->AddColumn(col_name, std::move(col));
+    }
+  }
+  return db;
+}
+
+
+void Encryptor::AppendRows(EncryptedDatabase& db, const Table& new_rows,
+                           const PlainSchema& schema) const {
+  const EncryptionPlan& plan = db.plan;
+  const size_t batch = new_rows.NumRows();
+  Table& enc = *db.table;
+
+  for (const auto& spec : schema.columns) {
+    const ColumnPlan& cp = plan.Plan(spec.name);
+    const ColumnPtr& source = new_rows.GetColumn(spec.name);
+
+    if (cp.scheme == EncScheme::kPlain) {
+      auto* dst = enc.GetMutableColumn(spec.name);
+      if (spec.type == ColumnType::kInt64) {
+        auto* c = static_cast<Int64Column*>(dst);
+        for (size_t row = 0; row < batch; ++row) {
+          c->Append(IntAt(source, row));
+        }
+      } else {
+        auto* c = static_cast<StringColumn*>(dst);
+        for (size_t row = 0; row < batch; ++row) {
+          c->Append(static_cast<const StringColumn*>(source.get())->Get(row));
+        }
+      }
+      continue;
+    }
+
+    const bool is_splashe = cp.scheme == EncScheme::kSplasheBasic ||
+                            cp.scheme == EncScheme::kSplasheEnhanced;
+
+    if (cp.scheme == EncScheme::kAshe || cp.add_ashe) {
+      const Ashe ashe(
+          keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, spec.name + "#ashe")));
+      auto* c = static_cast<AsheColumn*>(enc.GetMutableColumn(spec.name + "#ashe"));
+      for (size_t row = 0; row < batch; ++row) {
+        c->Append(ashe.EncryptCell(static_cast<uint64_t>(IntAt(source, row)),
+                                   c->IdOfRow(c->RowCount())));
+      }
+    }
+    if (cp.needs_square) {
+      const Ashe ashe(
+          keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, spec.name + "#sq#ashe")));
+      auto* c = static_cast<AsheColumn*>(enc.GetMutableColumn(spec.name + "#sq#ashe"));
+      for (size_t row = 0; row < batch; ++row) {
+        const int64_t v = IntAt(source, row);
+        c->Append(ashe.EncryptCell(static_cast<uint64_t>(v) * static_cast<uint64_t>(v),
+                                   c->IdOfRow(c->RowCount())));
+      }
+    }
+    if (cp.scheme == EncScheme::kOpe || cp.add_ope) {
+      const Ore ore(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, spec.name + "#ope")));
+      auto* c = static_cast<OreColumn*>(enc.GetMutableColumn(spec.name + "#ope"));
+      for (size_t row = 0; row < batch; ++row) {
+        c->Append(ore.Encrypt(static_cast<uint64_t>(IntAt(source, row))));
+      }
+    }
+    if (cp.scheme == EncScheme::kDet || cp.add_det) {
+      const std::string col_name = spec.name + "#det";
+      auto* c = static_cast<DetColumn*>(enc.GetMutableColumn(col_name));
+      if (spec.type == ColumnType::kInt64) {
+        const DetInt det(keys_.DeriveColumnKey(plan.DetKeyLabelFor(spec.name)));
+        for (size_t row = 0; row < batch; ++row) {
+          c->Append(det.Encrypt(static_cast<uint64_t>(IntAt(source, row))));
+        }
+      } else {
+        const DetToken det(keys_.DeriveColumnKey(plan.DetKeyLabelFor(spec.name)));
+        auto& dictionary = db.det_dictionaries[col_name];
+        for (size_t row = 0; row < batch; ++row) {
+          const std::string& v = static_cast<const StringColumn*>(source.get())->Get(row);
+          const uint64_t token = det.Tag(v);
+          dictionary.emplace(token, v);
+          c->Append(token);
+        }
+      }
+    }
+
+    if (!is_splashe) {
+      continue;
+    }
+
+    const SplasheLayout& layout = *plan.FindSplashe(spec.name);
+    auto append_indicator = [&](const std::string& col_name, auto&& value_of) {
+      const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
+      auto* c = static_cast<AsheColumn*>(enc.GetMutableColumn(col_name));
+      for (size_t row = 0; row < batch; ++row) {
+        c->Append(ashe.EncryptCell(value_of(row), c->IdOfRow(c->RowCount())));
+      }
+    };
+
+    for (const std::string& value : layout.splayed_values) {
+      append_indicator(layout.CountColumn(value), [&](size_t row) -> uint64_t {
+        return StringAt(source, row) == value ? 1 : 0;
+      });
+    }
+    for (const std::string& measure : layout.splayed_measures) {
+      const ColumnPtr& m_src = new_rows.GetColumn(measure);
+      for (const std::string& value : layout.splayed_values) {
+        append_indicator(SplasheLayout::MeasureColumn(measure, value),
+                         [&](size_t row) -> uint64_t {
+                           return StringAt(source, row) == value
+                                      ? static_cast<uint64_t>(IntAt(m_src, row))
+                                      : 0;
+                         });
+      }
+    }
+    if (!layout.enhanced) {
+      continue;
+    }
+    auto is_splayed_row = [&](size_t row) {
+      return layout.IsSplayedValue(StringAt(source, row));
+    };
+    append_indicator(layout.OthersCountColumn(),
+                     [&](size_t row) -> uint64_t { return is_splayed_row(row) ? 0 : 1; });
+    for (const std::string& measure : layout.splayed_measures) {
+      const ColumnPtr& m_src = new_rows.GetColumn(measure);
+      append_indicator(SplasheLayout::OthersMeasureColumn(measure),
+                       [&](size_t row) -> uint64_t {
+                         return is_splayed_row(row)
+                                    ? 0
+                                    : static_cast<uint64_t>(IntAt(m_src, row));
+                       });
+    }
+
+    // Equalized DET column: balance the batch's dummy cells against the
+    // *combined* (existing + new) token counts so insertions keep every
+    // token's frequency as close as the available dummies allow.
+    {
+      const std::string col_name = layout.DetColumn();
+      const DetToken det(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
+      auto* c = static_cast<DetColumn*>(enc.GetMutableColumn(col_name));
+      auto& dictionary = db.det_dictionaries[col_name];
+
+      std::map<std::string, uint64_t> counts;
+      for (const std::string& v : layout.other_values) {
+        counts[v] = 0;
+      }
+      // Existing token frequencies (the proxy can invert via its dictionary).
+      for (size_t row = 0; row < c->RowCount(); ++row) {
+        const auto it = dictionary.find(c->Get(row));
+        if (it != dictionary.end() && counts.count(it->second)) {
+          ++counts[it->second];
+        }
+      }
+      uint64_t dummy_cells = 0;
+      for (size_t row = 0; row < batch; ++row) {
+        if (is_splayed_row(row)) {
+          ++dummy_cells;
+        } else {
+          ++counts[StringAt(source, row)];
+        }
+      }
+      // Greedy rebalance: repeatedly pad the currently-rarest value.
+      std::vector<std::string> fill;
+      fill.reserve(dummy_cells);
+      for (uint64_t i = 0; i < dummy_cells; ++i) {
+        auto rarest = counts.begin();
+        for (auto it = counts.begin(); it != counts.end(); ++it) {
+          if (it->second < rarest->second) {
+            rarest = it;
+          }
+        }
+        ++rarest->second;
+        fill.push_back(rarest->first);
+      }
+      size_t fill_cursor = 0;
+      for (size_t row = 0; row < batch; ++row) {
+        std::string v;
+        if (is_splayed_row(row)) {
+          v = fill_cursor < fill.size() ? fill[fill_cursor++] : "(none)";
+        } else {
+          v = StringAt(source, row);
+        }
+        const uint64_t token = det.Tag(v);
+        dictionary.emplace(token, v);
+        c->Append(token);
+      }
+    }
+  }
+}
+
+EncryptionPlan BaselinePlan(const EncryptionPlan& plan) {
+  EncryptionPlan baseline = plan;
+  baseline.splashe.clear();
+  for (auto& [name, cp] : baseline.columns) {
+    if (cp.scheme == EncScheme::kSplasheBasic || cp.scheme == EncScheme::kSplasheEnhanced) {
+      cp.scheme = EncScheme::kDet;
+    }
+  }
+  return baseline;
+}
+
+EncryptedDatabase Encryptor::EncryptPaillierBaseline(const Table& plain,
+                                                     const PlainSchema& schema,
+                                                     const EncryptionPlan& plan,
+                                                     const Paillier& paillier, Rng& rng,
+                                                     size_t randomness_pool_size) const {
+  EncryptedDatabase db;
+  db.plan = BaselinePlan(plan);
+  db.table = std::make_shared<Table>(plan.table_name + "#paillier");
+  const size_t rows = plain.NumRows();
+  const std::vector<BigNum> pool = paillier.MakeRandomnessPool(rng, randomness_pool_size);
+
+  for (const auto& spec : schema.columns) {
+    const ColumnPlan& cp = db.plan.Plan(spec.name);
+    const ColumnPtr& source = plain.GetColumn(spec.name);
+
+    if (cp.scheme == EncScheme::kPlain) {
+      db.table->AddColumn(spec.name, source);
+      continue;
+    }
+
+    const bool is_measure = cp.scheme == EncScheme::kAshe || cp.add_ashe;
+    if (is_measure) {
+      auto col = std::make_shared<PaillierColumn>();
+      for (size_t row = 0; row < rows; ++row) {
+        col->Append(paillier.EncryptSignedPooled(IntAt(source, row), pool[row % pool.size()]));
+      }
+      db.table->AddColumn(spec.name + "#paillier", std::move(col));
+    }
+    if (cp.scheme == EncScheme::kOpe || cp.add_ope) {
+      const Ore ore(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, spec.name + "#ope")));
+      auto col = std::make_shared<OreColumn>();
+      for (size_t row = 0; row < rows; ++row) {
+        col->Append(ore.Encrypt(static_cast<uint64_t>(IntAt(source, row))));
+      }
+      db.table->AddColumn(spec.name + "#ope", std::move(col));
+    }
+    const bool needs_det = cp.scheme == EncScheme::kDet || cp.add_det;
+    if (needs_det) {
+      const std::string col_name = spec.name + "#det";
+      auto col = std::make_shared<DetColumn>();
+      if (spec.type == ColumnType::kInt64) {
+        const DetInt det(keys_.DeriveColumnKey(db.plan.DetKeyLabelFor(spec.name)));
+        for (size_t row = 0; row < rows; ++row) {
+          col->Append(det.Encrypt(static_cast<uint64_t>(IntAt(source, row))));
+        }
+        db.det_value_types[col_name] = ColumnType::kInt64;
+      } else {
+        const DetToken det(keys_.DeriveColumnKey(db.plan.DetKeyLabelFor(spec.name)));
+        auto& dictionary = db.det_dictionaries[col_name];
+        for (size_t row = 0; row < rows; ++row) {
+          const std::string& v = static_cast<const StringColumn*>(source.get())->Get(row);
+          const uint64_t token = det.Tag(v);
+          dictionary.emplace(token, v);
+          col->Append(token);
+        }
+        db.det_value_types[col_name] = ColumnType::kString;
+      }
+      db.table->AddColumn(col_name, std::move(col));
+    }
+  }
+  return db;
+}
+
+}  // namespace seabed

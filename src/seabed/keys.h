@@ -1,0 +1,42 @@
+// Client-side key management.
+//
+// Seabed chooses a different secret key for every encrypted column
+// (Section 4.2). Keys are derived from one master secret with the column name
+// as the derivation label, so the trusted proxy only has to store the master
+// secret. The derivation PRF is AES-CMAC-style (DetToken) under the master
+// key — standard KDF-by-PRF construction.
+#ifndef SEABED_SRC_SEABED_KEYS_H_
+#define SEABED_SRC_SEABED_KEYS_H_
+
+#include <string>
+
+#include "src/crypto/aes128.h"
+
+namespace seabed {
+
+class ClientKeys {
+ public:
+  explicit ClientKeys(const AesKey& master) : master_(master) {}
+
+  // Deterministic test/demo keys.
+  static ClientKeys FromSeed(uint64_t seed) { return ClientKeys(AesKey::FromSeed(seed)); }
+
+  // Per-column key: KDF(master, label). Distinct labels yield independent
+  // pseudo-random keys.
+  AesKey DeriveColumnKey(const std::string& label) const;
+
+ private:
+  AesKey master_;
+};
+
+// Canonical key-derivation label for an encrypted column: "<table>/<column>".
+// Including the table name keeps per-column keys distinct across tables even
+// when column names collide (Section 4.2: "a different secret key k for each
+// new column").
+inline std::string ColumnKeyLabel(const std::string& table_name, const std::string& enc_column) {
+  return table_name + "/" + enc_column;
+}
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_KEYS_H_

@@ -1,0 +1,38 @@
+// The Paillier baseline executor — the CryptDB/Monomi-style system Seabed is
+// compared against throughout the paper's evaluation.
+//
+// Executes a translated query over a Paillier-encrypted table: the server
+// multiplies ciphertexts (homomorphic addition, ~µs of multi-precision math
+// per row instead of ASHE's single native add), dimensions use the same
+// DET/ORE machinery as Seabed, and the client performs one Paillier
+// decryption per aggregate result. No ID lists are involved — the trade the
+// paper quantifies is cheap server adds + ID lists (Seabed) versus expensive
+// server adds + tiny responses (Paillier).
+#ifndef SEABED_SRC_SEABED_PAILLIER_BASELINE_H_
+#define SEABED_SRC_SEABED_PAILLIER_BASELINE_H_
+
+#include "src/crypto/paillier.h"
+#include "src/query/query.h"
+#include "src/seabed/encryptor.h"
+#include "src/seabed/translator.h"
+
+namespace seabed {
+
+class PaillierBaseline {
+ public:
+  explicit PaillierBaseline(const Paillier& paillier) : paillier_(&paillier) {}
+
+  // Executes `tq` (translated against the baseline database's plan) over
+  // `db.table` and decrypts the response. ASHE sum aggregates are
+  // reinterpreted over the corresponding "#paillier" columns.
+  ResultSet Execute(const EncryptedDatabase& db, const TranslatedQuery& tq,
+                    const Cluster& cluster, const EncryptedDatabase* right_db = nullptr,
+                    const Table* right_table = nullptr) const;
+
+ private:
+  const Paillier* paillier_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_PAILLIER_BASELINE_H_

@@ -1,0 +1,249 @@
+#include "src/seabed/planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/seabed/splashe.h"
+
+namespace seabed {
+namespace {
+
+// True when the column name refers to the joined (right) table.
+bool IsRightRef(const std::string& name) { return name.rfind("right:", 0) == 0; }
+
+}  // namespace
+
+std::map<std::string, ColumnUsage> AnalyzeUsage(const PlainSchema& schema,
+                                                const std::vector<Query>& queries) {
+  std::map<std::string, ColumnUsage> usage;
+  for (const auto& col : schema.columns) {
+    usage[col.name];  // default entry for every schema column
+  }
+  auto touch = [&](const std::string& name) -> ColumnUsage* {
+    if (IsRightRef(name) || name.empty()) {
+      return nullptr;  // joined-table columns are planned with their own schema
+    }
+    const auto it = usage.find(name);
+    return it == usage.end() ? nullptr : &it->second;
+  };
+
+  for (const Query& q : queries) {
+    for (const Aggregate& agg : q.aggregates) {
+      ColumnUsage* u = touch(agg.column);
+      if (u == nullptr) {
+        continue;
+      }
+      switch (agg.func) {
+        case AggFunc::kSum:
+        case AggFunc::kCount:
+        case AggFunc::kAvg:
+          u->linear_agg = true;
+          break;
+        case AggFunc::kVariance:
+        case AggFunc::kStddev:
+          u->linear_agg = true;
+          u->quadratic_agg = true;
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          u->minmax_agg = true;
+          break;
+      }
+    }
+    for (const Predicate& pred : q.filters) {
+      ColumnUsage* u = touch(pred.column);
+      if (u == nullptr) {
+        continue;
+      }
+      if (pred.op == CmpOp::kEq || pred.op == CmpOp::kNe) {
+        u->eq_filter = true;
+      } else {
+        u->range_filter = true;
+      }
+    }
+    for (const std::string& g : q.group_by) {
+      if (ColumnUsage* u = touch(g)) {
+        u->group_by = true;
+      }
+    }
+    if (q.join.has_value()) {
+      if (ColumnUsage* u = touch(q.join->left_column)) {
+        u->join_key = true;
+      }
+      // The right-side key belongs to the right table's schema, but if this
+      // schema *is* the right table (planned separately), mark it too.
+      if (ColumnUsage* u = touch(q.join->right_column)) {
+        u->join_key = true;
+      }
+    }
+  }
+  return usage;
+}
+
+EncryptionPlan PlanEncryption(const PlainSchema& schema, const std::vector<Query>& queries,
+                              const PlannerOptions& options) {
+  EncryptionPlan plan;
+  plan.table_name = schema.table_name;
+
+  const auto usage = AnalyzeUsage(schema, queries);
+
+  // Measures co-occurring with each dimension in filtered queries; these are
+  // the measures that must be splayed alongside the dimension (Section 4.2).
+  // Dimensions filtered in queries that also compute MIN/MAX (or variance —
+  // no squared splayed columns exist) cannot use SPLASHE: splaying encodes
+  // the filter as zeros, which neutralizes sums but not order statistics.
+  std::map<std::string, std::set<std::string>> co_measures;
+  std::set<std::string> splashe_incompatible;
+  for (const Query& q : queries) {
+    std::set<std::string> measures;
+    bool non_additive = false;
+    for (const Aggregate& agg : q.aggregates) {
+      if (!agg.column.empty() && !IsRightRef(agg.column)) {
+        measures.insert(agg.column);
+      }
+      non_additive |= agg.func == AggFunc::kMin || agg.func == AggFunc::kMax ||
+                      agg.func == AggFunc::kVariance || agg.func == AggFunc::kStddev;
+    }
+    for (const Predicate& pred : q.filters) {
+      if (!IsRightRef(pred.column)) {
+        co_measures[pred.column].insert(measures.begin(), measures.end());
+        if (non_additive) {
+          splashe_incompatible.insert(pred.column);
+        }
+      }
+    }
+  }
+
+  // Canonical shared DET-key labels for join columns: both sides of an
+  // equi-join derive the same key, so tokens match across tables.
+  std::map<std::string, std::string> join_labels;
+  for (const Query& q : queries) {
+    if (!q.join.has_value()) {
+      continue;
+    }
+    const std::string left =
+        q.table + "/" + q.join->left_column;
+    std::string right_col = q.join->right_column;
+    if (IsRightRef(right_col)) {
+      right_col = right_col.substr(6);
+    }
+    const std::string right = q.join->right_table + "/" + right_col;
+    const std::string canonical =
+        "join:" + std::min(left, right) + "+" + std::max(left, right);
+    if (q.table == schema.table_name) {
+      join_labels[q.join->left_column] = canonical;
+    }
+    if (q.join->right_table == schema.table_name) {
+      join_labels[right_col] = canonical;
+    }
+  }
+
+  // First pass: measures and forced dimension schemes.
+  struct SplasheCandidate {
+    std::string name;
+    size_t cardinality = 0;
+    bool enhanced = false;
+  };
+  std::vector<SplasheCandidate> candidates;
+
+  for (const auto& col : schema.columns) {
+    ColumnPlan cp;
+    const ColumnUsage& u = usage.at(col.name);
+    if (!col.sensitive) {
+      cp.scheme = EncScheme::kPlain;
+      plan.columns[col.name] = cp;
+      continue;
+    }
+    if (u.IsMeasure() && !u.IsDimension()) {
+      cp.scheme = EncScheme::kAshe;
+      cp.needs_square = u.quadratic_agg;
+      cp.add_ope = u.minmax_agg;  // MIN/MAX needs order comparisons
+      plan.columns[col.name] = cp;
+      continue;
+    }
+    // Dimension (or dimension + measure).
+    if (u.join_key) {
+      cp.scheme = EncScheme::kDet;
+      const auto label_it = join_labels.find(col.name);
+      if (label_it != join_labels.end()) {
+        cp.det_key_label = label_it->second;
+      }
+      plan.warnings.push_back("dimension '" + col.name +
+                              "' participates in joins; falling back to DET");
+    } else if (u.range_filter) {
+      cp.scheme = EncScheme::kOpe;
+      cp.add_det = u.eq_filter || u.group_by;
+      plan.warnings.push_back("dimension '" + col.name +
+                              "' has range predicates; falling back to OPE");
+    } else if (u.group_by) {
+      cp.scheme = EncScheme::kDet;
+      plan.warnings.push_back("dimension '" + col.name +
+                              "' is used in GROUP BY; falling back to DET");
+    } else if (u.eq_filter && splashe_incompatible.count(col.name)) {
+      cp.scheme = EncScheme::kDet;
+      plan.warnings.push_back("dimension '" + col.name +
+                              "' is filtered alongside non-additive aggregates; "
+                              "falling back to DET");
+    } else if (u.eq_filter) {
+      // SPLASHE candidate; decided below under the storage budget.
+      const bool enhanced = col.distribution.has_value();
+      const size_t cardinality =
+          col.distribution.has_value() ? col.distribution->values.size() : 0;
+      SEABED_CHECK_MSG(col.distribution.has_value(),
+                       "SPLASHE requires the value domain for column " << col.name);
+      candidates.push_back({col.name, cardinality, enhanced});
+      cp.scheme = enhanced ? EncScheme::kSplasheEnhanced : EncScheme::kSplasheBasic;
+    } else {
+      // Sensitive but never used as a predicate: randomized encryption with
+      // no query support needed — ASHE works and is cheapest.
+      cp.scheme = EncScheme::kAshe;
+    }
+    // Dimensions that are also aggregated (role "both") carry an ASHE column.
+    if (u.IsMeasure()) {
+      cp.add_ashe = true;
+      cp.needs_square = cp.needs_square || u.quadratic_agg;
+      cp.add_ope = cp.add_ope || u.minmax_agg || u.range_filter;
+    }
+    plan.columns[col.name] = cp;
+  }
+
+  // Second pass: SPLASHE candidates lowest-cardinality-first under the
+  // storage budget (Section 4.2: "prioritizes the dimensions ... based on
+  // their cardinality, lowest cardinal dimension first").
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SplasheCandidate& a, const SplasheCandidate& b) {
+              return a.cardinality < b.cardinality;
+            });
+  const double base_width = static_cast<double>(schema.columns.size());
+  double added_width = 0;
+  for (const SplasheCandidate& cand : candidates) {
+    const auto& spec = *schema.Find(cand.name);
+    const auto measures_it = co_measures.find(cand.name);
+    std::vector<std::string> measures;
+    if (measures_it != co_measures.end()) {
+      measures.assign(measures_it->second.begin(), measures_it->second.end());
+    }
+    SplasheLayout layout = BuildSplasheLayout(cand.name, *spec.distribution, measures,
+                                              cand.enhanced, options.expected_rows);
+    const size_t k = layout.splayed_values.size();
+    double extra = 0;
+    if (cand.enhanced) {
+      extra = static_cast<double>(k + 2) + static_cast<double>(k + 1) * measures.size() - 1.0;
+    } else {
+      extra = static_cast<double>(k) + static_cast<double>(k) * measures.size() - 1.0;
+    }
+    const double factor_after = (base_width + added_width + extra) / base_width;
+    if (options.max_storage_expansion > 0 && factor_after > options.max_storage_expansion) {
+      plan.columns[cand.name].scheme = EncScheme::kDet;
+      plan.warnings.push_back("dimension '" + cand.name +
+                              "' exceeds the storage budget; falling back to DET");
+      continue;
+    }
+    added_width += extra;
+    plan.splashe.push_back(std::move(layout));
+  }
+  return plan;
+}
+
+}  // namespace seabed

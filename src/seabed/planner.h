@@ -1,0 +1,60 @@
+// The Seabed data planner (paper Section 4.2).
+//
+// Given the plaintext schema (with sensitivity annotations and optional value
+// distributions) and a sample query set, the planner:
+//
+//   1. classifies each column as dimension, measure, or both, from how the
+//      sample queries use it;
+//   2. assigns ASHE to sensitive measures (adding a squared column when a
+//      quadratic aggregate appears);
+//   3. assigns SPLASHE to sensitive dimensions used only in equality filters
+//      (enhanced when a distribution is available, basic otherwise),
+//      prioritized lowest-cardinality-first under the storage budget;
+//   4. falls back to DET (joins, group-bys) or OPE (range predicates) with a
+//      warning when SPLASHE cannot apply.
+#ifndef SEABED_SRC_SEABED_PLANNER_H_
+#define SEABED_SRC_SEABED_PLANNER_H_
+
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/seabed/schema.h"
+
+namespace seabed {
+
+struct PlannerOptions {
+  // Maximum tolerated storage expansion factor for the whole table (Figure
+  // 10b's knob). 0 disables the budget (all SPLASHE candidates splayed).
+  double max_storage_expansion = 0;
+
+  // Expected table size, used to turn distribution frequencies into expected
+  // counts for enhanced SPLASHE's k selection.
+  uint64_t expected_rows = 1000000;
+};
+
+// Per-column usage facts extracted from the sample queries. Exposed for tests
+// and for the Section 5 workload classifier.
+struct ColumnUsage {
+  bool linear_agg = false;     // sum / avg / count target
+  bool quadratic_agg = false;  // variance / stddev
+  bool minmax_agg = false;     // min / max
+  bool eq_filter = false;
+  bool range_filter = false;
+  bool join_key = false;
+  bool group_by = false;
+
+  bool IsMeasure() const { return linear_agg || quadratic_agg || minmax_agg; }
+  bool IsDimension() const { return eq_filter || range_filter || join_key || group_by; }
+};
+
+// Analyzes how `queries` use each column of `schema`.
+std::map<std::string, ColumnUsage> AnalyzeUsage(const PlainSchema& schema,
+                                                const std::vector<Query>& queries);
+
+// Produces the encryption plan.
+EncryptionPlan PlanEncryption(const PlainSchema& schema, const std::vector<Query>& queries,
+                              const PlannerOptions& options = {});
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_PLANNER_H_

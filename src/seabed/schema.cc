@@ -1,0 +1,63 @@
+#include "src/seabed/schema.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace seabed {
+
+const PlainColumnSpec* PlainSchema::Find(const std::string& name) const {
+  for (const auto& col : columns) {
+    if (col.name == name) {
+      return &col;
+    }
+  }
+  return nullptr;
+}
+
+const char* EncSchemeName(EncScheme scheme) {
+  switch (scheme) {
+    case EncScheme::kPlain:
+      return "plain";
+    case EncScheme::kAshe:
+      return "ashe";
+    case EncScheme::kSplasheBasic:
+      return "splashe-basic";
+    case EncScheme::kSplasheEnhanced:
+      return "splashe-enhanced";
+    case EncScheme::kDet:
+      return "det";
+    case EncScheme::kOpe:
+      return "ope";
+  }
+  return "?";
+}
+
+bool SplasheLayout::IsSplayedValue(const std::string& v) const {
+  return std::find(splayed_values.begin(), splayed_values.end(), v) != splayed_values.end();
+}
+
+const SplasheLayout* EncryptionPlan::FindSplashe(const std::string& dimension) const {
+  for (const auto& layout : splashe) {
+    if (layout.dimension == dimension) {
+      return &layout;
+    }
+  }
+  return nullptr;
+}
+
+const ColumnPlan& EncryptionPlan::Plan(const std::string& column) const {
+  const auto it = columns.find(column);
+  SEABED_CHECK_MSG(it != columns.end(), "no plan for column " << column);
+  return it->second;
+}
+
+std::string EncryptionPlan::DetKeyLabelFor(const std::string& plain_column) const {
+  const ColumnPlan& cp = Plan(plain_column);
+  if (!cp.det_key_label.empty()) {
+    return cp.det_key_label;
+  }
+  return table_name + "/" + plain_column + "#det";
+}
+
+}  // namespace seabed

@@ -1,0 +1,135 @@
+// Plaintext schema descriptions and the planner's encrypted-schema output.
+//
+// The user hands the planner a plaintext schema annotated with sensitivity
+// flags and (optionally) per-dimension value distributions; the planner emits
+// an EncryptionPlan describing how every column is realized in the encrypted
+// table (paper Section 4.2). Encrypted column naming conventions:
+//
+//   m#ashe        ASHE group elements for measure m
+//   m#sq#ashe     ASHE of m^2 (client pre-processing for variance/stddev)
+//   m#paillier    Paillier ciphertexts (baseline system only)
+//   d#det         DET tokens for dimension d
+//   d#ope         ORE ciphertexts for dimension d
+//   d@v#cnt       SPLASHE 0/1 indicator for value v of dimension d (ASHE)
+//   d@#cnt        SPLASHE "others" indicator (enhanced only, ASHE)
+//   m@v#ashe      SPLASHE-splayed measure m for value v
+//   m@#ashe       SPLASHE-splayed measure m, "others" column
+#ifndef SEABED_SRC_SEABED_SCHEMA_H_
+#define SEABED_SRC_SEABED_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/engine/column.h"
+
+namespace seabed {
+
+// Expected domain and relative frequency of a dimension's values; required
+// for enhanced SPLASHE (Section 3.4: "we do need to know the distribution").
+struct ValueDistribution {
+  std::vector<std::string> values;
+  std::vector<double> frequencies;  // same order as values; sums to ~1
+};
+
+struct PlainColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;  // kInt64 or kString
+  bool sensitive = false;
+  std::optional<ValueDistribution> distribution;
+};
+
+struct PlainSchema {
+  std::string table_name;
+  std::vector<PlainColumnSpec> columns;
+
+  const PlainColumnSpec* Find(const std::string& name) const;
+};
+
+// How one plaintext column is realized in the encrypted schema.
+enum class EncScheme {
+  kPlain,            // not sensitive: stored in the clear
+  kAshe,             // measure, ASHE
+  kSplasheBasic,     // dimension, basic SPLASHE (one column per value)
+  kSplasheEnhanced,  // dimension, enhanced SPLASHE (frequent values + others)
+  kDet,              // dimension, deterministic encryption
+  kOpe,              // dimension, order-revealing encryption
+};
+
+const char* EncSchemeName(EncScheme scheme);
+
+// Layout of one splayed dimension (basic or enhanced).
+struct SplasheLayout {
+  std::string dimension;
+  bool enhanced = false;
+
+  // Values with a dedicated column. Basic: the full domain. Enhanced: the k
+  // most frequent values (paper Section 3.4).
+  std::vector<std::string> splayed_values;
+
+  // Enhanced only: values routed to the "others" columns, and the per-value
+  // target occurrence count t used to equalize DET frequencies.
+  std::vector<std::string> other_values;
+  uint64_t target_count = 0;
+
+  // Measures co-splayed with this dimension.
+  std::vector<std::string> splayed_measures;
+
+  bool IsSplayedValue(const std::string& v) const;
+
+  // Encrypted column names.
+  std::string CountColumn(const std::string& value) const {
+    return dimension + "@" + value + "#cnt";
+  }
+  std::string OthersCountColumn() const { return dimension + "@#cnt"; }
+  std::string DetColumn() const { return dimension + "#det"; }
+  static std::string MeasureColumn(const std::string& measure, const std::string& value) {
+    return measure + "@" + value + "#ashe";
+  }
+  static std::string OthersMeasureColumn(const std::string& measure) {
+    return measure + "@#ashe";
+  }
+};
+
+struct ColumnPlan {
+  EncScheme scheme = EncScheme::kPlain;
+  // For measures: the client pre-computes and uploads an ASHE-encrypted
+  // squared column (enables server-side variance — Section 4.2).
+  bool needs_square = false;
+  // Additional ORE column: range predicates or MIN/MAX on this column.
+  bool add_ope = false;
+  // Additional DET column (e.g. equality or joins on an OPE dimension).
+  bool add_det = false;
+  // Additional ASHE column for an OPE/DET column whose values are also
+  // aggregated or must be recoverable from MIN/MAX results.
+  bool add_ashe = false;
+  // Join columns must tokenize identically on both sides, so their DET key
+  // is derived from a canonical label shared by the two tables (CryptDB's
+  // join-key adjustment, resolved statically by the planner). Empty = the
+  // default per-column label.
+  std::string det_key_label;
+};
+
+// The planner's output: everything the encryptor, translator and client need.
+struct EncryptionPlan {
+  std::string table_name;
+  std::map<std::string, ColumnPlan> columns;
+  std::vector<SplasheLayout> splashe;  // one entry per splayed dimension
+
+  // Dimensions the planner wanted to protect with SPLASHE but could not
+  // (join use, or storage budget exhausted) — surfaced as warnings.
+  std::vector<std::string> warnings;
+
+  const SplasheLayout* FindSplashe(const std::string& dimension) const;
+  const ColumnPlan& Plan(const std::string& column) const;
+
+  // Key-derivation label for the DET column of plaintext column
+  // `plain_column`: the shared join label when one was assigned, else the
+  // default "<table>/<column>#det".
+  std::string DetKeyLabelFor(const std::string& plain_column) const;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_SCHEMA_H_

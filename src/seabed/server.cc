@@ -1,0 +1,440 @@
+#include "src/seabed/server.h"
+
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/encoding/id_list_codec.h"
+
+namespace seabed {
+namespace {
+
+// Resolved reference to a column in either the fact or the joined table.
+struct ColRef {
+  const Column* col = nullptr;
+  const AsheColumn* ashe = nullptr;
+  const DetColumn* det = nullptr;
+  const OreColumn* ore = nullptr;
+  const Int64Column* i64 = nullptr;
+  const StringColumn* str = nullptr;
+  bool on_right = false;
+};
+
+ColRef Resolve(const Table& fact, const Table* right, const std::string& name, bool on_right) {
+  const Table& t = on_right ? *right : fact;
+  ColRef ref;
+  ref.on_right = on_right;
+  ref.col = t.GetColumn(name).get();
+  switch (ref.col->type()) {
+    case ColumnType::kAshe:
+      ref.ashe = static_cast<const AsheColumn*>(ref.col);
+      break;
+    case ColumnType::kDet:
+      ref.det = static_cast<const DetColumn*>(ref.col);
+      break;
+    case ColumnType::kOre:
+      ref.ore = static_cast<const OreColumn*>(ref.col);
+      break;
+    case ColumnType::kInt64:
+      ref.i64 = static_cast<const Int64Column*>(ref.col);
+      break;
+    case ColumnType::kString:
+      ref.str = static_cast<const StringColumn*>(ref.col);
+      break;
+    default:
+      SEABED_CHECK_MSG(false, "unsupported server column type for " << name);
+  }
+  return ref;
+}
+
+bool ApplyOrder(CmpOp op, int order) {
+  switch (op) {
+    case CmpOp::kEq:
+      return order == 0;
+    case CmpOp::kNe:
+      return order != 0;
+    case CmpOp::kLt:
+      return order < 0;
+    case CmpOp::kLe:
+      return order <= 0;
+    case CmpOp::kGt:
+      return order > 0;
+    case CmpOp::kGe:
+      return order >= 0;
+  }
+  return false;
+}
+
+// Running aggregate state for one group within one partition.
+struct PartialAgg {
+  uint64_t value = 0;
+  IdSet ids;
+  uint64_t count = 0;
+  bool minmax_valid = false;
+  OreCiphertext minmax_ore;
+  uint64_t minmax_cipher = 0;
+  uint64_t minmax_id = 0;
+};
+
+struct PartialGroup {
+  std::vector<Value> key_parts;
+  uint64_t suffix = 0;
+  std::vector<PartialAgg> aggs;
+  std::vector<Bytes> blobs;  // one per ASHE aggregate after worker encode
+};
+
+void AppendKeyPart(std::string& key, uint64_t v) {
+  key.append(reinterpret_cast<const char*>(&v), 8);
+}
+
+}  // namespace
+
+void Server::RegisterTable(std::shared_ptr<Table> table) {
+  SEABED_CHECK(table != nullptr);
+  tables_[table->name()] = std::move(table);
+}
+
+const std::shared_ptr<Table>& Server::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    it = tables_.find(name + "#enc");
+  }
+  SEABED_CHECK_MSG(it != tables_.end(), "server has no table named " << name);
+  return it->second;
+}
+
+EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster) const {
+  const Table& fact = *GetTable(plan.table);
+  const Table* right = nullptr;
+
+  // Broadcast hash join on DET tokens (built once at the driver, like a Spark
+  // broadcast join). Multi-map: join keys need not be unique.
+  std::unordered_multimap<uint64_t, size_t> join_index;
+  const DetColumn* join_left = nullptr;
+  Stopwatch driver_sw;
+  if (plan.join.has_value()) {
+    right = GetTable(plan.join->right_table).get();
+    const ColRef right_key = Resolve(fact, right, plan.join->right_column, true);
+    SEABED_CHECK_MSG(right_key.det != nullptr, "join keys must be DET encrypted");
+    for (size_t row = 0; row < right->NumRows(); ++row) {
+      join_index.emplace(right_key.det->Get(row), row);
+    }
+    const ColRef left_key = Resolve(fact, right, plan.join->left_column, false);
+    SEABED_CHECK_MSG(left_key.det != nullptr, "join keys must be DET encrypted");
+    join_left = left_key.det;
+  }
+  double driver_seconds = driver_sw.ElapsedSeconds();
+
+  // Resolve predicate / aggregate / group columns once.
+  std::vector<ColRef> pred_cols;
+  pred_cols.reserve(plan.predicates.size());
+  for (const auto& p : plan.predicates) {
+    pred_cols.push_back(Resolve(fact, right, p.column, p.on_right));
+  }
+  struct AggCols {
+    ColRef main;
+    ColRef companion;  // ASHE value column for min/max
+  };
+  std::vector<AggCols> agg_cols;
+  agg_cols.reserve(plan.aggregates.size());
+  for (const auto& a : plan.aggregates) {
+    AggCols ac;
+    if (a.kind != ServerAggregate::Kind::kRowCount) {
+      ac.main = Resolve(fact, right, a.column, a.on_right);
+    }
+    if (a.kind == ServerAggregate::Kind::kOreMin || a.kind == ServerAggregate::Kind::kOreMax) {
+      ac.companion = Resolve(fact, right, a.value_column, a.on_right);
+    }
+    agg_cols.push_back(ac);
+  }
+  std::vector<ColRef> group_cols;
+  group_cols.reserve(plan.group_by.size());
+  for (const auto& g : plan.group_by) {
+    group_cols.push_back(Resolve(fact, right, g.column, g.on_right));
+  }
+
+  const auto partitions = fact.Partitions(cluster.num_workers());
+  std::vector<std::unordered_map<std::string, PartialGroup>> partials(partitions.size());
+
+  const JobStats job = cluster.RunJob(partitions.size(), [&](size_t p) {
+    auto& local = partials[p];
+    auto process = [&](size_t row, size_t right_row) {
+      // Predicates.
+      for (size_t i = 0; i < plan.predicates.size(); ++i) {
+        const ServerPredicate& sp = plan.predicates[i];
+        const ColRef& ref = pred_cols[i];
+        const size_t r = ref.on_right ? right_row : row;
+        bool pass = true;
+        switch (sp.kind) {
+          case ServerPredicate::Kind::kPlainInt: {
+            const int64_t v = ref.i64->Get(r);
+            pass = ApplyOrder(sp.op, v < sp.int_operand ? -1 : (v > sp.int_operand ? 1 : 0));
+            break;
+          }
+          case ServerPredicate::Kind::kPlainString: {
+            const bool eq = ref.str->Get(r) == sp.str_operand;
+            pass = sp.op == CmpOp::kEq ? eq : !eq;
+            break;
+          }
+          case ServerPredicate::Kind::kDetEq: {
+            const bool eq = ref.det->Get(r) == sp.det_token;
+            pass = sp.op == CmpOp::kEq ? eq : !eq;
+            break;
+          }
+          case ServerPredicate::Kind::kOreCmp: {
+            const OreComparison cmp = Ore::Compare(ref.ore->Get(r), sp.ore_operand);
+            pass = ApplyOrder(sp.op, cmp.order);
+            break;
+          }
+        }
+        if (!pass) {
+          return;
+        }
+      }
+
+      // Group key.
+      std::string key;
+      std::vector<Value> key_parts;
+      key_parts.reserve(group_cols.size());
+      for (const ColRef& ref : group_cols) {
+        const size_t r = ref.on_right ? right_row : row;
+        if (ref.det != nullptr) {
+          const uint64_t token = ref.det->Get(r);
+          AppendKeyPart(key, token);
+          key_parts.emplace_back(static_cast<int64_t>(token));
+        } else if (ref.i64 != nullptr) {
+          const int64_t v = ref.i64->Get(r);
+          AppendKeyPart(key, static_cast<uint64_t>(v));
+          key_parts.emplace_back(v);
+        } else if (ref.str != nullptr) {
+          key += ref.str->Get(r);
+          key.push_back('\x1f');
+          key_parts.emplace_back(ref.str->Get(r));
+        } else {
+          SEABED_CHECK_MSG(false, "group-by on an unsupported encrypted column");
+        }
+      }
+      uint64_t suffix = 0;
+      if (plan.inflation > 1) {
+        // The artificial group id of Section 4.5. Hashed rather than
+        // row % inflation so it cannot correlate with data-derived groups.
+        suffix = (row * 0x9e3779b97f4a7c15ULL >> 33) % plan.inflation;
+        AppendKeyPart(key, suffix);
+      }
+
+      PartialGroup& group = local[key];
+      if (group.aggs.empty()) {
+        group.aggs.resize(plan.aggregates.size());
+        group.key_parts = std::move(key_parts);
+        group.suffix = suffix;
+      }
+      for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+        const ServerAggregate& sa = plan.aggregates[a];
+        const AggCols& ac = agg_cols[a];
+        PartialAgg& pa = group.aggs[a];
+        const size_t r = sa.on_right ? right_row : row;
+        switch (sa.kind) {
+          case ServerAggregate::Kind::kAsheSum: {
+            pa.value += ac.main.ashe->Get(r);
+            pa.ids.Add(ac.main.ashe->IdOfRow(r));
+            break;
+          }
+          case ServerAggregate::Kind::kRowCount:
+            ++pa.count;
+            break;
+          case ServerAggregate::Kind::kOreMin:
+          case ServerAggregate::Kind::kOreMax: {
+            const OreCiphertext& ct = ac.main.ore->Get(r);
+            bool better = !pa.minmax_valid;
+            if (!better) {
+              const int order = Ore::Compare(ct, pa.minmax_ore).order;
+              better = sa.kind == ServerAggregate::Kind::kOreMin ? order < 0 : order > 0;
+            }
+            if (better) {
+              pa.minmax_valid = true;
+              pa.minmax_ore = ct;
+              pa.minmax_cipher = ac.companion.ashe->Get(r);
+              pa.minmax_id = ac.companion.ashe->IdOfRow(r);
+            }
+            break;
+          }
+        }
+      }
+    };
+
+    for (size_t row = partitions[p].begin; row < partitions[p].end; ++row) {
+      if (join_left != nullptr) {
+        const auto [lo, hi] = join_index.equal_range(join_left->Get(row));
+        for (auto it = lo; it != hi; ++it) {
+          process(row, it->second);
+        }
+      } else {
+        process(row, 0);
+      }
+    }
+
+    // Worker-side ID-list compression (Section 4.5's winning configuration):
+    // encode inside the task so the cost lands on the worker's clock.
+    if (plan.worker_side_compression) {
+      for (auto& [key, group] : local) {
+        group.blobs.resize(plan.aggregates.size());
+        for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+          if (plan.aggregates[a].kind == ServerAggregate::Kind::kAsheSum) {
+            group.blobs[a] = IdListEncode(group.aggs[a].ids, plan.idlist);
+            group.aggs[a].ids = IdSet();  // shipped as a blob from here on
+          }
+        }
+      }
+    }
+  });
+
+  // Shuffle accounting (group-by jobs only): every partition ships its partial
+  // groups to reduce tasks; with fewer groups than workers, few reducers
+  // drain all the data (the bottleneck group inflation removes).
+  EncryptedResponse response;
+  size_t distinct_groups = 0;
+  if (!plan.group_by.empty() || plan.inflation > 1) {
+    std::unordered_map<std::string, bool> seen;
+    size_t bytes = 0;
+    for (const auto& local : partials) {
+      for (const auto& [key, group] : local) {
+        seen.emplace(key, true);
+        bytes += key.size();
+        for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+          bytes += 8;
+          if (plan.worker_side_compression) {
+            bytes += group.blobs[a].size();
+          } else {
+            bytes += group.aggs[a].ids.NumRuns() * 10;  // raw run estimate
+          }
+        }
+      }
+    }
+    distinct_groups = seen.size();
+    response.shuffle_bytes = bytes;
+    response.shuffle_seconds = cluster.ShuffleSeconds(bytes, distinct_groups);
+  }
+
+  // Driver-side merge (and compression, when configured).
+  driver_sw.Restart();
+
+  // Collect per-partition blob lists before the merge moves groups away: when
+  // worker-compressed, every partition contributes one blob per ASHE
+  // aggregate per group.
+  std::map<std::string, std::vector<std::vector<Bytes>>> blob_lists;
+  if (plan.worker_side_compression) {
+    for (const auto& local : partials) {
+      for (const auto& [key, group] : local) {
+        auto& lists = blob_lists[key];
+        if (lists.empty()) {
+          lists.resize(plan.aggregates.size());
+        }
+        for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+          if (!group.blobs.empty() && !group.blobs[a].empty()) {
+            lists[a].push_back(group.blobs[a]);
+          }
+        }
+      }
+    }
+  }
+
+  std::map<std::string, PartialGroup> merged;
+  for (auto& local : partials) {
+    for (auto& [key, group] : local) {
+      auto [it, inserted] = merged.try_emplace(key, std::move(group));
+      if (inserted) {
+        continue;
+      }
+      PartialGroup& dst = it->second;
+      for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+        PartialAgg& pa = dst.aggs[a];
+        PartialAgg& src = group.aggs[a];
+        const ServerAggregate& sa = plan.aggregates[a];
+        switch (sa.kind) {
+          case ServerAggregate::Kind::kAsheSum:
+            pa.value += src.value;
+            if (!plan.worker_side_compression) {
+              pa.ids.UnionWith(src.ids);
+            }
+            break;
+          case ServerAggregate::Kind::kRowCount:
+            pa.count += src.count;
+            break;
+          case ServerAggregate::Kind::kOreMin:
+          case ServerAggregate::Kind::kOreMax: {
+            if (src.minmax_valid) {
+              bool better = !pa.minmax_valid;
+              if (!better) {
+                const int order = Ore::Compare(src.minmax_ore, pa.minmax_ore).order;
+                better = sa.kind == ServerAggregate::Kind::kOreMin ? order < 0 : order > 0;
+              }
+              if (better) {
+                pa.minmax_valid = src.minmax_valid;
+                pa.minmax_ore = src.minmax_ore;
+                pa.minmax_cipher = src.minmax_cipher;
+                pa.minmax_id = src.minmax_id;
+              }
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  for (auto& [key, group] : merged) {
+    ServerGroup out;
+    out.key = key;
+    out.key_parts = group.key_parts;
+    out.inflation_suffix = group.suffix;
+    out.aggs.resize(plan.aggregates.size());
+    for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+      ServerAggResult& res = out.aggs[a];
+      const PartialAgg& pa = group.aggs[a];
+      const ServerAggregate& sa = plan.aggregates[a];
+      switch (sa.kind) {
+        case ServerAggregate::Kind::kAsheSum:
+          res.ashe_value = pa.value;
+          if (plan.worker_side_compression) {
+            res.id_blobs = std::move(blob_lists[key][a]);
+          } else {
+            res.id_blobs.push_back(IdListEncode(pa.ids, plan.idlist));
+          }
+          break;
+        case ServerAggregate::Kind::kRowCount:
+          res.row_count = pa.count;
+          break;
+        case ServerAggregate::Kind::kOreMin:
+        case ServerAggregate::Kind::kOreMax:
+          res.minmax_valid = pa.minmax_valid;
+          res.minmax_ore = pa.minmax_ore;
+          res.minmax_cipher = pa.minmax_cipher;
+          res.minmax_id = pa.minmax_id;
+          break;
+      }
+    }
+    response.groups.push_back(std::move(out));
+  }
+  driver_seconds += driver_sw.ElapsedSeconds();
+
+  // Response size accounting.
+  size_t bytes = 0;
+  for (const ServerGroup& g : response.groups) {
+    bytes += g.key.size();
+    for (const ServerAggResult& agg : g.aggs) {
+      bytes += 8;
+      for (const Bytes& blob : agg.id_blobs) {
+        bytes += blob.size();
+      }
+      if (agg.minmax_valid) {
+        bytes += 16;  // cipher + id
+      }
+    }
+  }
+  response.response_bytes = bytes;
+  response.job = job;
+  response.driver_seconds = driver_seconds;
+  return response;
+}
+
+}  // namespace seabed

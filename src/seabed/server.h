@@ -1,0 +1,83 @@
+// The untrusted Seabed server (paper Sections 4.5, 6).
+//
+// Executes a ServerPlan over encrypted tables on the cluster model:
+// evaluates DET/ORE predicates, performs ASHE aggregation (group-element sums
+// plus ID-list maintenance), hash-joins on DET tokens, applies the group-by
+// inflation the translator requested, and compresses ID lists either at the
+// workers (parallel, Seabed's default) or at the driver (the rejected
+// alternative of Section 4.5).
+//
+// The server never sees a key: everything here operates on ciphertexts,
+// tokens and public row identifiers.
+#ifndef SEABED_SRC_SEABED_SERVER_H_
+#define SEABED_SRC_SEABED_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/cluster.h"
+#include "src/engine/table.h"
+#include "src/engine/value.h"
+#include "src/seabed/translator.h"
+
+namespace seabed {
+
+// Per-aggregate server result within one group.
+struct ServerAggResult {
+  // kAsheSum: running group element + compressed ID list blobs (one per
+  // partition under worker-side compression, a single blob otherwise).
+  uint64_t ashe_value = 0;
+  std::vector<Bytes> id_blobs;
+
+  // kRowCount.
+  uint64_t row_count = 0;
+
+  // kOreMin / kOreMax: ORE winner with its companion ASHE cell + identifier.
+  bool minmax_valid = false;
+  OreCiphertext minmax_ore;
+  uint64_t minmax_cipher = 0;
+  uint64_t minmax_id = 0;
+};
+
+struct ServerGroup {
+  // Serialized group key (includes the inflation suffix).
+  std::string key;
+  // Raw key parts: DET tokens (as int64), plain ints, or plain strings.
+  std::vector<Value> key_parts;
+  // Inflation suffix carried separately so the client can deflate.
+  uint64_t inflation_suffix = 0;
+  std::vector<ServerAggResult> aggs;
+};
+
+struct EncryptedResponse {
+  std::vector<ServerGroup> groups;
+
+  JobStats job;                 // scan + worker-side encode
+  double driver_seconds = 0;    // merge + driver-side encode
+  double shuffle_seconds = 0;   // modeled reduce-phase transfer
+  size_t shuffle_bytes = 0;
+  size_t response_bytes = 0;    // payload shipped to the client
+
+  double ServerSeconds() const {
+    return job.server_seconds + driver_seconds + shuffle_seconds;
+  }
+};
+
+class Server {
+ public:
+  // Registers a table under its (encrypted) name.
+  void RegisterTable(std::shared_ptr<Table> table);
+
+  const std::shared_ptr<Table>& GetTable(const std::string& name) const;
+
+  EncryptedResponse Execute(const ServerPlan& plan, const Cluster& cluster) const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_SERVER_H_

@@ -1,0 +1,93 @@
+#include "src/seabed/splashe.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace seabed {
+
+size_t ChooseSplayK(const std::vector<uint64_t>& sorted_counts) {
+  const size_t d = sorted_counts.size();
+  for (size_t i = 1; i < d; ++i) {
+    SEABED_CHECK_MSG(sorted_counts[i - 1] >= sorted_counts[i],
+                     "counts must be sorted non-increasing");
+  }
+  uint64_t prefix = 0;  // sum of the k most frequent counts
+  uint64_t total = std::accumulate(sorted_counts.begin(), sorted_counts.end(), uint64_t{0});
+  for (size_t k = 0; k < d; ++k) {
+    // Deficit to pad every value i > k up to n_{k+1} occurrences.
+    const uint64_t threshold = sorted_counts[k];  // n_{k+1} with 0-based k
+    const uint64_t suffix_total = total - prefix;
+    const uint64_t suffix_count = d - k;
+    // sum_{i>k}(threshold - n_i) over the values *not* splayed, which with
+    // 0-based k are indices k..d-1 — but index k defines the threshold and is
+    // itself in the suffix, contributing 0 deficit.
+    const uint64_t deficit = threshold * suffix_count - suffix_total;
+    if (prefix >= deficit) {
+      return k;
+    }
+    prefix += sorted_counts[k];
+  }
+  return d;
+}
+
+double BasicSplasheExpansion(size_t cardinality, size_t num_measures) {
+  const double base = 1.0 + static_cast<double>(num_measures);
+  const double splayed = static_cast<double>(cardinality) * (1.0 + num_measures);
+  return splayed / base;
+}
+
+double EnhancedSplasheExpansion(size_t k, size_t num_measures) {
+  const double base = 1.0 + static_cast<double>(num_measures);
+  // k+1 indicator columns, one DET column, (k+1) columns per measure.
+  const double splayed = static_cast<double>(k + 2) + (k + 1.0) * num_measures;
+  return splayed / base;
+}
+
+SplasheLayout BuildSplasheLayout(const std::string& dimension,
+                                 const ValueDistribution& distribution,
+                                 const std::vector<std::string>& splayed_measures,
+                                 bool enhanced, uint64_t expected_rows) {
+  SEABED_CHECK(distribution.values.size() == distribution.frequencies.size());
+  SEABED_CHECK(!distribution.values.empty());
+
+  SplasheLayout layout;
+  layout.dimension = dimension;
+  layout.splayed_measures = splayed_measures;
+  layout.enhanced = enhanced;
+
+  if (!enhanced) {
+    layout.splayed_values = distribution.values;
+    return layout;
+  }
+
+  // Sort values by expected count, descending.
+  std::vector<size_t> order(distribution.values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<uint64_t> counts(distribution.values.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = static_cast<uint64_t>(distribution.frequencies[i] *
+                                      static_cast<double>(expected_rows));
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return counts[a] > counts[b]; });
+  std::vector<uint64_t> sorted_counts(counts.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_counts[i] = counts[order[i]];
+  }
+
+  const size_t k = ChooseSplayK(sorted_counts);
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < k) {
+      layout.splayed_values.push_back(distribution.values[order[i]]);
+    } else {
+      layout.other_values.push_back(distribution.values[order[i]]);
+    }
+  }
+  // Equalization target: the frequency of the most common non-splayed value.
+  layout.target_count = k < sorted_counts.size() ? sorted_counts[k] : 0;
+  return layout;
+}
+
+}  // namespace seabed

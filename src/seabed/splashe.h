@@ -1,0 +1,55 @@
+// SPLASHE layout computation (paper Sections 3.3, 3.4).
+//
+// Basic SPLASHE splays a d-valued dimension into d ASHE-encrypted indicator
+// columns (and each co-queried measure into d columns). Enhanced SPLASHE
+// keeps dedicated columns only for the k most frequent values and routes the
+// rest through a DET "others" column whose value frequencies are equalized
+// using the cells left unused by frequent-value rows.
+//
+// This header holds the planning math: choosing k, computing storage
+// overheads (Figure 10b), and computing the DET equalization targets used by
+// the encryptor.
+#ifndef SEABED_SRC_SEABED_SPLASHE_H_
+#define SEABED_SRC_SEABED_SPLASHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/seabed/schema.h"
+
+namespace seabed {
+
+// Chooses the minimum k (number of splayed values) such that the rows of the
+// k frequent values provide enough "dummy" DET cells to pad every non-splayed
+// value up to the frequency of the (k+1)-th value:
+//
+//     sum_{i<=k} n_i  >=  sum_{i>k} (n_{k+1} - n_i)
+//
+// `sorted_counts` must be in non-increasing order. Returns k in [0, d]; k = d
+// means every value gets its own column (degenerates to basic SPLASHE) and
+// can happen only for d <= 1 or uniform distributions where k < d never
+// satisfies the inequality (the inequality always holds at k = d vacuously).
+size_t ChooseSplayK(const std::vector<uint64_t>& sorted_counts);
+
+// Storage expansion factor for protecting one dimension with basic SPLASHE:
+// the dimension column becomes `cardinality` indicator columns, and each of
+// the `num_measures` co-queried measures becomes `cardinality` columns.
+// (Relative to 1 dimension column + num_measures measure columns.)
+double BasicSplasheExpansion(size_t cardinality, size_t num_measures);
+
+// Expansion factor for enhanced SPLASHE with k splayed values: k+1 indicator
+// columns + 1 DET column, and k+1 columns per measure.
+double EnhancedSplasheExpansion(size_t k, size_t num_measures);
+
+// Builds the full layout for a dimension given its expected value
+// distribution. `enhanced` selects enhanced vs basic splaying. For enhanced,
+// counts are estimated as frequency * expected_rows.
+SplasheLayout BuildSplasheLayout(const std::string& dimension,
+                                 const ValueDistribution& distribution,
+                                 const std::vector<std::string>& splayed_measures,
+                                 bool enhanced, uint64_t expected_rows);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_SPLASHE_H_

@@ -1,0 +1,134 @@
+// The Seabed query translator (paper Section 4.4).
+//
+// Rewrites a plaintext Query into (a) a ServerPlan executable over the
+// encrypted table — constants encrypted with the right scheme, SPLASHE
+// filters rewritten into splayed-column aggregations, the ID column
+// implicitly preserved, group-by inflation applied — and (b) a ClientPlan
+// telling the decryption module how to reassemble final answers (AVG
+// division, variance formula, group deflation, DET token rendering).
+#ifndef SEABED_SRC_SEABED_TRANSLATOR_H_
+#define SEABED_SRC_SEABED_TRANSLATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/ore.h"
+#include "src/encoding/id_list_codec.h"
+#include "src/query/query.h"
+#include "src/seabed/encryptor.h"
+
+namespace seabed {
+
+struct ServerPredicate {
+  enum class Kind { kPlainInt, kPlainString, kDetEq, kOreCmp };
+  Kind kind = Kind::kPlainInt;
+  std::string column;  // encrypted column name
+  CmpOp op = CmpOp::kEq;
+  int64_t int_operand = 0;
+  std::string str_operand;
+  uint64_t det_token = 0;
+  OreCiphertext ore_operand;
+  bool on_right = false;  // evaluated against the joined table
+};
+
+struct ServerAggregate {
+  enum class Kind {
+    kAsheSum,    // homomorphic sum over an ASHE column
+    kRowCount,   // number of matching rows (the ID list length)
+    kOreMin,     // argmin by ORE comparisons; returns companion ASHE cell + id
+    kOreMax,
+  };
+  Kind kind = Kind::kAsheSum;
+  std::string column;        // ASHE column (kAsheSum) or ORE column (min/max)
+  std::string value_column;  // companion ASHE column for min/max results
+  bool on_right = false;
+};
+
+struct ServerGroupBy {
+  std::string column;  // encrypted (DET) or plain column name
+  bool on_right = false;
+};
+
+struct ServerPlan {
+  std::string table;
+  std::optional<Join> join;  // columns already rewritten to #det names
+  std::vector<ServerPredicate> predicates;
+  std::vector<ServerAggregate> aggregates;
+  std::vector<ServerGroupBy> group_by;
+
+  // Group inflation factor (Section 4.5): > 1 appends id % inflation to the
+  // group key so the reduce phase uses more workers.
+  size_t inflation = 1;
+
+  // ID-list codec configuration; group-by plans drop range encoding.
+  IdListOptions idlist;
+
+  // Section 4.5: compress at workers (parallel) or at the driver.
+  bool worker_side_compression = true;
+};
+
+// How the client turns decrypted server aggregates into final result values.
+struct ClientOutput {
+  enum class Kind {
+    kSum,       // arg0 = ashe sum
+    kCount,     // arg0 = row-count or ashe sum of an indicator column
+    kAvg,       // arg0 = sum, arg1 = count
+    kVariance,  // arg0 = sum of squares, arg1 = sum, arg2 = count
+    kStddev,
+    kMinMax,    // arg0 = ore min/max aggregate
+  };
+  Kind kind = Kind::kSum;
+  size_t arg0 = 0;
+  size_t arg1 = 0;
+  size_t arg2 = 0;
+  std::string alias;
+};
+
+struct ClientGroupOutput {
+  enum class Kind { kPlainInt, kPlainString, kDetInt, kDetString };
+  Kind kind = Kind::kPlainInt;
+  std::string enc_column;   // for DET dictionary lookup
+  std::string key_label;    // key-derivation label for DET decryption
+  std::string plain_name;   // result column header
+  bool on_right = false;    // column belongs to the joined table
+};
+
+struct ClientPlan {
+  std::vector<ClientOutput> outputs;
+  std::vector<ClientGroupOutput> group_outputs;
+  size_t inflation = 1;
+};
+
+struct TranslatedQuery {
+  ServerPlan server;
+  ClientPlan client;
+};
+
+struct TranslatorOptions {
+  // Worker count hint for the inflation heuristic ("inflate the number of
+  // groups to the number of available workers when we expect fewer groups
+  // than workers" — Section 4.5).
+  size_t cluster_workers = 1;
+  bool enable_group_inflation = true;
+  IdListOptions idlist = IdListOptions::Default();
+  bool worker_side_compression = true;
+};
+
+class Translator {
+ public:
+  Translator(const EncryptedDatabase& db, const ClientKeys& keys)
+      : db_(&db), keys_(&keys) {}
+
+  // Rewrites `query` for the encrypted schema. Aborts (with a message) on
+  // queries the planner did not provision for.
+  TranslatedQuery Translate(const Query& query, const TranslatorOptions& options) const;
+
+ private:
+  const EncryptedDatabase* db_;
+  const ClientKeys* keys_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_TRANSLATOR_H_

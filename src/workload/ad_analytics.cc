@@ -1,0 +1,141 @@
+#include "src/workload/ad_analytics.h"
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace seabed {
+namespace {
+
+std::string SDimName(size_t i) { return "SDim" + std::to_string(i + 1); }
+std::string PDimName(size_t i) { return "PDim" + std::to_string(i + 1); }
+std::string MeasureName(size_t i) { return "M" + std::to_string(i + 1); }
+std::string DimValue(size_t dim, uint64_t v) {
+  return "d" + std::to_string(dim + 1) + "_v" + std::to_string(v);
+}
+
+}  // namespace
+
+std::shared_ptr<Table> MakeAdAnalyticsTable(const AdAnalyticsSpec& spec) {
+  Rng rng(spec.seed);
+  auto table = std::make_shared<Table>("ad_analytics");
+
+  auto hour = std::make_shared<Int64Column>();
+  std::vector<std::shared_ptr<StringColumn>> sdims;
+  std::vector<ZipfSampler> samplers;
+  for (size_t d = 0; d < spec.sensitive_dim_cardinalities.size(); ++d) {
+    sdims.push_back(std::make_shared<StringColumn>());
+    samplers.emplace_back(spec.sensitive_dim_cardinalities[d], spec.zipf_s);
+  }
+  std::vector<std::shared_ptr<StringColumn>> pdims;
+  for (size_t d = 0; d < spec.num_plain_dims; ++d) {
+    pdims.push_back(std::make_shared<StringColumn>());
+  }
+  std::vector<std::shared_ptr<Int64Column>> measures;
+  for (size_t m = 0; m < spec.num_measures; ++m) {
+    measures.push_back(std::make_shared<Int64Column>());
+  }
+
+  for (uint64_t row = 0; row < spec.rows; ++row) {
+    hour->Append(static_cast<int64_t>(rng.Below(24)));
+    for (size_t d = 0; d < sdims.size(); ++d) {
+      sdims[d]->Append(DimValue(d, samplers[d].Sample(rng)));
+    }
+    for (size_t d = 0; d < pdims.size(); ++d) {
+      pdims[d]->Append("p" + std::to_string(d) + "_" + std::to_string(rng.Below(16)));
+    }
+    for (size_t m = 0; m < measures.size(); ++m) {
+      measures[m]->Append(static_cast<int64_t>(rng.Below(10000)));
+    }
+  }
+
+  table->AddColumn("hour", std::move(hour));
+  for (size_t d = 0; d < sdims.size(); ++d) {
+    table->AddColumn(SDimName(d), sdims[d]);
+  }
+  for (size_t d = 0; d < pdims.size(); ++d) {
+    table->AddColumn(PDimName(d), pdims[d]);
+  }
+  for (size_t m = 0; m < measures.size(); ++m) {
+    table->AddColumn(MeasureName(m), measures[m]);
+  }
+  return table;
+}
+
+PlainSchema AdAnalyticsSchema(const AdAnalyticsSpec& spec) {
+  PlainSchema schema;
+  schema.table_name = "ad_analytics";
+  schema.columns.push_back({"hour", ColumnType::kInt64, false, std::nullopt});
+  for (size_t d = 0; d < spec.sensitive_dim_cardinalities.size(); ++d) {
+    const uint64_t card = spec.sensitive_dim_cardinalities[d];
+    ValueDistribution dist;
+    const ZipfSampler sampler(card, spec.zipf_s);
+    for (uint64_t v = 0; v < card; ++v) {
+      dist.values.push_back(DimValue(d, v));
+      dist.frequencies.push_back(sampler.Pmf(v));
+    }
+    schema.columns.push_back({SDimName(d), ColumnType::kString, true, std::move(dist)});
+  }
+  for (size_t d = 0; d < spec.num_plain_dims; ++d) {
+    schema.columns.push_back({PDimName(d), ColumnType::kString, false, std::nullopt});
+  }
+  for (size_t m = 0; m < spec.num_measures; ++m) {
+    schema.columns.push_back(
+        {MeasureName(m), ColumnType::kInt64, m < spec.num_sensitive_measures, std::nullopt});
+  }
+  return schema;
+}
+
+std::vector<Query> AdAnalyticsSampleQueries(const AdAnalyticsSpec& spec) {
+  std::vector<Query> queries;
+  // Hourly sums of each sensitive measure, filtered by each sensitive
+  // dimension — the filter/measure co-occurrence drives which measures the
+  // planner splays per dimension.
+  for (size_t d = 0; d < spec.sensitive_dim_cardinalities.size(); ++d) {
+    Query q;
+    q.table = "ad_analytics";
+    const size_t m = d % spec.num_sensitive_measures;
+    q.Sum(MeasureName(m));
+    q.Count();
+    q.Where(SDimName(d), CmpOp::kEq, DimValue(d, 0));
+    q.GroupBy("hour");
+    q.expected_groups = 24;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+Query AdAnalyticsPerfQuery(size_t groups, size_t num_measures, uint64_t variant) {
+  SEABED_CHECK(groups >= 1 && groups <= 24);
+  Query q;
+  q.table = "ad_analytics";
+  for (size_t m = 0; m < num_measures; ++m) {
+    q.Sum(MeasureName((variant + m) % 10));
+  }
+  if (groups < 24) {
+    // Restrict to the first `groups` hours so the result has exactly that
+    // many groups (the paper's queries have 1–12 groups).
+    q.Where("hour", CmpOp::kLt, static_cast<int64_t>(groups));
+  }
+  q.GroupBy("hour");
+  q.expected_groups = groups;
+  return q;
+}
+
+std::vector<Query> AdAnalyticsQueryLog(const AdAnalyticsSpec& spec, size_t total,
+                                       size_t client_post) {
+  SEABED_CHECK(client_post <= total);
+  Rng rng(spec.seed + 99);
+  std::vector<Query> log;
+  log.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    Query q = AdAnalyticsPerfQuery(1 + rng.Below(12), 1 + rng.Below(3), rng.Next());
+    // The paper's log is 80% pure server-side aggregations and 20% queries
+    // whose finishing step (custom trend / anomaly functions) runs on the
+    // client. Deterministic striping reproduces the exact split.
+    q.has_udf = (i * client_post) / total != ((i + 1) * client_post) / total;
+    log.push_back(std::move(q));
+  }
+  return log;
+}
+
+}  // namespace seabed

@@ -1,0 +1,51 @@
+// AmpLab Big Data Benchmark workload (paper Section 6.7).
+//
+// Synthetic Rankings and UserVisits tables with the BDB schema, plus the ten
+// benchmark queries (Q1A–C, Q2A–C, Q3A–C, Q4) under the simplifications the
+// paper itself made: Q2 matches deterministically-encrypted sourceIP
+// *prefixes* (pre-materialized prefix columns, a client pre-processing step),
+// and Q4 is its aggregation phase (the external-script phase stays plaintext
+// in the paper). Fractional adRevenue is stored in cents (fixed point).
+#ifndef SEABED_SRC_WORKLOAD_BDB_H_
+#define SEABED_SRC_WORKLOAD_BDB_H_
+
+#include <memory>
+#include <string>
+
+#include "src/engine/table.h"
+#include "src/query/query.h"
+#include "src/seabed/schema.h"
+
+namespace seabed {
+
+struct BdbSpec {
+  uint64_t rankings_rows = 90000;     // paper: 90 M
+  uint64_t uservisits_rows = 775000;  // paper: 775 M
+  uint64_t seed = 7;
+  // Distinct pageURLs; destURL values reference this universe.
+  uint64_t num_urls = 30000;
+};
+
+std::shared_ptr<Table> MakeRankingsTable(const BdbSpec& spec);
+std::shared_ptr<Table> MakeUserVisitsTable(const BdbSpec& spec);
+
+PlainSchema RankingsSchema();
+PlainSchema UserVisitsSchema();
+
+// A named benchmark query.
+struct BdbQuery {
+  std::string label;  // "Q1A", ..., "Q4"
+  Query query;
+  bool on_uservisits = false;  // fact table selector
+};
+
+// All ten queries, in benchmark order.
+std::vector<BdbQuery> BdbQuerySet();
+
+// Sample-query sets for the planner (per table).
+std::vector<Query> RankingsSampleQueries();
+std::vector<Query> UserVisitsSampleQueries();
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_WORKLOAD_BDB_H_

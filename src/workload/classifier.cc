@@ -1,0 +1,152 @@
+#include "src/workload/classifier.h"
+
+namespace seabed {
+namespace {
+
+Query ServerQuery(AggFunc func) {
+  Query q;
+  q.table = "cube";
+  q.aggregates.push_back({func, func == AggFunc::kCount ? "" : "measure", "out"});
+  return q;
+}
+
+Query PreQuery() {
+  // All client-pre-processing MDX functions are quadratic forms (variance,
+  // covariance, correlation, ...): the client uploads squared / cross-term
+  // columns encrypted with ASHE.
+  Query q;
+  q.table = "cube";
+  q.Variance("measure");
+  return q;
+}
+
+Query PostQuery() {
+  Query q = ServerQuery(AggFunc::kSum);
+  q.has_udf = true;
+  return q;
+}
+
+Query TwoRoundTripQuery() {
+  Query q = ServerQuery(AggFunc::kSum);
+  q.needs_two_round_trips = true;
+  return q;
+}
+
+}  // namespace
+
+const char* QueryCategoryName(QueryCategory c) {
+  switch (c) {
+    case QueryCategory::kServerOnly:
+      return "server-only";
+    case QueryCategory::kClientPre:
+      return "client-pre";
+    case QueryCategory::kClientPost:
+      return "client-post";
+    case QueryCategory::kTwoRoundTrips:
+      return "two-round-trips";
+  }
+  return "?";
+}
+
+QueryCategory ClassifyQuery(const Query& query) {
+  if (query.needs_two_round_trips) {
+    return QueryCategory::kTwoRoundTrips;
+  }
+  if (query.has_udf) {
+    return QueryCategory::kClientPost;
+  }
+  for (const Aggregate& agg : query.aggregates) {
+    if (agg.func == AggFunc::kVariance || agg.func == AggFunc::kStddev) {
+      return QueryCategory::kClientPre;
+    }
+  }
+  return QueryCategory::kServerOnly;
+}
+
+CategoryCounts ClassifyAll(const std::vector<Query>& queries) {
+  CategoryCounts counts;
+  for (const Query& q : queries) {
+    switch (ClassifyQuery(q)) {
+      case QueryCategory::kServerOnly:
+        ++counts.server_only;
+        break;
+      case QueryCategory::kClientPre:
+        ++counts.client_pre;
+        break;
+      case QueryCategory::kClientPost:
+        ++counts.client_post;
+        break;
+      case QueryCategory::kTwoRoundTrips:
+        ++counts.two_round_trips;
+        break;
+    }
+  }
+  return counts;
+}
+
+std::vector<Query> MdxQuerySet() {
+  // One entry per Table 6 row, in row order.
+  std::vector<Query> set;
+  set.push_back(ServerQuery(AggFunc::kSum));    // 1 Aggregate
+  set.push_back(ServerQuery(AggFunc::kAvg));    // 2 Avg
+  set.push_back(ServerQuery(AggFunc::kCount));  // 3 CalculationCurrentPass
+  set.push_back(ServerQuery(AggFunc::kCount));  // 4 CalculationPassValue
+  set.push_back(PreQuery());                    // 5 CoalesceEmpty
+  set.push_back(PreQuery());                    // 6 Correlation
+  set.push_back(ServerQuery(AggFunc::kCount));  // 7 Count(Dimensions)
+  set.push_back(ServerQuery(AggFunc::kCount));  // 8 Count(Hierarchy Levels)
+  set.push_back(ServerQuery(AggFunc::kCount));  // 9 Count(Set)
+  set.push_back(ServerQuery(AggFunc::kCount));  // 10 Count(Tuple)
+  set.push_back(PreQuery());                    // 11 Covariance
+  set.push_back(PreQuery());                    // 12 CovarianceN
+  set.push_back(ServerQuery(AggFunc::kCount));  // 13 DistinctCount
+  set.push_back(PostQuery());                   // 14 IIf
+  set.push_back(TwoRoundTripQuery());           // 15 LinRegIntercept
+  set.push_back(TwoRoundTripQuery());           // 16 LinRegPoint
+  set.push_back(TwoRoundTripQuery());           // 17 LinRegR2
+  set.push_back(TwoRoundTripQuery());           // 18 LinRegSlope
+  set.push_back(TwoRoundTripQuery());           // 19 LinRegVariance
+  set.push_back(PostQuery());                   // 20 LookupCube
+  set.push_back(ServerQuery(AggFunc::kMax));    // 21 Max
+  set.push_back(ServerQuery(AggFunc::kMax));    // 22 Median (via OPE)
+  set.push_back(ServerQuery(AggFunc::kMin));    // 23 Min
+  set.push_back(ServerQuery(AggFunc::kMin));    // 24 Ordinal (via OPE)
+  set.push_back(PostQuery());                   // 25 Predict
+  set.push_back(ServerQuery(AggFunc::kMax));    // 26 Rank (via OPE)
+  set.push_back(PostQuery());                   // 27 RollupChildren
+  set.push_back(PreQuery());                    // 28 Stddev
+  set.push_back(PreQuery());                    // 29 StddevP
+  set.push_back(PreQuery());                    // 30 Stdev
+  set.push_back(PreQuery());                    // 31 StdevP
+  set.push_back(ServerQuery(AggFunc::kSum));    // 32 StrToValue
+  set.push_back(ServerQuery(AggFunc::kSum));    // 33 Sum
+  set.push_back(ServerQuery(AggFunc::kSum));    // 34 Value
+  set.push_back(PreQuery());                    // 35 Var
+  set.push_back(PreQuery());                    // 36 Variance
+  set.push_back(PreQuery());                    // 37 VarianceP
+  set.push_back(PreQuery());                    // 38 VarP
+  return set;
+}
+
+std::vector<Query> TpcDsQuerySet() {
+  // Structural stand-in with the published split: 69 / 2 / 25 / 3.
+  std::vector<Query> set;
+  for (int i = 0; i < 69; ++i) {
+    Query q = ServerQuery(i % 3 == 0 ? AggFunc::kSum : (i % 3 == 1 ? AggFunc::kAvg
+                                                                   : AggFunc::kCount));
+    q.GroupBy("dim");
+    set.push_back(std::move(q));
+  }
+  for (int i = 0; i < 2; ++i) {
+    set.push_back(PreQuery());
+  }
+  for (int i = 0; i < 25; ++i) {
+    set.push_back(PostQuery());
+  }
+  for (int i = 0; i < 3; ++i) {
+    set.push_back(TwoRoundTripQuery());
+  }
+  return set;
+}
+
+}  // namespace seabed

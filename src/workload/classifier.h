@@ -1,0 +1,56 @@
+// The Section 5 / Table 4 query classifier.
+//
+// Seabed supports a query in one of four ways: fully on the server, with
+// client pre-processing (quadratic aggregates over uploaded squared columns),
+// with client post-processing (arbitrary finishing functions), or with two
+// client round-trips (iterative computations that re-encrypt an intermediate
+// result). This module classifies Query objects by those rules and ships the
+// MDX (Table 6) and TPC-DS query sets as structural stand-ins.
+#ifndef SEABED_SRC_WORKLOAD_CLASSIFIER_H_
+#define SEABED_SRC_WORKLOAD_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/query/query.h"
+
+namespace seabed {
+
+enum class QueryCategory {
+  kServerOnly,      // "Purely on Server"
+  kClientPre,       // client uploads derived (e.g. squared) columns
+  kClientPost,      // client finishes the computation after decryption
+  kTwoRoundTrips,   // client re-encrypts an intermediate result
+};
+
+const char* QueryCategoryName(QueryCategory c);
+
+// Classification rules (Section 5): two-round-trip flags dominate, then UDFs
+// (client post), then quadratic aggregates (client pre), else server-only.
+QueryCategory ClassifyQuery(const Query& query);
+
+struct CategoryCounts {
+  size_t server_only = 0;
+  size_t client_pre = 0;
+  size_t client_post = 0;
+  size_t two_round_trips = 0;
+
+  size_t Total() const {
+    return server_only + client_pre + client_post + two_round_trips;
+  }
+};
+
+CategoryCounts ClassifyAll(const std::vector<Query>& queries);
+
+// The 38 MDX back-end functions of Table 6, as Query objects whose
+// classification reproduces the published S/CPre/CPost/2R assignment
+// (17 / 12 / 4 / 5).
+std::vector<Query> MdxQuerySet();
+
+// A TPC-DS-shaped query set: 99 queries with the published category split
+// (69 server / 2 pre / 25 post / 3 two-round-trip).
+std::vector<Query> TpcDsQuerySet();
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_WORKLOAD_CLASSIFIER_H_

@@ -1,0 +1,70 @@
+#include "src/workload/synthetic.h"
+
+#include "src/common/rng.h"
+
+namespace seabed {
+
+std::shared_ptr<Table> MakeSyntheticTable(const SyntheticSpec& spec) {
+  Rng rng(spec.seed);
+  auto table = std::make_shared<Table>("synthetic");
+  auto value = std::make_shared<Int64Column>();
+  auto sel = std::make_shared<Int64Column>();
+  std::shared_ptr<Int64Column> grp;
+  if (spec.group_cardinality > 0) {
+    grp = std::make_shared<Int64Column>();
+  }
+  for (uint64_t i = 0; i < spec.rows; ++i) {
+    value->Append(rng.Range(spec.value_min, spec.value_max));
+    sel->Append(static_cast<int64_t>(rng.Below(100)));
+    if (grp) {
+      grp->Append(static_cast<int64_t>(rng.Below(spec.group_cardinality)));
+    }
+  }
+  table->AddColumn("value", std::move(value));
+  table->AddColumn("sel", std::move(sel));
+  if (grp) {
+    table->AddColumn("grp", std::move(grp));
+  }
+  return table;
+}
+
+PlainSchema SyntheticSchema(const SyntheticSpec& spec) {
+  PlainSchema schema;
+  schema.table_name = "synthetic";
+  schema.columns.push_back({"value", ColumnType::kInt64, /*sensitive=*/true, std::nullopt});
+  schema.columns.push_back({"sel", ColumnType::kInt64, /*sensitive=*/false, std::nullopt});
+  if (spec.group_cardinality > 0) {
+    schema.columns.push_back({"grp", ColumnType::kInt64, /*sensitive=*/false, std::nullopt});
+  }
+  return schema;
+}
+
+std::vector<Query> SyntheticSampleQueries(const SyntheticSpec& spec) {
+  std::vector<Query> queries;
+  queries.push_back(SyntheticSumQuery(50));
+  if (spec.group_cardinality > 0) {
+    queries.push_back(SyntheticGroupByQuery(spec.group_cardinality));
+  }
+  return queries;
+}
+
+Query SyntheticSumQuery(int64_t selectivity_percent) {
+  Query q;
+  q.table = "synthetic";
+  q.Sum("value");
+  if (selectivity_percent < 100) {
+    q.Where("sel", CmpOp::kLt, selectivity_percent);
+  }
+  return q;
+}
+
+Query SyntheticGroupByQuery(uint64_t expected_groups) {
+  Query q;
+  q.table = "synthetic";
+  q.Sum("value");
+  q.GroupBy("grp");
+  q.expected_groups = expected_groups;
+  return q;
+}
+
+}  // namespace seabed

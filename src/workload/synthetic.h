@@ -1,0 +1,48 @@
+// Synthetic microbenchmark workload (paper Section 6.1).
+//
+// The paper's synthetic dataset is one integer measure column (plus the ASHE
+// ID column); predicates "select each row randomly with probability p"
+// (selectivity). We realize selectivity with a plaintext helper column `sel`
+// holding a uniform value in [0, 100): `WHERE sel < p` selects a uniform
+// random p% of rows, exactly the paper's random-selection model. Group-by
+// microbenchmarks (Figure 9a) add an integer group column.
+#ifndef SEABED_SRC_WORKLOAD_SYNTHETIC_H_
+#define SEABED_SRC_WORKLOAD_SYNTHETIC_H_
+
+#include <memory>
+
+#include "src/engine/table.h"
+#include "src/query/query.h"
+#include "src/seabed/schema.h"
+
+namespace seabed {
+
+struct SyntheticSpec {
+  uint64_t rows = 2000000;
+  uint64_t seed = 42;
+  int64_t value_min = 0;
+  int64_t value_max = 1000;
+  // > 0 adds a `grp` column with this many distinct values (Figure 9a).
+  uint64_t group_cardinality = 0;
+};
+
+// Plaintext table with columns: value (int64, sensitive measure),
+// sel (int64 in [0,100), plaintext selectivity helper), and optionally grp.
+std::shared_ptr<Table> MakeSyntheticTable(const SyntheticSpec& spec);
+
+// Matching schema (value sensitive; sel and grp plaintext).
+PlainSchema SyntheticSchema(const SyntheticSpec& spec);
+
+// Sample queries for the planner: aggregation with selectivity predicates and
+// (when group_cardinality > 0) group-bys.
+std::vector<Query> SyntheticSampleQueries(const SyntheticSpec& spec);
+
+// SUM(value) over a uniform `selectivity_percent`% of rows.
+Query SyntheticSumQuery(int64_t selectivity_percent);
+
+// SUM(value) GROUP BY grp, with the expected-group hint set.
+Query SyntheticGroupByQuery(uint64_t expected_groups);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,183 @@
+#include "src/bignum/bignum.h"
+
+#include <gtest/gtest.h>
+
+namespace seabed {
+namespace {
+
+TEST(BigNumTest, ConstructionAndLow64) {
+  EXPECT_TRUE(BigNum().IsZero());
+  EXPECT_EQ(BigNum(0).Low64(), 0u);
+  EXPECT_EQ(BigNum(42).Low64(), 42u);
+  EXPECT_EQ(BigNum(~uint64_t{0}).Low64(), ~uint64_t{0});
+}
+
+TEST(BigNumTest, DecimalRoundTrip) {
+  const char* cases[] = {"0", "1", "9", "10", "4294967296", "18446744073709551616",
+                         "123456789012345678901234567890123456789"};
+  for (const char* text : cases) {
+    EXPECT_EQ(BigNum::FromDecimal(text).ToDecimal(), text) << text;
+  }
+}
+
+TEST(BigNumTest, CompareOrdering) {
+  const BigNum a = BigNum::FromDecimal("99999999999999999999");
+  const BigNum b = BigNum::FromDecimal("100000000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, a);
+  EXPECT_LE(a, a);
+  EXPECT_NE(a, b);
+}
+
+TEST(BigNumTest, AddSubInverse) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const BigNum a = BigNum::RandomWithBits(rng, 200);
+    const BigNum b = BigNum::RandomWithBits(rng, 150);
+    EXPECT_EQ(BigNum::Sub(BigNum::Add(a, b), b), a);
+    EXPECT_EQ(BigNum::Sub(BigNum::Add(a, b), a), b);
+  }
+}
+
+TEST(BigNumTest, AddCarryPropagation) {
+  // 2^64 - 1 + 1 = 2^64.
+  const BigNum a(~uint64_t{0});
+  const BigNum sum = BigNum::Add(a, BigNum(1));
+  EXPECT_EQ(sum.ToDecimal(), "18446744073709551616");
+}
+
+TEST(BigNumTest, MulKnownValues) {
+  EXPECT_EQ(BigNum::Mul(BigNum(0), BigNum(12345)).ToDecimal(), "0");
+  EXPECT_EQ(BigNum::Mul(BigNum(12345), BigNum(6789)).ToDecimal(), "83810205");
+  const BigNum big = BigNum::FromDecimal("340282366920938463463374607431768211456");  // 2^128
+  EXPECT_EQ(BigNum::Mul(big, big).ToDecimal(),
+            "115792089237316195423570985008687907853269984665640564039457584007913129639936");
+}
+
+TEST(BigNumTest, DivModReconstruction) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const BigNum a = BigNum::RandomWithBits(rng, 30 + static_cast<int>(rng.Below(300)));
+    const BigNum b = BigNum::RandomWithBits(rng, 8 + static_cast<int>(rng.Below(200)));
+    BigNum q;
+    BigNum r;
+    BigNum::DivMod(a, b, &q, &r);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(BigNum::Add(BigNum::Mul(q, b), r), a);
+  }
+}
+
+TEST(BigNumTest, DivModSmallerDividend) {
+  BigNum q;
+  BigNum r;
+  BigNum::DivMod(BigNum(5), BigNum(7), &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r.Low64(), 5u);
+}
+
+TEST(BigNumTest, DivModSingleLimbDivisor) {
+  const BigNum a = BigNum::FromDecimal("123456789012345678901234567890");
+  BigNum q;
+  BigNum r;
+  BigNum::DivMod(a, BigNum(97), &q, &r);
+  EXPECT_EQ(BigNum::Add(BigNum::Mul(q, BigNum(97)), r), a);
+  EXPECT_LT(r.Low64(), 97u);
+}
+
+TEST(BigNumTest, ShiftRoundTrip) {
+  Rng rng(9);
+  for (int shift : {1, 31, 32, 33, 64, 100}) {
+    const BigNum a = BigNum::RandomWithBits(rng, 123);
+    EXPECT_EQ(BigNum::ShiftRight(BigNum::ShiftLeft(a, shift), shift), a) << shift;
+  }
+}
+
+TEST(BigNumTest, ShiftRightBelowZeroBits) {
+  EXPECT_TRUE(BigNum::ShiftRight(BigNum(5), 3).IsZero());
+  EXPECT_EQ(BigNum::ShiftRight(BigNum(8), 3).Low64(), 1u);
+}
+
+TEST(BigNumTest, BitLengthAndBit) {
+  EXPECT_EQ(BigNum().BitLength(), 0);
+  EXPECT_EQ(BigNum(1).BitLength(), 1);
+  EXPECT_EQ(BigNum(255).BitLength(), 8);
+  EXPECT_EQ(BigNum(256).BitLength(), 9);
+  const BigNum x(0b1010);
+  EXPECT_FALSE(x.Bit(0));
+  EXPECT_TRUE(x.Bit(1));
+  EXPECT_FALSE(x.Bit(2));
+  EXPECT_TRUE(x.Bit(3));
+  EXPECT_FALSE(x.Bit(100));
+}
+
+TEST(BigNumTest, ModExpFermat) {
+  // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1.
+  const BigNum p(1000000007);
+  for (uint64_t a : {2ull, 3ull, 999999999ull}) {
+    EXPECT_TRUE(BigNum::ModExp(BigNum(a), BigNum(1000000006), p).IsOne()) << a;
+  }
+}
+
+TEST(BigNumTest, ModExpEdgeCases) {
+  EXPECT_TRUE(BigNum::ModExp(BigNum(5), BigNum(0), BigNum(7)).IsOne());
+  EXPECT_TRUE(BigNum::ModExp(BigNum(5), BigNum(100), BigNum(1)).IsZero());
+  EXPECT_EQ(BigNum::ModExp(BigNum(2), BigNum(10), BigNum(10000)).Low64(), 1024u);
+}
+
+TEST(BigNumTest, ModInverseProperty) {
+  Rng rng(13);
+  const BigNum m = BigNum::FromDecimal("1000000000000000003");  // prime
+  for (int i = 0; i < 30; ++i) {
+    const BigNum a = BigNum::Add(BigNum::RandomBelow(rng, BigNum::Sub(m, BigNum(1))), BigNum(1));
+    const BigNum inv = BigNum::ModInverse(a, m);
+    EXPECT_TRUE(BigNum::ModMul(a, inv, m).IsOne());
+  }
+}
+
+TEST(BigNumTest, GcdLcm) {
+  EXPECT_EQ(BigNum::Gcd(BigNum(12), BigNum(18)).Low64(), 6u);
+  EXPECT_EQ(BigNum::Gcd(BigNum(17), BigNum(13)).Low64(), 1u);
+  EXPECT_EQ(BigNum::Gcd(BigNum(0), BigNum(5)).Low64(), 5u);
+  EXPECT_EQ(BigNum::Lcm(BigNum(4), BigNum(6)).Low64(), 12u);
+  EXPECT_TRUE(BigNum::Lcm(BigNum(0), BigNum(6)).IsZero());
+}
+
+TEST(BigNumTest, BytesRoundTrip) {
+  Rng rng(17);
+  for (int bits : {1, 8, 9, 31, 32, 33, 64, 65, 257}) {
+    const BigNum a = BigNum::RandomWithBits(rng, bits);
+    const auto bytes = a.ToBytes();
+    EXPECT_EQ(BigNum::FromBytes(bytes.data(), bytes.size()), a) << bits;
+  }
+  EXPECT_TRUE(BigNum::FromBytes(nullptr, 0).IsZero());
+}
+
+TEST(BigNumTest, RandomWithBitsHasExactBitLength) {
+  Rng rng(19);
+  for (int bits : {1, 2, 17, 32, 33, 512, 1024}) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(BigNum::RandomWithBits(rng, bits).BitLength(), bits);
+    }
+  }
+}
+
+TEST(BigNumTest, RandomBelowStaysBelow) {
+  Rng rng(23);
+  const BigNum bound = BigNum::FromDecimal("123456789012345678901");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigNum::RandomBelow(rng, bound), bound);
+  }
+}
+
+TEST(BigNumTest, OperatorSugar) {
+  const BigNum a(100);
+  const BigNum b(7);
+  EXPECT_EQ((a + b).Low64(), 107u);
+  EXPECT_EQ((a - b).Low64(), 93u);
+  EXPECT_EQ((a * b).Low64(), 700u);
+  EXPECT_EQ((a % b).Low64(), 2u);
+}
+
+}  // namespace
+}  // namespace seabed

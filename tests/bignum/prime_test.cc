@@ -1,0 +1,50 @@
+#include "src/bignum/prime.h"
+
+#include <gtest/gtest.h>
+
+namespace seabed {
+namespace {
+
+TEST(PrimeTest, KnownSmallPrimes) {
+  Rng rng(1);
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 97ull, 251ull, 65537ull}) {
+    EXPECT_TRUE(IsProbablePrime(BigNum(p), rng)) << p;
+  }
+}
+
+TEST(PrimeTest, KnownComposites) {
+  Rng rng(2);
+  for (uint64_t c : {0ull, 1ull, 4ull, 100ull, 65536ull, 561ull /* Carmichael */,
+                     41041ull /* Carmichael */}) {
+    EXPECT_FALSE(IsProbablePrime(BigNum(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, LargeKnownPrime) {
+  Rng rng(3);
+  // 2^89 - 1 is a Mersenne prime.
+  const BigNum m89 = BigNum::Sub(BigNum::ShiftLeft(BigNum(1), 89), BigNum(1));
+  EXPECT_TRUE(IsProbablePrime(m89, rng));
+  // 2^67 - 1 is famously composite (193707721 * 761838257287).
+  const BigNum m67 = BigNum::Sub(BigNum::ShiftLeft(BigNum(1), 67), BigNum(1));
+  EXPECT_FALSE(IsProbablePrime(m67, rng));
+}
+
+TEST(PrimeTest, GeneratePrimeHasRequestedBits) {
+  Rng rng(4);
+  for (int bits : {16, 32, 64, 128}) {
+    const BigNum p = GeneratePrime(rng, bits);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(IsProbablePrime(p, rng));
+  }
+}
+
+TEST(PrimeTest, GeneratedPrimesAreOdd) {
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(GeneratePrime(rng, 48).IsOdd());
+  }
+}
+
+}  // namespace
+}  // namespace seabed

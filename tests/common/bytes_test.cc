@@ -1,0 +1,33 @@
+#include "src/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace seabed {
+namespace {
+
+TEST(BytesTest, PutGetU64RoundTrip) {
+  Bytes buf;
+  PutU64(buf, 0);
+  PutU64(buf, 0x0123456789abcdefULL);
+  PutU64(buf, ~uint64_t{0});
+  ASSERT_EQ(buf.size(), 24u);
+  EXPECT_EQ(GetU64(buf.data()), 0u);
+  EXPECT_EQ(GetU64(buf.data() + 8), 0x0123456789abcdefULL);
+  EXPECT_EQ(GetU64(buf.data() + 16), ~uint64_t{0});
+}
+
+TEST(BytesTest, PutGetU32RoundTrip) {
+  Bytes buf;
+  PutU32(buf, 0xdeadbeef);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(GetU32(buf.data()), 0xdeadbeefu);
+}
+
+TEST(BytesTest, ToHex) {
+  const Bytes data = {0x00, 0x0f, 0xa5, 0xff};
+  EXPECT_EQ(ToHex(data), "000fa5ff");
+  EXPECT_EQ(ToHex(nullptr, 0), "");
+}
+
+}  // namespace
+}  // namespace seabed

@@ -1,0 +1,70 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace seabed {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZero) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForSingleThreadFallback) {
+  ThreadPool pool(1);
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionFromTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] { counter.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace seabed

@@ -1,0 +1,117 @@
+#include "src/crypto/aes128.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+
+namespace seabed {
+namespace {
+
+TEST(Aes128Test, Fips197AppendixCVector) {
+  // FIPS-197 Appendix C.1: AES-128 known-answer test.
+  AesKey key;
+  for (int i = 0; i < 16; ++i) {
+    key.bytes[i] = static_cast<uint8_t>(i);
+  }
+  const uint8_t plaintext[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                                 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const uint8_t expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                                0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  const Aes128 aes(key);
+  uint8_t out[16];
+  aes.EncryptBlock(plaintext, out);
+  EXPECT_EQ(ToHex(out, 16), ToHex(expected, 16));
+}
+
+TEST(Aes128Test, SunMicrosystemsVector) {
+  // Classic AES-128 vector: key = 2b7e1516..., pt = 6bc1bee2...
+  AesKey key;
+  const uint8_t key_bytes[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                                 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  std::memcpy(key.bytes.data(), key_bytes, 16);
+  const uint8_t plaintext[16] = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+                                 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a};
+  const uint8_t expected[16] = {0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60,
+                                0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66, 0xef, 0x97};
+  const Aes128 aes(key);
+  uint8_t out[16];
+  aes.EncryptBlock(plaintext, out);
+  EXPECT_EQ(ToHex(out, 16), ToHex(expected, 16));
+}
+
+TEST(Aes128Test, InPlaceEncryptionAllowed) {
+  const Aes128 aes(AesKey::FromSeed(1));
+  uint8_t a[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  uint8_t b[16];
+  std::memcpy(b, a, 16);
+  uint8_t expected[16];
+  aes.EncryptBlock(a, expected);
+  aes.EncryptBlock(b, b);  // in place
+  EXPECT_EQ(ToHex(b, 16), ToHex(expected, 16));
+}
+
+TEST(Aes128Test, CounterWordsDiffer) {
+  const Aes128 aes(AesKey::FromSeed(2));
+  uint64_t w0[2];
+  uint64_t w1[2];
+  aes.EncryptCounter(0, w0);
+  aes.EncryptCounter(1, w1);
+  EXPECT_NE(w0[0], w1[0]);
+  EXPECT_NE(w0[1], w1[1]);
+  EXPECT_NE(w0[0], w0[1]);
+}
+
+TEST(Aes128Test, CounterIsDeterministic) {
+  const Aes128 a(AesKey::FromSeed(3));
+  const Aes128 b(AesKey::FromSeed(3));
+  uint64_t wa[2];
+  uint64_t wb[2];
+  for (uint64_t ctr : {0ull, 1ull, 12345ull, ~0ull}) {
+    a.EncryptCounter(ctr, wa);
+    b.EncryptCounter(ctr, wb);
+    EXPECT_EQ(wa[0], wb[0]);
+    EXPECT_EQ(wa[1], wb[1]);
+  }
+}
+
+TEST(Aes128Test, DistinctKeysProduceDistinctStreams) {
+  const Aes128 a(AesKey::FromSeed(4));
+  const Aes128 b(AesKey::FromSeed(5));
+  uint64_t wa[2];
+  uint64_t wb[2];
+  a.EncryptCounter(7, wa);
+  b.EncryptCounter(7, wb);
+  EXPECT_NE(wa[0], wb[0]);
+}
+
+TEST(Aes128Test, PortableMatchesHardwarePath) {
+  const AesKey key = AesKey::FromSeed(77);
+  const Aes128 fast(key);
+  const Aes128 portable(key, /*force_portable=*/true);
+  EXPECT_FALSE(portable.using_hardware());
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    uint8_t block[16];
+    for (auto& b : block) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    uint8_t a[16];
+    uint8_t b[16];
+    fast.EncryptBlock(block, a);
+    portable.EncryptBlock(block, b);
+    EXPECT_EQ(ToHex(a, 16), ToHex(b, 16));
+  }
+}
+
+TEST(Aes128Test, KeyFromSeedIsStable) {
+  const AesKey k1 = AesKey::FromSeed(99);
+  const AesKey k2 = AesKey::FromSeed(99);
+  EXPECT_EQ(k1.bytes, k2.bytes);
+  EXPECT_NE(AesKey::FromSeed(100).bytes, k1.bytes);
+}
+
+}  // namespace
+}  // namespace seabed

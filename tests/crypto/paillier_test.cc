@@ -1,0 +1,108 @@
+#include "src/crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+namespace seabed {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  // 256-bit keys keep the suite fast; the scheme is parameter-independent.
+  PaillierTest() : rng_(42), paillier_(Paillier::GenerateKey(rng_, 256)) {}
+
+  Rng rng_;
+  Paillier paillier_;
+};
+
+TEST_F(PaillierTest, RoundTrip) {
+  for (uint64_t m : {0ull, 1ull, 123456789ull}) {
+    const BigNum ct = paillier_.Encrypt(BigNum(m), rng_);
+    EXPECT_EQ(paillier_.Decrypt(ct).Low64(), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  const BigNum c1 = paillier_.Encrypt(BigNum(5), rng_);
+  const BigNum c2 = paillier_.Encrypt(BigNum(5), rng_);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(paillier_.Decrypt(c1).Low64(), 5u);
+  EXPECT_EQ(paillier_.Decrypt(c2).Low64(), 5u);
+}
+
+TEST_F(PaillierTest, AdditiveHomomorphism) {
+  const BigNum c1 = paillier_.Encrypt(BigNum(1000), rng_);
+  const BigNum c2 = paillier_.Encrypt(BigNum(234), rng_);
+  EXPECT_EQ(paillier_.Decrypt(paillier_.Add(c1, c2)).Low64(), 1234u);
+}
+
+TEST_F(PaillierTest, LongSum) {
+  BigNum acc = paillier_.Encrypt(BigNum(0), rng_);
+  uint64_t expected = 0;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    acc = paillier_.Add(acc, paillier_.Encrypt(BigNum(i), rng_));
+    expected += i;
+  }
+  EXPECT_EQ(paillier_.Decrypt(acc).Low64(), expected);
+}
+
+TEST_F(PaillierTest, SignedRoundTrip) {
+  for (int64_t m : {0ll, 1ll, -1ll, 1000000ll, -987654321ll}) {
+    const BigNum ct = paillier_.EncryptSigned(m, rng_);
+    EXPECT_EQ(paillier_.DecryptSigned(ct), m);
+  }
+}
+
+TEST_F(PaillierTest, SignedSumsCancel) {
+  const BigNum c1 = paillier_.EncryptSigned(-500, rng_);
+  const BigNum c2 = paillier_.EncryptSigned(200, rng_);
+  EXPECT_EQ(paillier_.DecryptSigned(paillier_.Add(c1, c2)), -300);
+}
+
+TEST_F(PaillierTest, PooledEncryptionDecrypts) {
+  const auto pool = paillier_.MakeRandomnessPool(rng_, 4);
+  ASSERT_EQ(pool.size(), 4u);
+  for (int64_t m : {0ll, 77ll, -77ll}) {
+    for (const BigNum& entry : pool) {
+      EXPECT_EQ(paillier_.DecryptSigned(paillier_.EncryptSignedPooled(m, entry)), m);
+    }
+  }
+}
+
+TEST_F(PaillierTest, PooledHomomorphismMatchesFull) {
+  const auto pool = paillier_.MakeRandomnessPool(rng_, 2);
+  const BigNum c1 = paillier_.EncryptSignedPooled(40, pool[0]);
+  const BigNum c2 = paillier_.EncryptSigned(2, rng_);
+  EXPECT_EQ(paillier_.DecryptSigned(paillier_.Add(c1, c2)), 42);
+}
+
+TEST_F(PaillierTest, MultiplicativeIdentityIsEncryptedZero) {
+  // BigNum(1) acts as Enc(0): used as the aggregation identity.
+  const BigNum c = paillier_.Encrypt(BigNum(17), rng_);
+  EXPECT_EQ(paillier_.Decrypt(paillier_.Add(c, BigNum(1))).Low64(), 17u);
+  EXPECT_EQ(paillier_.DecryptSigned(BigNum(1)), 0);
+}
+
+TEST_F(PaillierTest, CiphertextBytesMatchesModulus) {
+  const size_t bytes = paillier_.public_key().CiphertextBytes();
+  EXPECT_EQ(bytes, static_cast<size_t>(2 * ((paillier_.public_key().n.BitLength() + 7) / 8)));
+}
+
+TEST(PaillierKeygenTest, DistinctSeedsDistinctKeys) {
+  Rng r1(1);
+  Rng r2(2);
+  const Paillier p1 = Paillier::GenerateKey(r1, 128);
+  const Paillier p2 = Paillier::GenerateKey(r2, 128);
+  EXPECT_NE(p1.public_key().n, p2.public_key().n);
+}
+
+TEST(PaillierKeygenTest, WrapAroundModulusIsExercised) {
+  // Messages larger than n wrap (mod n) — documents the fixed-point range
+  // requirement for measures.
+  Rng rng(3);
+  const Paillier p = Paillier::GenerateKey(rng, 64);
+  const BigNum big = BigNum::Add(p.public_key().n, BigNum(5));
+  EXPECT_EQ(p.Decrypt(p.Encrypt(big, rng)).Low64(), 5u);
+}
+
+}  // namespace
+}  // namespace seabed

@@ -1,0 +1,184 @@
+#include "src/encoding/id_list_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace seabed {
+namespace {
+
+// All eight range/diff/vb combinations × three compression modes.
+struct CodecParam {
+  bool range;
+  bool diff;
+  bool vb;
+  IdListCompression compression;
+};
+
+class IdListCodecTest : public ::testing::TestWithParam<CodecParam> {
+ protected:
+  IdListOptions Options() const {
+    IdListOptions o;
+    o.use_range = GetParam().range;
+    o.use_diff = GetParam().diff;
+    o.use_vb = GetParam().vb;
+    o.compression = GetParam().compression;
+    return o;
+  }
+
+  void ExpectRoundTrip(const IdSet& ids) {
+    const Bytes bytes = IdListEncode(ids, Options());
+    EXPECT_EQ(IdListDecode(bytes), ids);
+  }
+};
+
+TEST_P(IdListCodecTest, EmptySet) { ExpectRoundTrip(IdSet()); }
+
+TEST_P(IdListCodecTest, SingleId) { ExpectRoundTrip(IdSet::Single(42)); }
+
+TEST_P(IdListCodecTest, ContiguousRange) { ExpectRoundTrip(IdSet::FromRange(1, 5000)); }
+
+TEST_P(IdListCodecTest, SparseRandom) {
+  Rng rng(11);
+  IdSet ids;
+  uint64_t id = 1;
+  for (int i = 0; i < 2000; ++i) {
+    id += 1 + rng.Below(100);
+    ids.Add(id);
+  }
+  ExpectRoundTrip(ids);
+}
+
+TEST_P(IdListCodecTest, AlternatingEvenIds) {
+  IdSet ids;
+  for (uint64_t id = 2; id < 4000; id += 2) {
+    ids.Add(id);
+  }
+  ExpectRoundTrip(ids);
+}
+
+TEST_P(IdListCodecTest, MultipleRuns) {
+  IdSet ids;
+  ids.AddRange(1, 100);
+  ids.AddRange(200, 250);
+  ids.AddRange(1000, 5000);
+  ids.Add(99999);
+  ExpectRoundTrip(ids);
+}
+
+TEST_P(IdListCodecTest, LargeIds) {
+  IdSet ids;
+  ids.Add(1ull << 60);
+  ids.AddRange((1ull << 62), (1ull << 62) + 10);
+  ExpectRoundTrip(ids);
+}
+
+TEST_P(IdListCodecTest, MultisetCounts) {
+  IdSet ids = IdSet::FromRange(1, 10);
+  ids.UnionWith(IdSet::FromRange(5, 15));  // multiplicity-2 middle section
+  ids.UnionWith(IdSet::FromRange(5, 15));
+  ExpectRoundTrip(ids);
+}
+
+std::string ParamName(const ::testing::TestParamInfo<CodecParam>& info) {
+  std::string name;
+  name += info.param.range ? "Range" : "NoRange";
+  name += info.param.diff ? "Diff" : "NoDiff";
+  name += info.param.vb ? "Vb" : "NoVb";
+  switch (info.param.compression) {
+    case IdListCompression::kNone:
+      name += "Raw";
+      break;
+    case IdListCompression::kFast:
+      name += "Fast";
+      break;
+    case IdListCompression::kCompact:
+      name += "Compact";
+      break;
+  }
+  return name;
+}
+
+std::vector<CodecParam> AllParams() {
+  std::vector<CodecParam> params;
+  for (bool range : {false, true}) {
+    for (bool diff : {false, true}) {
+      for (bool vb : {false, true}) {
+        for (IdListCompression c :
+             {IdListCompression::kNone, IdListCompression::kFast, IdListCompression::kCompact}) {
+          params.push_back({range, diff, vb, c});
+        }
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, IdListCodecTest, ::testing::ValuesIn(AllParams()),
+                         ParamName);
+
+TEST(IdListCodecSizeTest, RangeEncodingWinsOnDenseSelections) {
+  // Selectivity 100%: one run. Range encoding is O(1), id-at-a-time is O(n).
+  const IdSet ids = IdSet::FromRange(1, 100000);
+  IdListOptions with_range = IdListOptions::Default();
+  with_range.compression = IdListCompression::kNone;
+  IdListOptions without_range = with_range;
+  without_range.use_range = false;
+  EXPECT_LT(IdListEncode(ids, with_range).size() * 1000,
+            IdListEncode(ids, without_range).size());
+}
+
+TEST(IdListCodecSizeTest, DiffHelpsSparseLists) {
+  Rng rng(13);
+  IdSet ids;
+  uint64_t id = 1ull << 40;  // large absolute ids, small gaps
+  for (int i = 0; i < 5000; ++i) {
+    id += 1 + rng.Below(8);
+    ids.Add(id);
+  }
+  IdListOptions with_diff;
+  with_diff.use_range = false;
+  with_diff.use_diff = true;
+  with_diff.compression = IdListCompression::kNone;
+  IdListOptions without_diff = with_diff;
+  without_diff.use_diff = false;
+  EXPECT_LT(IdListEncode(ids, with_diff).size(), IdListEncode(ids, without_diff).size() / 2);
+}
+
+TEST(IdListCodecSizeTest, VbShrinksSmallNumbers) {
+  const IdSet ids = IdSet::FromRange(1, 1000);
+  IdListOptions vb;
+  vb.compression = IdListCompression::kNone;
+  IdListOptions fixed = vb;
+  fixed.use_vb = false;
+  EXPECT_LT(IdListEncode(ids, vb).size(), IdListEncode(ids, fixed).size());
+}
+
+TEST(IdListCodecSizeTest, EvenIdPatternCompressesWell) {
+  // The paper's observation: all-even selections double the run count but the
+  // constant stride makes the diff stream trivially compressible.
+  IdSet ids;
+  for (uint64_t id = 2; id <= 200000; id += 2) {
+    ids.Add(id);
+  }
+  IdListOptions raw = IdListOptions::Default();
+  raw.compression = IdListCompression::kNone;
+  IdListOptions packed = IdListOptions::Default();
+  packed.compression = IdListCompression::kFast;
+  EXPECT_LT(IdListEncode(ids, packed).size(), IdListEncode(ids, raw).size() / 10);
+}
+
+TEST(IdListCodecSizeTest, GroupByPresetSkipsRange) {
+  const IdListOptions o = IdListOptions::GroupBy();
+  EXPECT_FALSE(o.use_range);
+  EXPECT_TRUE(o.use_diff);
+  EXPECT_TRUE(o.use_vb);
+}
+
+TEST(IdListCodecSizeTest, LabelsAreStable) {
+  EXPECT_STREQ(IdListOptions::Default().Label(), "Ranges & VB + Diff + Lz(fast)");
+  EXPECT_STREQ(IdListOptions::GroupBy().Label(), "Diff&VB (group-by)");
+}
+
+}  // namespace
+}  // namespace seabed

@@ -1,0 +1,61 @@
+#include "src/encoding/varint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace seabed {
+namespace {
+
+TEST(VarintTest, KnownEncodings) {
+  Bytes buf;
+  PutVarint(buf, 0);
+  EXPECT_EQ(buf, (Bytes{0x00}));
+  buf.clear();
+  PutVarint(buf, 127);
+  EXPECT_EQ(buf, (Bytes{0x7f}));
+  buf.clear();
+  PutVarint(buf, 128);
+  EXPECT_EQ(buf, (Bytes{0x80, 0x01}));
+  buf.clear();
+  PutVarint(buf, 300);
+  EXPECT_EQ(buf, (Bytes{0xac, 0x02}));
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, (1ull << 32),
+                     (1ull << 56) - 1, ~0ull}) {
+    Bytes buf;
+    PutVarint(buf, v);
+    size_t cursor = 0;
+    EXPECT_EQ(GetVarint(buf, &cursor), v);
+    EXPECT_EQ(cursor, buf.size());
+    EXPECT_EQ(VarintSize(v), buf.size());
+  }
+}
+
+TEST(VarintTest, RandomRoundTripStream) {
+  Rng rng(1);
+  std::vector<uint64_t> values;
+  Bytes buf;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Next() >> rng.Below(64);
+    values.push_back(v);
+    PutVarint(buf, v);
+  }
+  size_t cursor = 0;
+  for (uint64_t v : values) {
+    EXPECT_EQ(GetVarint(buf, &cursor), v);
+  }
+  EXPECT_EQ(cursor, buf.size());
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  for (uint64_t v = 0; v < 128; ++v) {
+    EXPECT_EQ(VarintSize(v), 1u);
+  }
+  EXPECT_EQ(VarintSize(~0ull), 10u);
+}
+
+}  // namespace
+}  // namespace seabed

@@ -1,0 +1,107 @@
+#include "src/engine/table.h"
+
+#include <gtest/gtest.h>
+
+namespace seabed {
+namespace {
+
+std::shared_ptr<Int64Column> MakeInts(std::vector<int64_t> v) {
+  return std::make_shared<Int64Column>(std::move(v));
+}
+
+TEST(TableTest, AddAndGetColumns) {
+  Table t("t");
+  t.AddColumn("a", MakeInts({1, 2, 3}));
+  t.AddColumn("b", MakeInts({4, 5, 6}));
+  EXPECT_EQ(t.NumColumns(), 2u);
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("c"));
+  EXPECT_EQ(static_cast<const Int64Column*>(t.GetColumn("b").get())->Get(1), 5);
+}
+
+TEST(TableTest, EmptyTable) {
+  Table t("empty");
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_EQ(t.ByteSize(), 0u);
+  const auto parts = t.Partitions(4);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 0u);
+}
+
+TEST(TableTest, PartitionsCoverAllRowsExactlyOnce) {
+  Table t("t");
+  t.AddColumn("a", MakeInts(std::vector<int64_t>(1003, 7)));
+  for (size_t n : {1u, 2u, 3u, 7u, 100u, 1003u}) {
+    const auto parts = t.Partitions(n);
+    EXPECT_EQ(parts.size(), n);
+    size_t covered = 0;
+    size_t prev_end = 0;
+    for (const RowRange& r : parts) {
+      EXPECT_EQ(r.begin, prev_end);
+      covered += r.size();
+      prev_end = r.end;
+    }
+    EXPECT_EQ(covered, 1003u);
+  }
+}
+
+TEST(TableTest, PartitionsAreBalanced) {
+  Table t("t");
+  t.AddColumn("a", MakeInts(std::vector<int64_t>(100, 0)));
+  const auto parts = t.Partitions(7);
+  for (const RowRange& r : parts) {
+    EXPECT_GE(r.size(), 100u / 7);
+    EXPECT_LE(r.size(), 100u / 7 + 1);
+  }
+}
+
+TEST(TableTest, MorePartitionsThanRowsClamps) {
+  Table t("t");
+  t.AddColumn("a", MakeInts({1, 2}));
+  EXPECT_EQ(t.Partitions(10).size(), 2u);
+}
+
+TEST(TableTest, ByteSizeSumsColumns) {
+  Table t("t");
+  t.AddColumn("a", MakeInts({1, 2, 3}));
+  auto s = std::make_shared<StringColumn>();
+  s->Append("xx");
+  s->Append("yy");
+  s->Append("xx");
+  t.AddColumn("b", s);
+  EXPECT_EQ(t.ByteSize(), 3 * 8 + t.GetColumn("b")->ByteSize());
+}
+
+TEST(StringColumnTest, DictionaryEncoding) {
+  StringColumn c;
+  c.Append("a");
+  c.Append("b");
+  c.Append("a");
+  EXPECT_EQ(c.RowCount(), 3u);
+  EXPECT_EQ(c.DictionarySize(), 2u);
+  EXPECT_EQ(c.Get(0), "a");
+  EXPECT_EQ(c.Get(2), "a");
+  EXPECT_EQ(c.GetCode(0), c.GetCode(2));
+  EXPECT_NE(c.GetCode(0), c.GetCode(1));
+  EXPECT_EQ(c.Lookup("b"), c.GetCode(1));
+  EXPECT_EQ(c.Lookup("zzz"), UINT32_MAX);
+}
+
+TEST(AsheColumnTest, IdsAreBasePlusRow) {
+  AsheColumn c(100);
+  c.Append(0);
+  c.Append(0);
+  EXPECT_EQ(c.IdOfRow(0), 100u);
+  EXPECT_EQ(c.IdOfRow(1), 101u);
+  EXPECT_EQ(c.base_id(), 100u);
+}
+
+TEST(ColumnTest, TypeNames) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kInt64), "int64");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kAshe), "ashe");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kPaillier), "paillier");
+}
+
+}  // namespace
+}  // namespace seabed

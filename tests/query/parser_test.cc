@@ -1,0 +1,157 @@
+#include "src/query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/plain_executor.h"
+
+namespace seabed {
+namespace {
+
+TEST(ParserTest, SimpleSum) {
+  const Query q = MustParseSql("SELECT SUM(revenue) FROM sales");
+  EXPECT_EQ(q.table, "sales");
+  ASSERT_EQ(q.aggregates.size(), 1u);
+  EXPECT_EQ(q.aggregates[0].func, AggFunc::kSum);
+  EXPECT_EQ(q.aggregates[0].column, "revenue");
+  EXPECT_TRUE(q.filters.empty());
+  EXPECT_TRUE(q.group_by.empty());
+}
+
+TEST(ParserTest, CountStarAndAlias) {
+  const Query q = MustParseSql("SELECT COUNT(*) AS n, AVG(x) AS mean FROM t");
+  ASSERT_EQ(q.aggregates.size(), 2u);
+  EXPECT_EQ(q.aggregates[0].func, AggFunc::kCount);
+  EXPECT_TRUE(q.aggregates[0].column.empty());
+  EXPECT_EQ(q.aggregates[0].alias, "n");
+  EXPECT_EQ(q.aggregates[1].func, AggFunc::kAvg);
+  EXPECT_EQ(q.aggregates[1].alias, "mean");
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  const Query q = MustParseSql("select sum(a) from t where b = 3 group by c");
+  EXPECT_EQ(q.table, "t");
+  ASSERT_EQ(q.filters.size(), 1u);
+  ASSERT_EQ(q.group_by.size(), 1u);
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  struct Case {
+    const char* sql_op;
+    CmpOp expected;
+  };
+  const Case cases[] = {{"=", CmpOp::kEq}, {"!=", CmpOp::kNe}, {"<>", CmpOp::kNe},
+                        {"<", CmpOp::kLt}, {"<=", CmpOp::kLe}, {">", CmpOp::kGt},
+                        {">=", CmpOp::kGe}};
+  for (const Case& c : cases) {
+    const Query q =
+        MustParseSql(std::string("SELECT SUM(a) FROM t WHERE b ") + c.sql_op + " 10");
+    ASSERT_EQ(q.filters.size(), 1u) << c.sql_op;
+    EXPECT_EQ(q.filters[0].op, c.expected) << c.sql_op;
+    EXPECT_EQ(std::get<int64_t>(q.filters[0].operand), 10);
+  }
+}
+
+TEST(ParserTest, StringLiteralAndConjunction) {
+  const Query q = MustParseSql(
+      "SELECT SUM(salary) FROM emp WHERE country = 'India' AND ts >= 100");
+  ASSERT_EQ(q.filters.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(q.filters[0].operand), "India");
+  EXPECT_EQ(q.filters[1].op, CmpOp::kGe);
+}
+
+TEST(ParserTest, NegativeIntegerLiteral) {
+  const Query q = MustParseSql("SELECT SUM(a) FROM t WHERE b > -5");
+  EXPECT_EQ(std::get<int64_t>(q.filters[0].operand), -5);
+}
+
+TEST(ParserTest, GroupByWithProjectedKey) {
+  const Query q = MustParseSql("SELECT store, SUM(revenue) FROM sales GROUP BY store");
+  ASSERT_EQ(q.group_by.size(), 1u);
+  EXPECT_EQ(q.group_by[0], "store");
+  // Bare projected key does not create an aggregate.
+  ASSERT_EQ(q.aggregates.size(), 1u);
+}
+
+TEST(ParserTest, MultiColumnGroupBy) {
+  const Query q = MustParseSql("SELECT COUNT(*) FROM t GROUP BY a, b");
+  ASSERT_EQ(q.group_by.size(), 2u);
+}
+
+TEST(ParserTest, JoinMapsRightColumns) {
+  const Query q = MustParseSql(
+      "SELECT SUM(adRevenue), AVG(rankings.pageRank) FROM uservisits "
+      "JOIN rankings ON destURL = rankings.pageURL "
+      "WHERE visitDate >= 1000 GROUP BY sourceIP");
+  ASSERT_TRUE(q.join.has_value());
+  EXPECT_EQ(q.join->right_table, "rankings");
+  EXPECT_EQ(q.join->left_column, "destURL");
+  EXPECT_EQ(q.join->right_column, "right:pageURL");
+  ASSERT_EQ(q.aggregates.size(), 2u);
+  EXPECT_EQ(q.aggregates[1].column, "right:pageRank");
+}
+
+TEST(ParserTest, JoinConditionOrderIsNormalized) {
+  // ON rankings.pageURL = destURL — right side listed first.
+  const Query q = MustParseSql(
+      "SELECT SUM(a) FROM uservisits JOIN rankings ON rankings.pageURL = destURL");
+  ASSERT_TRUE(q.join.has_value());
+  EXPECT_EQ(q.join->left_column, "destURL");
+  EXPECT_EQ(q.join->right_column, "right:pageURL");
+}
+
+TEST(ParserTest, VarianceAndStddev) {
+  const Query q = MustParseSql("SELECT VARIANCE(x), STDDEV(x), VAR(x) FROM t");
+  ASSERT_EQ(q.aggregates.size(), 3u);
+  EXPECT_EQ(q.aggregates[0].func, AggFunc::kVariance);
+  EXPECT_EQ(q.aggregates[1].func, AggFunc::kStddev);
+  EXPECT_EQ(q.aggregates[2].func, AggFunc::kVariance);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok);
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok);
+  EXPECT_FALSE(ParseSql("SELECT SUM(a FROM t").ok);
+  EXPECT_FALSE(ParseSql("SELECT SUM(a) FROM").ok);
+  EXPECT_FALSE(ParseSql("SELECT SUM(a) FROM t WHERE").ok);
+  EXPECT_FALSE(ParseSql("SELECT SUM(a) FROM t WHERE b ~ 3").ok);
+  EXPECT_FALSE(ParseSql("SELECT SUM(a) FROM t WHERE b = 'unterminated").ok);
+  EXPECT_FALSE(ParseSql("SELECT SUM(a) FROM t GROUP a").ok);
+  EXPECT_FALSE(ParseSql("SELECT SUM(*) FROM t").ok);       // * only for COUNT
+  EXPECT_FALSE(ParseSql("SELECT a FROM t").ok);            // bare col not in GROUP BY
+  EXPECT_FALSE(ParseSql("SELECT SUM(a) FROM t extra").ok); // trailing tokens
+  // Errors carry position info.
+  EXPECT_NE(ParseSql("SELECT SUM(a) FROM t WHERE b ~ 3").error.find("position"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ParsedQueryExecutes) {
+  // Integration: parse and run against the plaintext executor.
+  Table table("sales");
+  auto store = std::make_shared<StringColumn>();
+  auto revenue = std::make_shared<Int64Column>();
+  const struct {
+    const char* s;
+    int64_t r;
+  } rows[] = {{"a", 10}, {"b", 20}, {"a", 30}};
+  for (const auto& row : rows) {
+    store->Append(row.s);
+    revenue->Append(row.r);
+  }
+  table.AddColumn("store", store);
+  table.AddColumn("revenue", revenue);
+
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.job_overhead_seconds = 0;
+  cfg.task_overhead_seconds = 0;
+  const Cluster cluster(cfg);
+  const Query q =
+      MustParseSql("SELECT store, SUM(revenue) AS total FROM sales GROUP BY store");
+  const ResultSet r = ExecutePlain(table, q, cluster);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][1]), 40);
+  EXPECT_EQ(std::get<int64_t>(r.rows[1][1]), 20);
+}
+
+}  // namespace
+}  // namespace seabed

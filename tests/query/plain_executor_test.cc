@@ -1,0 +1,175 @@
+#include "src/query/plain_executor.h"
+
+#include <gtest/gtest.h>
+
+namespace seabed {
+namespace {
+
+class PlainExecutorTest : public ::testing::Test {
+ protected:
+  PlainExecutorTest() : cluster_(MakeConfig()), table_("sales") {
+    auto region = std::make_shared<StringColumn>();
+    auto amount = std::make_shared<Int64Column>();
+    auto year = std::make_shared<Int64Column>();
+    const struct {
+      const char* region;
+      int64_t amount;
+      int64_t year;
+    } rows[] = {
+        {"east", 100, 2020}, {"west", 200, 2020}, {"east", 50, 2021},
+        {"west", 75, 2021},  {"east", 25, 2021},  {"north", 10, 2020},
+    };
+    for (const auto& r : rows) {
+      region->Append(r.region);
+      amount->Append(r.amount);
+      year->Append(r.year);
+    }
+    table_.AddColumn("region", region);
+    table_.AddColumn("amount", amount);
+    table_.AddColumn("year", year);
+  }
+
+  static ClusterConfig MakeConfig() {
+    ClusterConfig cfg;
+    cfg.num_workers = 3;
+    cfg.job_overhead_seconds = 0;
+    cfg.task_overhead_seconds = 0;
+    return cfg;
+  }
+
+  Cluster cluster_;
+  Table table_;
+};
+
+TEST_F(PlainExecutorTest, GlobalSum) {
+  Query q;
+  q.table = "sales";
+  q.Sum("amount");
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 460);
+}
+
+TEST_F(PlainExecutorTest, CountStar) {
+  Query q;
+  q.table = "sales";
+  q.Count();
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 6);
+}
+
+TEST_F(PlainExecutorTest, FilteredSumStringEq) {
+  Query q;
+  q.table = "sales";
+  q.Sum("amount");
+  q.Where("region", CmpOp::kEq, std::string("east"));
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 175);
+}
+
+TEST_F(PlainExecutorTest, FilteredSumIntRange) {
+  Query q;
+  q.table = "sales";
+  q.Sum("amount");
+  q.Where("year", CmpOp::kGe, int64_t{2021});
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 150);
+}
+
+TEST_F(PlainExecutorTest, ConjunctiveFilters) {
+  Query q;
+  q.table = "sales";
+  q.Count();
+  q.Where("region", CmpOp::kEq, std::string("west"));
+  q.Where("year", CmpOp::kLt, int64_t{2021});
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 1);
+}
+
+TEST_F(PlainExecutorTest, GroupBySums) {
+  Query q;
+  q.table = "sales";
+  q.Sum("amount");
+  q.Count();
+  q.GroupBy("region");
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  ASSERT_EQ(r.rows.size(), 3u);
+  // Rows sorted by group key: east, north, west.
+  EXPECT_EQ(std::get<std::string>(r.rows[0][0]), "east");
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][1]), 175);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][2]), 3);
+  EXPECT_EQ(std::get<std::string>(r.rows[1][0]), "north");
+  EXPECT_EQ(std::get<int64_t>(r.rows[1][1]), 10);
+  EXPECT_EQ(std::get<std::string>(r.rows[2][0]), "west");
+  EXPECT_EQ(std::get<int64_t>(r.rows[2][1]), 275);
+}
+
+TEST_F(PlainExecutorTest, MultiColumnGroupBy) {
+  Query q;
+  q.table = "sales";
+  q.Count();
+  q.GroupBy("region").GroupBy("year");
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_EQ(r.rows.size(), 5u);  // east/2020, east/2021, north/2020, west/2020, west/2021
+}
+
+TEST_F(PlainExecutorTest, AvgIsDouble) {
+  Query q;
+  q.table = "sales";
+  q.Avg("amount");
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_NEAR(std::get<double>(r.rows[0][0]), 460.0 / 6, 1e-9);
+}
+
+TEST_F(PlainExecutorTest, MinMax) {
+  Query q;
+  q.table = "sales";
+  q.Min("amount").Max("amount");
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 10);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][1]), 200);
+}
+
+TEST_F(PlainExecutorTest, Variance) {
+  Query q;
+  q.table = "sales";
+  q.Variance("amount");
+  q.Where("region", CmpOp::kEq, std::string("east"));
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  // Values {100, 50, 25}: mean 58.333, var = (100^2+50^2+25^2)/3 - mean^2.
+  const double mean = 175.0 / 3;
+  const double expected = (10000.0 + 2500.0 + 625.0) / 3 - mean * mean;
+  EXPECT_NEAR(std::get<double>(r.rows[0][0]), expected, 1e-6);
+}
+
+TEST_F(PlainExecutorTest, EmptyResultFilter) {
+  Query q;
+  q.table = "sales";
+  q.Sum("amount");
+  q.Where("region", CmpOp::kEq, std::string("south"));
+  q.GroupBy("region");
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(PlainExecutorTest, NeFilter) {
+  Query q;
+  q.table = "sales";
+  q.Count();
+  q.Where("region", CmpOp::kNe, std::string("east"));
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 3);
+}
+
+TEST_F(PlainExecutorTest, LatencyBreakdownPopulated) {
+  Query q;
+  q.table = "sales";
+  q.Sum("amount");
+  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  EXPECT_GT(r.result_bytes, 0u);
+  EXPECT_GT(r.network_seconds, 0.0);
+  EXPECT_GE(r.TotalSeconds(), r.job.server_seconds);
+}
+
+}  // namespace
+}  // namespace seabed

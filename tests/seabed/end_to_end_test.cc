@@ -1,0 +1,409 @@
+// End-to-end equivalence: for every supported query shape, the Seabed
+// pipeline (plan → encrypt → translate → encrypted execution → decrypt) and
+// the Paillier baseline must produce exactly the answers of the plaintext
+// executor. This is the correctness contract of the whole system.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/query/plain_executor.h"
+#include "src/seabed/client.h"
+#include "src/seabed/paillier_baseline.h"
+#include "src/seabed/planner.h"
+#include "src/seabed/server.h"
+
+namespace seabed {
+namespace {
+
+ClusterConfig TestClusterConfig() {
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.job_overhead_seconds = 0;
+  cfg.task_overhead_seconds = 0;
+  return cfg;
+}
+
+// Canonicalization: the full row as one string; compare sorted sets.
+std::vector<std::string> RowsAsStrings(const ResultSet& r) {
+  std::vector<std::string> rows;
+  for (const auto& row : r.rows) {
+    std::string s;
+    for (const Value& v : row) {
+      if (const auto* d = std::get_if<double>(&v)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", *d);
+        s += buf;
+      } else {
+        s += ValueToString(v);
+      }
+      s += "|";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  EndToEndTest() : cluster_(TestClusterConfig()), keys_(ClientKeys::FromSeed(1234)) {
+    // Schema: one SPLASHE dimension (country), one DET group dimension
+    // (store), one OPE dimension (ts), measures salary & bonus.
+    schema_.table_name = "emp";
+    ValueDistribution country;
+    country.values = {"usa", "canada", "india", "chile", "iraq"};
+    country.frequencies = {0.42, 0.38, 0.08, 0.07, 0.05};
+    schema_.columns.push_back({"country", ColumnType::kString, true, country});
+    schema_.columns.push_back({"store", ColumnType::kString, true, std::nullopt});
+    schema_.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+    schema_.columns.push_back({"salary", ColumnType::kInt64, true, std::nullopt});
+    schema_.columns.push_back({"bonus", ColumnType::kInt64, true, std::nullopt});
+    schema_.columns.push_back({"dept", ColumnType::kString, false, std::nullopt});
+
+    table_ = std::make_shared<Table>("emp");
+    auto country_col = std::make_shared<StringColumn>();
+    auto store_col = std::make_shared<StringColumn>();
+    auto ts_col = std::make_shared<Int64Column>();
+    auto salary_col = std::make_shared<Int64Column>();
+    auto bonus_col = std::make_shared<Int64Column>();
+    auto dept_col = std::make_shared<StringColumn>();
+    Rng rng(77);
+    const char* countries[] = {"usa", "canada", "india", "chile", "iraq"};
+    const double cdf[] = {0.42, 0.80, 0.88, 0.95, 1.0};
+    const char* stores[] = {"s1", "s2", "s3"};
+    const char* depts[] = {"eng", "sales"};
+    for (int i = 0; i < 4000; ++i) {
+      const double u = rng.NextDouble();
+      int pick = 0;
+      while (u > cdf[pick]) {
+        ++pick;
+      }
+      country_col->Append(countries[pick]);
+      store_col->Append(stores[rng.Below(3)]);
+      ts_col->Append(static_cast<int64_t>(rng.Below(1000)));
+      salary_col->Append(rng.Range(-1000, 100000));  // negatives exercised too
+      bonus_col->Append(rng.Range(0, 5000));
+      dept_col->Append(depts[rng.Below(2)]);
+    }
+    table_->AddColumn("country", country_col);
+    table_->AddColumn("store", store_col);
+    table_->AddColumn("ts", ts_col);
+    table_->AddColumn("salary", salary_col);
+    table_->AddColumn("bonus", bonus_col);
+    table_->AddColumn("dept", dept_col);
+
+    PlannerOptions options;
+    options.expected_rows = 4000;
+    plan_ = PlanEncryption(schema_, SampleQueries(), options);
+
+    const Encryptor encryptor(keys_);
+    db_ = encryptor.Encrypt(*table_, schema_, plan_);
+    server_.RegisterTable(db_.table);
+  }
+
+  static std::vector<Query> SampleQueries() {
+    std::vector<Query> queries;
+    {
+      Query q;
+      q.table = "emp";
+      q.Sum("salary").Count().Where("country", CmpOp::kEq, std::string("india"));
+      queries.push_back(q);
+    }
+    {
+      Query q;
+      q.table = "emp";
+      q.Avg("salary").Variance("bonus").Where("ts", CmpOp::kGe, int64_t{500});
+      queries.push_back(q);
+    }
+    {
+      Query q;
+      q.table = "emp";
+      q.Sum("bonus").Min("ts").Max("ts").GroupBy("store");
+      queries.push_back(q);
+    }
+    return queries;
+  }
+
+  ResultSet RunSeabed(const Query& q, TranslatorOptions topts = {}) {
+    topts.cluster_workers = cluster_.num_workers();
+    const Translator translator(db_, keys_);
+    const TranslatedQuery tq = translator.Translate(q, topts);
+    const EncryptedResponse response = server_.Execute(tq.server, cluster_);
+    const Client client(db_, keys_);
+    return client.Decrypt(response, tq, cluster_);
+  }
+
+  void ExpectMatchesPlain(const Query& q, TranslatorOptions topts = {}) {
+    const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+    const ResultSet enc = RunSeabed(q, topts);
+    EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
+  }
+
+  Cluster cluster_;
+  ClientKeys keys_;
+  PlainSchema schema_;
+  std::shared_ptr<Table> table_;
+  EncryptionPlan plan_;
+  EncryptedDatabase db_;
+  Server server_;
+};
+
+TEST_F(EndToEndTest, GlobalSum) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary");
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, GlobalCount) {
+  Query q;
+  q.table = "emp";
+  q.Count();
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, SumWithPlainFilter) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Where("dept", CmpOp::kEq, std::string("eng"));
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, SplasheFrequentValueFilter) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Count().Where("country", CmpOp::kEq, std::string("usa"));
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, SplasheInfrequentValueFilter) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Count().Where("country", CmpOp::kEq, std::string("chile"));
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, SplasheAvg) {
+  Query q;
+  q.table = "emp";
+  q.Avg("salary").Where("country", CmpOp::kEq, std::string("iraq"));
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, OreRangeFilter) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Count().Where("ts", CmpOp::kGe, int64_t{500});
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, OreRangeWindow) {
+  Query q;
+  q.table = "emp";
+  q.Sum("bonus").Where("ts", CmpOp::kGe, int64_t{250}).Where("ts", CmpOp::kLt, int64_t{750});
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, DetGroupBy) {
+  Query q;
+  q.table = "emp";
+  q.Sum("bonus").Count().GroupBy("store");
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, GroupByWithInflation) {
+  Query q;
+  q.table = "emp";
+  q.Sum("bonus").Count().GroupBy("store");
+  q.expected_groups = 3;  // fewer than the 4 workers -> inflation kicks in
+  TranslatorOptions topts;
+  topts.enable_group_inflation = true;
+  ExpectMatchesPlain(q, topts);
+}
+
+TEST_F(EndToEndTest, InflationPlanActuallyInflates) {
+  Query q;
+  q.table = "emp";
+  q.Sum("bonus").GroupBy("store");
+  q.expected_groups = 3;
+  TranslatorOptions topts;
+  topts.cluster_workers = 4;
+  const Translator translator(db_, keys_);
+  const TranslatedQuery tq = translator.Translate(q, topts);
+  EXPECT_GT(tq.server.inflation, 1u);
+  const EncryptedResponse response = server_.Execute(tq.server, cluster_);
+  EXPECT_GT(response.groups.size(), 3u);  // inflated on the wire
+  const Client client(db_, keys_);
+  const ResultSet r = client.Decrypt(response, tq, cluster_);
+  EXPECT_EQ(r.rows.size(), 3u);  // deflated at the client
+}
+
+TEST_F(EndToEndTest, VarianceAndStddev) {
+  Query q;
+  q.table = "emp";
+  q.Variance("bonus");
+  q.aggregates.push_back({AggFunc::kStddev, "bonus", "sd_bonus"});
+  q.Where("ts", CmpOp::kGe, int64_t{500});
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, MinMaxViaOre) {
+  Query q;
+  q.table = "emp";
+  q.Min("ts").Max("ts").Where("dept", CmpOp::kEq, std::string("sales"));
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, CombinedSplasheAndPlainFilter) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Count();
+  q.Where("country", CmpOp::kEq, std::string("usa"));
+  q.Where("dept", CmpOp::kEq, std::string("eng"));
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, SplasheFilterWithGroupBy) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Count();
+  q.Where("country", CmpOp::kEq, std::string("india"));
+  q.GroupBy("store");
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, MultipleAggregatesOneQuery) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Sum("bonus").Count().Avg("bonus");
+  q.GroupBy("store");
+  ExpectMatchesPlain(q);
+}
+
+TEST_F(EndToEndTest, EmptyResult) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Where("ts", CmpOp::kGt, int64_t{99999});
+  // Plain yields one row (sum over nothing = 0); Seabed's server finds no
+  // matching rows and returns an all-zero aggregate as well.
+  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet enc = RunSeabed(q);
+  ASSERT_EQ(plain.rows.size(), 1u);
+  ASSERT_EQ(enc.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(enc.rows[0][0]), std::get<int64_t>(plain.rows[0][0]));
+}
+
+TEST_F(EndToEndTest, DriverSideCompressionMatches) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Where("ts", CmpOp::kLt, int64_t{300});
+  TranslatorOptions topts;
+  topts.worker_side_compression = false;
+  ExpectMatchesPlain(q, topts);
+}
+
+TEST_F(EndToEndTest, AllCodecOptionsMatch) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Where("ts", CmpOp::kGe, int64_t{100});
+  for (bool range : {false, true}) {
+    for (auto compression : {IdListCompression::kNone, IdListCompression::kFast,
+                             IdListCompression::kCompact}) {
+      TranslatorOptions topts;
+      topts.idlist.use_range = range;
+      topts.idlist.compression = compression;
+      ExpectMatchesPlain(q, topts);
+    }
+  }
+}
+
+TEST_F(EndToEndTest, ResponseCarriesLatencyBreakdown) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary");
+  const ResultSet r = RunSeabed(q);
+  EXPECT_GT(r.result_bytes, 0u);
+  EXPECT_GT(r.network_seconds, 0.0);
+  EXPECT_GE(r.client_seconds, 0.0);
+}
+
+TEST_F(EndToEndTest, PrfCallCountIsTracked) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary");
+  const Translator translator(db_, keys_);
+  TranslatorOptions topts;
+  topts.cluster_workers = cluster_.num_workers();
+  const TranslatedQuery tq = translator.Translate(q, topts);
+  const EncryptedResponse response = server_.Execute(tq.server, cluster_);
+  const Client client(db_, keys_);
+  client.Decrypt(response, tq, cluster_);
+  // Selectivity 100% with 4 partitions: one contiguous run per partition and
+  // worker-side compression -> at most 2 PRF calls per partition blob.
+  EXPECT_GT(client.last_prf_calls(), 0u);
+  EXPECT_LE(client.last_prf_calls(), 8u);
+}
+
+// --- Paillier baseline equivalence ------------------------------------------
+
+class PaillierEndToEndTest : public EndToEndTest {
+ protected:
+  PaillierEndToEndTest() : rng_(55), paillier_(Paillier::GenerateKey(rng_, 256)) {
+    const Encryptor encryptor(keys_);
+    baseline_ = encryptor.EncryptPaillierBaseline(*table_, schema_, plan_, paillier_, rng_);
+  }
+
+  ResultSet RunPaillier(const Query& q) {
+    TranslatorOptions topts;
+    topts.cluster_workers = cluster_.num_workers();
+    topts.enable_group_inflation = false;
+    const Translator translator(baseline_, keys_);
+    const TranslatedQuery tq = translator.Translate(q, topts);
+    const PaillierBaseline exec(paillier_);
+    return exec.Execute(baseline_, tq, cluster_);
+  }
+
+  Rng rng_;
+  Paillier paillier_;
+  EncryptedDatabase baseline_;
+};
+
+TEST_F(PaillierEndToEndTest, GlobalSumMatchesPlain) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary");
+  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet enc = RunPaillier(q);
+  EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
+}
+
+TEST_F(PaillierEndToEndTest, DetFilterMatchesPlain) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Count().Where("country", CmpOp::kEq, std::string("india"));
+  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet enc = RunPaillier(q);
+  EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
+}
+
+TEST_F(PaillierEndToEndTest, GroupByMatchesPlain) {
+  Query q;
+  q.table = "emp";
+  q.Sum("bonus").Count().GroupBy("store");
+  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet enc = RunPaillier(q);
+  EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
+}
+
+TEST_F(PaillierEndToEndTest, OreFilterMatchesPlain) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary").Where("ts", CmpOp::kGe, int64_t{800});
+  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet enc = RunPaillier(q);
+  EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
+}
+
+}  // namespace
+}  // namespace seabed

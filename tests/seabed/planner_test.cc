@@ -1,0 +1,180 @@
+#include "src/seabed/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace seabed {
+namespace {
+
+PlainSchema RetailSchema() {
+  PlainSchema schema;
+  schema.table_name = "retail";
+  ValueDistribution gender;
+  gender.values = {"male", "female"};
+  gender.frequencies = {0.5, 0.5};
+  ValueDistribution country;
+  country.values = {"usa", "canada", "india", "chile"};
+  country.frequencies = {0.45, 0.45, 0.06, 0.04};
+  schema.columns.push_back({"gender", ColumnType::kString, true, gender});
+  schema.columns.push_back({"country", ColumnType::kString, true, country});
+  schema.columns.push_back({"salary", ColumnType::kInt64, true, std::nullopt});
+  schema.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+  schema.columns.push_back({"store", ColumnType::kString, false, std::nullopt});
+  return schema;
+}
+
+std::vector<Query> RetailQueries() {
+  std::vector<Query> queries;
+  Query q1;
+  q1.table = "retail";
+  q1.Sum("salary").Where("gender", CmpOp::kEq, std::string("male"));
+  queries.push_back(q1);
+  Query q2;
+  q2.table = "retail";
+  q2.Avg("salary").Where("country", CmpOp::kEq, std::string("india"));
+  queries.push_back(q2);
+  Query q3;
+  q3.table = "retail";
+  q3.Count().Where("ts", CmpOp::kGe, int64_t{1000});
+  queries.push_back(q3);
+  return queries;
+}
+
+TEST(AnalyzeUsageTest, RolesDetected) {
+  const auto usage = AnalyzeUsage(RetailSchema(), RetailQueries());
+  EXPECT_TRUE(usage.at("salary").IsMeasure());
+  EXPECT_FALSE(usage.at("salary").IsDimension());
+  EXPECT_TRUE(usage.at("gender").eq_filter);
+  EXPECT_FALSE(usage.at("gender").range_filter);
+  EXPECT_TRUE(usage.at("ts").range_filter);
+  EXPECT_FALSE(usage.at("store").IsMeasure());
+}
+
+TEST(AnalyzeUsageTest, QuadraticAndMinMax) {
+  PlainSchema schema = RetailSchema();
+  Query q;
+  q.table = "retail";
+  q.Variance("salary").Max("ts");
+  const auto usage = AnalyzeUsage(schema, {q});
+  EXPECT_TRUE(usage.at("salary").quadratic_agg);
+  EXPECT_TRUE(usage.at("ts").minmax_agg);
+}
+
+TEST(AnalyzeUsageTest, JoinKeysDetected) {
+  PlainSchema schema = RetailSchema();
+  Query q;
+  q.table = "retail";
+  q.Sum("salary");
+  q.join = Join{"other", "store", "right:store_id"};
+  const auto usage = AnalyzeUsage(schema, {q});
+  EXPECT_TRUE(usage.at("store").join_key);
+}
+
+TEST(PlannerTest, MeasuresGetAshe) {
+  const EncryptionPlan plan = PlanEncryption(RetailSchema(), RetailQueries());
+  EXPECT_EQ(plan.Plan("salary").scheme, EncScheme::kAshe);
+  EXPECT_FALSE(plan.Plan("salary").needs_square);
+}
+
+TEST(PlannerTest, QuadraticAggAddsSquaredColumn) {
+  PlainSchema schema = RetailSchema();
+  Query q;
+  q.table = "retail";
+  q.Variance("salary");
+  const EncryptionPlan plan = PlanEncryption(schema, {q});
+  EXPECT_TRUE(plan.Plan("salary").needs_square);
+}
+
+TEST(PlannerTest, EqualityDimsGetSplashe) {
+  const EncryptionPlan plan = PlanEncryption(RetailSchema(), RetailQueries());
+  EXPECT_EQ(plan.Plan("gender").scheme, EncScheme::kSplasheEnhanced);
+  EXPECT_EQ(plan.Plan("country").scheme, EncScheme::kSplasheEnhanced);
+  EXPECT_NE(plan.FindSplashe("gender"), nullptr);
+  EXPECT_NE(plan.FindSplashe("country"), nullptr);
+}
+
+TEST(PlannerTest, RangeDimsGetOpe) {
+  const EncryptionPlan plan = PlanEncryption(RetailSchema(), RetailQueries());
+  EXPECT_EQ(plan.Plan("ts").scheme, EncScheme::kOpe);
+  // The fallback is surfaced as a warning.
+  bool warned = false;
+  for (const auto& w : plan.warnings) {
+    warned |= w.find("ts") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(PlannerTest, NonSensitiveStaysPlain) {
+  const EncryptionPlan plan = PlanEncryption(RetailSchema(), RetailQueries());
+  EXPECT_EQ(plan.Plan("store").scheme, EncScheme::kPlain);
+}
+
+TEST(PlannerTest, JoinKeyFallsBackToDet) {
+  PlainSchema schema = RetailSchema();
+  std::vector<Query> queries = RetailQueries();
+  Query join_query;
+  join_query.table = "retail";
+  join_query.Sum("salary");
+  join_query.join = Join{"other", "gender", "right:g"};
+  queries.push_back(join_query);
+  const EncryptionPlan plan = PlanEncryption(schema, queries);
+  EXPECT_EQ(plan.Plan("gender").scheme, EncScheme::kDet);
+  EXPECT_EQ(plan.FindSplashe("gender"), nullptr);
+}
+
+TEST(PlannerTest, GroupByDimFallsBackToDet) {
+  PlainSchema schema = RetailSchema();
+  Query q;
+  q.table = "retail";
+  q.Sum("salary").GroupBy("country");
+  const EncryptionPlan plan = PlanEncryption(schema, {q});
+  EXPECT_EQ(plan.Plan("country").scheme, EncScheme::kDet);
+}
+
+TEST(PlannerTest, CoOccurringMeasuresAreSplayed) {
+  const EncryptionPlan plan = PlanEncryption(RetailSchema(), RetailQueries());
+  const SplasheLayout* gender = plan.FindSplashe("gender");
+  ASSERT_NE(gender, nullptr);
+  ASSERT_EQ(gender->splayed_measures.size(), 1u);
+  EXPECT_EQ(gender->splayed_measures[0], "salary");
+}
+
+TEST(PlannerTest, StorageBudgetPrioritizesLowCardinality) {
+  // With a tight budget only the lowest-cardinality dimension (gender, d=2)
+  // fits; country falls back to DET with a warning.
+  PlannerOptions options;
+  options.max_storage_expansion = 1.8;
+  const EncryptionPlan plan = PlanEncryption(RetailSchema(), RetailQueries(), options);
+  EXPECT_EQ(plan.Plan("gender").scheme, EncScheme::kSplasheEnhanced);
+  EXPECT_EQ(plan.Plan("country").scheme, EncScheme::kDet);
+}
+
+TEST(PlannerTest, UnlimitedBudgetSplaysAll) {
+  const EncryptionPlan plan = PlanEncryption(RetailSchema(), RetailQueries());
+  EXPECT_EQ(plan.splashe.size(), 2u);
+}
+
+TEST(PlannerTest, SensitiveUnqueriedColumnGetsAshe) {
+  PlainSchema schema;
+  schema.table_name = "t";
+  schema.columns.push_back({"secret", ColumnType::kInt64, true, std::nullopt});
+  const EncryptionPlan plan = PlanEncryption(schema, {});
+  EXPECT_EQ(plan.Plan("secret").scheme, EncScheme::kAshe);
+}
+
+TEST(PlannerTest, BothRoleColumnGetsAsheAndOpe) {
+  PlainSchema schema;
+  schema.table_name = "t";
+  schema.columns.push_back({"rank", ColumnType::kInt64, true, std::nullopt});
+  Query q;
+  q.table = "t";
+  q.Avg("rank").Max("rank");
+  q.Where("rank", CmpOp::kGt, int64_t{10});
+  const EncryptionPlan plan = PlanEncryption(schema, {q});
+  const ColumnPlan& cp = plan.Plan("rank");
+  EXPECT_EQ(cp.scheme, EncScheme::kOpe);
+  EXPECT_TRUE(cp.add_ashe);
+  EXPECT_TRUE(cp.add_ope);
+}
+
+}  // namespace
+}  // namespace seabed

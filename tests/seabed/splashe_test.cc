@@ -1,0 +1,125 @@
+#include "src/seabed/splashe.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/common/rng.h"
+
+namespace seabed {
+namespace {
+
+// Checks the paper's inequality directly for a chosen k.
+bool KIsFeasible(const std::vector<uint64_t>& counts, size_t k) {
+  if (k >= counts.size()) {
+    return true;
+  }
+  const uint64_t threshold = counts[k];
+  uint64_t prefix = 0;
+  for (size_t i = 0; i < k; ++i) {
+    prefix += counts[i];
+  }
+  uint64_t deficit = 0;
+  for (size_t i = k; i < counts.size(); ++i) {
+    deficit += threshold - counts[i];
+  }
+  return prefix >= deficit;
+}
+
+TEST(ChooseSplayKTest, PaperStyleExample) {
+  // USA and Canada dominate: 1000 each, 50 countries with <= 50 each (the
+  // Appendix A.2 example).
+  std::vector<uint64_t> counts = {1000, 1000};
+  for (int i = 0; i < 50; ++i) {
+    counts.push_back(30);
+  }
+  const size_t k = ChooseSplayK(counts);
+  EXPECT_LE(k, 2u);
+  EXPECT_TRUE(KIsFeasible(counts, k));
+}
+
+TEST(ChooseSplayKTest, UniformNeedsNoSplaying) {
+  const std::vector<uint64_t> counts(20, 100);
+  EXPECT_EQ(ChooseSplayK(counts), 0u);
+}
+
+TEST(ChooseSplayKTest, SingleValue) {
+  EXPECT_EQ(ChooseSplayK({42}), 0u);
+}
+
+TEST(ChooseSplayKTest, ResultIsMinimalFeasible) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint64_t> counts;
+    const size_t d = 2 + rng.Below(30);
+    for (size_t i = 0; i < d; ++i) {
+      counts.push_back(rng.Below(10000));
+    }
+    std::sort(counts.rbegin(), counts.rend());
+    const size_t k = ChooseSplayK(counts);
+    EXPECT_TRUE(KIsFeasible(counts, k));
+    if (k > 0) {
+      EXPECT_FALSE(KIsFeasible(counts, k - 1)) << "k not minimal";
+    }
+  }
+}
+
+TEST(ChooseSplayKTest, HeavySkewGivesSmallK) {
+  // "The more heavily skewed the distribution, the smaller the k."
+  std::vector<uint64_t> skewed = {1000000, 5, 5, 5, 5, 5, 5, 5, 5, 5};
+  EXPECT_EQ(ChooseSplayK(skewed), 1u);
+}
+
+TEST(ExpansionTest, BasicGrowsWithCardinality) {
+  EXPECT_LT(BasicSplasheExpansion(2, 1), BasicSplasheExpansion(100, 1));
+  // d columns for the dim + d per measure over (1 + m) baseline.
+  EXPECT_DOUBLE_EQ(BasicSplasheExpansion(2, 1), (2.0 + 2.0) / 2.0);
+}
+
+TEST(ExpansionTest, EnhancedBeatsBasicForSkewedDims) {
+  // k = 2 frequent values out of 100: enhanced needs ~4+3m columns vs 100+100m.
+  EXPECT_LT(EnhancedSplasheExpansion(2, 1), BasicSplasheExpansion(100, 1));
+}
+
+TEST(BuildLayoutTest, BasicLayoutSplaysEverything) {
+  ValueDistribution dist;
+  dist.values = {"a", "b", "c"};
+  dist.frequencies = {0.5, 0.3, 0.2};
+  const SplasheLayout layout =
+      BuildSplasheLayout("dim", dist, {"m1"}, /*enhanced=*/false, 1000);
+  EXPECT_FALSE(layout.enhanced);
+  EXPECT_EQ(layout.splayed_values.size(), 3u);
+  EXPECT_TRUE(layout.other_values.empty());
+  EXPECT_TRUE(layout.IsSplayedValue("b"));
+  EXPECT_FALSE(layout.IsSplayedValue("zzz"));
+}
+
+TEST(BuildLayoutTest, EnhancedSplitsFrequentFromInfrequent) {
+  ValueDistribution dist;
+  dist.values = {"usa", "canada", "india", "chile", "iraq"};
+  dist.frequencies = {0.45, 0.45, 0.04, 0.03, 0.03};
+  const SplasheLayout layout =
+      BuildSplasheLayout("country", dist, {"salary"}, /*enhanced=*/true, 10000);
+  EXPECT_TRUE(layout.enhanced);
+  // USA and Canada are frequent.
+  EXPECT_TRUE(layout.IsSplayedValue("usa"));
+  EXPECT_TRUE(layout.IsSplayedValue("canada"));
+  EXPECT_FALSE(layout.IsSplayedValue("india"));
+  EXPECT_EQ(layout.other_values.size(), 3u);
+  EXPECT_GT(layout.target_count, 0u);
+}
+
+TEST(BuildLayoutTest, ColumnNamingConventions) {
+  ValueDistribution dist;
+  dist.values = {"x", "y"};
+  dist.frequencies = {0.9, 0.1};
+  const SplasheLayout layout = BuildSplasheLayout("d", dist, {"m"}, true, 1000);
+  EXPECT_EQ(layout.CountColumn("x"), "d@x#cnt");
+  EXPECT_EQ(layout.OthersCountColumn(), "d@#cnt");
+  EXPECT_EQ(layout.DetColumn(), "d#det");
+  EXPECT_EQ(SplasheLayout::MeasureColumn("m", "x"), "m@x#ashe");
+  EXPECT_EQ(SplasheLayout::OthersMeasureColumn("m"), "m@#ashe");
+}
+
+}  // namespace
+}  // namespace seabed

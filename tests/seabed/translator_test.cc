@@ -1,0 +1,233 @@
+// Structural tests on the translator's output plans (complement to the
+// black-box end-to-end suite).
+#include "src/seabed/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/seabed/planner.h"
+
+namespace seabed {
+namespace {
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  TranslatorTest() : keys_(ClientKeys::FromSeed(44)) {
+    schema_.table_name = "t";
+    ValueDistribution dist;
+    dist.values = {"a", "b", "c", "d"};
+    dist.frequencies = {0.55, 0.30, 0.10, 0.05};
+    schema_.columns.push_back({"dim", ColumnType::kString, true, dist});
+    schema_.columns.push_back({"grp", ColumnType::kString, true, std::nullopt});
+    schema_.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+    schema_.columns.push_back({"m", ColumnType::kInt64, true, std::nullopt});
+    schema_.columns.push_back({"plain_col", ColumnType::kInt64, false, std::nullopt});
+
+    std::vector<Query> samples;
+    {
+      Query q;
+      q.table = "t";
+      q.Sum("m").Count().Where("dim", CmpOp::kEq, std::string("c"));
+      samples.push_back(q);
+      Query q2;
+      q2.table = "t";
+      q2.Variance("m").Where("ts", CmpOp::kGe, int64_t{10}).GroupBy("grp");
+      samples.push_back(q2);
+      Query q3;
+      q3.table = "t";
+      q3.Min("ts").Max("ts");
+      samples.push_back(q3);
+    }
+    PlannerOptions popts;
+    popts.expected_rows = 1000;
+    plan_ = PlanEncryption(schema_, samples, popts);
+
+    // Tiny table (the translator needs det_value_types from a real encrypt).
+    auto table = std::make_shared<Table>("t");
+    auto dim = std::make_shared<StringColumn>();
+    auto grp = std::make_shared<StringColumn>();
+    auto ts = std::make_shared<Int64Column>();
+    auto m = std::make_shared<Int64Column>();
+    auto pc = std::make_shared<Int64Column>();
+    Rng rng(4);
+    const char* values[] = {"a", "a", "a", "b", "b", "c", "d", "a", "b", "a"};
+    for (int i = 0; i < 100; ++i) {
+      dim->Append(values[i % 10]);
+      grp->Append(i % 2 ? "g1" : "g2");
+      ts->Append(i);
+      m->Append(i * 3);
+      pc->Append(i % 7);
+    }
+    table->AddColumn("dim", dim);
+    table->AddColumn("grp", grp);
+    table->AddColumn("ts", ts);
+    table->AddColumn("m", m);
+    table->AddColumn("plain_col", pc);
+    const Encryptor encryptor(keys_);
+    db_ = encryptor.Encrypt(*table, schema_, plan_);
+  }
+
+  TranslatedQuery Translate(const Query& q, TranslatorOptions topts = {}) {
+    const Translator translator(db_, keys_);
+    return translator.Translate(q, topts);
+  }
+
+  ClientKeys keys_;
+  PlainSchema schema_;
+  EncryptionPlan plan_;
+  EncryptedDatabase db_;
+};
+
+TEST_F(TranslatorTest, SplasheFrequentValueRemovesPredicate) {
+  Query q;
+  q.table = "t";
+  q.Sum("m").Where("dim", CmpOp::kEq, std::string("a"));
+  const TranslatedQuery tq = Translate(q);
+  EXPECT_TRUE(tq.server.predicates.empty());
+  ASSERT_EQ(tq.server.aggregates.size(), 1u);
+  EXPECT_EQ(tq.server.aggregates[0].column, "m@a#ashe");
+}
+
+TEST_F(TranslatorTest, SplasheInfrequentValueUsesDetAndOthers) {
+  Query q;
+  q.table = "t";
+  q.Sum("m").Count().Where("dim", CmpOp::kEq, std::string("d"));
+  const TranslatedQuery tq = Translate(q);
+  ASSERT_EQ(tq.server.predicates.size(), 1u);
+  EXPECT_EQ(tq.server.predicates[0].kind, ServerPredicate::Kind::kDetEq);
+  EXPECT_EQ(tq.server.predicates[0].column, "dim#det");
+  ASSERT_EQ(tq.server.aggregates.size(), 2u);
+  EXPECT_EQ(tq.server.aggregates[0].column, "m@#ashe");
+  EXPECT_EQ(tq.server.aggregates[1].column, "dim@#cnt");  // count via indicator
+}
+
+TEST_F(TranslatorTest, SplasheCountUsesIndicatorNotRowCount) {
+  Query q;
+  q.table = "t";
+  q.Count().Where("dim", CmpOp::kEq, std::string("a"));
+  const TranslatedQuery tq = Translate(q);
+  ASSERT_EQ(tq.server.aggregates.size(), 1u);
+  EXPECT_EQ(tq.server.aggregates[0].kind, ServerAggregate::Kind::kAsheSum);
+  EXPECT_EQ(tq.server.aggregates[0].column, "dim@a#cnt");
+}
+
+TEST_F(TranslatorTest, PlainCountUsesRowCount) {
+  Query q;
+  q.table = "t";
+  q.Count();
+  const TranslatedQuery tq = Translate(q);
+  ASSERT_EQ(tq.server.aggregates.size(), 1u);
+  EXPECT_EQ(tq.server.aggregates[0].kind, ServerAggregate::Kind::kRowCount);
+}
+
+TEST_F(TranslatorTest, AvgSharesAggregatesWithSumAndCount) {
+  Query q;
+  q.table = "t";
+  q.Sum("m").Count().Avg("m");
+  const TranslatedQuery tq = Translate(q);
+  // sum + count are deduplicated: exactly two server aggregates.
+  EXPECT_EQ(tq.server.aggregates.size(), 2u);
+  ASSERT_EQ(tq.client.outputs.size(), 3u);
+  EXPECT_EQ(tq.client.outputs[2].kind, ClientOutput::Kind::kAvg);
+  EXPECT_EQ(tq.client.outputs[2].arg0, tq.client.outputs[0].arg0);
+  EXPECT_EQ(tq.client.outputs[2].arg1, tq.client.outputs[1].arg0);
+}
+
+TEST_F(TranslatorTest, VarianceSchedulesThreeAggregates) {
+  Query q;
+  q.table = "t";
+  q.Variance("m");
+  const TranslatedQuery tq = Translate(q);
+  ASSERT_EQ(tq.server.aggregates.size(), 3u);
+  EXPECT_EQ(tq.server.aggregates[0].column, "m#sq#ashe");
+  EXPECT_EQ(tq.server.aggregates[1].column, "m#ashe");
+  EXPECT_EQ(tq.server.aggregates[2].kind, ServerAggregate::Kind::kRowCount);
+}
+
+TEST_F(TranslatorTest, RangePredicateEncryptsOreConstant) {
+  Query q;
+  q.table = "t";
+  q.Sum("m").Where("ts", CmpOp::kGe, int64_t{42});
+  const TranslatedQuery tq = Translate(q);
+  ASSERT_EQ(tq.server.predicates.size(), 1u);
+  const ServerPredicate& sp = tq.server.predicates[0];
+  EXPECT_EQ(sp.kind, ServerPredicate::Kind::kOreCmp);
+  EXPECT_EQ(sp.column, "ts#ope");
+  // The encrypted constant must compare correctly against encryptions.
+  const Ore ore(keys_.DeriveColumnKey(ColumnKeyLabel("t", "ts#ope")));
+  EXPECT_EQ(Ore::Compare(ore.Encrypt(42), sp.ore_operand).order, 0);
+  EXPECT_EQ(Ore::Compare(ore.Encrypt(41), sp.ore_operand).order, -1);
+}
+
+TEST_F(TranslatorTest, MinMaxBindsOreAndCompanionColumns) {
+  Query q;
+  q.table = "t";
+  q.Min("ts");
+  const TranslatedQuery tq = Translate(q);
+  ASSERT_EQ(tq.server.aggregates.size(), 1u);
+  EXPECT_EQ(tq.server.aggregates[0].kind, ServerAggregate::Kind::kOreMin);
+  EXPECT_EQ(tq.server.aggregates[0].column, "ts#ope");
+  EXPECT_EQ(tq.server.aggregates[0].value_column, "ts#ashe");
+}
+
+TEST_F(TranslatorTest, GroupByPicksDetColumnAndDictionaryKind) {
+  Query q;
+  q.table = "t";
+  q.Sum("m").GroupBy("grp");
+  const TranslatedQuery tq = Translate(q);
+  ASSERT_EQ(tq.server.group_by.size(), 1u);
+  EXPECT_EQ(tq.server.group_by[0].column, "grp#det");
+  ASSERT_EQ(tq.client.group_outputs.size(), 1u);
+  EXPECT_EQ(tq.client.group_outputs[0].kind, ClientGroupOutput::Kind::kDetString);
+}
+
+TEST_F(TranslatorTest, GroupByDropsRangeEncoding) {
+  Query q;
+  q.table = "t";
+  q.Sum("m").GroupBy("grp");
+  const TranslatedQuery tq = Translate(q);
+  EXPECT_FALSE(tq.server.idlist.use_range);
+  Query global;
+  global.table = "t";
+  global.Sum("m");
+  EXPECT_TRUE(Translate(global).server.idlist.use_range);
+}
+
+TEST_F(TranslatorTest, InflationOnlyWhenFewerGroupsThanWorkers) {
+  Query q;
+  q.table = "t";
+  q.Sum("m").GroupBy("grp");
+  q.expected_groups = 2;
+  TranslatorOptions topts;
+  topts.cluster_workers = 10;
+  EXPECT_EQ(Translate(q, topts).server.inflation, 5u);
+  q.expected_groups = 50;
+  EXPECT_EQ(Translate(q, topts).server.inflation, 1u);
+  q.expected_groups = 0;  // unknown: no inflation
+  EXPECT_EQ(Translate(q, topts).server.inflation, 1u);
+  q.expected_groups = 2;
+  topts.enable_group_inflation = false;
+  EXPECT_EQ(Translate(q, topts).server.inflation, 1u);
+}
+
+TEST_F(TranslatorTest, PlainColumnPredicatePassesThrough) {
+  Query q;
+  q.table = "t";
+  q.Sum("m").Where("plain_col", CmpOp::kLt, int64_t{3});
+  const TranslatedQuery tq = Translate(q);
+  ASSERT_EQ(tq.server.predicates.size(), 1u);
+  EXPECT_EQ(tq.server.predicates[0].kind, ServerPredicate::Kind::kPlainInt);
+  EXPECT_EQ(tq.server.predicates[0].column, "plain_col");
+}
+
+TEST_F(TranslatorTest, AliasesPropagateToClientPlan) {
+  Query q;
+  q.table = "t";
+  q.Sum("m", "custom_name");
+  const TranslatedQuery tq = Translate(q);
+  ASSERT_EQ(tq.client.outputs.size(), 1u);
+  EXPECT_EQ(tq.client.outputs[0].alias, "custom_name");
+}
+
+}  // namespace
+}  // namespace seabed

@@ -1,0 +1,148 @@
+#include "src/workload/ad_analytics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/plain_executor.h"
+#include "src/seabed/client.h"
+#include "src/seabed/planner.h"
+#include "src/seabed/server.h"
+
+namespace seabed {
+namespace {
+
+AdAnalyticsSpec SmallSpec() {
+  AdAnalyticsSpec spec;
+  spec.rows = 3000;
+  spec.sensitive_dim_cardinalities = {3, 5, 8};
+  return spec;
+}
+
+TEST(AdAnalyticsTest, TableShapeMatchesSpec) {
+  const AdAnalyticsSpec spec = SmallSpec();
+  const auto table = MakeAdAnalyticsTable(spec);
+  EXPECT_EQ(table->NumRows(), spec.rows);
+  // 1 hour + 3 sensitive + 22 plain dims + 18 measures.
+  EXPECT_EQ(table->NumColumns(), 1 + 3 + 22 + 18);
+}
+
+TEST(AdAnalyticsTest, SchemaDistributionsSumToOne) {
+  const PlainSchema schema = AdAnalyticsSchema(SmallSpec());
+  for (const auto& col : schema.columns) {
+    if (!col.distribution.has_value()) {
+      continue;
+    }
+    double total = 0;
+    for (double f : col.distribution->frequencies) {
+      total += f;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << col.name;
+  }
+}
+
+TEST(AdAnalyticsTest, PerfQueryShape) {
+  const Query q = AdAnalyticsPerfQuery(4, 2, 0);
+  EXPECT_EQ(q.aggregates.size(), 2u);
+  EXPECT_EQ(q.expected_groups, 4u);
+  ASSERT_EQ(q.group_by.size(), 1u);
+  EXPECT_EQ(q.group_by[0], "hour");
+}
+
+TEST(AdAnalyticsTest, FullGroupQueryHasNoHourFilter) {
+  const Query q = AdAnalyticsPerfQuery(24, 1, 0);
+  EXPECT_TRUE(q.filters.empty());
+}
+
+TEST(AdAnalyticsTest, QueryLogSplitIsExact) {
+  const auto log = AdAnalyticsQueryLog(SmallSpec(), 1000, 200);
+  size_t post = 0;
+  for (const Query& q : log) {
+    post += q.has_udf;
+  }
+  EXPECT_EQ(log.size(), 1000u);
+  EXPECT_EQ(post, 200u);
+}
+
+TEST(AdAnalyticsTest, EndToEndHourlyQueryMatchesPlain) {
+  const AdAnalyticsSpec spec = SmallSpec();
+  const auto table = MakeAdAnalyticsTable(spec);
+  const PlainSchema schema = AdAnalyticsSchema(spec);
+  PlannerOptions options;
+  options.expected_rows = spec.rows;
+  const EncryptionPlan plan = PlanEncryption(schema, AdAnalyticsSampleQueries(spec), options);
+
+  const ClientKeys keys = ClientKeys::FromSeed(8);
+  const Encryptor encryptor(keys);
+  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
+
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.job_overhead_seconds = 0;
+  cfg.task_overhead_seconds = 0;
+  const Cluster cluster(cfg);
+  Server server;
+  server.RegisterTable(db.table);
+
+  Query q = AdAnalyticsPerfQuery(4, 2, 1);
+  const ResultSet plain = ExecutePlain(*table, q, cluster);
+
+  TranslatorOptions topts;
+  topts.cluster_workers = cluster.num_workers();
+  const Translator translator(db, keys);
+  const TranslatedQuery tq = translator.Translate(q, topts);
+  const EncryptedResponse response = server.Execute(tq.server, cluster);
+  const Client client(db, keys);
+  const ResultSet enc = client.Decrypt(response, tq, cluster);
+
+  ASSERT_EQ(enc.rows.size(), plain.rows.size());
+  for (size_t i = 0; i < enc.rows.size(); ++i) {
+    for (size_t j = 0; j < enc.rows[i].size(); ++j) {
+      EXPECT_EQ(ValueToString(enc.rows[i][j]), ValueToString(plain.rows[i][j]));
+    }
+  }
+}
+
+TEST(AdAnalyticsTest, SplasheFilterQueryMatchesPlain) {
+  const AdAnalyticsSpec spec = SmallSpec();
+  const auto table = MakeAdAnalyticsTable(spec);
+  const PlainSchema schema = AdAnalyticsSchema(spec);
+  PlannerOptions options;
+  options.expected_rows = spec.rows;
+  const EncryptionPlan plan = PlanEncryption(schema, AdAnalyticsSampleQueries(spec), options);
+  // At least one sensitive dimension must be protected by SPLASHE.
+  EXPECT_FALSE(plan.splashe.empty());
+
+  const ClientKeys keys = ClientKeys::FromSeed(9);
+  const Encryptor encryptor(keys);
+  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
+
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.job_overhead_seconds = 0;
+  cfg.task_overhead_seconds = 0;
+  const Cluster cluster(cfg);
+  Server server;
+  server.RegisterTable(db.table);
+
+  const SplasheLayout& layout = plan.splashe.front();
+  Query q;
+  q.table = "ad_analytics";
+  const std::string& measure = layout.splayed_measures.front();
+  q.Sum(measure).Count();
+  q.Where(layout.dimension, CmpOp::kEq, layout.splayed_values.front());
+
+  const ResultSet plain = ExecutePlain(*table, q, cluster);
+  TranslatorOptions topts;
+  topts.cluster_workers = cluster.num_workers();
+  const Translator translator(db, keys);
+  const TranslatedQuery tq = translator.Translate(q, topts);
+  const EncryptedResponse response = server.Execute(tq.server, cluster);
+  const Client client(db, keys);
+  const ResultSet enc = client.Decrypt(response, tq, cluster);
+
+  ASSERT_EQ(enc.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(enc.rows[0][0]), std::get<int64_t>(plain.rows[0][0]));
+  EXPECT_EQ(std::get<int64_t>(enc.rows[0][1]), std::get<int64_t>(plain.rows[0][1]));
+}
+
+}  // namespace
+}  // namespace seabed

@@ -1,0 +1,70 @@
+#include "src/workload/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/ad_analytics.h"
+
+namespace seabed {
+namespace {
+
+TEST(ClassifierTest, RulesInPriorityOrder) {
+  Query q;
+  q.table = "t";
+  q.Sum("m");
+  EXPECT_EQ(ClassifyQuery(q), QueryCategory::kServerOnly);
+  q.Variance("m");
+  EXPECT_EQ(ClassifyQuery(q), QueryCategory::kClientPre);
+  q.has_udf = true;
+  EXPECT_EQ(ClassifyQuery(q), QueryCategory::kClientPost);
+  q.needs_two_round_trips = true;
+  EXPECT_EQ(ClassifyQuery(q), QueryCategory::kTwoRoundTrips);
+}
+
+TEST(ClassifierTest, ServerSideAggregates) {
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kAvg, AggFunc::kMin, AggFunc::kMax}) {
+    Query q;
+    q.table = "t";
+    q.aggregates.push_back({f, "m", "x"});
+    EXPECT_EQ(ClassifyQuery(q), QueryCategory::kServerOnly) << AggFuncName(f);
+  }
+}
+
+TEST(ClassifierTest, MdxSetMatchesTable6) {
+  // Paper Table 4, MDX row: 38 total = 17 S + 12 CPre + 4 CPost + 5 2R.
+  const CategoryCounts counts = ClassifyAll(MdxQuerySet());
+  EXPECT_EQ(counts.Total(), 38u);
+  EXPECT_EQ(counts.server_only, 17u);
+  EXPECT_EQ(counts.client_pre, 12u);
+  EXPECT_EQ(counts.client_post, 4u);
+  EXPECT_EQ(counts.two_round_trips, 5u);
+}
+
+TEST(ClassifierTest, TpcDsSetMatchesTable4) {
+  // Paper Table 4, TPC-DS row: 99 = 69 S + 2 CPre + 25 CPost + 3 2R.
+  const CategoryCounts counts = ClassifyAll(TpcDsQuerySet());
+  EXPECT_EQ(counts.Total(), 99u);
+  EXPECT_EQ(counts.server_only, 69u);
+  EXPECT_EQ(counts.client_pre, 2u);
+  EXPECT_EQ(counts.client_post, 25u);
+  EXPECT_EQ(counts.two_round_trips, 3u);
+}
+
+TEST(ClassifierTest, AdAnalyticsLogMatchesTable4) {
+  // Paper Table 4, Ad Analytics row: 168,352 = 134,298 S + 34,054 CPost.
+  AdAnalyticsSpec spec;
+  const auto log = AdAnalyticsQueryLog(spec);
+  const CategoryCounts counts = ClassifyAll(log);
+  EXPECT_EQ(counts.Total(), 168352u);
+  EXPECT_EQ(counts.server_only, 134298u);
+  EXPECT_EQ(counts.client_pre, 0u);
+  EXPECT_EQ(counts.client_post, 34054u);
+  EXPECT_EQ(counts.two_round_trips, 0u);
+}
+
+TEST(ClassifierTest, CategoryNames) {
+  EXPECT_STREQ(QueryCategoryName(QueryCategory::kServerOnly), "server-only");
+  EXPECT_STREQ(QueryCategoryName(QueryCategory::kTwoRoundTrips), "two-round-trips");
+}
+
+}  // namespace
+}  // namespace seabed
