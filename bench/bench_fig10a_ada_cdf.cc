@@ -15,32 +15,37 @@
 namespace seabed {
 namespace {
 
+SessionOptions AdaSessionOptions(BackendKind backend, uint64_t rows) {
+  SessionOptions options;
+  options.backend = backend;
+  options.cluster = BenchClusterConfig(100);
+  options.planner.expected_rows = rows;
+  options.planner.max_storage_expansion = 3.0;  // the paper's storage-budget regime
+  options.key_seed = 11;
+  options.paillier.modulus_bits =
+      static_cast<int>(EnvU64("SEABED_BENCH_PAILLIER_BITS", 512));
+  options.paillier.seed = 5;
+  return options;
+}
+
 int Main() {
   AdAnalyticsSpec spec;
   spec.rows = EnvU64("SEABED_BENCH_ADA_ROWS", 200000);
-  const Cluster cluster(BenchClusterConfig(100));
-  const ClientKeys keys = ClientKeys::FromSeed(11);
+  BenchRecorder recorder("fig10a_ada_cdf");
 
   const auto table = MakeAdAnalyticsTable(spec);
   const PlainSchema schema = AdAnalyticsSchema(spec);
-  PlannerOptions popts;
-  popts.expected_rows = spec.rows;
-  popts.max_storage_expansion = 3.0;  // the paper's storage-budget regime
-  const EncryptionPlan plan = PlanEncryption(schema, AdAnalyticsSampleQueries(spec), popts);
-  const Encryptor encryptor(keys);
-  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
-  Server server;
-  server.RegisterTable(db.table);
+
+  Session noenc(AdaSessionOptions(BackendKind::kPlain, spec.rows));
+  Session seabed(AdaSessionOptions(BackendKind::kSeabed, spec.rows));
+  noenc.Attach(table, schema, AdAnalyticsSampleQueries(spec));
+  seabed.Attach(table, schema, AdAnalyticsSampleQueries(spec));
 
   const uint64_t scale = EnvU64("SEABED_BENCH_ADA_PAILLIER_SCALE", 8);
   AdAnalyticsSpec small = spec;
   small.rows = std::max<uint64_t>(1, spec.rows / scale);
-  const auto table_small = MakeAdAnalyticsTable(small);
-  Rng rng(5);
-  const Paillier paillier =
-      Paillier::GenerateKey(rng, static_cast<int>(EnvU64("SEABED_BENCH_PAILLIER_BITS", 512)));
-  const EncryptedDatabase base =
-      encryptor.EncryptPaillierBaseline(*table_small, schema, plan, paillier, rng);
+  Session paillier(AdaSessionOptions(BackendKind::kPaillier, spec.rows));
+  paillier.Attach(MakeAdAnalyticsTable(small), schema, AdAnalyticsSampleQueries(spec));
 
   // 15 queries: five variants at each group count, as in the paper.
   struct Sample {
@@ -56,28 +61,26 @@ int Main() {
       const Query q = AdAnalyticsPerfQuery(groups, 2, variant);
 
       Sample s{};
-      s.noenc = ExecutePlain(*table, q, cluster).TotalSeconds();
+      QueryStats noenc_stats, seabed_stats, paillier_stats;
+      noenc.Execute(q, &noenc_stats);
+      s.noenc = noenc_stats.TotalSeconds();
 
-      TranslatorOptions topts;
-      topts.cluster_workers = cluster.num_workers();
-      const Translator translator(db, keys);
-      const TranslatedQuery tq = translator.Translate(q, topts);
-      const EncryptedResponse response = server.Execute(tq.server, cluster);
-      const Client client(db, keys);
-      const ResultSet enc = client.Decrypt(response, tq, cluster);
-      s.seabed = enc.TotalSeconds();
-      s.prf_calls = client.last_prf_calls();
-      s.id_bytes = response.response_bytes;
+      seabed.Execute(q, &seabed_stats);
+      s.seabed = seabed_stats.TotalSeconds();
+      s.prf_calls = seabed_stats.prf_calls;
+      s.id_bytes = seabed_stats.result_bytes;
 
-      TranslatorOptions base_topts = topts;
-      base_topts.enable_group_inflation = false;
-      const Translator base_translator(base, keys);
-      const TranslatedQuery base_tq = base_translator.Translate(q, base_topts);
-      const PaillierBaseline exec(paillier);
-      ResultSet pr = exec.Execute(base, base_tq, cluster);
-      pr.job.server_seconds *= static_cast<double>(scale);
-      s.paillier = pr.TotalSeconds();
+      paillier.Execute(q, &paillier_stats);
+      paillier_stats.server_seconds *= static_cast<double>(scale);
+      s.paillier = paillier_stats.TotalSeconds();
       samples.push_back(s);
+
+      const std::map<std::string, double> fields = {
+          {"groups", static_cast<double>(groups)},
+          {"variant", static_cast<double>(variant)}};
+      recorder.AddStats("noenc", fields, noenc_stats);
+      recorder.AddStats("seabed", fields, seabed_stats);
+      recorder.AddStats("paillier", fields, paillier_stats);
     }
   }
 
@@ -93,21 +96,21 @@ int Main() {
 
   std::printf("=== Figure 10(a): Ad Analytics response-time CDF (rows=%llu, 15 queries) ===\n",
               static_cast<unsigned long long>(spec.rows));
-  std::vector<double> noenc, seabed_t, paillier_t;
+  std::vector<double> noenc_t, seabed_t, paillier_t;
   double total_prf = 0;
   double total_bytes = 0;
   for (const Sample& s : samples) {
-    noenc.push_back(s.noenc);
+    noenc_t.push_back(s.noenc);
     seabed_t.push_back(s.seabed);
     paillier_t.push_back(s.paillier);
     total_prf += static_cast<double>(s.prf_calls);
     total_bytes += static_cast<double>(s.id_bytes);
   }
-  cdf(noenc, "NoEnc");
+  cdf(noenc_t, "NoEnc");
   cdf(seabed_t, "Seabed");
   cdf(paillier_t, "Paillier");
 
-  const double med_noenc = noenc[noenc.size() / 2];
+  const double med_noenc = noenc_t[noenc_t.size() / 2];
   const double med_seabed = seabed_t[seabed_t.size() / 2];
   const double med_paillier = paillier_t[paillier_t.size() / 2];
   std::printf("\nmedian Seabed / NoEnc   = %.2fx (paper: 1.27x)\n", med_seabed / med_noenc);
@@ -127,14 +130,12 @@ int Main() {
     ClusterConfig cfg = BenchClusterConfig(100);
     cfg.client_link = model;
     const Cluster link_cluster(cfg);
-    TranslatorOptions topts;
-    topts.cluster_workers = link_cluster.num_workers();
-    const Translator translator(db, keys);
-    const TranslatedQuery tq = translator.Translate(q, topts);
-    const EncryptedResponse response = server.Execute(tq.server, link_cluster);
-    const Client client(db, keys);
-    const ResultSet r = client.Decrypt(response, tq, link_cluster);
-    std::printf("%s\n", LatencyLine(label, r).c_str());
+    seabed.UseCluster(&link_cluster);
+    QueryStats stats;
+    seabed.Execute(q, &stats);
+    std::printf("%s\n", LatencyLine(label, stats).c_str());
+    recorder.AddStats(std::string("link_") + label, {}, stats);
+    seabed.UseCluster(nullptr);  // link_cluster dies with this iteration
   }
   return 0;
 }

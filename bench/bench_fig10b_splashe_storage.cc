@@ -15,6 +15,7 @@ namespace seabed {
 namespace {
 
 int Main() {
+  BenchRecorder recorder("fig10b_splashe_storage");
   AdAnalyticsSpec spec;
   const PlainSchema schema = AdAnalyticsSchema(spec);
   const uint64_t expected_rows = 1000000;
@@ -62,6 +63,10 @@ int Main() {
 
     std::printf("%8s %12zu %10zu %22.2f %22.2f\n", col.name.c_str(), d, k, basic_factor,
                 enhanced_factor);
+    recorder.Add(col.name, {{"cardinality", static_cast<double>(d)},
+                            {"enhanced_k", static_cast<double>(k)},
+                            {"cumulative_basic_factor", basic_factor},
+                            {"cumulative_enhanced_factor", enhanced_factor}});
   }
 
   std::printf("\nwithin 2x budget: basic covers %zu dims, enhanced covers %zu"

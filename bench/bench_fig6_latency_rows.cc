@@ -20,13 +20,14 @@ int Main() {
   const size_t workers = 100;
   const ClusterConfig cfg = BenchClusterConfig(workers);
   const Cluster cluster(cfg);
+  BenchRecorder recorder("fig6_latency_rows");
 
   struct Row {
     uint64_t rows;
-    ResultSet noenc;
-    ResultSet sel100;
-    ResultSet sel50;
-    ResultSet paillier;
+    QueryStats noenc;
+    QueryStats sel100;
+    QueryStats sel50;
+    QueryStats paillier;
   };
   std::vector<Row> rows_out;
 
@@ -36,13 +37,13 @@ int Main() {
     out.rows = static_cast<uint64_t>(static_cast<double>(max_rows) * f);
     SyntheticHarness::Options options = SyntheticHarness::FromEnv();
     options.rows = out.rows;
-    const SyntheticHarness harness(options);
+    SyntheticHarness harness(options);
     const Query q100 = SyntheticSumQuery(100);
     const Query q50 = SyntheticSumQuery(50);
-    out.noenc = harness.RunNoEnc(q100, cluster);
-    out.sel100 = harness.RunSeabed(q100, cluster);
-    out.sel50 = harness.RunSeabed(q50, cluster);
-    out.paillier = harness.RunPaillier(q100, cluster);
+    harness.RunNoEnc(q100, cluster, &out.noenc);
+    harness.RunSeabed(q100, cluster, {}, &out.sel100);
+    harness.RunSeabed(q50, cluster, {}, &out.sel50);
+    harness.RunPaillier(q100, cluster, &out.paillier);
     rows_out.push_back(std::move(out));
   }
 
@@ -54,6 +55,11 @@ int Main() {
     std::printf("%12llu %12.3f %18.3f %18.3f %14.3f\n",
                 static_cast<unsigned long long>(r.rows), r.noenc.TotalSeconds(),
                 r.sel100.TotalSeconds(), r.sel50.TotalSeconds(), r.paillier.TotalSeconds());
+    const double rows = static_cast<double>(r.rows);
+    recorder.AddStats("noenc", {{"rows", rows}}, r.noenc);
+    recorder.AddStats("seabed_sel100", {{"rows", rows}}, r.sel100);
+    recorder.AddStats("seabed_sel50", {{"rows", rows}}, r.sel50);
+    recorder.AddStats("paillier", {{"rows", rows}}, r.paillier);
   }
 
   std::printf("--- projected to paper scale (row counts x%.0f) ---\n",

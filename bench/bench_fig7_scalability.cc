@@ -15,8 +15,9 @@ namespace {
 
 int Main() {
   SyntheticHarness::Options options = SyntheticHarness::FromEnv();
-  const SyntheticHarness harness(options);
+  SyntheticHarness harness(options);
   const double scale = kPaperRows / static_cast<double>(harness.rows());
+  BenchRecorder recorder("fig7_scalability");
 
   std::printf("=== Figure 7: server-side latency vs workers (rows=%llu, projected x%.0f) ===\n",
               static_cast<unsigned long long>(harness.rows()), scale);
@@ -29,17 +30,23 @@ int Main() {
   for (size_t workers : {10, 20, 30, 50, 70, 100}) {
     const ClusterConfig cfg = BenchClusterConfig(workers);
     const Cluster cluster(cfg);
-    const ResultSet noenc = harness.RunNoEnc(q100, cluster);
-    const ResultSet sel100 = harness.RunSeabed(q100, cluster);
-    const ResultSet sel50 = harness.RunSeabed(q50, cluster);
-    const ResultSet paillier = harness.RunPaillier(q100, cluster);
+    QueryStats noenc, sel100, sel50, paillier;
+    harness.RunNoEnc(q100, cluster, &noenc);
+    harness.RunSeabed(q100, cluster, {}, &sel100);
+    harness.RunSeabed(q50, cluster, {}, &sel50);
+    harness.RunPaillier(q100, cluster, &paillier);
     std::printf("%8zu | %10.3f %16.3f %16.3f %12.3f | %10.2f %16.2f %16.2f %12.1f\n",
-                workers, noenc.job.server_seconds, sel100.job.server_seconds,
-                sel50.job.server_seconds, paillier.job.server_seconds,
+                workers, noenc.server_seconds, sel100.server_seconds,
+                sel50.server_seconds, paillier.server_seconds,
                 ProjectServerSeconds(noenc, scale, cfg.job_overhead_seconds),
                 ProjectServerSeconds(sel100, scale, cfg.job_overhead_seconds),
                 ProjectServerSeconds(sel50, scale, cfg.job_overhead_seconds),
                 ProjectServerSeconds(paillier, scale, cfg.job_overhead_seconds));
+    const double w = static_cast<double>(workers);
+    recorder.AddStats("noenc", {{"workers", w}}, noenc);
+    recorder.AddStats("seabed_sel100", {{"workers", w}}, sel100);
+    recorder.AddStats("seabed_sel50", {{"workers", w}}, sel50);
+    recorder.AddStats("paillier", {{"workers", w}}, paillier);
   }
   std::printf("\n(* = projected to 1.75B rows. Paper: NoEnc ~1s by 20 cores, Seabed "
               "1.35s/8.0s by 50 cores, Paillier ~1000s at 100 cores.)\n");

@@ -22,8 +22,9 @@ struct Combo {
 int Main() {
   SyntheticHarness::Options hopts = SyntheticHarness::FromEnv();
   hopts.build_paillier = false;
-  const SyntheticHarness harness(hopts);
+  SyntheticHarness harness(hopts);
   const Cluster cluster(BenchClusterConfig(100));
+  BenchRecorder recorder("fig8_encoding");
 
   std::vector<Combo> combos;
   {
@@ -58,9 +59,11 @@ int Main() {
     for (size_t c = 0; c < combos.size(); ++c) {
       TranslatorOptions topts;
       topts.idlist = combos[c].options;
-      const ResultSet r = harness.RunSeabed(q, cluster, topts);
-      std::printf(" %17.3f MB", static_cast<double>(r.result_bytes) / 1e6);
-      times[c].push_back(r.TotalSeconds());
+      QueryStats stats;
+      harness.RunSeabed(q, cluster, topts, &stats);
+      std::printf(" %17.3f MB", static_cast<double>(stats.result_bytes) / 1e6);
+      times[c].push_back(stats.TotalSeconds());
+      recorder.AddStats(combos[c].label, {{"selectivity", static_cast<double>(sel)}}, stats);
       if (c == 0) {
         // Bitmap comparison: re-encode the same selection as a bitmap.
         Rng rng(hopts.seed);  // mirror the sel column generation
@@ -97,9 +100,12 @@ int Main() {
   for (bool worker_side : {true, false}) {
     TranslatorOptions topts;
     topts.worker_side_compression = worker_side;
-    const ResultSet r = harness.RunSeabed(q, cluster, topts);
+    QueryStats stats;
+    harness.RunSeabed(q, cluster, topts, &stats);
     std::printf("%-14s %s\n", worker_side ? "workers" : "driver",
-                LatencyLine("sel=50%", r).c_str());
+                LatencyLine("sel=50%", stats).c_str());
+    recorder.AddStats(worker_side ? "compress_workers" : "compress_driver",
+                      {{"selectivity", 50.0}}, stats);
   }
   return 0;
 }

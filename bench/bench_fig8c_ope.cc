@@ -13,7 +13,7 @@ namespace {
 
 int Main() {
   // Dedicated table: value + sel + an OPE-encrypted copy of sel. We reuse the
-  // synthetic harness and mark `sel` sensitive by querying it with a range
+  // synthetic workload and mark `sel` sensitive by querying it with a range
   // predicate, which the planner turns into an ORE column.
   const uint64_t rows = EnvU64("SEABED_BENCH_ROWS", 2000000);
 
@@ -34,46 +34,37 @@ int Main() {
     q.Sum("value").Where("sel", CmpOp::kLt, int64_t{50});
     samples.push_back(q);
   }
-  const ClientKeys keys = ClientKeys::FromSeed(42);
-  PlannerOptions popts;
-  popts.expected_rows = rows;
-  const EncryptionPlan plan = PlanEncryption(schema, samples, popts);
-  const Encryptor encryptor(keys);
-  const EncryptedDatabase db = encryptor.Encrypt(*plain, schema, plan);
-  Server server;
-  server.RegisterTable(db.table);
-  const Cluster cluster(BenchClusterConfig(100));
+
+  SessionOptions options;
+  options.backend = BackendKind::kSeabed;
+  options.planner.expected_rows = rows;
+  options.key_seed = 42;
+  options.cluster = BenchClusterConfig(100);
+  Session session(options);
+  session.Attach(plain, schema, samples);
+  BenchRecorder recorder("fig8c_ope");
 
   std::printf("=== Figure 8(c): response time vs selectivity, rows=%llu ===\n",
               static_cast<unsigned long long>(rows));
   std::printf("%6s %18s %18s\n", "sel%", "Aggregation(s)", "+OPE selection(s)");
 
   for (int sel = 10; sel <= 100; sel += 10) {
-    TranslatorOptions topts;
-    topts.cluster_workers = cluster.num_workers();
-    const Translator translator(db, keys);
-    const Client client(db, keys);
-
-    // Aggregation only: plaintext helper predicate (the Figure 8(a/b) path).
+    // Aggregation only: the all-rows scan, timed without any predicate.
     Query plain_q;
     plain_q.table = "synthetic";
     plain_q.Sum("value");
-    // Emulate selectivity without OPE cost by using a *plain* filter on a
-    // shadow column is not possible here (sel is encrypted), so aggregate
-    // over the leading sel% of rows via the OPE predicate replaced by an
-    // all-rows scan timed separately:
-    const TranslatedQuery tq_all = translator.Translate(plain_q, topts);
-    EncryptedResponse resp = server.Execute(tq_all.server, cluster);
-    const double agg_only = client.Decrypt(resp, tq_all, cluster).job.server_seconds;
+    QueryStats agg_only;
+    session.Execute(plain_q, &agg_only);
 
     Query ope_q;
     ope_q.table = "synthetic";
     ope_q.Sum("value").Where("sel", CmpOp::kLt, static_cast<int64_t>(sel));
-    const TranslatedQuery tq_ope = translator.Translate(ope_q, topts);
-    resp = server.Execute(tq_ope.server, cluster);
-    const double with_ope = client.Decrypt(resp, tq_ope, cluster).job.server_seconds;
+    QueryStats with_ope;
+    session.Execute(ope_q, &with_ope);
 
-    std::printf("%6d %18.3f %18.3f\n", sel, agg_only, with_ope);
+    std::printf("%6d %18.3f %18.3f\n", sel, agg_only.server_seconds, with_ope.server_seconds);
+    recorder.AddStats("aggregation_only", {{"selectivity", static_cast<double>(sel)}}, agg_only);
+    recorder.AddStats("with_ope", {{"selectivity", static_cast<double>(sel)}}, with_ope);
   }
   return 0;
 }

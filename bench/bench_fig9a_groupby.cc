@@ -14,6 +14,7 @@ namespace {
 int Main() {
   const uint64_t rows = EnvU64("SEABED_BENCH_ROWS", 2000000);
   const Cluster cluster(BenchClusterConfig(100));
+  BenchRecorder recorder("fig9a_groupby");
 
   const double scale = kPaperRows / static_cast<double>(rows);
   const double overhead = BenchClusterConfig(100).job_overhead_seconds;
@@ -30,21 +31,22 @@ int Main() {
     // Paillier decryption costs ~0.5 ms per *group*; scale the baseline table
     // so its group count stays tractable, then project latencies back up.
     options.paillier_rows = std::min<uint64_t>(rows / 16, 20000);
-    const SyntheticHarness harness(options);
+    SyntheticHarness harness(options);
 
     Query q = SyntheticGroupByQuery(groups);
 
-    const ResultSet noenc = harness.RunNoEnc(q, cluster);
+    QueryStats noenc, seabed, seabed_opt, paillier;
+    harness.RunNoEnc(q, cluster, &noenc);
 
     TranslatorOptions vanilla;
     vanilla.enable_group_inflation = false;
-    const ResultSet seabed = harness.RunSeabed(q, cluster, vanilla);
+    harness.RunSeabed(q, cluster, vanilla, &seabed);
 
     TranslatorOptions optimized;
     optimized.enable_group_inflation = true;
-    const ResultSet seabed_opt = harness.RunSeabed(q, cluster, optimized);
+    harness.RunSeabed(q, cluster, optimized, &seabed_opt);
 
-    const ResultSet paillier = harness.RunPaillier(q, cluster);
+    harness.RunPaillier(q, cluster, &paillier);
 
     std::printf("%10llu %10.3f %12.3f %18.3f %12.3f %10.2f %12.2f %14.2f %12.1f\n",
                 static_cast<unsigned long long>(groups), noenc.TotalSeconds(),
@@ -53,6 +55,11 @@ int Main() {
                 ProjectTotalSeconds(seabed, scale, overhead),
                 ProjectTotalSeconds(seabed_opt, scale, overhead),
                 ProjectTotalSeconds(paillier, scale, overhead));
+    const double g = static_cast<double>(groups);
+    recorder.AddStats("noenc", {{"groups", g}}, noenc);
+    recorder.AddStats("seabed", {{"groups", g}}, seabed);
+    recorder.AddStats("seabed_optimized", {{"groups", g}}, seabed_opt);
+    recorder.AddStats("paillier", {{"groups", g}}, paillier);
   }
   return 0;
 }

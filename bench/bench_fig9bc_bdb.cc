@@ -13,30 +13,40 @@
 namespace seabed {
 namespace {
 
+SessionOptions BdbSessionOptions(BackendKind backend) {
+  SessionOptions options;
+  options.backend = backend;
+  options.cluster = BenchClusterConfig(32);
+  options.key_seed = 3;
+  options.paillier.modulus_bits =
+      static_cast<int>(EnvU64("SEABED_BENCH_PAILLIER_BITS", 512));
+  options.paillier.seed = 7;
+  return options;
+}
+
 int Main() {
   BdbSpec spec;
   spec.rankings_rows = EnvU64("SEABED_BENCH_BDB_RANKINGS", 90000);
   spec.uservisits_rows = EnvU64("SEABED_BENCH_BDB_USERVISITS", 400000);
   spec.num_urls = spec.rankings_rows / 3;
-  const Cluster cluster(BenchClusterConfig(32));
-  const ClientKeys keys = ClientKeys::FromSeed(3);
+  BenchRecorder recorder("fig9bc_bdb");
 
   const auto rankings = MakeRankingsTable(spec);
   const auto uservisits = MakeUserVisitsTable(spec);
 
-  PlannerOptions popts;
-  const EncryptionPlan rankings_plan =
-      PlanEncryption(RankingsSchema(), RankingsSampleQueries(), popts);
-  const EncryptionPlan uservisits_plan =
-      PlanEncryption(UserVisitsSchema(), UserVisitsSampleQueries(), popts);
-  const Encryptor encryptor(keys);
-  const EncryptedDatabase rankings_db = encryptor.Encrypt(*rankings, RankingsSchema(),
-                                                          rankings_plan);
-  const EncryptedDatabase uservisits_db = encryptor.Encrypt(*uservisits, UserVisitsSchema(),
-                                                            uservisits_plan);
-  Server server;
-  server.RegisterTable(rankings_db.table);
-  server.RegisterTable(uservisits_db.table);
+  Session noenc(BdbSessionOptions(BackendKind::kPlain));
+  Session seabed(BdbSessionOptions(BackendKind::kSeabed));
+  for (Session* s : {&noenc, &seabed}) {
+    s->Attach(rankings, RankingsSchema(), RankingsSampleQueries());
+    s->Attach(uservisits, UserVisitsSchema(), UserVisitsSampleQueries());
+  }
+
+  for (const auto& w : seabed.plan("rankings").warnings) {
+    std::printf("planner [rankings]: %s\n", w.c_str());
+  }
+  for (const auto& w : seabed.plan("uservisits").warnings) {
+    std::printf("planner [uservisits]: %s\n", w.c_str());
+  }
 
   // Paillier baseline tables (scaled down; latencies scaled back up).
   const uint64_t scale = EnvU64("SEABED_BENCH_BDB_PAILLIER_SCALE", 8);
@@ -44,60 +54,29 @@ int Main() {
   small.rankings_rows = std::max<uint64_t>(1, spec.rankings_rows / scale);
   small.uservisits_rows = std::max<uint64_t>(1, spec.uservisits_rows / scale);
   small.num_urls = std::max<uint64_t>(1, small.rankings_rows / 3);
-  const auto rankings_small = MakeRankingsTable(small);
-  const auto uservisits_small = MakeUserVisitsTable(small);
-  Rng rng(7);
-  const Paillier paillier =
-      Paillier::GenerateKey(rng, static_cast<int>(EnvU64("SEABED_BENCH_PAILLIER_BITS", 512)));
-  const EncryptedDatabase rankings_base = encryptor.EncryptPaillierBaseline(
-      *rankings_small, RankingsSchema(), rankings_plan, paillier, rng);
-  const EncryptedDatabase uservisits_base = encryptor.EncryptPaillierBaseline(
-      *uservisits_small, UserVisitsSchema(), uservisits_plan, paillier, rng);
+  Session paillier(BdbSessionOptions(BackendKind::kPaillier));
+  paillier.Attach(MakeRankingsTable(small), RankingsSchema(), RankingsSampleQueries());
+  paillier.Attach(MakeUserVisitsTable(small), UserVisitsSchema(), UserVisitsSampleQueries());
 
   std::printf("=== Figure 9(b,c): BDB query latency (rankings=%llu, uservisits=%llu) ===\n",
               static_cast<unsigned long long>(spec.rankings_rows),
               static_cast<unsigned long long>(spec.uservisits_rows));
   std::printf("%6s %12s %12s %14s\n", "query", "NoEnc(s)", "Seabed(s)", "Paillier(s)");
 
+  size_t query_index = 0;
   for (const BdbQuery& bq : BdbQuerySet()) {
-    const Table& fact = bq.on_uservisits ? *uservisits : *rankings;
-    const EncryptedDatabase& db = bq.on_uservisits ? uservisits_db : rankings_db;
-    const EncryptedDatabase& base = bq.on_uservisits ? uservisits_base : rankings_base;
+    QueryStats noenc_stats, seabed_stats, paillier_stats;
+    noenc.Execute(bq.query, &noenc_stats);
+    seabed.Execute(bq.query, &seabed_stats);
+    paillier.Execute(bq.query, &paillier_stats);
+    paillier_stats.server_seconds *= static_cast<double>(scale);
 
-    double noenc = 0;
-    if (!bq.query.join.has_value()) {
-      noenc = ExecutePlain(fact, bq.query, cluster).job.server_seconds;
-    } else {
-      // Plaintext join cost approximated by the fact-table scan.
-      Query scan = bq.query;
-      scan.join.reset();
-      scan.aggregates.clear();
-      scan.Sum("adRevenue");
-      noenc = ExecutePlain(fact, scan, cluster).job.server_seconds;
-    }
-
-    TranslatorOptions topts;
-    topts.cluster_workers = cluster.num_workers();
-    const Translator translator(db, keys);
-    TranslatedQuery tq = translator.Translate(bq.query, topts);
-    if (tq.server.join.has_value()) {
-      tq.server.join->right_table = rankings_db.table->name();
-    }
-    const EncryptedResponse response = server.Execute(tq.server, cluster);
-    const Client client(db, keys);
-    const ResultSet enc = client.Decrypt(response, tq, cluster, &rankings_db);
-
-    TranslatorOptions base_topts = topts;
-    base_topts.enable_group_inflation = false;
-    const Translator base_translator(base, keys);
-    TranslatedQuery base_tq = base_translator.Translate(bq.query, base_topts);
-    const PaillierBaseline exec(paillier);
-    ResultSet paillier_result =
-        exec.Execute(base, base_tq, cluster, &rankings_base, rankings_base.table.get());
-    paillier_result.job.server_seconds *= static_cast<double>(scale);
-
-    std::printf("%6s %12.3f %12.3f %14.3f\n", bq.label.c_str(), noenc,
-                enc.job.server_seconds, paillier_result.job.server_seconds);
+    std::printf("%6s %12.3f %12.3f %14.3f\n", bq.label.c_str(), noenc_stats.server_seconds,
+                seabed_stats.server_seconds, paillier_stats.server_seconds);
+    const double idx = static_cast<double>(query_index++);
+    recorder.AddStats("noenc_" + bq.label, {{"query_index", idx}}, noenc_stats);
+    recorder.AddStats("seabed_" + bq.label, {{"query_index", idx}}, seabed_stats);
+    recorder.AddStats("paillier_" + bq.label, {{"query_index", idx}}, paillier_stats);
   }
   std::printf("\nPaillier tables built at 1/%llu scale; its latencies scaled back up.\n",
               static_cast<unsigned long long>(scale));

@@ -7,27 +7,34 @@
 //   MDX         38        17        12      4       5
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "src/workload/ad_analytics.h"
 #include "src/workload/classifier.h"
 
 namespace seabed {
 namespace {
 
-void PrintRow(const char* label, const CategoryCounts& counts) {
+void PrintRow(const char* label, const CategoryCounts& counts, BenchRecorder& recorder) {
   std::printf("%-14s %10zu %12zu %10zu %10zu %10zu\n", label, counts.Total(),
               counts.server_only, counts.client_pre, counts.client_post,
               counts.two_round_trips);
+  recorder.Add(label, {{"total", static_cast<double>(counts.Total())},
+                       {"server_only", static_cast<double>(counts.server_only)},
+                       {"client_pre", static_cast<double>(counts.client_pre)},
+                       {"client_post", static_cast<double>(counts.client_post)},
+                       {"two_round_trips", static_cast<double>(counts.two_round_trips)}});
 }
 
 int Main() {
+  BenchRecorder recorder("table4_queryclasses");
   std::printf("=== Table 4: query-support categories ===\n");
   std::printf("%-14s %10s %12s %10s %10s %10s\n", "query set", "total", "server-only",
               "client-pre", "client-post", "two-RT");
 
   AdAnalyticsSpec spec;
-  PrintRow("Ad Analytics", ClassifyAll(AdAnalyticsQueryLog(spec)));
-  PrintRow("TPC-DS", ClassifyAll(TpcDsQuerySet()));
-  PrintRow("MDX", ClassifyAll(MdxQuerySet()));
+  PrintRow("Ad Analytics", ClassifyAll(AdAnalyticsQueryLog(spec)), recorder);
+  PrintRow("TPC-DS", ClassifyAll(TpcDsQuerySet()), recorder);
+  PrintRow("MDX", ClassifyAll(MdxQuerySet()), recorder);
   return 0;
 }
 

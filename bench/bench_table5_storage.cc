@@ -42,23 +42,41 @@ Footprint Measure(const Table& t, size_t extra_id_bytes = 0) {
 }
 
 void PrintRow(const char* label, uint64_t rows, const Footprint& noenc, const Footprint& seabed,
-              const Footprint& paillier, uint64_t pscale) {
+              const Footprint& paillier, uint64_t pscale, BenchRecorder& recorder) {
   std::printf("%-18s %10llu | %9.1f %9.1f %9.1f | %9.1f %9.1f %9.1f | %6.1fx %6.1fx\n", label,
               static_cast<unsigned long long>(rows), noenc.disk / 1e6, seabed.disk / 1e6,
               paillier.disk * static_cast<double>(pscale) / 1e6, noenc.memory / 1e6,
               seabed.memory / 1e6, paillier.memory * static_cast<double>(pscale) / 1e6,
               static_cast<double>(seabed.disk) / noenc.disk,
               paillier.disk * static_cast<double>(pscale) / noenc.disk);
+  recorder.Add(label, {{"rows", static_cast<double>(rows)},
+                       {"noenc_disk_bytes", static_cast<double>(noenc.disk)},
+                       {"seabed_disk_bytes", static_cast<double>(seabed.disk)},
+                       {"paillier_disk_bytes",
+                        static_cast<double>(paillier.disk) * static_cast<double>(pscale)},
+                       {"noenc_memory_bytes", static_cast<double>(noenc.memory)},
+                       {"seabed_memory_bytes", static_cast<double>(seabed.memory)},
+                       {"paillier_memory_bytes",
+                        static_cast<double>(paillier.memory) * static_cast<double>(pscale)}});
+}
+
+SessionOptions StorageSessionOptions(BackendKind backend, uint64_t expected_rows,
+                                     double storage_budget = 0) {
+  SessionOptions options;
+  options.backend = backend;
+  options.cluster.num_workers = 1;
+  options.planner.expected_rows = expected_rows;
+  options.planner.max_storage_expansion = storage_budget;
+  options.key_seed = 21;
+  // 1024-bit modulus = the paper's 2048-bit ciphertexts.
+  options.paillier.modulus_bits =
+      static_cast<int>(EnvU64("SEABED_BENCH_PAILLIER_BITS", 1024));
+  options.paillier.seed = 5;
+  return options;
 }
 
 int Main() {
-  const ClientKeys keys = ClientKeys::FromSeed(21);
-  const Encryptor encryptor(keys);
-  Rng rng(5);
-  // 1024-bit modulus = the paper's 2048-bit ciphertexts.
-  const Paillier paillier = Paillier::GenerateKey(
-      rng, static_cast<int>(EnvU64("SEABED_BENCH_PAILLIER_BITS", 1024)));
-
+  BenchRecorder recorder("table5_storage");
   std::printf("=== Table 5: dataset sizes (MB, scaled row counts) ===\n");
   std::printf("%-18s %10s | %9s %9s %9s | %9s %9s %9s | %6s %6s\n", "dataset", "rows",
               "disk:NoEnc", "Seabed", "Paillier", "mem:NoEnc", "Seabed", "Paillier", "Sbd/x",
@@ -70,19 +88,17 @@ int Main() {
     spec.rows = EnvU64("SEABED_BENCH_ROWS", 500000);
     const auto plain = MakeSyntheticTable(spec);
     const PlainSchema schema = SyntheticSchema(spec);
-    PlannerOptions popts;
-    popts.expected_rows = spec.rows;
-    const EncryptionPlan plan = PlanEncryption(schema, SyntheticSampleQueries(spec), popts);
-    const EncryptedDatabase db = encryptor.Encrypt(*plain, schema, plan);
+    const auto samples = SyntheticSampleQueries(spec);
+    Session seabed(StorageSessionOptions(BackendKind::kSeabed, spec.rows));
+    seabed.Attach(plain, schema, samples);
     const uint64_t pscale = 16;
     SyntheticSpec small = spec;
     small.rows = spec.rows / pscale;
-    const auto plain_small = MakeSyntheticTable(small);
-    const EncryptedDatabase base =
-        encryptor.EncryptPaillierBaseline(*plain_small, schema, plan, paillier, rng);
-    PrintRow("Synthetic", spec.rows, Measure(*plain),
-             Measure(*db.table, IdColumnBytes(*db.table, spec.rows)), Measure(*base.table),
-             pscale);
+    Session paillier(StorageSessionOptions(BackendKind::kPaillier, spec.rows));
+    paillier.Attach(MakeSyntheticTable(small), schema, samples);
+    const Table& enc = *seabed.encrypted_database("synthetic").table;
+    PrintRow("Synthetic", spec.rows, Measure(*plain), Measure(enc, IdColumnBytes(enc, spec.rows)),
+             Measure(*paillier.encrypted_database("synthetic").table), pscale, recorder);
   }
 
   // BDB Rankings + UserVisits.
@@ -92,28 +108,24 @@ int Main() {
     spec.uservisits_rows = EnvU64("SEABED_BENCH_BDB_USERVISITS", 200000);
     const auto rankings = MakeRankingsTable(spec);
     const auto uservisits = MakeUserVisitsTable(spec);
-    PlannerOptions popts;
-    const EncryptionPlan rplan = PlanEncryption(RankingsSchema(), RankingsSampleQueries(), popts);
-    const EncryptionPlan uplan =
-        PlanEncryption(UserVisitsSchema(), UserVisitsSampleQueries(), popts);
-    const EncryptedDatabase rdb = encryptor.Encrypt(*rankings, RankingsSchema(), rplan);
-    const EncryptedDatabase udb = encryptor.Encrypt(*uservisits, UserVisitsSchema(), uplan);
+    Session seabed(StorageSessionOptions(BackendKind::kSeabed, spec.uservisits_rows));
+    seabed.Attach(rankings, RankingsSchema(), RankingsSampleQueries());
+    seabed.Attach(uservisits, UserVisitsSchema(), UserVisitsSampleQueries());
     const uint64_t pscale = 16;
     BdbSpec small = spec;
     small.rankings_rows /= pscale;
     small.uservisits_rows /= pscale;
-    const auto rankings_small = MakeRankingsTable(small);
-    const auto uservisits_small = MakeUserVisitsTable(small);
-    const EncryptedDatabase rbase =
-        encryptor.EncryptPaillierBaseline(*rankings_small, RankingsSchema(), rplan, paillier, rng);
-    const EncryptedDatabase ubase = encryptor.EncryptPaillierBaseline(
-        *uservisits_small, UserVisitsSchema(), uplan, paillier, rng);
+    Session paillier(StorageSessionOptions(BackendKind::kPaillier, small.uservisits_rows));
+    paillier.Attach(MakeRankingsTable(small), RankingsSchema(), RankingsSampleQueries());
+    paillier.Attach(MakeUserVisitsTable(small), UserVisitsSchema(), UserVisitsSampleQueries());
+    const Table& renc = *seabed.encrypted_database("rankings").table;
+    const Table& uenc = *seabed.encrypted_database("uservisits").table;
     PrintRow("BDB-Rankings", spec.rankings_rows, Measure(*rankings),
-             Measure(*rdb.table, IdColumnBytes(*rdb.table, spec.rankings_rows)),
-             Measure(*rbase.table), pscale);
+             Measure(renc, IdColumnBytes(renc, spec.rankings_rows)),
+             Measure(*paillier.encrypted_database("rankings").table), pscale, recorder);
     PrintRow("BDB-UserVisits", spec.uservisits_rows, Measure(*uservisits),
-             Measure(*udb.table, IdColumnBytes(*udb.table, spec.uservisits_rows)),
-             Measure(*ubase.table), pscale);
+             Measure(uenc, IdColumnBytes(uenc, spec.uservisits_rows)),
+             Measure(*paillier.encrypted_database("uservisits").table), pscale, recorder);
   }
 
   // Ad Analytics (wide: 33 dims + 18 measures, storage budget 3x).
@@ -122,20 +134,17 @@ int Main() {
     spec.rows = EnvU64("SEABED_BENCH_ADA_ROWS", 100000);
     const auto table = MakeAdAnalyticsTable(spec);
     const PlainSchema schema = AdAnalyticsSchema(spec);
-    PlannerOptions popts;
-    popts.expected_rows = spec.rows;
-    popts.max_storage_expansion = 3.0;
-    const EncryptionPlan plan = PlanEncryption(schema, AdAnalyticsSampleQueries(spec), popts);
-    const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
+    const auto samples = AdAnalyticsSampleQueries(spec);
+    Session seabed(StorageSessionOptions(BackendKind::kSeabed, spec.rows, 3.0));
+    seabed.Attach(table, schema, samples);
     const uint64_t pscale = 16;
     AdAnalyticsSpec small = spec;
     small.rows = spec.rows / pscale;
-    const auto table_small = MakeAdAnalyticsTable(small);
-    const EncryptedDatabase base =
-        encryptor.EncryptPaillierBaseline(*table_small, schema, plan, paillier, rng);
-    PrintRow("AdAnalytics", spec.rows, Measure(*table),
-             Measure(*db.table, IdColumnBytes(*db.table, spec.rows)), Measure(*base.table),
-             pscale);
+    Session paillier(StorageSessionOptions(BackendKind::kPaillier, spec.rows, 3.0));
+    paillier.Attach(MakeAdAnalyticsTable(small), schema, samples);
+    const Table& enc = *seabed.encrypted_database("ad_analytics").table;
+    PrintRow("AdAnalytics", spec.rows, Measure(*table), Measure(enc, IdColumnBytes(enc, spec.rows)),
+             Measure(*paillier.encrypted_database("ad_analytics").table), pscale, recorder);
   }
   std::printf("\nPaillier tables built at 1/16 scale and scaled back (construction cost).\n");
   return 0;

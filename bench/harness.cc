@@ -6,6 +6,37 @@
 #include "src/common/check.h"
 
 namespace seabed {
+namespace {
+
+SyntheticHarness::Options Normalize(SyntheticHarness::Options options) {
+  if (options.paillier_rows == 0) {
+    options.paillier_rows = std::max<uint64_t>(1, options.rows / 8);
+  }
+  return options;
+}
+
+SyntheticSpec SpecOf(const SyntheticHarness::Options& options, uint64_t rows) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.seed = options.seed;
+  spec.group_cardinality = options.group_cardinality;
+  return spec;
+}
+
+SessionOptions BackendOptions(BackendKind backend, const SyntheticHarness::Options& options) {
+  SessionOptions so;
+  so.backend = backend;
+  // Sessions run on whatever cluster the bench passes per call (UseCluster);
+  // keep the session-owned fallback cluster minimal.
+  so.cluster.num_workers = 1;
+  so.planner.expected_rows = options.rows;
+  so.paillier.modulus_bits = options.paillier_bits;
+  so.paillier.seed = options.seed + 1;
+  so.key_seed = options.seed;
+  return so;
+}
+
+}  // namespace
 
 uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* value = std::getenv(name);
@@ -35,85 +66,124 @@ SyntheticHarness::Options SyntheticHarness::FromEnv(Options options) {
 }
 
 SyntheticHarness::SyntheticHarness(const Options& options)
-    : options_(options), keys_(ClientKeys::FromSeed(options.seed)) {
-  if (options_.paillier_rows == 0) {
-    options_.paillier_rows = std::max<uint64_t>(1, options_.rows / 8);
-  }
-
-  SyntheticSpec spec;
-  spec.rows = options_.rows;
-  spec.seed = options_.seed;
-  spec.group_cardinality = options_.group_cardinality;
-  plain_ = MakeSyntheticTable(spec);
-
+    : options_(Normalize(options)),
+      plain_(MakeSyntheticTable(SpecOf(options_, options_.rows))),
+      noenc_(BackendOptions(BackendKind::kPlain, options_)),
+      seabed_(BackendOptions(BackendKind::kSeabed, options_)) {
+  const SyntheticSpec spec = SpecOf(options_, options_.rows);
   const PlainSchema schema = SyntheticSchema(spec);
-  PlannerOptions popts;
-  popts.expected_rows = options_.rows;
-  const EncryptionPlan plan = PlanEncryption(schema, SyntheticSampleQueries(spec), popts);
+  const std::vector<Query> samples = SyntheticSampleQueries(spec);
 
-  const Encryptor encryptor(keys_);
-  db_ = encryptor.Encrypt(*plain_, schema, plan);
-  server_.RegisterTable(db_.table);
+  noenc_.Attach(plain_, schema, samples);
+  seabed_.Attach(plain_, schema, samples);
 
   if (options_.build_paillier) {
-    SyntheticSpec small = spec;
-    small.rows = options_.paillier_rows;
-    plain_small_ = MakeSyntheticTable(small);
-    Rng rng(options_.seed + 1);
-    paillier_.emplace(Paillier::GenerateKey(rng, options_.paillier_bits));
-    paillier_db_ = encryptor.EncryptPaillierBaseline(*plain_small_, schema, plan,
-                                                     *paillier_, rng);
+    plain_small_ = MakeSyntheticTable(SpecOf(options_, options_.paillier_rows));
+    paillier_ = std::make_unique<Session>(BackendOptions(BackendKind::kPaillier, options_));
+    paillier_->Attach(plain_small_, schema, samples);
   }
 }
 
-ResultSet SyntheticHarness::RunNoEnc(const Query& q, const Cluster& cluster) const {
-  return ExecutePlain(*plain_, q, cluster);
+ResultSet SyntheticHarness::RunNoEnc(const Query& q, const Cluster& cluster,
+                                     QueryStats* stats) {
+  noenc_.UseCluster(&cluster);
+  ResultSet r = noenc_.Execute(q, stats);
+  // Drop the borrowed pointer before returning — `cluster` is often a
+  // per-sweep-iteration local that dies before the next Run* call.
+  noenc_.UseCluster(nullptr);
+  return r;
 }
 
 ResultSet SyntheticHarness::RunSeabed(const Query& q, const Cluster& cluster,
-                                      TranslatorOptions topts) const {
-  topts.cluster_workers = cluster.num_workers();
-  const Translator translator(db_, keys_);
-  const TranslatedQuery tq = translator.Translate(q, topts);
-  const EncryptedResponse response = server_.Execute(tq.server, cluster);
-  const Client client(db_, keys_);
-  return client.Decrypt(response, tq, cluster);
+                                      TranslatorOptions topts, QueryStats* stats) {
+  seabed_.UseCluster(&cluster);
+  seabed_.set_translator_options(topts);
+  ResultSet r = seabed_.Execute(q, stats);
+  seabed_.UseCluster(nullptr);
+  return r;
 }
 
-ResultSet SyntheticHarness::RunPaillier(const Query& q, const Cluster& cluster) const {
-  SEABED_CHECK_MSG(paillier_db_.has_value(), "harness built without the Paillier baseline");
-  TranslatorOptions topts;
-  topts.cluster_workers = cluster.num_workers();
-  topts.enable_group_inflation = false;
-  const Translator translator(*paillier_db_, keys_);
-  const TranslatedQuery tq = translator.Translate(q, topts);
-  const PaillierBaseline exec(*paillier_);
-  ResultSet result = exec.Execute(*paillier_db_, tq, cluster);
-  // Scale per-row server compute up to the full table size (the baseline
-  // table is built smaller because Paillier dataset construction is slow).
-  const double scale =
-      static_cast<double>(options_.rows) / static_cast<double>(options_.paillier_rows);
-  result.job.server_seconds *= scale;
-  result.job.total_compute_seconds *= scale;
-  return result;
+ResultSet SyntheticHarness::RunPaillier(const Query& q, const Cluster& cluster,
+                                        QueryStats* stats) {
+  SEABED_CHECK_MSG(paillier_ != nullptr, "harness built without the Paillier baseline");
+  paillier_->UseCluster(&cluster);
+  ResultSet r = paillier_->Execute(q, stats);
+  paillier_->UseCluster(nullptr);
+  if (stats != nullptr) {
+    // Scale per-row server compute up to the full table size (the baseline
+    // table is built smaller because Paillier dataset construction is slow).
+    const double scale =
+        static_cast<double>(options_.rows) / static_cast<double>(options_.paillier_rows);
+    stats->server_seconds *= scale;
+    stats->job.server_seconds *= scale;
+    stats->job.total_compute_seconds *= scale;
+  }
+  return r;
 }
 
-double ProjectServerSeconds(const ResultSet& r, double scale, double job_overhead) {
-  const double variable = r.job.server_seconds - job_overhead;
+double ProjectServerSeconds(const QueryStats& stats, double scale, double job_overhead) {
+  const double variable = stats.server_seconds - job_overhead;
   return job_overhead + std::max(0.0, variable) * scale;
 }
 
-double ProjectTotalSeconds(const ResultSet& r, double scale, double job_overhead) {
-  return ProjectServerSeconds(r, scale, job_overhead) +
-         (r.network_seconds + r.client_seconds) * scale;
+double ProjectTotalSeconds(const QueryStats& stats, double scale, double job_overhead) {
+  return ProjectServerSeconds(stats, scale, job_overhead) +
+         (stats.network_seconds + stats.client_seconds) * scale;
 }
 
-std::string LatencyLine(const std::string& label, const ResultSet& r, double scale) {
+std::string LatencyLine(const std::string& label, const QueryStats& stats, double scale) {
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "%-28s total %9.3f s  (server %9.3f  network %7.3f  client %7.3f)",
-                label.c_str(), r.TotalSeconds() * scale, r.job.server_seconds * scale,
-                r.network_seconds * scale, r.client_seconds * scale);
+  std::snprintf(buf, sizeof(buf),
+                "%-28s total %9.3f s  (server %9.3f  network %7.3f  client %7.3f)",
+                label.c_str(), stats.TotalSeconds() * scale, stats.server_seconds * scale,
+                stats.network_seconds * scale, stats.client_seconds * scale);
   return buf;
+}
+
+// --- machine-readable records -------------------------------------------------
+
+BenchRecorder::BenchRecorder(std::string name) : name_(std::move(name)) {}
+
+std::string BenchRecorder::path() const {
+  const char* dir = std::getenv("SEABED_BENCH_JSON_DIR");
+  std::string base = (dir != nullptr && *dir != '\0') ? dir : ".";
+  return base + "/BENCH_" + name_ + ".json";
+}
+
+void BenchRecorder::Add(const std::string& series, std::map<std::string, double> fields) {
+  records_.push_back({series, std::move(fields)});
+}
+
+void BenchRecorder::AddStats(const std::string& series, std::map<std::string, double> fields,
+                             const QueryStats& stats) {
+  fields.emplace("total_seconds", stats.TotalSeconds());
+  fields.emplace("server_seconds", stats.server_seconds);
+  fields.emplace("network_seconds", stats.network_seconds);
+  fields.emplace("client_seconds", stats.client_seconds);
+  fields.emplace("result_bytes", static_cast<double>(stats.result_bytes));
+  fields.emplace("prf_calls", static_cast<double>(stats.prf_calls));
+  Add(series, std::move(fields));
+}
+
+BenchRecorder::~BenchRecorder() {
+  const std::string file = path();
+  FILE* out = std::fopen(file.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "BenchRecorder: cannot write %s\n", file.c_str());
+    return;
+  }
+  std::fprintf(out, "{\"bench\": \"%s\", \"records\": [", name_.c_str());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    std::fprintf(out, "%s\n  {\"series\": \"%s\"", i == 0 ? "" : ",", r.series.c_str());
+    for (const auto& [key, value] : r.fields) {
+      std::fprintf(out, ", \"%s\": %.9g", key.c_str(), value);
+    }
+    std::fprintf(out, "}");
+  }
+  std::fprintf(out, "\n]}\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu records)\n", file.c_str(), records_.size());
 }
 
 }  // namespace seabed

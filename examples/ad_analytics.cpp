@@ -3,34 +3,36 @@
 //
 // Shows the planner's storage-budget prioritization (lowest-cardinality
 // dimensions get SPLASHE first), the resulting enhanced layouts, and the
-// latency breakdown of the paper's 1/4/8-group queries.
+// latency breakdown of the paper's 1/4/8-group queries — all behind one
+// Session.
 #include <cstdio>
 
 #include "src/query/plain_executor.h"
-#include "src/seabed/client.h"
-#include "src/seabed/planner.h"
-#include "src/seabed/server.h"
+#include "src/seabed/session.h"
 #include "src/workload/ad_analytics.h"
 #include "src/workload/classifier.h"
 
-using namespace seabed;
-
 int main() {
-  AdAnalyticsSpec spec;
+  seabed::AdAnalyticsSpec spec;
   spec.rows = 50000;
 
   std::printf("building ad-analytics table (%llu rows, 33 dims, 18 measures)...\n",
               static_cast<unsigned long long>(spec.rows));
-  const auto table = MakeAdAnalyticsTable(spec);
-  const PlainSchema schema = AdAnalyticsSchema(spec);
+  const auto table = seabed::MakeAdAnalyticsTable(spec);
+  const seabed::PlainSchema schema = seabed::AdAnalyticsSchema(spec);
 
-  PlannerOptions popts;
-  popts.expected_rows = spec.rows;
-  popts.max_storage_expansion = 3.0;
-  const EncryptionPlan plan = PlanEncryption(schema, AdAnalyticsSampleQueries(spec), popts);
+  seabed::SessionOptions options;
+  options.backend = seabed::BackendKind::kSeabed;
+  options.cluster.num_workers = 16;
+  options.planner.expected_rows = spec.rows;
+  options.planner.max_storage_expansion = 3.0;
+  options.key_seed = 7;
+  seabed::Session session(options);
+  session.Attach(table, schema, seabed::AdAnalyticsSampleQueries(spec));
 
+  const seabed::EncryptionPlan& plan = session.plan("ad_analytics");
   std::printf("\n--- SPLASHE layouts chosen under a 3x storage budget ---\n");
-  for (const SplasheLayout& layout : plan.splashe) {
+  for (const seabed::SplasheLayout& layout : plan.splashe) {
     std::printf("  %-8s enhanced=%d  splayed k=%zu of %zu values, %zu co-splayed measures\n",
                 layout.dimension.c_str(), layout.enhanced, layout.splayed_values.size(),
                 layout.splayed_values.size() + layout.other_values.size(),
@@ -41,39 +43,26 @@ int main() {
     std::printf("  %s\n", w.c_str());
   }
 
-  const ClientKeys keys = ClientKeys::FromSeed(7);
-  const Encryptor encryptor(keys);
-  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
+  const seabed::EncryptedDatabase& db = session.encrypted_database("ad_analytics");
   std::printf("\nstorage: plaintext %.1f MB -> encrypted %.1f MB (%.2fx)\n",
               table->ByteSize() / 1e6, db.table->ByteSize() / 1e6,
               static_cast<double>(db.table->ByteSize()) / table->ByteSize());
 
-  Server server;
-  server.RegisterTable(db.table);
-  ClusterConfig cfg;
-  cfg.num_workers = 16;
-  const Cluster cluster(cfg);
-
   std::printf("\n--- hourly roll-ups (the paper's 1/4/8-group queries) ---\n");
   for (size_t groups : {1, 4, 8}) {
-    const Query q = AdAnalyticsPerfQuery(groups, 2, groups);
-    TranslatorOptions topts;
-    topts.cluster_workers = cluster.num_workers();
-    const Translator translator(db, keys);
-    const TranslatedQuery tq = translator.Translate(q, topts);
-    const EncryptedResponse response = server.Execute(tq.server, cluster);
-    const Client client(db, keys);
-    const ResultSet enc = client.Decrypt(response, tq, cluster);
-    const ResultSet ref = ExecutePlain(*table, q, cluster);
-    std::printf("\n%zu-group query -> %zu rows (inflation=%zu, %.1f KB, cross-check %s)\n",
-                groups, enc.rows.size(), tq.server.inflation, enc.result_bytes / 1e3,
+    const seabed::Query q = seabed::AdAnalyticsPerfQuery(groups, 2, groups);
+    seabed::QueryStats stats;
+    const seabed::ResultSet enc = session.Execute(q, &stats);
+    const seabed::ResultSet ref = seabed::ExecutePlain(*table, q, session.cluster());
+    std::printf("\n%zu-group query -> %zu rows (%.1f KB, cross-check %s)\n",
+                groups, enc.rows.size(), stats.result_bytes / 1e3,
                 enc.rows.size() == ref.rows.size() ? "ok" : "MISMATCH");
     std::printf("%s", enc.ToString(4).c_str());
   }
 
   // The month-long query log, classified Seabed-style (Table 4).
-  const auto log = AdAnalyticsQueryLog(spec, 10000, 2023);
-  const CategoryCounts counts = ClassifyAll(log);
+  const auto log = seabed::AdAnalyticsQueryLog(spec, 10000, 2023);
+  const seabed::CategoryCounts counts = seabed::ClassifyAll(log);
   std::printf("\n--- query log sample (%zu queries) ---\n", counts.Total());
   std::printf("server-only %zu | client-pre %zu | client-post %zu | two-RT %zu\n",
               counts.server_only, counts.client_pre, counts.client_post,

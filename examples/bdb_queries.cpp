@@ -1,16 +1,14 @@
 // Runs the AmpLab Big Data Benchmark query set (Q1A–Q4) end-to-end on
 // encrypted tables, printing each query's answer and latency breakdown.
+// Joined tables are attached to the session like any other table; the JOIN
+// clause resolves them by name.
 #include <cstdio>
 
-#include "src/seabed/client.h"
-#include "src/seabed/planner.h"
-#include "src/seabed/server.h"
+#include "src/seabed/session.h"
 #include "src/workload/bdb.h"
 
-using namespace seabed;
-
 int main() {
-  BdbSpec spec;
+  seabed::BdbSpec spec;
   spec.rankings_rows = 20000;
   spec.uservisits_rows = 80000;
   spec.num_urls = 8000;
@@ -18,52 +16,32 @@ int main() {
   std::printf("building BDB tables (rankings=%llu, uservisits=%llu)...\n",
               static_cast<unsigned long long>(spec.rankings_rows),
               static_cast<unsigned long long>(spec.uservisits_rows));
-  const auto rankings = MakeRankingsTable(spec);
-  const auto uservisits = MakeUserVisitsTable(spec);
+  const auto rankings = seabed::MakeRankingsTable(spec);
+  const auto uservisits = seabed::MakeUserVisitsTable(spec);
 
-  const ClientKeys keys = ClientKeys::FromSeed(17);
-  const Encryptor encryptor(keys);
-  PlannerOptions popts;
-  const EncryptionPlan rankings_plan =
-      PlanEncryption(RankingsSchema(), RankingsSampleQueries(), popts);
-  const EncryptionPlan uservisits_plan =
-      PlanEncryption(UserVisitsSchema(), UserVisitsSampleQueries(), popts);
+  seabed::SessionOptions options;
+  options.backend = seabed::BackendKind::kSeabed;
+  options.cluster.num_workers = 8;
+  options.key_seed = 17;
+  seabed::Session session(options);
+  session.Attach(rankings, seabed::RankingsSchema(), seabed::RankingsSampleQueries());
+  session.Attach(uservisits, seabed::UserVisitsSchema(), seabed::UserVisitsSampleQueries());
 
   std::printf("planner warnings (expected: joins/group-bys/dates fall back):\n");
-  for (const auto& w : rankings_plan.warnings) {
+  for (const auto& w : session.plan("rankings").warnings) {
     std::printf("  [rankings] %s\n", w.c_str());
   }
-  for (const auto& w : uservisits_plan.warnings) {
+  for (const auto& w : session.plan("uservisits").warnings) {
     std::printf("  [uservisits] %s\n", w.c_str());
   }
 
-  const EncryptedDatabase rankings_db =
-      encryptor.Encrypt(*rankings, RankingsSchema(), rankings_plan);
-  const EncryptedDatabase uservisits_db =
-      encryptor.Encrypt(*uservisits, UserVisitsSchema(), uservisits_plan);
-  Server server;
-  server.RegisterTable(rankings_db.table);
-  server.RegisterTable(uservisits_db.table);
-
-  ClusterConfig cfg;
-  cfg.num_workers = 8;
-  const Cluster cluster(cfg);
-
-  for (const BdbQuery& bq : BdbQuerySet()) {
-    const EncryptedDatabase& db = bq.on_uservisits ? uservisits_db : rankings_db;
-    TranslatorOptions topts;
-    topts.cluster_workers = cluster.num_workers();
-    const Translator translator(db, keys);
-    TranslatedQuery tq = translator.Translate(bq.query, topts);
-    if (tq.server.join.has_value()) {
-      tq.server.join->right_table = rankings_db.table->name();
-    }
-    const EncryptedResponse response = server.Execute(tq.server, cluster);
-    const Client client(db, keys);
-    const ResultSet r = client.Decrypt(response, tq, cluster, &rankings_db);
+  for (const seabed::BdbQuery& bq : seabed::BdbQuerySet()) {
+    seabed::QueryStats stats;
+    const seabed::ResultSet r = session.Execute(bq.query, &stats);
 
     std::printf("\n=== %s ===  (%zu result rows, %.1f KB shipped, %.3f s total)\n",
-                bq.label.c_str(), r.rows.size(), r.result_bytes / 1e3, r.TotalSeconds());
+                bq.label.c_str(), r.rows.size(), stats.result_bytes / 1e3,
+                stats.TotalSeconds());
     std::printf("%s", r.ToString(5).c_str());
   }
   return 0;

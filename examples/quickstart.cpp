@@ -1,29 +1,36 @@
-// Quickstart: the full Seabed pipeline on a small retail table.
+// Quickstart: the full Seabed pipeline on a small retail table, through the
+// Session facade.
 //
 //   1. Describe the plaintext schema (sensitivity + value distributions).
-//   2. Let the planner choose encryption schemes from sample queries.
-//   3. Encrypt and "upload" the table to the (untrusted) server.
-//   4. Issue plaintext queries; the translator rewrites them, the server
-//      executes them on ciphertexts, the client decrypts.
+//   2. Attach the table: the planner chooses encryption schemes from sample
+//      queries, the encryptor builds the tables the untrusted server stores.
+//   3. Issue plaintext queries; the session translates, executes on
+//      ciphertexts, and decrypts — one call.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
 #include "src/query/parser.h"
 #include "src/query/plain_executor.h"
-#include "src/seabed/client.h"
-#include "src/seabed/planner.h"
-#include "src/seabed/server.h"
-
-using namespace seabed;
+#include "src/seabed/session.h"
 
 int main() {
+  using seabed::BackendKind;
+  using seabed::CmpOp;
+  using seabed::ColumnType;
+  using seabed::EncSchemeName;
+  using seabed::MustParseSql;
+  using seabed::Query;
+  using seabed::QueryStats;
+  using seabed::ResultSet;
+  using seabed::ValueDistribution;
+
   // --- 1. plaintext data -------------------------------------------------------
-  auto table = std::make_shared<Table>("retail");
-  auto country = std::make_shared<StringColumn>();
-  auto store = std::make_shared<StringColumn>();
-  auto revenue = std::make_shared<Int64Column>();
-  Rng rng(2024);
+  auto table = std::make_shared<seabed::Table>("retail");
+  auto country = std::make_shared<seabed::StringColumn>();
+  auto store = std::make_shared<seabed::StringColumn>();
+  auto revenue = std::make_shared<seabed::Int64Column>();
+  seabed::Rng rng(2024);
   const char* countries[] = {"usa", "canada", "india", "chile"};
   const double cdf[] = {0.5, 0.85, 0.95, 1.0};
   const char* stores[] = {"downtown", "airport", "mall"};
@@ -41,8 +48,8 @@ int main() {
   table->AddColumn("store", store);
   table->AddColumn("revenue", revenue);
 
-  // --- 2. schema + planner ----------------------------------------------------
-  PlainSchema schema;
+  // --- 2. schema + session ----------------------------------------------------
+  seabed::PlainSchema schema;
   schema.table_name = "retail";
   ValueDistribution dist;
   dist.values = {"usa", "canada", "india", "chile"};
@@ -52,53 +59,38 @@ int main() {
   schema.columns.push_back({"revenue", ColumnType::kInt64, /*sensitive=*/true, std::nullopt});
 
   std::vector<Query> samples;
-  {
-    Query q;
-    q.table = "retail";
-    q.Sum("revenue").Count().Where("country", CmpOp::kEq, std::string("india"));
-    samples.push_back(q);
-    Query g;
-    g.table = "retail";
-    g.Sum("revenue").GroupBy("store");
-    samples.push_back(g);
-  }
-  PlannerOptions popts;
-  popts.expected_rows = 20000;
-  const EncryptionPlan plan = PlanEncryption(schema, samples, popts);
+  samples.push_back(MustParseSql(
+      "SELECT SUM(revenue), COUNT(*) FROM retail WHERE country = 'india'"));
+  samples.push_back(MustParseSql("SELECT SUM(revenue) FROM retail GROUP BY store"));
+
+  seabed::SessionOptions options;
+  options.backend = BackendKind::kSeabed;
+  options.cluster.num_workers = 8;
+  options.planner.expected_rows = 20000;
+  options.key_seed = 0xC0FFEE;
+  seabed::Session session(options);
+  session.Attach(table, schema, samples);  // plan + encrypt + upload
 
   std::printf("--- encryption plan ---\n");
+  const seabed::EncryptionPlan& plan = session.plan("retail");
   for (const auto& [name, cp] : plan.columns) {
     std::printf("  %-10s -> %s\n", name.c_str(), EncSchemeName(cp.scheme));
   }
   for (const auto& w : plan.warnings) {
     std::printf("  warning: %s\n", w.c_str());
   }
-
-  // --- 3. encrypt & upload ----------------------------------------------------
-  const ClientKeys keys = ClientKeys::FromSeed(0xC0FFEE);
-  const Encryptor encryptor(keys);
-  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
-  Server server;  // the untrusted side: sees only ciphertexts
-  server.RegisterTable(db.table);
+  const seabed::EncryptedDatabase& db = session.encrypted_database("retail");
   std::printf("\nencrypted table: %zu columns, %.1f MB (plaintext %.1f MB)\n",
               db.table->NumColumns(), db.table->ByteSize() / 1e6, table->ByteSize() / 1e6);
 
-  // --- 4. query ----------------------------------------------------------------
-  ClusterConfig cfg;
-  cfg.num_workers = 8;
-  const Cluster cluster(cfg);
-
+  // --- 3. query ----------------------------------------------------------------
   auto run = [&](const Query& q, const char* what) {
-    TranslatorOptions topts;
-    topts.cluster_workers = cluster.num_workers();
-    const Translator translator(db, keys);
-    const TranslatedQuery tq = translator.Translate(q, topts);
-    const EncryptedResponse response = server.Execute(tq.server, cluster);
-    const Client client(db, keys);
-    const ResultSet enc = client.Decrypt(response, tq, cluster);
-    const ResultSet ref = ExecutePlain(*table, q, cluster);
+    QueryStats stats;
+    const ResultSet enc = session.Execute(q, &stats);
+    const ResultSet ref = seabed::ExecutePlain(*table, q, session.cluster());
     std::printf("\n--- %s ---\n%s", what, enc.ToString().c_str());
-    std::printf("(plaintext cross-check: %s)\n",
+    std::printf("(%.3f s total, %zu bytes shipped, plaintext cross-check: %s)\n",
+                stats.TotalSeconds(), stats.result_bytes,
                 enc.rows.size() == ref.rows.size() ? "row count matches" : "MISMATCH");
   };
 

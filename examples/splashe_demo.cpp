@@ -2,8 +2,9 @@
 // the leak (paper Sections 3.3–3.4 and Naveed et al.'s frequency attack).
 //
 // The demo encrypts the same skewed "country" column twice — once with plain
-// DET, once with enhanced SPLASHE — then plays the adversary: it histograms
-// the ciphertexts and tries to match them to a public auxiliary distribution.
+// DET, once with enhanced SPLASHE (via a Session) — then plays the
+// adversary: it histograms the ciphertexts and tries to match them to a
+// public auxiliary distribution.
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -11,18 +12,21 @@
 
 #include "src/common/rng.h"
 #include "src/crypto/det.h"
-#include "src/seabed/client.h"
-#include "src/seabed/planner.h"
-#include "src/seabed/server.h"
-
-using namespace seabed;
+#include "src/seabed/session.h"
 
 int main() {
+  using seabed::AesKey;
+  using seabed::CmpOp;
+  using seabed::ColumnType;
+  using seabed::DetToken;
+  using seabed::Query;
+  using seabed::ValueDistribution;
+
   constexpr int kRows = 50000;
   const std::vector<std::string> values = {"usa", "canada", "india", "chile", "iraq", "japan"};
   const std::vector<double> freq = {0.40, 0.30, 0.12, 0.08, 0.06, 0.04};
 
-  Rng rng(99);
+  seabed::Rng rng(99);
   std::vector<std::string> column;
   std::vector<double> cdf(freq.size());
   double acc = 0;
@@ -66,9 +70,9 @@ int main() {
               correct, values.size());
 
   // --- Attack 2: enhanced SPLASHE ------------------------------------------------
-  auto table = std::make_shared<Table>("demo");
-  auto country_col = std::make_shared<StringColumn>();
-  auto one_col = std::make_shared<Int64Column>();
+  auto table = std::make_shared<seabed::Table>("demo");
+  auto country_col = std::make_shared<seabed::StringColumn>();
+  auto one_col = std::make_shared<seabed::Int64Column>();
   for (const auto& v : column) {
     country_col->Append(v);
     one_col->Append(1);
@@ -76,7 +80,7 @@ int main() {
   table->AddColumn("country", country_col);
   table->AddColumn("ones", one_col);
 
-  PlainSchema schema;
+  seabed::PlainSchema schema;
   schema.table_name = "demo";
   ValueDistribution dist;
   dist.values = values;
@@ -87,17 +91,21 @@ int main() {
   Query sample;
   sample.table = "demo";
   sample.Sum("ones").Where("country", CmpOp::kEq, std::string("india"));
-  PlannerOptions popts;
-  popts.expected_rows = kRows;
-  const EncryptionPlan plan = PlanEncryption(schema, {sample}, popts);
-  const SplasheLayout* layout = plan.FindSplashe("country");
+
+  seabed::SessionOptions options;
+  options.backend = seabed::BackendKind::kSeabed;
+  options.cluster.num_workers = 4;
+  options.planner.expected_rows = kRows;
+  options.key_seed = 2;
+  seabed::Session session(options);
+  session.Attach(table, schema, {sample});
+
+  const seabed::SplasheLayout* layout = session.plan("demo").FindSplashe("country");
   if (layout == nullptr) {
     std::printf("planner did not splay the dimension — unexpected\n");
     return 1;
   }
-  const ClientKeys keys = ClientKeys::FromSeed(2);
-  const Encryptor encryptor(keys);
-  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
+  const seabed::EncryptedDatabase& db = session.encrypted_database("demo");
 
   std::printf("--- the same attack on enhanced SPLASHE ---\n");
   std::printf("splayed (frequent) values: ");
@@ -105,8 +113,8 @@ int main() {
     std::printf("%s ", v.c_str());
   }
   std::printf("\nwhat the adversary sees of the remaining DET column:\n");
-  const auto* enc_det =
-      static_cast<const DetColumn*>(db.table->GetColumn(layout->DetColumn()).get());
+  const auto* enc_det = static_cast<const seabed::DetColumn*>(
+      db.table->GetColumn(layout->DetColumn()).get());
   std::map<uint64_t, int> splashe_hist;
   for (size_t row = 0; row < enc_det->RowCount(); ++row) {
     ++splashe_hist[enc_det->Get(row)];
@@ -119,24 +127,14 @@ int main() {
               "yields no information.\n\n");
 
   // And the data is still queryable:
-  Server server;
-  server.RegisterTable(db.table);
-  ClusterConfig cfg;
-  cfg.num_workers = 4;
-  const Cluster cluster(cfg);
   for (const auto& v : values) {
     Query q;
     q.table = "demo";
     q.Sum("ones", "count");
     q.Where("country", CmpOp::kEq, v);
-    TranslatorOptions topts;
-    topts.cluster_workers = 4;
-    const Translator translator(db, keys);
-    const TranslatedQuery tq = translator.Translate(q, topts);
-    const Client client(db, keys);
-    const ResultSet r = client.Decrypt(server.Execute(tq.server, cluster), tq, cluster);
+    const seabed::ResultSet r = session.Execute(q);
     std::printf("COUNT(country = %-7s) = %s\n", v.c_str(),
-                ValueToString(r.rows[0][0]).c_str());
+                seabed::ValueToString(r.rows[0][0]).c_str());
   }
   return 0;
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the test suite.
+#
+#   ./scripts/check.sh            # incremental
+#   BUILD_DIR=out ./scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+# --no-tests=error: a configure that silently disabled the suite (e.g. GTest
+# missing) must fail the check, not pass it with zero tests.
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS"

@@ -94,87 +94,145 @@ Value Finalize(const Aggregate& agg, const AggState& s) {
 
 }  // namespace
 
-bool RowMatches(const Table& table, const std::vector<Predicate>& filters, size_t row) {
-  for (const Predicate& pred : filters) {
-    const ColumnPtr& col = table.GetColumn(pred.column);
-    switch (col->type()) {
-      case ColumnType::kInt64: {
-        const auto* c = static_cast<const Int64Column*>(col.get());
-        const int64_t operand = std::get<int64_t>(pred.operand);
-        if (!ApplyCmp(pred.op, CompareInt(c->Get(row), operand))) {
-          return false;
-        }
-        break;
-      }
-      case ColumnType::kString: {
-        const auto* c = static_cast<const StringColumn*>(col.get());
-        SEABED_CHECK_MSG(pred.op == CmpOp::kEq || pred.op == CmpOp::kNe,
-                         "string predicates support equality only");
-        const bool eq = c->Get(row) == std::get<std::string>(pred.operand);
-        if ((pred.op == CmpOp::kEq) != eq) {
-          return false;
-        }
-        break;
-      }
-      default:
-        SEABED_CHECK_MSG(false, "plaintext predicate on encrypted column " << pred.column);
-    }
+namespace {
+
+// A column reference resolved against the fact table or the joined table.
+struct ResolvedColumn {
+  const Table* table = nullptr;
+  bool on_right = false;
+  std::string name;  // without the "right:" prefix
+};
+
+constexpr const char kRightPrefix[] = "right:";
+
+ResolvedColumn ResolveColumn(const std::string& name, const Table& fact, const Table* right) {
+  ResolvedColumn rc;
+  if (name.rfind(kRightPrefix, 0) == 0) {
+    SEABED_CHECK_MSG(right != nullptr, "joined column " << name << " without a right table");
+    rc.table = right;
+    rc.on_right = true;
+    rc.name = name.substr(sizeof(kRightPrefix) - 1);
+  } else {
+    rc.table = &fact;
+    rc.name = name;
   }
-  return true;
+  return rc;
 }
 
-std::string GroupKeyOfRow(const Table& table, const std::vector<std::string>& group_by,
-                          size_t row) {
-  std::string key;
-  for (const std::string& name : group_by) {
-    const ColumnPtr& col = table.GetColumn(name);
-    if (col->type() == ColumnType::kInt64) {
-      key += std::to_string(static_cast<const Int64Column*>(col.get())->Get(row));
-    } else if (col->type() == ColumnType::kString) {
-      key += static_cast<const StringColumn*>(col.get())->Get(row);
-    } else {
-      SEABED_CHECK_MSG(false, "group-by on unsupported column type");
-    }
-    key.push_back('\x1f');
-  }
-  return key;
+int64_t IntCell(const Table& t, const std::string& column, size_t row) {
+  const ColumnPtr& col = t.GetColumn(column);
+  SEABED_CHECK(col->type() == ColumnType::kInt64);
+  return static_cast<const Int64Column*>(col.get())->Get(row);
 }
 
-ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cluster) {
+Value CellValue(const Table& t, const std::string& column, size_t row) {
+  const ColumnPtr& col = t.GetColumn(column);
+  if (col->type() == ColumnType::kInt64) {
+    return static_cast<const Int64Column*>(col.get())->Get(row);
+  }
+  SEABED_CHECK_MSG(col->type() == ColumnType::kString,
+                   "unsupported plaintext column type for " << column);
+  return static_cast<const StringColumn*>(col.get())->Get(row);
+}
+
+bool PredicateHolds(const Predicate& pred, const ResolvedColumn& rc, size_t row) {
+  const ColumnPtr& col = rc.table->GetColumn(rc.name);
+  if (col->type() == ColumnType::kInt64) {
+    const int64_t v = static_cast<const Int64Column*>(col.get())->Get(row);
+    const int64_t operand = std::get<int64_t>(pred.operand);
+    return ApplyCmp(pred.op, CompareInt(v, operand));
+  }
+  SEABED_CHECK_MSG(col->type() == ColumnType::kString,
+                   "plaintext predicate on encrypted column " << rc.name);
+  SEABED_CHECK_MSG(pred.op == CmpOp::kEq || pred.op == CmpOp::kNe,
+                   "string predicates support equality only");
+  const bool eq = static_cast<const StringColumn*>(col.get())->Get(row) ==
+                  std::get<std::string>(pred.operand);
+  return (pred.op == CmpOp::kEq) == eq;
+}
+
+}  // namespace
+
+ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cluster,
+                       const Table* right, QueryStats* stats) {
+  const size_t num_aggs = query.aggregates.size();
+
+  // Resolve every column reference once, up front.
+  std::vector<ResolvedColumn> filter_cols;
+  filter_cols.reserve(query.filters.size());
+  for (const Predicate& p : query.filters) {
+    filter_cols.push_back(ResolveColumn(p.column, table, right));
+  }
+  std::vector<ResolvedColumn> group_cols;
+  group_cols.reserve(query.group_by.size());
+  for (const std::string& g : query.group_by) {
+    group_cols.push_back(ResolveColumn(g, table, right));
+  }
+  std::vector<ResolvedColumn> agg_cols(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (!query.aggregates[a].column.empty()) {
+      agg_cols[a] = ResolveColumn(query.aggregates[a].column, table, right);
+    }
+  }
+
+  // Broadcast hash join: right join column value -> right row numbers.
+  std::unordered_multimap<std::string, size_t> join_index;
+  const bool has_join = query.join.has_value();
+  if (has_join) {
+    SEABED_CHECK_MSG(right != nullptr,
+                     "join against " << query.join->right_table << " without a right table");
+    const ResolvedColumn right_key{right, true,
+                                   query.join->right_column.rfind(kRightPrefix, 0) == 0
+                                       ? query.join->right_column.substr(sizeof(kRightPrefix) - 1)
+                                       : query.join->right_column};
+    for (size_t r = 0; r < right->NumRows(); ++r) {
+      join_index.emplace(ValueToString(CellValue(*right_key.table, right_key.name, r)), r);
+    }
+  }
+
   const auto partitions = table.Partitions(cluster.num_workers());
   std::vector<std::unordered_map<std::string, GroupState>> partials(partitions.size());
 
-  const size_t num_aggs = query.aggregates.size();
   const JobStats job = cluster.RunJob(partitions.size(), [&](size_t p) {
     auto& local = partials[p];
-    for (size_t row = partitions[p].begin; row < partitions[p].end; ++row) {
-      if (!RowMatches(table, query.filters, row)) {
-        continue;
+    auto process = [&](size_t row, size_t right_row) {
+      for (size_t f = 0; f < query.filters.size(); ++f) {
+        const ResolvedColumn& rc = filter_cols[f];
+        if (!PredicateHolds(query.filters[f], rc, rc.on_right ? right_row : row)) {
+          return;
+        }
       }
-      const std::string key = GroupKeyOfRow(table, query.group_by, row);
+      std::string key;
+      for (const ResolvedColumn& rc : group_cols) {
+        key += ValueToString(CellValue(*rc.table, rc.name, rc.on_right ? right_row : row));
+        key.push_back('\x1f');
+      }
       GroupState& group = local[key];
       if (group.aggs.empty()) {
         group.aggs.resize(num_aggs);
-        for (const std::string& name : query.group_by) {
-          const ColumnPtr& col = table.GetColumn(name);
-          if (col->type() == ColumnType::kInt64) {
-            group.group_values.emplace_back(
-                static_cast<const Int64Column*>(col.get())->Get(row));
-          } else {
-            group.group_values.emplace_back(
-                static_cast<const StringColumn*>(col.get())->Get(row));
-          }
+        for (const ResolvedColumn& rc : group_cols) {
+          group.group_values.push_back(
+              CellValue(*rc.table, rc.name, rc.on_right ? right_row : row));
         }
       }
       for (size_t a = 0; a < num_aggs; ++a) {
-        const Aggregate& agg = query.aggregates[a];
         int64_t v = 0;
-        if (!agg.column.empty()) {
-          const ColumnPtr& col = table.GetColumn(agg.column);
-          SEABED_CHECK(col->type() == ColumnType::kInt64);
-          v = static_cast<const Int64Column*>(col.get())->Get(row);
+        if (!query.aggregates[a].column.empty()) {
+          const ResolvedColumn& rc = agg_cols[a];
+          v = IntCell(*rc.table, rc.name, rc.on_right ? right_row : row);
         }
         group.aggs[a].Observe(v);
+      }
+    };
+    for (size_t row = partitions[p].begin; row < partitions[p].end; ++row) {
+      if (has_join) {
+        const std::string left_key = ValueToString(CellValue(table, query.join->left_column, row));
+        const auto [lo, hi] = join_index.equal_range(left_key);
+        for (auto it = lo; it != hi; ++it) {
+          process(row, it->second);
+        }
+      } else {
+        process(row, 0);
       }
     }
   });
@@ -200,6 +258,7 @@ ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cl
   }
 
   ResultSet result;
+  size_t result_bytes = 0;
   for (const std::string& g : query.group_by) {
     result.column_names.push_back(g);
   }
@@ -211,12 +270,18 @@ ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cl
     for (size_t a = 0; a < num_aggs; ++a) {
       row.push_back(Finalize(query.aggregates[a], group.aggs[a]));
     }
-    result.result_bytes += row.size() * 8;
+    result_bytes += row.size() * 8;
     result.rows.push_back(std::move(row));
   }
-  result.job = job;
-  result.network_seconds = cluster.config().client_link.TransferSeconds(result.result_bytes);
-  result.client_seconds = client_sw.ElapsedSeconds();
+  if (stats != nullptr) {
+    stats->backend = "plain";
+    stats->job = job;
+    stats->server_seconds = job.server_seconds;
+    stats->result_bytes = result_bytes;
+    stats->result_rows = result.rows.size();
+    stats->network_seconds = cluster.config().client_link.TransferSeconds(result_bytes);
+    stats->client_seconds = client_sw.ElapsedSeconds();
+  }
   return result;
 }
 

@@ -1,8 +1,7 @@
 // Plaintext query execution — the paper's "NoEnc" baseline.
 //
 // Executes the Query AST directly over plaintext columns on the cluster
-// model. Also exports the row-predicate helper shared with the encrypted
-// executors (filters on plaintext helper columns behave identically there).
+// model, including broadcast hash joins against a second table.
 #ifndef SEABED_SRC_QUERY_PLAIN_EXECUTOR_H_
 #define SEABED_SRC_QUERY_PLAIN_EXECUTOR_H_
 
@@ -12,14 +11,15 @@
 namespace seabed {
 
 // Runs `query` over `table`, parallelized across the cluster's workers.
-ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cluster);
-
-// True when row `row` of `table` satisfies every filter in `filters`.
-bool RowMatches(const Table& table, const std::vector<Predicate>& filters, size_t row);
-
-// Serialized composite group key for row `row` (empty group_by -> "" key).
-std::string GroupKeyOfRow(const Table& table, const std::vector<std::string>& group_by,
-                          size_t row);
+// When the query joins a second table, `right` must point at it; joined
+// columns carry the "right:" prefix in the query. `stats`, when non-null,
+// receives the latency breakdown of the call.
+//
+// Prefer Session::Execute with a PlainExecutorBackend (src/seabed/session.h);
+// this free function remains as the backend's engine and as a thin
+// compatibility entry point.
+ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cluster,
+                       const Table* right = nullptr, QueryStats* stats = nullptr);
 
 }  // namespace seabed
 

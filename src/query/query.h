@@ -91,24 +91,36 @@ struct Query {
   Query& GroupBy(const std::string& column);
 };
 
-// A fully-processed query answer, with the latency breakdown the paper
-// reports: server (simulated cluster), network (modeled transfer), client
-// (measured decryption/post-processing).
+// A fully-processed query answer: just the data. The latency breakdown the
+// paper reports lives in QueryStats, filled per call by every executor.
 struct ResultSet {
   std::vector<std::string> column_names;
   std::vector<std::vector<Value>> rows;  // sorted by group key
 
-  JobStats job;                 // server side
-  double network_seconds = 0;   // driver -> client transfer
-  double client_seconds = 0;    // decryption + post-processing (measured)
-  size_t result_bytes = 0;      // payload shipped to the client
-
-  double TotalSeconds() const {
-    return job.server_seconds + network_seconds + client_seconds;
-  }
-
   // Pretty-printer for examples.
   std::string ToString(size_t max_rows = 20) const;
+};
+
+// Per-query metrics, populated by every execution backend (the Figure 6/7
+// latency breakdown plus the Section 6.6 decryption-cost statistics). One
+// QueryStats is produced per Execute call, so concurrent queries never share
+// mutable counters.
+struct QueryStats {
+  std::string backend;          // name of the executing backend
+
+  JobStats job;                 // simulated-cluster detail for the scan phase
+  double server_seconds = 0;    // scan + driver merge + modeled shuffle
+  double network_seconds = 0;   // driver -> client transfer (modeled)
+  double client_seconds = 0;    // decryption + post-processing (measured)
+  double translate_seconds = 0; // proxy-side query rewriting (measured)
+
+  uint64_t prf_calls = 0;       // AES/PRF invocations during decryption
+  size_t result_bytes = 0;      // payload shipped to the client
+  size_t result_rows = 0;       // rows in the final ResultSet
+
+  double TotalSeconds() const {
+    return server_seconds + network_seconds + client_seconds;
+  }
 };
 
 }  // namespace seabed

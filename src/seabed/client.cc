@@ -47,18 +47,13 @@ std::string BaseKey(const ServerGroup& g) {
 }  // namespace
 
 ResultSet Client::Decrypt(const EncryptedResponse& response, const TranslatedQuery& tq,
-                          const Cluster& cluster, const EncryptedDatabase* right_db) const {
+                          const Cluster& cluster, const EncryptedDatabase* right_db,
+                          QueryStats* stats) const {
   const ServerPlan& splan = tq.server;
   const ClientPlan& cplan = tq.client;
-  last_prf_calls_ = 0;
+  uint64_t prf_calls = 0;
 
   ResultSet result;
-  result.job = response.job;
-  result.job.server_seconds = response.ServerSeconds();
-  result.result_bytes = response.response_bytes;
-  result.network_seconds =
-      cluster.config().client_link.TransferSeconds(response.response_bytes);
-
   Stopwatch client_sw;
 
   // Per-aggregate crypto contexts, keyed by the owning table's name.
@@ -157,7 +152,7 @@ ResultSet Client::Decrypt(const EncryptedResponse& response, const TranslatedQue
           ct.value = agg.ashe_value;
           ct.ids = IdSet::MergeAll(agg.id_parts);
           agg.id_parts.clear();
-          last_prf_calls_ += Ashe::DecryptPrfCalls(ct);
+          prf_calls += Ashe::DecryptPrfCalls(ct);
           decrypted[a] = static_cast<int64_t>(agg_ashe[a]->Decrypt(ct));
           break;
         }
@@ -167,7 +162,7 @@ ResultSet Client::Decrypt(const EncryptedResponse& response, const TranslatedQue
         case ServerAggregate::Kind::kOreMin:
         case ServerAggregate::Kind::kOreMax:
           if (agg.minmax_valid) {
-            last_prf_calls_ += 2;
+            prf_calls += 2;
             decrypted[a] = static_cast<int64_t>(
                 agg_value_ashe[a]->DecryptCell(agg.minmax_cipher, agg.minmax_id));
           }
@@ -237,7 +232,17 @@ ResultSet Client::Decrypt(const EncryptedResponse& response, const TranslatedQue
     result.rows.push_back(std::move(row));
   }
 
-  result.client_seconds = client_sw.ElapsedSeconds();
+  if (stats != nullptr) {
+    stats->backend = "seabed";
+    stats->job = response.job;
+    stats->server_seconds = response.ServerSeconds();
+    stats->result_bytes = response.response_bytes;
+    stats->result_rows = result.rows.size();
+    stats->network_seconds =
+        cluster.config().client_link.TransferSeconds(response.response_bytes);
+    stats->client_seconds = client_sw.ElapsedSeconds();
+    stats->prf_calls = prf_calls;
+  }
   return result;
 }
 

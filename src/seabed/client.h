@@ -7,8 +7,10 @@
 // variance/stddev formulas, MIN/MAX cell decryption).
 //
 // All client work is wall-clock measured and reported in
-// ResultSet::client_seconds; the modeled server→client transfer goes to
-// ResultSet::network_seconds.
+// QueryStats::client_seconds; the modeled server→client transfer goes to
+// QueryStats::network_seconds, and the Section 6.6 "AES operations required
+// for decryption" statistic to QueryStats::prf_calls. Stats are per-call, so
+// one Client may decrypt concurrent responses (Session::ExecuteBatch).
 #ifndef SEABED_SRC_SEABED_CLIENT_H_
 #define SEABED_SRC_SEABED_CLIENT_H_
 
@@ -24,18 +26,15 @@ class Client {
   Client(const EncryptedDatabase& db, const ClientKeys& keys) : db_(&db), keys_(&keys) {}
 
   // Decrypts `response` for the translated query `tq`. `right_db` supplies
-  // keys/dictionaries for joined-table aggregates and group columns.
+  // keys/dictionaries for joined-table aggregates and group columns. `stats`,
+  // when non-null, receives the latency breakdown and PRF-call count.
   ResultSet Decrypt(const EncryptedResponse& response, const TranslatedQuery& tq,
-                    const Cluster& cluster, const EncryptedDatabase* right_db = nullptr) const;
-
-  // Total PRF invocations performed by the last Decrypt call — the
-  // "AES operations required for decryption" statistic of Section 6.6.
-  uint64_t last_prf_calls() const { return last_prf_calls_; }
+                    const Cluster& cluster, const EncryptedDatabase* right_db = nullptr,
+                    QueryStats* stats = nullptr) const;
 
  private:
   const EncryptedDatabase* db_;
   const ClientKeys* keys_;
-  mutable uint64_t last_prf_calls_ = 0;
 };
 
 }  // namespace seabed

@@ -1,0 +1,217 @@
+#include "src/seabed/executor.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/query/plain_executor.h"
+#include "src/seabed/client.h"
+
+namespace seabed {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kPlain:
+      return "plain";
+    case BackendKind::kSeabed:
+      return "seabed";
+    case BackendKind::kPaillier:
+      return "paillier";
+  }
+  return "?";
+}
+
+AttachedTable& TableCatalog::Add(AttachedTable table) {
+  SEABED_CHECK_MSG(tables_.find(table.name) == tables_.end(),
+                   "table " << table.name << " attached twice");
+  const std::string name = table.name;
+  return tables_.emplace(name, std::move(table)).first->second;
+}
+
+const AttachedTable& TableCatalog::Get(const std::string& name) const {
+  const auto it = tables_.find(name);
+  SEABED_CHECK_MSG(it != tables_.end(), "table " << name << " is not attached to the session");
+  return it->second;
+}
+
+AttachedTable& TableCatalog::GetMutable(const std::string& name) {
+  const auto it = tables_.find(name);
+  SEABED_CHECK_MSG(it != tables_.end(), "table " << name << " is not attached to the session");
+  return it->second;
+}
+
+const AttachedTable* TableCatalog::Find(const std::string& name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Executor::~Executor() = default;
+
+namespace {
+
+// Appends `src`'s rows onto `dst`'s plaintext columns. Columns that `dst`
+// shares (by object identity) with `shared_with` are skipped — the encrypted
+// side grows those itself (Encryptor::AppendRows appends the non-sensitive
+// columns it shares with the plaintext table).
+void GrowPlainTable(Table& dst, const Table& src, const Table* shared_with) {
+  for (const std::string& name : dst.column_names()) {
+    const ColumnPtr& col = dst.GetColumn(name);
+    if (shared_with != nullptr && shared_with->HasColumn(name) &&
+        shared_with->GetColumn(name).get() == col.get()) {
+      continue;
+    }
+    const ColumnPtr& from = src.GetColumn(name);
+    SEABED_CHECK_MSG(from->type() == col->type(), "append schema mismatch on " << name);
+    if (col->type() == ColumnType::kInt64) {
+      auto* d = static_cast<Int64Column*>(col.get());
+      const auto* s = static_cast<const Int64Column*>(from.get());
+      for (size_t row = 0; row < src.NumRows(); ++row) {
+        d->Append(s->Get(row));
+      }
+    } else {
+      SEABED_CHECK_MSG(col->type() == ColumnType::kString,
+                       "append supports plaintext int/string columns only");
+      auto* d = static_cast<StringColumn*>(col.get());
+      const auto* s = static_cast<const StringColumn*>(from.get());
+      for (size_t row = 0; row < src.NumRows(); ++row) {
+        d->Append(s->Get(row));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// --- NoEnc -------------------------------------------------------------------
+
+void PlainExecutorBackend::Prepare(AttachedTable& table) {
+  (void)table;  // plaintext execution needs no preparation
+}
+
+void PlainExecutorBackend::Append(AttachedTable& table, const Table& new_rows) {
+  GrowPlainTable(*table.plain, new_rows, nullptr);
+}
+
+ResultSet PlainExecutorBackend::Execute(const Query& query, QueryStats* stats) {
+  const AttachedTable& fact = context_->catalog->Get(query.table);
+  const Table* right = nullptr;
+  if (query.join.has_value()) {
+    right = context_->catalog->Get(query.join->right_table).plain.get();
+  }
+  return ExecutePlain(*fact.plain, query, *context_->cluster, right, stats);
+}
+
+// --- Seabed ------------------------------------------------------------------
+
+void SeabedBackend::Prepare(AttachedTable& table) {
+  const Encryptor encryptor(*context_->keys);
+  table.enc = encryptor.Encrypt(*table.plain, table.schema, table.plan);
+  server_.RegisterTable(table.enc->table);
+}
+
+void SeabedBackend::Append(AttachedTable& table, const Table& new_rows) {
+  SEABED_CHECK_MSG(table.enc.has_value(), "append to unprepared table " << table.name);
+  // AppendRows grows the non-sensitive columns the encrypted table shares
+  // with the plaintext one; grow only the rest here.
+  GrowPlainTable(*table.plain, new_rows, table.enc->table.get());
+  const Encryptor encryptor(*context_->keys);
+  encryptor.AppendRows(*table.enc, new_rows, table.schema);
+}
+
+ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
+  const AttachedTable& fact = context_->catalog->Get(query.table);
+  SEABED_CHECK_MSG(fact.enc.has_value(), "table " << fact.name << " was not prepared");
+
+  Stopwatch translate_sw;
+  TranslatorOptions topts = context_->translator;
+  topts.cluster_workers = context_->cluster->num_workers();
+  const Translator translator(*fact.enc, *context_->keys);
+  TranslatedQuery tq = translator.Translate(query, topts);
+
+  // Joined-table resolution: the translator leaves the plaintext name; the
+  // server's registry is keyed by the encrypted table name.
+  const EncryptedDatabase* right_db = nullptr;
+  if (tq.server.join.has_value()) {
+    const AttachedTable& right = context_->catalog->Get(query.join->right_table);
+    SEABED_CHECK_MSG(right.enc.has_value(), "joined table " << right.name << " not prepared");
+    right_db = &*right.enc;
+    tq.server.join->right_table = right.enc->table->name();
+  }
+  const double translate_seconds = translate_sw.ElapsedSeconds();
+
+  const EncryptedResponse response = server_.Execute(tq.server, *context_->cluster);
+  const Client client(*fact.enc, *context_->keys);
+  ResultSet result = client.Decrypt(response, tq, *context_->cluster, right_db, stats);
+  if (stats != nullptr) {
+    stats->translate_seconds = translate_seconds;
+  }
+  return result;
+}
+
+// --- Paillier baseline -------------------------------------------------------
+
+PaillierBackend::PaillierBackend(const ExecutionContext* context,
+                                 const PaillierBackendOptions& options)
+    : context_(context),
+      rng_(options.seed),
+      paillier_(Paillier::GenerateKey(rng_, options.modulus_bits)),
+      randomness_pool_size_(options.randomness_pool_size) {}
+
+void PaillierBackend::Prepare(AttachedTable& table) {
+  const Encryptor encryptor(*context_->keys);
+  table.enc = encryptor.EncryptPaillierBaseline(*table.plain, table.schema, table.plan,
+                                                paillier_, rng_, randomness_pool_size_);
+}
+
+void PaillierBackend::Append(AttachedTable& table, const Table& new_rows) {
+  // The baseline has no incremental path (Paillier construction dominates
+  // anyway — Table 1); grow the plaintext table and re-encrypt it.
+  GrowPlainTable(*table.plain, new_rows, nullptr);
+  Prepare(table);
+}
+
+ResultSet PaillierBackend::Execute(const Query& query, QueryStats* stats) {
+  const AttachedTable& fact = context_->catalog->Get(query.table);
+  SEABED_CHECK_MSG(fact.enc.has_value(), "table " << fact.name << " was not prepared");
+
+  Stopwatch translate_sw;
+  TranslatorOptions topts = context_->translator;
+  topts.cluster_workers = context_->cluster->num_workers();
+  topts.enable_group_inflation = false;  // a Seabed-only optimization
+  const Translator translator(*fact.enc, *context_->keys);
+  const TranslatedQuery tq = translator.Translate(query, topts);
+
+  const EncryptedDatabase* right_db = nullptr;
+  const Table* right_table = nullptr;
+  if (tq.server.join.has_value()) {
+    const AttachedTable& right = context_->catalog->Get(query.join->right_table);
+    SEABED_CHECK_MSG(right.enc.has_value(), "joined table " << right.name << " not prepared");
+    right_db = &*right.enc;
+    right_table = right.enc->table.get();
+  }
+  const double translate_seconds = translate_sw.ElapsedSeconds();
+
+  const PaillierBaseline baseline(paillier_, context_->keys);
+  ResultSet result =
+      baseline.Execute(*fact.enc, tq, *context_->cluster, right_db, right_table, stats);
+  if (stats != nullptr) {
+    stats->translate_seconds = translate_seconds;
+  }
+  return result;
+}
+
+std::unique_ptr<Executor> MakeExecutor(BackendKind kind, const ExecutionContext* context,
+                                       const PaillierBackendOptions& paillier_options) {
+  switch (kind) {
+    case BackendKind::kPlain:
+      return std::make_unique<PlainExecutorBackend>(context);
+    case BackendKind::kSeabed:
+      return std::make_unique<SeabedBackend>(context);
+    case BackendKind::kPaillier:
+      return std::make_unique<PaillierBackend>(context, paillier_options);
+  }
+  SEABED_CHECK_MSG(false, "unknown backend kind");
+  return nullptr;
+}
+
+}  // namespace seabed

@@ -1,0 +1,164 @@
+// Pluggable execution backends behind the seabed::Session facade.
+//
+// The paper's evaluation is a backend-for-backend comparison over identical
+// queries: plaintext Spark execution (NoEnc), the CryptDB/Monomi-style
+// Paillier baseline, and Seabed's ASHE/SPLASHE pipeline. This header gives
+// the three paths one interface — an Executor turns a Query into a ResultSet
+// plus per-call QueryStats — so examples, benches and tests swap systems by
+// picking a backend instead of re-wiring translator/server/client objects.
+#ifndef SEABED_SRC_SEABED_EXECUTOR_H_
+#define SEABED_SRC_SEABED_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/paillier.h"
+#include "src/query/query.h"
+#include "src/seabed/encryptor.h"
+#include "src/seabed/paillier_baseline.h"
+#include "src/seabed/planner.h"
+#include "src/seabed/server.h"
+#include "src/seabed/translator.h"
+
+namespace seabed {
+
+enum class BackendKind {
+  kPlain,     // NoEnc: plaintext execution on the cluster model
+  kSeabed,    // ASHE/SPLASHE/DET/ORE encrypted pipeline
+  kPaillier,  // CryptDB/Monomi-style Paillier baseline
+};
+
+const char* BackendKindName(BackendKind kind);
+
+// One table registered with a Session: the plaintext source, its schema, the
+// planner's encryption plan, and (for encrypted backends) the encrypted form
+// built by Executor::Prepare.
+struct AttachedTable {
+  std::string name;
+  std::shared_ptr<Table> plain;
+  PlainSchema schema;
+  EncryptionPlan plan;
+
+  // Encrypted form owned by the backend that prepared it: the Seabed
+  // database for SeabedBackend, the baseline database for PaillierBackend,
+  // absent for PlainExecutorBackend.
+  std::optional<EncryptedDatabase> enc;
+};
+
+// Join-table registry shared by the Session and its backend: queries name
+// plaintext tables; backends resolve fact and joined tables here.
+class TableCatalog {
+ public:
+  AttachedTable& Add(AttachedTable table);
+  const AttachedTable& Get(const std::string& name) const;  // aborts when absent
+  AttachedTable& GetMutable(const std::string& name);
+  const AttachedTable* Find(const std::string& name) const;
+
+  const std::map<std::string, AttachedTable>& tables() const { return tables_; }
+
+ private:
+  std::map<std::string, AttachedTable> tables_;
+};
+
+// Session-owned state every backend reads at query time. The Session mutates
+// `cluster` (core-count sweeps) and `translator` (codec/inflation knobs)
+// between Execute calls; backends must re-read them per call.
+struct ExecutionContext {
+  const TableCatalog* catalog = nullptr;
+  const ClientKeys* keys = nullptr;
+  const Cluster* cluster = nullptr;
+  TranslatorOptions translator;
+};
+
+// Abstract execution backend. Implementations are stateless per call apart
+// from the prepared table state, so concurrent Execute calls are safe
+// (Session::ExecuteBatch relies on this).
+class Executor {
+ public:
+  virtual ~Executor();
+
+  virtual const char* name() const = 0;
+
+  // Builds backend state for a newly attached table (encryption, upload to
+  // the untrusted server). Called once per table by Session::Attach.
+  virtual void Prepare(AttachedTable& table) = 0;
+
+  // Appends `new_rows` to the attached table (paper Section 4.1): grows
+  // `table.plain` and the backend's encrypted state. Implementations own the
+  // split because encrypted tables share their non-sensitive columns with
+  // the plaintext table.
+  virtual void Append(AttachedTable& table, const Table& new_rows) = 0;
+
+  // Runs `query` end-to-end and fills `stats` (when non-null) with the
+  // latency breakdown of this call.
+  virtual ResultSet Execute(const Query& query, QueryStats* stats) = 0;
+};
+
+// NoEnc: plaintext execution over the attached tables.
+class PlainExecutorBackend : public Executor {
+ public:
+  explicit PlainExecutorBackend(const ExecutionContext* context) : context_(context) {}
+
+  const char* name() const override { return "plain"; }
+  void Prepare(AttachedTable& table) override;
+  void Append(AttachedTable& table, const Table& new_rows) override;
+  ResultSet Execute(const Query& query, QueryStats* stats) override;
+
+ private:
+  const ExecutionContext* context_;
+};
+
+// Seabed: plan-driven encryption, translated server plans over the untrusted
+// Server, client-side decryption.
+class SeabedBackend : public Executor {
+ public:
+  explicit SeabedBackend(const ExecutionContext* context) : context_(context) {}
+
+  const char* name() const override { return "seabed"; }
+  void Prepare(AttachedTable& table) override;
+  void Append(AttachedTable& table, const Table& new_rows) override;
+  ResultSet Execute(const Query& query, QueryStats* stats) override;
+
+  // The untrusted side, exposed for tests that inspect what the server sees.
+  const Server& server() const { return server_; }
+
+ private:
+  const ExecutionContext* context_;
+  Server server_;
+};
+
+struct PaillierBackendOptions {
+  int modulus_bits = 512;
+  uint64_t seed = 1;
+  // Construction-time randomness pool (see Paillier::MakeRandomnessPool).
+  size_t randomness_pool_size = 64;
+};
+
+// CryptDB/Monomi baseline: Paillier measures, DET/ORE dimensions.
+class PaillierBackend : public Executor {
+ public:
+  PaillierBackend(const ExecutionContext* context, const PaillierBackendOptions& options);
+
+  const char* name() const override { return "paillier"; }
+  void Prepare(AttachedTable& table) override;
+  void Append(AttachedTable& table, const Table& new_rows) override;
+  ResultSet Execute(const Query& query, QueryStats* stats) override;
+
+  const Paillier& paillier() const { return paillier_; }
+
+ private:
+  const ExecutionContext* context_;
+  Rng rng_;
+  Paillier paillier_;
+  size_t randomness_pool_size_;
+};
+
+std::unique_ptr<Executor> MakeExecutor(BackendKind kind, const ExecutionContext* context,
+                                       const PaillierBackendOptions& paillier_options);
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_EXECUTOR_H_

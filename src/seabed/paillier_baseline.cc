@@ -58,7 +58,7 @@ struct PartialGroup {
 
 ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const TranslatedQuery& tq,
                                     const Cluster& cluster, const EncryptedDatabase* right_db,
-                                    const Table* right_table) const {
+                                    const Table* right_table, QueryStats* stats) const {
   const ServerPlan& splan = tq.server;
   const ClientPlan& cplan = tq.client;
   const Table& fact = *db.table;
@@ -253,10 +253,6 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
   }
 
   ResultSet result;
-  result.job = job;
-  result.job.server_seconds += driver_seconds;
-  result.result_bytes = response_bytes;
-  result.network_seconds = cluster.config().client_link.TransferSeconds(response_bytes);
 
   // Client: one Paillier decryption per aggregate result.
   Stopwatch client_sw;
@@ -300,9 +296,15 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
           row.push_back(part);
           break;
         case ClientGroupOutput::Kind::kDetInt:
-          // The baseline shares DET keys with Seabed; token inversion happens
-          // in the example/bench layer when needed. Emit the token.
-          row.push_back(part);
+          // Int DET is invertible given the column key; without keys the raw
+          // token is emitted.
+          if (keys_ != nullptr) {
+            const DetInt det(keys_->DeriveColumnKey(go.key_label));
+            row.emplace_back(static_cast<int64_t>(
+                det.Decrypt(static_cast<uint64_t>(std::get<int64_t>(part)))));
+          } else {
+            row.push_back(part);
+          }
           break;
         case ClientGroupOutput::Kind::kDetString: {
           const EncryptedDatabase& owner = keys_owner(go.on_right);
@@ -347,7 +349,15 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
     }
     result.rows.push_back(std::move(row));
   }
-  result.client_seconds = client_sw.ElapsedSeconds();
+  if (stats != nullptr) {
+    stats->backend = "paillier";
+    stats->job = job;
+    stats->server_seconds = job.server_seconds + driver_seconds;
+    stats->result_bytes = response_bytes;
+    stats->result_rows = result.rows.size();
+    stats->network_seconds = cluster.config().client_link.TransferSeconds(response_bytes);
+    stats->client_seconds = client_sw.ElapsedSeconds();
+  }
   return result;
 }
 

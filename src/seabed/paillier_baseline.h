@@ -20,17 +20,23 @@ namespace seabed {
 
 class PaillierBaseline {
  public:
-  explicit PaillierBaseline(const Paillier& paillier) : paillier_(&paillier) {}
+  // `keys`, when provided, lets the client side render int DET group keys
+  // back to plaintext (the baseline shares DET keys with Seabed); without
+  // keys the raw token is emitted.
+  explicit PaillierBaseline(const Paillier& paillier, const ClientKeys* keys = nullptr)
+      : paillier_(&paillier), keys_(keys) {}
 
   // Executes `tq` (translated against the baseline database's plan) over
   // `db.table` and decrypts the response. ASHE sum aggregates are
-  // reinterpreted over the corresponding "#paillier" columns.
+  // reinterpreted over the corresponding "#paillier" columns. `stats`, when
+  // non-null, receives the latency breakdown of the call.
   ResultSet Execute(const EncryptedDatabase& db, const TranslatedQuery& tq,
                     const Cluster& cluster, const EncryptedDatabase* right_db = nullptr,
-                    const Table* right_table = nullptr) const;
+                    const Table* right_table = nullptr, QueryStats* stats = nullptr) const;
 
  private:
   const Paillier* paillier_;
+  const ClientKeys* keys_;
 };
 
 }  // namespace seabed

@@ -1,0 +1,105 @@
+#include "src/seabed/session.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+
+namespace seabed {
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)), keys_(ClientKeys::FromSeed(options_.key_seed)) {
+  if (options_.external_cluster == nullptr) {
+    own_cluster_ = std::make_unique<Cluster>(options_.cluster);
+  }
+  context_.catalog = &catalog_;
+  context_.keys = &keys_;
+  context_.cluster =
+      options_.external_cluster != nullptr ? options_.external_cluster : own_cluster_.get();
+  context_.translator = options_.translator;
+  executor_ = MakeExecutor(options_.backend, &context_, options_.paillier);
+}
+
+Session::~Session() = default;
+
+void Session::Attach(std::shared_ptr<Table> table, const PlainSchema& schema,
+                     const std::vector<Query>& sample_queries) {
+  AttachPlanned(std::move(table), schema,
+                PlanEncryption(schema, sample_queries, options_.planner));
+}
+
+void Session::AttachPlanned(std::shared_ptr<Table> table, const PlainSchema& schema,
+                            EncryptionPlan plan) {
+  SEABED_CHECK_MSG(table != nullptr, "Attach requires a table");
+  AttachedTable attached;
+  attached.name = schema.table_name;
+  attached.plain = std::move(table);
+  attached.schema = schema;
+  attached.plan = std::move(plan);
+  executor_->Prepare(catalog_.Add(std::move(attached)));
+}
+
+void Session::Append(const std::string& table, const Table& new_rows) {
+  // Backends own the growth policy: encrypted tables share the non-sensitive
+  // plaintext columns with the attached table, so who appends what depends
+  // on the backend (see Executor::Append).
+  executor_->Append(catalog_.GetMutable(table), new_rows);
+}
+
+ResultSet Session::Execute(const Query& query, QueryStats* stats) {
+  return executor_->Execute(query, stats);
+}
+
+std::vector<ResultSet> Session::ExecuteBatch(std::span<const Query> queries,
+                                             std::vector<QueryStats>* stats) {
+  std::vector<ResultSet> results(queries.size());
+  if (stats != nullptr) {
+    stats->assign(queries.size(), QueryStats{});
+  }
+  if (queries.empty()) {
+    return results;
+  }
+  // Query-level parallelism runs on its own pool. Results are identical to
+  // serial Execute, but concurrent queries share the host's cores, so the
+  // measured per-task compute feeding QueryStats includes cross-query
+  // interference — batch stats trade latency fidelity for throughput.
+  const size_t threads =
+      std::min(queries.size(),
+               static_cast<size_t>(std::max(1u, std::thread::hardware_concurrency())));
+  ThreadPool pool(threads);
+  pool.ParallelFor(queries.size(), [&](size_t i) {
+    results[i] = executor_->Execute(queries[i], stats != nullptr ? &(*stats)[i] : nullptr);
+  });
+  return results;
+}
+
+void Session::UseCluster(const Cluster* cluster) {
+  if (cluster != nullptr) {
+    context_.cluster = cluster;
+    return;
+  }
+  if (own_cluster_ == nullptr) {
+    own_cluster_ = std::make_unique<Cluster>(options_.cluster);
+  }
+  context_.cluster = own_cluster_.get();
+}
+
+void Session::set_translator_options(const TranslatorOptions& options) {
+  context_.translator = options;
+}
+
+const EncryptionPlan& Session::plan(const std::string& table) const {
+  return catalog_.Get(table).plan;
+}
+
+const EncryptedDatabase& Session::encrypted_database(const std::string& table) const {
+  const AttachedTable& attached = catalog_.Get(table);
+  SEABED_CHECK_MSG(attached.enc.has_value(),
+                   "backend " << BackendKindName(options_.backend)
+                              << " keeps no encrypted database for " << table);
+  return *attached.enc;
+}
+
+}  // namespace seabed

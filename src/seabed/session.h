@@ -1,0 +1,112 @@
+// The seabed::Session facade — one object for the paper's whole pipeline.
+//
+// A Session owns everything the five-class dance used to thread by hand:
+// the cluster model, client keys, planner output, encrypted databases, the
+// join-table registry, and the execution backend. Typical use:
+//
+//   SessionOptions options;
+//   options.backend = BackendKind::kSeabed;
+//   Session session(options);
+//   session.Attach(table, schema, sample_queries);   // plan + encrypt + upload
+//   QueryStats stats;
+//   ResultSet r = session.Execute(MustParseSql(sql), &stats);
+//
+// Swapping `options.backend` re-runs the same queries on the NoEnc or
+// Paillier baseline — the evaluation's backend-for-backend comparison in one
+// line. Joined tables are Attach()ed like any other table and resolved by
+// name from the query's JOIN clause.
+#ifndef SEABED_SRC_SEABED_SESSION_H_
+#define SEABED_SRC_SEABED_SESSION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/seabed/executor.h"
+
+namespace seabed {
+
+struct SessionOptions {
+  BackendKind backend = BackendKind::kSeabed;
+
+  // Cluster model for this session. Ignored when `external_cluster` is set
+  // (non-owning; must outlive the Session) — benches sweeping core counts
+  // share one encrypted database across many cluster shapes that way.
+  ClusterConfig cluster;
+  const Cluster* external_cluster = nullptr;
+
+  PlannerOptions planner;
+  TranslatorOptions translator;
+  PaillierBackendOptions paillier;
+
+  // Master-secret seed for the per-column key derivation.
+  uint64_t key_seed = 0xC0FFEE;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Registers `table` under its name: runs the planner over `sample_queries`
+  // and lets the backend encrypt/upload as needed. Joined tables are attached
+  // the same way and resolved by name at query time.
+  void Attach(std::shared_ptr<Table> table, const PlainSchema& schema,
+              const std::vector<Query>& sample_queries);
+
+  // Attach with a precomputed encryption plan (skips the planner) — used
+  // when several sessions must share the exact plan.
+  void AttachPlanned(std::shared_ptr<Table> table, const PlainSchema& schema,
+                     EncryptionPlan plan);
+
+  // Appends plaintext rows to an attached table (paper Section 4.1): the
+  // attached plaintext table and the backend's encrypted state both grow.
+  void Append(const std::string& table, const Table& new_rows);
+
+  // Runs one query end-to-end on the session's backend. `stats`, when
+  // non-null, receives the per-call latency breakdown.
+  ResultSet Execute(const Query& query, QueryStats* stats = nullptr);
+
+  // Runs a batch concurrently on the host pool, reusing the session's
+  // prepared translation state. `stats`, when non-null, is resized to one
+  // entry per query. Rows are identical to serial Execute calls; the timing
+  // fields reflect contended host cores, so use serial Execute when
+  // measuring latency and ExecuteBatch when measuring throughput.
+  std::vector<ResultSet> ExecuteBatch(std::span<const Query> queries,
+                                      std::vector<QueryStats>* stats = nullptr);
+
+  // --- knobs benches sweep between Execute calls -----------------------------
+  // Point the session at a different cluster model (nullptr = back to the
+  // session-owned cluster). Non-owning.
+  void UseCluster(const Cluster* cluster);
+  void set_translator_options(const TranslatorOptions& options);
+  const TranslatorOptions& translator_options() const { return context_.translator; }
+
+  // --- accessors --------------------------------------------------------------
+  const Cluster& cluster() const { return *context_.cluster; }
+  const ClientKeys& keys() const { return keys_; }
+  BackendKind backend_kind() const { return options_.backend; }
+  Executor& executor() { return *executor_; }
+
+  const AttachedTable& attached(const std::string& table) const { return catalog_.Get(table); }
+  const EncryptionPlan& plan(const std::string& table) const;
+  // The encrypted database the backend built for `table` (aborts on the
+  // plain backend, which has none).
+  const EncryptedDatabase& encrypted_database(const std::string& table) const;
+
+ private:
+  SessionOptions options_;
+  ClientKeys keys_;
+  std::unique_ptr<Cluster> own_cluster_;
+  TableCatalog catalog_;
+  ExecutionContext context_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_SESSION_H_

@@ -165,10 +165,13 @@ TEST_F(PlainExecutorTest, LatencyBreakdownPopulated) {
   Query q;
   q.table = "sales";
   q.Sum("amount");
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
-  EXPECT_GT(r.result_bytes, 0u);
-  EXPECT_GT(r.network_seconds, 0.0);
-  EXPECT_GE(r.TotalSeconds(), r.job.server_seconds);
+  QueryStats stats;
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, &stats);
+  EXPECT_EQ(stats.backend, "plain");
+  EXPECT_EQ(stats.result_rows, r.rows.size());
+  EXPECT_GT(stats.result_bytes, 0u);
+  EXPECT_GT(stats.network_seconds, 0.0);
+  EXPECT_GE(stats.TotalSeconds(), stats.job.server_seconds);
 }
 
 }  // namespace

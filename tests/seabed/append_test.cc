@@ -1,19 +1,18 @@
-// Tests for incremental insertion (Encryptor::AppendRows, paper Section 4.1).
+// Tests for incremental insertion (Session::Append over
+// Encryptor::AppendRows, paper Section 4.1).
 #include <gtest/gtest.h>
 
 #include <map>
 
 #include "src/common/rng.h"
 #include "src/query/plain_executor.h"
-#include "src/seabed/client.h"
-#include "src/seabed/planner.h"
-#include "src/seabed/server.h"
+#include "src/seabed/session.h"
 
 namespace seabed {
 namespace {
 
 struct AppendFixture {
-  AppendFixture() : keys(ClientKeys::FromSeed(71)) {
+  AppendFixture() : session(Options()) {
     schema.table_name = "log";
     ValueDistribution dist;
     dist.values = {"a", "b", "c", "d"};
@@ -24,13 +23,22 @@ struct AppendFixture {
     Query sample;
     sample.table = "log";
     sample.Sum("m").Count().Where("dim", CmpOp::kEq, std::string("c"));
-    PlannerOptions popts;
-    popts.expected_rows = 2000;
-    plan = PlanEncryption(schema, {sample}, popts);
 
     initial = MakeBatch(1000, 5);
-    const Encryptor encryptor(keys);
-    db = encryptor.Encrypt(*initial, schema, plan);
+    // Attach a copy: Session::Append grows the attached plaintext table in
+    // place, and the tests compare against hand-concatenated batches.
+    session.Attach(Combined({initial}), schema, {sample});
+  }
+
+  static SessionOptions Options() {
+    SessionOptions options;
+    options.backend = BackendKind::kSeabed;
+    options.cluster.num_workers = 3;
+    options.cluster.job_overhead_seconds = 0;
+    options.cluster.task_overhead_seconds = 0;
+    options.planner.expected_rows = 2000;
+    options.key_seed = 71;
+    return options;
   }
 
   std::shared_ptr<Table> MakeBatch(size_t rows, uint64_t seed) const {
@@ -72,22 +80,11 @@ struct AppendFixture {
     return table;
   }
 
-  ResultSet RunSeabed(const Query& q, const Cluster& cluster) {
-    Server server;
-    server.RegisterTable(db.table);
-    TranslatorOptions topts;
-    topts.cluster_workers = cluster.num_workers();
-    const Translator translator(db, keys);
-    const TranslatedQuery tq = translator.Translate(q, topts);
-    const Client client(db, keys);
-    return client.Decrypt(server.Execute(tq.server, cluster), tq, cluster);
-  }
+  const EncryptedDatabase& db() const { return session.encrypted_database("log"); }
 
-  ClientKeys keys;
+  Session session;
   PlainSchema schema;
-  EncryptionPlan plan;
   std::shared_ptr<Table> initial;
-  EncryptedDatabase db;
 };
 
 ClusterConfig TestConfig() {
@@ -100,10 +97,11 @@ ClusterConfig TestConfig() {
 
 TEST(AppendTest, RowCountsGrow) {
   AppendFixture f;
-  const size_t before = f.db.table->NumRows();
+  const size_t before = f.db().table->NumRows();
   const auto batch = f.MakeBatch(300, 6);
-  Encryptor(f.keys).AppendRows(f.db, *batch, f.schema);
-  EXPECT_EQ(f.db.table->NumRows(), before + 300);
+  f.session.Append("log", *batch);
+  EXPECT_EQ(f.db().table->NumRows(), before + 300);
+  EXPECT_EQ(f.session.attached("log").plain->NumRows(), before + 300);
 }
 
 TEST(AppendTest, QueriesSeeAppendedRows) {
@@ -111,9 +109,8 @@ TEST(AppendTest, QueriesSeeAppendedRows) {
   const Cluster cluster(TestConfig());
   const auto batch1 = f.MakeBatch(300, 6);
   const auto batch2 = f.MakeBatch(450, 7);
-  const Encryptor encryptor(f.keys);
-  encryptor.AppendRows(f.db, *batch1, f.schema);
-  encryptor.AppendRows(f.db, *batch2, f.schema);
+  f.session.Append("log", *batch1);
+  f.session.Append("log", *batch2);
 
   const auto combined = f.Combined({f.initial, batch1, batch2});
   for (const char* value : {"a", "b", "c", "d"}) {
@@ -121,7 +118,7 @@ TEST(AppendTest, QueriesSeeAppendedRows) {
     q.table = "log";
     q.Sum("m").Count().Where("dim", CmpOp::kEq, std::string(value));
     const ResultSet plain = ExecutePlain(*combined, q, cluster);
-    const ResultSet enc = f.RunSeabed(q, cluster);
+    const ResultSet enc = f.session.Execute(q);
     ASSERT_EQ(enc.rows.size(), 1u) << value;
     EXPECT_EQ(std::get<int64_t>(enc.rows[0][0]), std::get<int64_t>(plain.rows[0][0])) << value;
     EXPECT_EQ(std::get<int64_t>(enc.rows[0][1]), std::get<int64_t>(plain.rows[0][1])) << value;
@@ -130,37 +127,29 @@ TEST(AppendTest, QueriesSeeAppendedRows) {
 
 TEST(AppendTest, AsheIdsStayContiguous) {
   AppendFixture f;
-  const Cluster cluster(TestConfig());
   const auto batch = f.MakeBatch(500, 8);
-  Encryptor(f.keys).AppendRows(f.db, *batch, f.schema);
+  f.session.Append("log", *batch);
 
   // A full-table sum over contiguous ids decrypts with ~one run per
   // partition — the append must not fragment the id space.
   Query q;
   q.table = "log";
   q.Sum("m");
-  Server server;
-  server.RegisterTable(f.db.table);
-  TranslatorOptions topts;
-  topts.cluster_workers = cluster.num_workers();
-  const Translator translator(f.db, f.keys);
-  const TranslatedQuery tq = translator.Translate(q, topts);
-  const Client client(f.db, f.keys);
-  client.Decrypt(server.Execute(tq.server, cluster), tq, cluster);
-  EXPECT_LE(client.last_prf_calls(), 2u * cluster.num_workers());
+  QueryStats stats;
+  f.session.Execute(q, &stats);
+  EXPECT_LE(stats.prf_calls, 2u * f.session.cluster().num_workers());
 }
 
 TEST(AppendTest, EqualizationSurvivesInserts) {
   AppendFixture f;
-  const Encryptor encryptor(f.keys);
   for (uint64_t seed = 20; seed < 24; ++seed) {
     const auto batch = f.MakeBatch(250, seed);
-    encryptor.AppendRows(f.db, *batch, f.schema);
+    f.session.Append("log", *batch);
   }
-  const SplasheLayout* layout = f.plan.FindSplashe("dim");
+  const SplasheLayout* layout = f.session.plan("log").FindSplashe("dim");
   ASSERT_NE(layout, nullptr);
   const auto* det =
-      static_cast<const DetColumn*>(f.db.table->GetColumn(layout->DetColumn()).get());
+      static_cast<const DetColumn*>(f.db().table->GetColumn(layout->DetColumn()).get());
   std::map<uint64_t, uint64_t> freq;
   for (size_t row = 0; row < det->RowCount(); ++row) {
     ++freq[det->Get(row)];

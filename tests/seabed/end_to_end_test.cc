@@ -1,7 +1,9 @@
 // End-to-end equivalence: for every supported query shape, the Seabed
 // pipeline (plan → encrypt → translate → encrypted execution → decrypt) and
 // the Paillier baseline must produce exactly the answers of the plaintext
-// executor. This is the correctness contract of the whole system.
+// executor. This is the correctness contract of the whole system. Everything
+// runs through the Session facade; the few tests that inspect translator or
+// server internals drop down to the component APIs on the session's state.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -9,9 +11,9 @@
 #include "src/common/rng.h"
 #include "src/query/plain_executor.h"
 #include "src/seabed/client.h"
-#include "src/seabed/paillier_baseline.h"
 #include "src/seabed/planner.h"
 #include "src/seabed/server.h"
+#include "src/seabed/session.h"
 
 namespace seabed {
 namespace {
@@ -47,7 +49,7 @@ std::vector<std::string> RowsAsStrings(const ResultSet& r) {
 
 class EndToEndTest : public ::testing::Test {
  protected:
-  EndToEndTest() : cluster_(TestClusterConfig()), keys_(ClientKeys::FromSeed(1234)) {
+  EndToEndTest() : session_(SeabedOptions()) {
     // Schema: one SPLASHE dimension (country), one DET group dimension
     // (store), one OPE dimension (ts), measures salary & bonus.
     schema_.table_name = "emp";
@@ -93,13 +95,16 @@ class EndToEndTest : public ::testing::Test {
     table_->AddColumn("bonus", bonus_col);
     table_->AddColumn("dept", dept_col);
 
-    PlannerOptions options;
-    options.expected_rows = 4000;
-    plan_ = PlanEncryption(schema_, SampleQueries(), options);
+    session_.Attach(table_, schema_, SampleQueries());
+  }
 
-    const Encryptor encryptor(keys_);
-    db_ = encryptor.Encrypt(*table_, schema_, plan_);
-    server_.RegisterTable(db_.table);
+  static SessionOptions SeabedOptions() {
+    SessionOptions options;
+    options.backend = BackendKind::kSeabed;
+    options.cluster = TestClusterConfig();
+    options.planner.expected_rows = 4000;
+    options.key_seed = 1234;
+    return options;
   }
 
   static std::vector<Query> SampleQueries() {
@@ -125,28 +130,21 @@ class EndToEndTest : public ::testing::Test {
     return queries;
   }
 
-  ResultSet RunSeabed(const Query& q, TranslatorOptions topts = {}) {
-    topts.cluster_workers = cluster_.num_workers();
-    const Translator translator(db_, keys_);
-    const TranslatedQuery tq = translator.Translate(q, topts);
-    const EncryptedResponse response = server_.Execute(tq.server, cluster_);
-    const Client client(db_, keys_);
-    return client.Decrypt(response, tq, cluster_);
+  ResultSet RunSeabed(const Query& q, TranslatorOptions topts = {},
+                      QueryStats* stats = nullptr) {
+    session_.set_translator_options(topts);
+    return session_.Execute(q, stats);
   }
 
   void ExpectMatchesPlain(const Query& q, TranslatorOptions topts = {}) {
-    const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+    const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
     const ResultSet enc = RunSeabed(q, topts);
     EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
   }
 
-  Cluster cluster_;
-  ClientKeys keys_;
+  Session session_;
   PlainSchema schema_;
   std::shared_ptr<Table> table_;
-  EncryptionPlan plan_;
-  EncryptedDatabase db_;
-  Server server_;
 };
 
 TEST_F(EndToEndTest, GlobalSum) {
@@ -223,19 +221,23 @@ TEST_F(EndToEndTest, GroupByWithInflation) {
 }
 
 TEST_F(EndToEndTest, InflationPlanActuallyInflates) {
+  // Inspects the translated plan and raw server response, so this test talks
+  // to the components directly, over the session's encrypted state.
   Query q;
   q.table = "emp";
   q.Sum("bonus").GroupBy("store");
   q.expected_groups = 3;
   TranslatorOptions topts;
   topts.cluster_workers = 4;
-  const Translator translator(db_, keys_);
+  const EncryptedDatabase& db = session_.encrypted_database("emp");
+  const Translator translator(db, session_.keys());
   const TranslatedQuery tq = translator.Translate(q, topts);
   EXPECT_GT(tq.server.inflation, 1u);
-  const EncryptedResponse response = server_.Execute(tq.server, cluster_);
+  const Server& server = static_cast<SeabedBackend&>(session_.executor()).server();
+  const EncryptedResponse response = server.Execute(tq.server, session_.cluster());
   EXPECT_GT(response.groups.size(), 3u);  // inflated on the wire
-  const Client client(db_, keys_);
-  const ResultSet r = client.Decrypt(response, tq, cluster_);
+  const Client client(db, session_.keys());
+  const ResultSet r = client.Decrypt(response, tq, session_.cluster());
   EXPECT_EQ(r.rows.size(), 3u);  // deflated at the client
 }
 
@@ -287,7 +289,7 @@ TEST_F(EndToEndTest, EmptyResult) {
   q.Sum("salary").Where("ts", CmpOp::kGt, int64_t{99999});
   // Plain yields one row (sum over nothing = 0); Seabed's server finds no
   // matching rows and returns an all-zero aggregate as well.
-  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
   const ResultSet enc = RunSeabed(q);
   ASSERT_EQ(plain.rows.size(), 1u);
   ASSERT_EQ(enc.rows.size(), 1u);
@@ -318,62 +320,56 @@ TEST_F(EndToEndTest, AllCodecOptionsMatch) {
   }
 }
 
-TEST_F(EndToEndTest, ResponseCarriesLatencyBreakdown) {
+TEST_F(EndToEndTest, StatsCarryLatencyBreakdown) {
   Query q;
   q.table = "emp";
   q.Sum("salary");
-  const ResultSet r = RunSeabed(q);
-  EXPECT_GT(r.result_bytes, 0u);
-  EXPECT_GT(r.network_seconds, 0.0);
-  EXPECT_GE(r.client_seconds, 0.0);
+  QueryStats stats;
+  RunSeabed(q, {}, &stats);
+  EXPECT_GT(stats.result_bytes, 0u);
+  EXPECT_GT(stats.network_seconds, 0.0);
+  EXPECT_GE(stats.client_seconds, 0.0);
+  EXPECT_EQ(stats.backend, "seabed");
 }
 
 TEST_F(EndToEndTest, PrfCallCountIsTracked) {
   Query q;
   q.table = "emp";
   q.Sum("salary");
-  const Translator translator(db_, keys_);
-  TranslatorOptions topts;
-  topts.cluster_workers = cluster_.num_workers();
-  const TranslatedQuery tq = translator.Translate(q, topts);
-  const EncryptedResponse response = server_.Execute(tq.server, cluster_);
-  const Client client(db_, keys_);
-  client.Decrypt(response, tq, cluster_);
+  QueryStats stats;
+  RunSeabed(q, {}, &stats);
   // Selectivity 100% with 4 partitions: one contiguous run per partition and
   // worker-side compression -> at most 2 PRF calls per partition blob.
-  EXPECT_GT(client.last_prf_calls(), 0u);
-  EXPECT_LE(client.last_prf_calls(), 8u);
+  EXPECT_GT(stats.prf_calls, 0u);
+  EXPECT_LE(stats.prf_calls, 8u);
 }
 
 // --- Paillier baseline equivalence ------------------------------------------
 
 class PaillierEndToEndTest : public EndToEndTest {
  protected:
-  PaillierEndToEndTest() : rng_(55), paillier_(Paillier::GenerateKey(rng_, 256)) {
-    const Encryptor encryptor(keys_);
-    baseline_ = encryptor.EncryptPaillierBaseline(*table_, schema_, plan_, paillier_, rng_);
+  PaillierEndToEndTest() : baseline_(PaillierOptions()) {
+    baseline_.Attach(table_, schema_, SampleQueries());
   }
 
-  ResultSet RunPaillier(const Query& q) {
-    TranslatorOptions topts;
-    topts.cluster_workers = cluster_.num_workers();
-    topts.enable_group_inflation = false;
-    const Translator translator(baseline_, keys_);
-    const TranslatedQuery tq = translator.Translate(q, topts);
-    const PaillierBaseline exec(paillier_);
-    return exec.Execute(baseline_, tq, cluster_);
+  static SessionOptions PaillierOptions() {
+    SessionOptions options = SeabedOptions();
+    options.backend = BackendKind::kPaillier;
+    options.paillier.modulus_bits = 256;
+    options.paillier.seed = 55;
+    return options;
   }
 
-  Rng rng_;
-  Paillier paillier_;
-  EncryptedDatabase baseline_;
+  ResultSet RunPaillier(const Query& q) { return baseline_.Execute(q); }
+
+  Session baseline_;
 };
 
 TEST_F(PaillierEndToEndTest, GlobalSumMatchesPlain) {
   Query q;
   q.table = "emp";
   q.Sum("salary");
-  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
   const ResultSet enc = RunPaillier(q);
   EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
 }
@@ -382,7 +378,7 @@ TEST_F(PaillierEndToEndTest, DetFilterMatchesPlain) {
   Query q;
   q.table = "emp";
   q.Sum("salary").Count().Where("country", CmpOp::kEq, std::string("india"));
-  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
   const ResultSet enc = RunPaillier(q);
   EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
 }
@@ -391,7 +387,7 @@ TEST_F(PaillierEndToEndTest, GroupByMatchesPlain) {
   Query q;
   q.table = "emp";
   q.Sum("bonus").Count().GroupBy("store");
-  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
   const ResultSet enc = RunPaillier(q);
   EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
 }
@@ -400,7 +396,7 @@ TEST_F(PaillierEndToEndTest, OreFilterMatchesPlain) {
   Query q;
   q.table = "emp";
   q.Sum("salary").Where("ts", CmpOp::kGe, int64_t{800});
-  const ResultSet plain = ExecutePlain(*table_, q, cluster_);
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
   const ResultSet enc = RunPaillier(q);
   EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
 }

@@ -7,9 +7,7 @@
 
 #include "src/common/rng.h"
 #include "src/query/plain_executor.h"
-#include "src/seabed/client.h"
-#include "src/seabed/planner.h"
-#include "src/seabed/server.h"
+#include "src/seabed/session.h"
 
 namespace seabed {
 namespace {
@@ -102,21 +100,16 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesMatchPlain) {
     q2.Where("ts", CmpOp::kGe, int64_t{0});
     samples.push_back(q2);
   }
-  PlannerOptions popts;
-  popts.expected_rows = rows;
-  const EncryptionPlan plan = PlanEncryption(schema, samples, popts);
-
-  const ClientKeys keys = ClientKeys::FromSeed(seed * 31 + 7);
-  const Encryptor encryptor(keys);
-  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
-
-  ClusterConfig cfg;
-  cfg.num_workers = 1 + rng.Below(6);
-  cfg.job_overhead_seconds = 0;
-  cfg.task_overhead_seconds = 0;
-  const Cluster cluster(cfg);
-  Server server;
-  server.RegisterTable(db.table);
+  SessionOptions options;
+  options.backend = BackendKind::kSeabed;
+  options.planner.expected_rows = rows;
+  options.key_seed = seed * 31 + 7;
+  options.cluster.num_workers = 1 + rng.Below(6);
+  options.cluster.job_overhead_seconds = 0;
+  options.cluster.task_overhead_seconds = 0;
+  Session session(options);
+  session.Attach(table, schema, samples);
+  const Cluster& cluster = session.cluster();
 
   // --- random queries -----------------------------------------------------------
   for (int trial = 0; trial < 12; ++trial) {
@@ -179,15 +172,11 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesMatchPlain) {
     const ResultSet plain = ExecutePlain(*table, q, cluster);
 
     TranslatorOptions topts;
-    topts.cluster_workers = cluster.num_workers();
     topts.idlist.use_range = rng.Chance(0.7);
     topts.idlist.compression = static_cast<IdListCompression>(rng.Below(3));
     topts.worker_side_compression = rng.Chance(0.7);
-    const Translator translator(db, keys);
-    const TranslatedQuery tq = translator.Translate(q, topts);
-    const EncryptedResponse response = server.Execute(tq.server, cluster);
-    const Client client(db, keys);
-    const ResultSet enc = client.Decrypt(response, tq, cluster);
+    session.set_translator_options(topts);
+    const ResultSet enc = session.Execute(q);
 
     EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
   }

@@ -3,9 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/query/plain_executor.h"
-#include "src/seabed/client.h"
-#include "src/seabed/planner.h"
-#include "src/seabed/server.h"
+#include "src/seabed/session.h"
 
 namespace seabed {
 namespace {
@@ -66,32 +64,20 @@ TEST(AdAnalyticsTest, EndToEndHourlyQueryMatchesPlain) {
   const AdAnalyticsSpec spec = SmallSpec();
   const auto table = MakeAdAnalyticsTable(spec);
   const PlainSchema schema = AdAnalyticsSchema(spec);
-  PlannerOptions options;
-  options.expected_rows = spec.rows;
-  const EncryptionPlan plan = PlanEncryption(schema, AdAnalyticsSampleQueries(spec), options);
 
-  const ClientKeys keys = ClientKeys::FromSeed(8);
-  const Encryptor encryptor(keys);
-  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
-
-  ClusterConfig cfg;
-  cfg.num_workers = 4;
-  cfg.job_overhead_seconds = 0;
-  cfg.task_overhead_seconds = 0;
-  const Cluster cluster(cfg);
-  Server server;
-  server.RegisterTable(db.table);
+  SessionOptions options;
+  options.backend = BackendKind::kSeabed;
+  options.planner.expected_rows = spec.rows;
+  options.cluster.num_workers = 4;
+  options.cluster.job_overhead_seconds = 0;
+  options.cluster.task_overhead_seconds = 0;
+  options.key_seed = 8;
+  Session session(options);
+  session.Attach(table, schema, AdAnalyticsSampleQueries(spec));
 
   Query q = AdAnalyticsPerfQuery(4, 2, 1);
-  const ResultSet plain = ExecutePlain(*table, q, cluster);
-
-  TranslatorOptions topts;
-  topts.cluster_workers = cluster.num_workers();
-  const Translator translator(db, keys);
-  const TranslatedQuery tq = translator.Translate(q, topts);
-  const EncryptedResponse response = server.Execute(tq.server, cluster);
-  const Client client(db, keys);
-  const ResultSet enc = client.Decrypt(response, tq, cluster);
+  const ResultSet plain = ExecutePlain(*table, q, session.cluster());
+  const ResultSet enc = session.Execute(q);
 
   ASSERT_EQ(enc.rows.size(), plain.rows.size());
   for (size_t i = 0; i < enc.rows.size(); ++i) {
@@ -105,23 +91,20 @@ TEST(AdAnalyticsTest, SplasheFilterQueryMatchesPlain) {
   const AdAnalyticsSpec spec = SmallSpec();
   const auto table = MakeAdAnalyticsTable(spec);
   const PlainSchema schema = AdAnalyticsSchema(spec);
-  PlannerOptions options;
-  options.expected_rows = spec.rows;
-  const EncryptionPlan plan = PlanEncryption(schema, AdAnalyticsSampleQueries(spec), options);
+
+  SessionOptions options;
+  options.backend = BackendKind::kSeabed;
+  options.planner.expected_rows = spec.rows;
+  options.cluster.num_workers = 2;
+  options.cluster.job_overhead_seconds = 0;
+  options.cluster.task_overhead_seconds = 0;
+  options.key_seed = 9;
+  Session session(options);
+  session.Attach(table, schema, AdAnalyticsSampleQueries(spec));
+
+  const EncryptionPlan& plan = session.plan("ad_analytics");
   // At least one sensitive dimension must be protected by SPLASHE.
   EXPECT_FALSE(plan.splashe.empty());
-
-  const ClientKeys keys = ClientKeys::FromSeed(9);
-  const Encryptor encryptor(keys);
-  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
-
-  ClusterConfig cfg;
-  cfg.num_workers = 2;
-  cfg.job_overhead_seconds = 0;
-  cfg.task_overhead_seconds = 0;
-  const Cluster cluster(cfg);
-  Server server;
-  server.RegisterTable(db.table);
 
   const SplasheLayout& layout = plan.splashe.front();
   Query q;
@@ -130,14 +113,8 @@ TEST(AdAnalyticsTest, SplasheFilterQueryMatchesPlain) {
   q.Sum(measure).Count();
   q.Where(layout.dimension, CmpOp::kEq, layout.splayed_values.front());
 
-  const ResultSet plain = ExecutePlain(*table, q, cluster);
-  TranslatorOptions topts;
-  topts.cluster_workers = cluster.num_workers();
-  const Translator translator(db, keys);
-  const TranslatedQuery tq = translator.Translate(q, topts);
-  const EncryptedResponse response = server.Execute(tq.server, cluster);
-  const Client client(db, keys);
-  const ResultSet enc = client.Decrypt(response, tq, cluster);
+  const ResultSet plain = ExecutePlain(*table, q, session.cluster());
+  const ResultSet enc = session.Execute(q);
 
   ASSERT_EQ(enc.rows.size(), 1u);
   EXPECT_EQ(std::get<int64_t>(enc.rows[0][0]), std::get<int64_t>(plain.rows[0][0]));

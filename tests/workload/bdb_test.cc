@@ -1,13 +1,12 @@
 // Runs the Big Data Benchmark queries end-to-end on small tables and checks
-// the encrypted pipeline against the plaintext executor.
+// the encrypted pipeline against the plaintext executor (which materializes
+// the same broadcast hash join).
 #include "src/workload/bdb.h"
 
 #include <gtest/gtest.h>
 
 #include "src/query/plain_executor.h"
-#include "src/seabed/client.h"
-#include "src/seabed/planner.h"
-#include "src/seabed/server.h"
+#include "src/seabed/session.h"
 
 namespace seabed {
 namespace {
@@ -34,127 +33,42 @@ std::vector<std::string> RowsAsStrings(const ResultSet& r) {
 
 class BdbTest : public ::testing::Test {
  protected:
-  BdbTest() : cluster_(Config()), keys_(ClientKeys::FromSeed(3)) {
+  BdbTest() : session_(Options()) {
     spec_.rankings_rows = 500;
     spec_.uservisits_rows = 2000;
     spec_.num_urls = 300;
     rankings_ = MakeRankingsTable(spec_);
     uservisits_ = MakeUserVisitsTable(spec_);
-
-    PlannerOptions options;
-    const Encryptor encryptor(keys_);
-    rankings_plan_ = PlanEncryption(RankingsSchema(), RankingsSampleQueries(), options);
-    uservisits_plan_ = PlanEncryption(UserVisitsSchema(), UserVisitsSampleQueries(), options);
-    rankings_db_ = encryptor.Encrypt(*rankings_, RankingsSchema(), rankings_plan_);
-    uservisits_db_ = encryptor.Encrypt(*uservisits_, UserVisitsSchema(), uservisits_plan_);
-    server_.RegisterTable(rankings_db_.table);
-    server_.RegisterTable(uservisits_db_.table);
+    session_.Attach(rankings_, RankingsSchema(), RankingsSampleQueries());
+    session_.Attach(uservisits_, UserVisitsSchema(), UserVisitsSampleQueries());
   }
 
-  static ClusterConfig Config() {
-    ClusterConfig cfg;
-    cfg.num_workers = 4;
-    cfg.job_overhead_seconds = 0;
-    cfg.task_overhead_seconds = 0;
-    return cfg;
+  static SessionOptions Options() {
+    SessionOptions options;
+    options.backend = BackendKind::kSeabed;
+    options.cluster.num_workers = 4;
+    options.cluster.job_overhead_seconds = 0;
+    options.cluster.task_overhead_seconds = 0;
+    options.key_seed = 3;
+    return options;
   }
 
   const Table& FactTable(const BdbQuery& bq) const {
     return bq.on_uservisits ? *uservisits_ : *rankings_;
   }
-  const EncryptedDatabase& FactDb(const BdbQuery& bq) const {
-    return bq.on_uservisits ? uservisits_db_ : rankings_db_;
-  }
 
-  ResultSet RunSeabed(const BdbQuery& bq) {
-    TranslatorOptions topts;
-    topts.cluster_workers = cluster_.num_workers();
-    const EncryptedDatabase& db = FactDb(bq);
-    const Translator translator(db, keys_);
-    TranslatedQuery tq = translator.Translate(bq.query, topts);
-    if (tq.server.join.has_value()) {
-      tq.server.join->right_table = rankings_db_.table->name();
-    }
-    const EncryptedResponse response = server_.Execute(tq.server, cluster_);
-    const Client client(db, keys_);
-    return client.Decrypt(response, tq, cluster_, &rankings_db_);
-  }
+  ResultSet RunSeabed(const BdbQuery& bq) { return session_.Execute(bq.query); }
 
   ResultSet RunPlain(const BdbQuery& bq) {
-    if (!bq.query.join.has_value()) {
-      return ExecutePlain(FactTable(bq), bq.query, cluster_);
-    }
-    // The plaintext executor has no join support; materialize the join by
-    // hand for the expected answer.
-    return PlainJoin(bq.query);
+    const Table* right = bq.query.join.has_value() ? rankings_.get() : nullptr;
+    return ExecutePlain(FactTable(bq), bq.query, session_.cluster(), right);
   }
-
-  // Materialized nested-loop join via a URL -> rankings-row index.
-  ResultSet PlainJoin(const Query& q);
 
   BdbSpec spec_;
-  Cluster cluster_;
-  ClientKeys keys_;
+  Session session_;
   std::shared_ptr<Table> rankings_;
   std::shared_ptr<Table> uservisits_;
-  EncryptionPlan rankings_plan_;
-  EncryptionPlan uservisits_plan_;
-  EncryptedDatabase rankings_db_;
-  EncryptedDatabase uservisits_db_;
-  Server server_;
 };
-
-ResultSet BdbTest::PlainJoin(const Query& q) {
-  // Supports the Q3 shape: join uservisits->rankings on destURL = pageURL,
-  // visitDate window, group by sourceIP, SUM(adRevenue), AVG(right:pageRank).
-  const auto* dest = static_cast<const StringColumn*>(uservisits_->GetColumn("destURL").get());
-  const auto* src = static_cast<const StringColumn*>(uservisits_->GetColumn("sourceIP").get());
-  const auto* date = static_cast<const Int64Column*>(uservisits_->GetColumn("visitDate").get());
-  const auto* revenue = static_cast<const Int64Column*>(uservisits_->GetColumn("adRevenue").get());
-  const auto* url = static_cast<const StringColumn*>(rankings_->GetColumn("pageURL").get());
-  const auto* rank = static_cast<const Int64Column*>(rankings_->GetColumn("pageRank").get());
-
-  int64_t lo = INT64_MIN;
-  int64_t hi = INT64_MAX;
-  for (const Predicate& p : q.filters) {
-    if (p.op == CmpOp::kGe) {
-      lo = std::get<int64_t>(p.operand);
-    }
-    if (p.op == CmpOp::kLt) {
-      hi = std::get<int64_t>(p.operand) - 1;
-    }
-  }
-  std::map<std::string, size_t> url_index;
-  for (size_t r = 0; r < url->RowCount(); ++r) {
-    url_index[url->Get(r)] = r;
-  }
-  struct Acc {
-    int64_t revenue = 0;
-    int64_t rank_sum = 0;
-    int64_t count = 0;
-  };
-  std::map<std::string, Acc> groups;
-  for (size_t r = 0; r < dest->RowCount(); ++r) {
-    if (date->Get(r) < lo || date->Get(r) > hi) {
-      continue;
-    }
-    const auto it = url_index.find(dest->Get(r));
-    if (it == url_index.end()) {
-      continue;
-    }
-    Acc& acc = groups[src->Get(r)];
-    acc.revenue += revenue->Get(r);
-    acc.rank_sum += rank->Get(it->second);
-    ++acc.count;
-  }
-  ResultSet result;
-  result.column_names = {"sourceIP", "sum_adRevenue", "avg_pageRank"};
-  for (const auto& [ip, acc] : groups) {
-    result.rows.push_back({ip, acc.revenue,
-                           static_cast<double>(acc.rank_sum) / static_cast<double>(acc.count)});
-  }
-  return result;
-}
 
 TEST_F(BdbTest, QuerySetHasTenQueries) {
   const auto set = BdbQuerySet();
@@ -179,12 +93,12 @@ TEST_F(BdbTest, TablesHaveExpectedShape) {
 }
 
 TEST_F(BdbTest, JoinKeysAreDetEncrypted) {
-  EXPECT_TRUE(rankings_db_.table->HasColumn("pageURL#det"));
-  EXPECT_TRUE(uservisits_db_.table->HasColumn("destURL#det"));
+  EXPECT_TRUE(session_.encrypted_database("rankings").table->HasColumn("pageURL#det"));
+  EXPECT_TRUE(session_.encrypted_database("uservisits").table->HasColumn("destURL#det"));
 }
 
 TEST_F(BdbTest, VisitDateIsOpe) {
-  EXPECT_TRUE(uservisits_db_.table->HasColumn("visitDate#ope"));
+  EXPECT_TRUE(session_.encrypted_database("uservisits").table->HasColumn("visitDate#ope"));
 }
 
 }  // namespace
