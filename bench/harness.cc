@@ -71,17 +71,25 @@ SyntheticHarness::SyntheticHarness(const Options& options)
       noenc_(BackendOptions(BackendKind::kPlain, options_)),
       seabed_(BackendOptions(BackendKind::kSeabed, options_)) {
   const SyntheticSpec spec = SpecOf(options_, options_.rows);
-  const PlainSchema schema = SyntheticSchema(spec);
+  schema_ = SyntheticSchema(spec);
   const std::vector<Query> samples = SyntheticSampleQueries(spec);
 
-  noenc_.Attach(plain_, schema, samples);
-  seabed_.Attach(plain_, schema, samples);
+  noenc_.Attach(plain_, schema_, samples);
+  seabed_.Attach(plain_, schema_, samples);
 
   if (options_.build_paillier) {
     plain_small_ = MakeSyntheticTable(SpecOf(options_, options_.paillier_rows));
     paillier_ = std::make_unique<Session>(BackendOptions(BackendKind::kPaillier, options_));
-    paillier_->Attach(plain_small_, schema, samples);
+    paillier_->Attach(plain_small_, schema_, samples);
   }
+}
+
+std::unique_ptr<Session> SyntheticHarness::MakeShardedSession(size_t shards) {
+  SessionOptions so = BackendOptions(BackendKind::kShardedSeabed, options_);
+  so.shards = shards;
+  auto session = std::make_unique<Session>(std::move(so));
+  session->AttachPlanned(plain_, schema_, seabed_.plan("synthetic"));
+  return session;
 }
 
 ResultSet SyntheticHarness::RunNoEnc(const Query& q, const Cluster& cluster,

@@ -60,6 +60,11 @@ class SyntheticHarness {
   // rows / paillier_rows so the reported numbers are per-full-table.
   ResultSet RunPaillier(const Query& q, const Cluster& cluster, QueryStats* stats = nullptr);
 
+  // Builds a kShardedSeabed session over the same synthetic table, reusing
+  // the seabed session's encryption plan, so scale-out sweeps measure the
+  // real fan-out/merge path instead of the analytical cluster model.
+  std::unique_ptr<Session> MakeShardedSession(size_t shards);
+
   uint64_t rows() const { return options_.rows; }
   uint64_t paillier_rows() const { return options_.paillier_rows; }
   Session& noenc() { return noenc_; }
@@ -72,6 +77,7 @@ class SyntheticHarness {
   Options options_;
   std::shared_ptr<Table> plain_;        // full size
   std::shared_ptr<Table> plain_small_;  // baseline size
+  PlainSchema schema_;
   Session noenc_;
   Session seabed_;
   std::unique_ptr<Session> paillier_;

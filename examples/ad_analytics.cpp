@@ -53,7 +53,7 @@ int main() {
     const seabed::Query q = seabed::AdAnalyticsPerfQuery(groups, 2, groups);
     seabed::QueryStats stats;
     const seabed::ResultSet enc = session.Execute(q, &stats);
-    const seabed::ResultSet ref = seabed::ExecutePlain(*table, q, session.cluster());
+    const seabed::ResultSet ref = seabed::ExecutePlain(*table, q, session.cluster(), nullptr, nullptr);
     std::printf("\n%zu-group query -> %zu rows (%.1f KB, cross-check %s)\n",
                 groups, enc.rows.size(), stats.result_bytes / 1e3,
                 enc.rows.size() == ref.rows.size() ? "ok" : "MISMATCH");

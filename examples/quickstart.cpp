@@ -87,7 +87,7 @@ int main() {
   auto run = [&](const Query& q, const char* what) {
     QueryStats stats;
     const ResultSet enc = session.Execute(q, &stats);
-    const ResultSet ref = seabed::ExecutePlain(*table, q, session.cluster());
+    const ResultSet ref = seabed::ExecutePlain(*table, q, session.cluster(), nullptr, nullptr);
     std::printf("\n--- %s ---\n%s", what, enc.ToString().c_str());
     std::printf("(%.3f s total, %zu bytes shipped, plaintext cross-check: %s)\n",
                 stats.TotalSeconds(), stats.result_bytes,
@@ -112,6 +112,28 @@ int main() {
   q3.table = "retail";
   q3.Sum("revenue", "total").Where("country", CmpOp::kEq, std::string("usa"));
   run(q3, "revenue from USA (splayed column, zero server-side predicates)");
+
+  // --- 4. scale out ------------------------------------------------------------
+  // The same queries on the sharded backend: rows hash-partition across four
+  // servers, the query fans out, and the coordinator merges the encrypted
+  // partial results before one client decryption. Same answers, and
+  // QueryStats now reports the per-shard breakdown.
+  seabed::SessionOptions sharded_options = options;
+  sharded_options.backend = BackendKind::kShardedSeabed;
+  sharded_options.shards = 4;
+  seabed::Session sharded(sharded_options);
+  sharded.AttachPlanned(table, schema, plan);  // reuse the planner's output
+
+  QueryStats stats;
+  const ResultSet fan_out = sharded.Execute(q2, &stats);
+  std::printf("\n--- revenue by store, sharded across %zu servers ---\n%s",
+              sharded_options.shards, fan_out.ToString().c_str());
+  std::printf("(slowest shard + merge: %.3f s server, merge %.6f s, shards:",
+              stats.server_seconds, stats.merge_seconds);
+  for (const double s : stats.shard_server_seconds) {
+    std::printf(" %.3f", s);
+  }
+  std::printf(")\n");
 
   return 0;
 }

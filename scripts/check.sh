@@ -1,16 +1,37 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, and run the test suite.
+# Tier-1 verify: configure, build, and run the test suite, then smoke-run the
+# benches so every commit leaves a machine-readable perf trajectory.
 #
-#   ./scripts/check.sh            # incremental
+#   ./scripts/check.sh                 # incremental build + tests + bench smoke
 #   BUILD_DIR=out ./scripts/check.sh
+#   SMOKE_BENCH=0 ./scripts/check.sh   # tests only
+#
+# Bench smoke mode runs a representative subset on a tiny synthetic table
+# (SEABED_BENCH_ROWS=20000) and archives the BENCH_*.json records under
+# $BUILD_DIR/bench-json/ — CI uploads that directory as a build artifact, so
+# successive commits accumulate comparable perf records.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
+SMOKE_BENCH="${SMOKE_BENCH:-1}"
+SMOKE_ROWS="${SMOKE_ROWS:-20000}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 # --no-tests=error: a configure that silently disabled the suite (e.g. GTest
 # missing) must fail the check, not pass it with zero tests.
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS"
+
+if [[ "$SMOKE_BENCH" == "1" ]]; then
+  JSON_DIR="$BUILD_DIR/bench-json"
+  mkdir -p "$JSON_DIR"
+  for bench in bench_fig6_latency_rows bench_fig7_scalability bench_fig9a_groupby; do
+    echo "--- smoke: $bench (rows=$SMOKE_ROWS) ---"
+    SEABED_BENCH_ROWS="$SMOKE_ROWS" SEABED_BENCH_JSON_DIR="$JSON_DIR" \
+      "$BUILD_DIR/bench/$bench" > /dev/null
+  done
+  echo "bench smoke OK — records in $JSON_DIR:"
+  ls -l "$JSON_DIR"
+fi

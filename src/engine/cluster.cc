@@ -46,6 +46,18 @@ JobStats Cluster::RunJob(size_t num_tasks, const std::function<void(size_t)>& fn
   return stats;
 }
 
+JobStats MergeParallelJobs(const std::vector<JobStats>& jobs) {
+  JobStats merged;
+  for (const JobStats& job : jobs) {
+    merged.server_seconds = std::max(merged.server_seconds, job.server_seconds);
+    merged.total_compute_seconds += job.total_compute_seconds;
+    merged.num_tasks += job.num_tasks;
+    merged.worker_seconds.insert(merged.worker_seconds.end(), job.worker_seconds.begin(),
+                                 job.worker_seconds.end());
+  }
+  return merged;
+}
+
 double Cluster::ShuffleSeconds(size_t total_bytes, size_t num_reducers) const {
   if (total_bytes == 0) {
     return 0;

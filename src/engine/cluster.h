@@ -53,6 +53,12 @@ struct JobStats {
   size_t num_tasks = 0;
 };
 
+// Accounting for jobs that ran concurrently on independent clusters (one per
+// shard in the scale-out backend): latency is the slowest job, compute and
+// task counts add, and the per-worker busy times are concatenated in job
+// order (shard 0's workers first).
+JobStats MergeParallelJobs(const std::vector<JobStats>& jobs);
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);

@@ -192,6 +192,7 @@ ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cl
 
   const auto partitions = table.Partitions(cluster.num_workers());
   std::vector<std::unordered_map<std::string, GroupState>> partials(partitions.size());
+  std::vector<uint64_t> touched(partitions.size(), 0);
 
   const JobStats job = cluster.RunJob(partitions.size(), [&](size_t p) {
     auto& local = partials[p];
@@ -202,6 +203,7 @@ ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cl
           return;
         }
       }
+      ++touched[p];
       std::string key;
       for (const ResolvedColumn& rc : group_cols) {
         key += ValueToString(CellValue(*rc.table, rc.name, rc.on_right ? right_row : row));
@@ -281,6 +283,10 @@ ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cl
     stats->result_rows = result.rows.size();
     stats->network_seconds = cluster.config().client_link.TransferSeconds(result_bytes);
     stats->client_seconds = client_sw.ElapsedSeconds();
+    stats->rows_touched = 0;
+    for (const uint64_t t : touched) {
+      stats->rows_touched += t;
+    }
   }
   return result;
 }

@@ -11,15 +11,14 @@
 namespace seabed {
 
 // Runs `query` over `table`, parallelized across the cluster's workers.
-// When the query joins a second table, `right` must point at it; joined
-// columns carry the "right:" prefix in the query. `stats`, when non-null,
-// receives the latency breakdown of the call.
+// When the query joins a second table, `right` must point at it (nullptr
+// otherwise); joined columns carry the "right:" prefix in the query.
+// `stats`, when non-null, receives the latency breakdown of the call.
 //
 // Prefer Session::Execute with a PlainExecutorBackend (src/seabed/session.h);
-// this free function remains as the backend's engine and as a thin
-// compatibility entry point.
+// this free function remains as the backend's engine.
 ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cluster,
-                       const Table* right = nullptr, QueryStats* stats = nullptr);
+                       const Table* right, QueryStats* stats);
 
 }  // namespace seabed
 

@@ -118,6 +118,17 @@ struct QueryStats {
   size_t result_bytes = 0;      // payload shipped to the client
   size_t result_rows = 0;       // rows in the final ResultSet
 
+  // Rows that survived the server-side predicates (each join match counts
+  // once). Deterministic for a fixed table + query, so regression tests can
+  // pin it across sessions.
+  uint64_t rows_touched = 0;
+
+  // Sharded fan-out detail (kShardedSeabed): simulated server latency per
+  // shard (both round trips, when the query needs two) and the coordinator's
+  // ciphertext-side merge time. Empty / zero on single-server backends.
+  std::vector<double> shard_server_seconds;
+  double merge_seconds = 0;
+
   double TotalSeconds() const {
     return server_seconds + network_seconds + client_seconds;
   }

@@ -242,6 +242,7 @@ ResultSet Client::Decrypt(const EncryptedResponse& response, const TranslatedQue
         cluster.config().client_link.TransferSeconds(response.response_bytes);
     stats->client_seconds = client_sw.ElapsedSeconds();
     stats->prf_calls = prf_calls;
+    stats->rows_touched = response.rows_touched;
   }
   return result;
 }

@@ -26,11 +26,12 @@ class Client {
   Client(const EncryptedDatabase& db, const ClientKeys& keys) : db_(&db), keys_(&keys) {}
 
   // Decrypts `response` for the translated query `tq`. `right_db` supplies
-  // keys/dictionaries for joined-table aggregates and group columns. `stats`,
-  // when non-null, receives the latency breakdown and PRF-call count.
+  // keys/dictionaries for joined-table aggregates and group columns (nullptr
+  // for non-join queries). `stats`, when non-null, receives the latency
+  // breakdown and PRF-call count.
   ResultSet Decrypt(const EncryptedResponse& response, const TranslatedQuery& tq,
-                    const Cluster& cluster, const EncryptedDatabase* right_db = nullptr,
-                    QueryStats* stats = nullptr) const;
+                    const Cluster& cluster, const EncryptedDatabase* right_db,
+                    QueryStats* stats) const;
 
  private:
   const EncryptedDatabase* db_;

@@ -30,6 +30,12 @@ std::string StringAt(const ColumnPtr& col, size_t row) {
 
 EncryptedDatabase Encryptor::Encrypt(const Table& plain, const PlainSchema& schema,
                                      const EncryptionPlan& plan) const {
+  return EncryptWithBaseId(plain, schema, plan, 1);
+}
+
+EncryptedDatabase Encryptor::EncryptWithBaseId(const Table& plain, const PlainSchema& schema,
+                                               const EncryptionPlan& plan,
+                                               uint64_t ashe_base_id) const {
   EncryptedDatabase db;
   db.plan = plan;
   db.table = std::make_shared<Table>(plan.table_name + "#enc");
@@ -54,7 +60,7 @@ EncryptedDatabase Encryptor::Encrypt(const Table& plain, const PlainSchema& sche
     // ASHE column (primary for measures, additional for "both"-role dims).
     if (cp.scheme == EncScheme::kAshe || cp.add_ashe) {
       const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, spec.name + "#ashe")));
-      auto col = std::make_shared<AsheColumn>();
+      auto col = std::make_shared<AsheColumn>(ashe_base_id);
       for (size_t row = 0; row < rows; ++row) {
         const auto m = static_cast<uint64_t>(IntAt(source, row));
         col->Append(ashe.EncryptCell(m, col->IdOfRow(row)));
@@ -63,7 +69,7 @@ EncryptedDatabase Encryptor::Encrypt(const Table& plain, const PlainSchema& sche
     }
     if (cp.needs_square) {
       const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, spec.name + "#sq#ashe")));
-      auto col = std::make_shared<AsheColumn>();
+      auto col = std::make_shared<AsheColumn>(ashe_base_id);
       for (size_t row = 0; row < rows; ++row) {
         const int64_t v = IntAt(source, row);
         col->Append(ashe.EncryptCell(static_cast<uint64_t>(v) * static_cast<uint64_t>(v),
@@ -118,7 +124,7 @@ EncryptedDatabase Encryptor::Encrypt(const Table& plain, const PlainSchema& sche
     for (const std::string& value : layout.splayed_values) {
       const std::string col_name = layout.CountColumn(value);
       const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
-      auto col = std::make_shared<AsheColumn>();
+      auto col = std::make_shared<AsheColumn>(ashe_base_id);
       for (size_t row = 0; row < rows; ++row) {
         const uint64_t bit = StringAt(source, row) == value ? 1 : 0;
         col->Append(ashe.EncryptCell(bit, col->IdOfRow(row)));
@@ -132,7 +138,7 @@ EncryptedDatabase Encryptor::Encrypt(const Table& plain, const PlainSchema& sche
       for (const std::string& value : layout.splayed_values) {
         const std::string col_name = SplasheLayout::MeasureColumn(measure, value);
         const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
-        auto col = std::make_shared<AsheColumn>();
+        auto col = std::make_shared<AsheColumn>(ashe_base_id);
         for (size_t row = 0; row < rows; ++row) {
           const uint64_t v = StringAt(source, row) == value
                                  ? static_cast<uint64_t>(IntAt(m_src, row))
@@ -154,7 +160,7 @@ EncryptedDatabase Encryptor::Encrypt(const Table& plain, const PlainSchema& sche
     {
       const std::string col_name = layout.OthersCountColumn();
       const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
-      auto col = std::make_shared<AsheColumn>();
+      auto col = std::make_shared<AsheColumn>(ashe_base_id);
       for (size_t row = 0; row < rows; ++row) {
         col->Append(ashe.EncryptCell(is_splayed_row(row) ? 0 : 1, col->IdOfRow(row)));
       }
@@ -164,7 +170,7 @@ EncryptedDatabase Encryptor::Encrypt(const Table& plain, const PlainSchema& sche
       const ColumnPtr& m_src = plain.GetColumn(measure);
       const std::string col_name = SplasheLayout::OthersMeasureColumn(measure);
       const Ashe ashe(keys_.DeriveColumnKey(ColumnKeyLabel(plan.table_name, col_name)));
-      auto col = std::make_shared<AsheColumn>();
+      auto col = std::make_shared<AsheColumn>(ashe_base_id);
       for (size_t row = 0; row < rows; ++row) {
         const uint64_t v =
             is_splayed_row(row) ? 0 : static_cast<uint64_t>(IntAt(m_src, row));

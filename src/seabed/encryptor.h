@@ -48,6 +48,14 @@ class Encryptor {
   EncryptedDatabase Encrypt(const Table& plain, const PlainSchema& schema,
                             const EncryptionPlan& plan) const;
 
+  // Same, but ASHE row identifiers start at `ashe_base_id` instead of 1.
+  // The sharded backend gives every shard a disjoint identifier space this
+  // way, so per-shard aggregate ciphertexts stay additively combinable at
+  // the coordinator (the ID multiset union never collides across shards).
+  EncryptedDatabase EncryptWithBaseId(const Table& plain, const PlainSchema& schema,
+                                      const EncryptionPlan& plan,
+                                      uint64_t ashe_base_id) const;
+
   // Appends `new_rows` (a plaintext table with the same schema) to an
   // existing encrypted database — "database insertions are handled in the
   // same way" (Section 4.1). ASHE identifiers continue from the current row

@@ -6,6 +6,7 @@
 #include "src/common/stopwatch.h"
 #include "src/query/plain_executor.h"
 #include "src/seabed/client.h"
+#include "src/seabed/sharded_backend.h"
 
 namespace seabed {
 
@@ -17,6 +18,8 @@ const char* BackendKindName(BackendKind kind) {
       return "seabed";
     case BackendKind::kPaillier:
       return "paillier";
+    case BackendKind::kShardedSeabed:
+      return "sharded-seabed";
   }
   return "?";
 }
@@ -47,12 +50,6 @@ const AttachedTable* TableCatalog::Find(const std::string& name) const {
 
 Executor::~Executor() = default;
 
-namespace {
-
-// Appends `src`'s rows onto `dst`'s plaintext columns. Columns that `dst`
-// shares (by object identity) with `shared_with` are skipped — the encrypted
-// side grows those itself (Encryptor::AppendRows appends the non-sensitive
-// columns it shares with the plaintext table).
 void GrowPlainTable(Table& dst, const Table& src, const Table* shared_with) {
   for (const std::string& name : dst.column_names()) {
     const ColumnPtr& col = dst.GetColumn(name);
@@ -79,8 +76,6 @@ void GrowPlainTable(Table& dst, const Table& src, const Table* shared_with) {
     }
   }
 }
-
-}  // namespace
 
 // --- NoEnc -------------------------------------------------------------------
 
@@ -139,7 +134,7 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
   }
   const double translate_seconds = translate_sw.ElapsedSeconds();
 
-  const EncryptedResponse response = server_.Execute(tq.server, *context_->cluster);
+  const EncryptedResponse response = server_.Execute(tq.server, *context_->cluster, nullptr);
   const Client client(*fact.enc, *context_->keys);
   ResultSet result = client.Decrypt(response, tq, *context_->cluster, right_db, stats);
   if (stats != nullptr) {
@@ -201,7 +196,8 @@ ResultSet PaillierBackend::Execute(const Query& query, QueryStats* stats) {
 }
 
 std::unique_ptr<Executor> MakeExecutor(BackendKind kind, const ExecutionContext* context,
-                                       const PaillierBackendOptions& paillier_options) {
+                                       const PaillierBackendOptions& paillier_options,
+                                       size_t shards) {
   switch (kind) {
     case BackendKind::kPlain:
       return std::make_unique<PlainExecutorBackend>(context);
@@ -209,6 +205,8 @@ std::unique_ptr<Executor> MakeExecutor(BackendKind kind, const ExecutionContext*
       return std::make_unique<SeabedBackend>(context);
     case BackendKind::kPaillier:
       return std::make_unique<PaillierBackend>(context, paillier_options);
+    case BackendKind::kShardedSeabed:
+      return std::make_unique<ShardedSeabedBackend>(context, shards);
   }
   SEABED_CHECK_MSG(false, "unknown backend kind");
   return nullptr;

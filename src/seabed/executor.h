@@ -26,9 +26,10 @@
 namespace seabed {
 
 enum class BackendKind {
-  kPlain,     // NoEnc: plaintext execution on the cluster model
-  kSeabed,    // ASHE/SPLASHE/DET/ORE encrypted pipeline
-  kPaillier,  // CryptDB/Monomi-style Paillier baseline
+  kPlain,          // NoEnc: plaintext execution on the cluster model
+  kSeabed,         // ASHE/SPLASHE/DET/ORE encrypted pipeline
+  kPaillier,       // CryptDB/Monomi-style Paillier baseline
+  kShardedSeabed,  // scale-out Seabed: N partitioned servers + merge layer
 };
 
 const char* BackendKindName(BackendKind kind);
@@ -97,6 +98,11 @@ class Executor {
   virtual ResultSet Execute(const Query& query, QueryStats* stats) = 0;
 };
 
+// Appends `src`'s rows onto `dst`'s plaintext columns. Columns that `dst`
+// shares (by object identity) with `shared_with` are skipped — the encrypted
+// side grows those itself. Shared by the backends' Append implementations.
+void GrowPlainTable(Table& dst, const Table& src, const Table* shared_with);
+
 // NoEnc: plaintext execution over the attached tables.
 class PlainExecutorBackend : public Executor {
  public:
@@ -156,8 +162,11 @@ class PaillierBackend : public Executor {
   size_t randomness_pool_size_;
 };
 
+// Builds the backend for `kind`. `paillier_options` configures kPaillier;
+// `shards` sets the fan-out width of kShardedSeabed (ignored elsewhere).
 std::unique_ptr<Executor> MakeExecutor(BackendKind kind, const ExecutionContext* context,
-                                       const PaillierBackendOptions& paillier_options);
+                                       const PaillierBackendOptions& paillier_options,
+                                       size_t shards);
 
 }  // namespace seabed
 

@@ -80,6 +80,7 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
   const BigNum& n2 = paillier_->public_key().n_squared;
   const auto partitions = fact.Partitions(cluster.num_workers());
   std::vector<std::unordered_map<std::string, PartialGroup>> partials(partitions.size());
+  std::vector<uint64_t> touched(partitions.size(), 0);
 
   const JobStats job = cluster.RunJob(partitions.size(), [&](size_t p) {
     auto& local = partials[p];
@@ -121,6 +122,7 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
           return;
         }
       }
+      ++touched[p];
 
       std::string key;
       std::vector<Value> key_parts;
@@ -240,6 +242,15 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
   }
   const double driver_seconds = driver_sw.ElapsedSeconds();
 
+  // SQL semantics: a global aggregate over zero matching rows still yields
+  // one (all-zero) result row — the plain executor and the Seabed client
+  // both synthesize it, so the baseline must too.
+  if (merged.empty() && cplan.group_outputs.empty()) {
+    PartialGroup zero;
+    zero.aggs.resize(splan.aggregates.size());
+    merged.emplace("", std::move(zero));
+  }
+
   // Response size: one ciphertext per ASHE-sum aggregate per group.
   const size_t ct_bytes = paillier_->public_key().CiphertextBytes();
   size_t response_bytes = 0;
@@ -357,6 +368,10 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
     stats->result_rows = result.rows.size();
     stats->network_seconds = cluster.config().client_link.TransferSeconds(response_bytes);
     stats->client_seconds = client_sw.ElapsedSeconds();
+    stats->rows_touched = 0;
+    for (const uint64_t t : touched) {
+      stats->rows_touched += t;
+    }
   }
   return result;
 }

@@ -28,11 +28,12 @@ class PaillierBaseline {
 
   // Executes `tq` (translated against the baseline database's plan) over
   // `db.table` and decrypts the response. ASHE sum aggregates are
-  // reinterpreted over the corresponding "#paillier" columns. `stats`, when
-  // non-null, receives the latency breakdown of the call.
+  // reinterpreted over the corresponding "#paillier" columns. `right_db` /
+  // `right_table` supply the joined table (nullptr for non-join queries).
+  // `stats`, when non-null, receives the latency breakdown of the call.
   ResultSet Execute(const EncryptedDatabase& db, const TranslatedQuery& tq,
-                    const Cluster& cluster, const EncryptedDatabase* right_db = nullptr,
-                    const Table* right_table = nullptr, QueryStats* stats = nullptr) const;
+                    const Cluster& cluster, const EncryptedDatabase* right_db,
+                    const Table* right_table, QueryStats* stats) const;
 
  private:
   const Paillier* paillier_;

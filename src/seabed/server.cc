@@ -103,7 +103,8 @@ const std::shared_ptr<Table>& Server::GetTable(const std::string& name) const {
   return it->second;
 }
 
-EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster) const {
+EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster,
+                                  const Table* right_override) const {
   const Table& fact = *GetTable(plan.table);
   const Table* right = nullptr;
 
@@ -113,7 +114,7 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
   const DetColumn* join_left = nullptr;
   Stopwatch driver_sw;
   if (plan.join.has_value()) {
-    right = GetTable(plan.join->right_table).get();
+    right = right_override != nullptr ? right_override : GetTable(plan.join->right_table).get();
     const ColRef right_key = Resolve(fact, right, plan.join->right_column, true);
     SEABED_CHECK_MSG(right_key.det != nullptr, "join keys must be DET encrypted");
     for (size_t row = 0; row < right->NumRows(); ++row) {
@@ -155,6 +156,7 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
 
   const auto partitions = fact.Partitions(cluster.num_workers());
   std::vector<std::unordered_map<std::string, PartialGroup>> partials(partitions.size());
+  std::vector<uint64_t> touched(partitions.size(), 0);
 
   const JobStats job = cluster.RunJob(partitions.size(), [&](size_t p) {
     auto& local = partials[p];
@@ -191,6 +193,7 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
           return;
         }
       }
+      ++touched[p];
 
       // Group key.
       std::string key;
@@ -434,6 +437,9 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
   response.response_bytes = bytes;
   response.job = job;
   response.driver_seconds = driver_seconds;
+  for (const uint64_t t : touched) {
+    response.rows_touched += t;
+  }
   return response;
 }
 

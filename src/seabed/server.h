@@ -59,6 +59,7 @@ struct EncryptedResponse {
   double shuffle_seconds = 0;   // modeled reduce-phase transfer
   size_t shuffle_bytes = 0;
   size_t response_bytes = 0;    // payload shipped to the client
+  uint64_t rows_touched = 0;    // rows that survived the predicates
 
   double ServerSeconds() const {
     return job.server_seconds + driver_seconds + shuffle_seconds;
@@ -72,7 +73,11 @@ class Server {
 
   const std::shared_ptr<Table>& GetTable(const std::string& name) const;
 
-  EncryptedResponse Execute(const ServerPlan& plan, const Cluster& cluster) const;
+  // Executes `plan`. When the plan joins and `right_override` is non-null,
+  // the joined table is taken from the override instead of the registry —
+  // the sharded backend broadcasts an unregistered replica this way.
+  EncryptedResponse Execute(const ServerPlan& plan, const Cluster& cluster,
+                            const Table* right_override) const;
 
  private:
   std::map<std::string, std::shared_ptr<Table>> tables_;

@@ -19,7 +19,7 @@ Session::Session(SessionOptions options)
   context_.cluster =
       options_.external_cluster != nullptr ? options_.external_cluster : own_cluster_.get();
   context_.translator = options_.translator;
-  executor_ = MakeExecutor(options_.backend, &context_, options_.paillier);
+  executor_ = MakeExecutor(options_.backend, &context_, options_.paillier, options_.shards);
 }
 
 Session::~Session() = default;

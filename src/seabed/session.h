@@ -40,6 +40,11 @@ struct SessionOptions {
   TranslatorOptions translator;
   PaillierBackendOptions paillier;
 
+  // Fan-out width of the kShardedSeabed backend (ignored by the others).
+  // Each shard is an independent Server holding a hash partition of every
+  // attached table; queries fan out and merge at the coordinator.
+  size_t shards = 4;
+
   // Master-secret seed for the per-column key derivation.
   uint64_t key_seed = 0xC0FFEE;
 };

@@ -1,0 +1,375 @@
+#include "src/seabed/sharded_backend.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/seabed/client.h"
+
+namespace seabed {
+namespace {
+
+// Shards encrypt into disjoint ASHE identifier spaces: shard s starts at
+// 1 + s * kShardIdStride. The stride leaves each shard ~10^12 identifiers of
+// headroom, so appends keep growing a shard's contiguous run without ever
+// reaching the next shard's space.
+constexpr uint64_t kShardIdStride = uint64_t{1} << 40;
+
+uint64_t ShardBaseId(size_t shard) { return 1 + shard * kShardIdStride; }
+
+// Copies the selected rows of a plaintext table into a fresh table (fresh
+// columns — sub-tables must not alias the attached table, whose columns the
+// full replica shares).
+std::shared_ptr<Table> SubsetRows(const Table& src, const std::string& name,
+                                  const std::vector<size_t>& rows) {
+  auto out = std::make_shared<Table>(name);
+  for (const std::string& col_name : src.column_names()) {
+    const ColumnPtr& col = src.GetColumn(col_name);
+    if (col->type() == ColumnType::kInt64) {
+      const auto* s = static_cast<const Int64Column*>(col.get());
+      auto c = std::make_shared<Int64Column>();
+      for (const size_t row : rows) {
+        c->Append(s->Get(row));
+      }
+      out->AddColumn(col_name, std::move(c));
+    } else {
+      SEABED_CHECK_MSG(col->type() == ColumnType::kString,
+                       "sharding supports plaintext int/string columns only (" << col_name << ")");
+      const auto* s = static_cast<const StringColumn*>(col.get());
+      auto c = std::make_shared<StringColumn>();
+      for (const size_t row : rows) {
+        c->Append(s->Get(row));
+      }
+      out->AddColumn(col_name, std::move(c));
+    }
+  }
+  return out;
+}
+
+void MergeDictionaries(const EncryptedDatabase& from, EncryptedDatabase& into) {
+  for (const auto& [col, dict] : from.det_dictionaries) {
+    into.det_dictionaries[col].insert(dict.begin(), dict.end());
+  }
+  into.det_value_types.insert(from.det_value_types.begin(), from.det_value_types.end());
+}
+
+// Keeps an ORE winner if `src` beats it (or `dst` has none yet).
+void ReduceMinMax(ServerAggregate::Kind kind, const ServerAggResult& src, ServerAggResult& dst) {
+  if (!src.minmax_valid) {
+    return;
+  }
+  bool better = !dst.minmax_valid;
+  if (!better) {
+    const int order = Ore::Compare(src.minmax_ore, dst.minmax_ore).order;
+    better = kind == ServerAggregate::Kind::kOreMin ? order < 0 : order > 0;
+  }
+  if (better) {
+    dst.minmax_valid = true;
+    dst.minmax_ore = src.minmax_ore;
+    dst.minmax_cipher = src.minmax_cipher;
+    dst.minmax_id = src.minmax_id;
+  }
+}
+
+// The coordinator merge: combines per-shard encrypted responses without any
+// key material. Groups union-merge by serialized key; within a group, ASHE
+// sums add ciphertext-side (ID blobs concatenate — identifier spaces are
+// disjoint), counts add, and ORE min/max reduce. Timing fields model the
+// shards running in parallel (max), byte counts add. The caller adds the
+// measured merge wall-clock to `driver_seconds`.
+EncryptedResponse MergeShardResponses(const ServerPlan& plan,
+                                      std::vector<EncryptedResponse>& parts) {
+  EncryptedResponse out;
+  std::vector<JobStats> jobs;
+  jobs.reserve(parts.size());
+  std::map<std::string, ServerGroup> merged;
+  for (EncryptedResponse& part : parts) {
+    jobs.push_back(part.job);
+    out.driver_seconds = std::max(out.driver_seconds, part.driver_seconds);
+    out.shuffle_seconds = std::max(out.shuffle_seconds, part.shuffle_seconds);
+    out.shuffle_bytes += part.shuffle_bytes;
+    out.rows_touched += part.rows_touched;
+    for (ServerGroup& group : part.groups) {
+      auto [it, inserted] = merged.try_emplace(group.key, std::move(group));
+      if (inserted) {
+        continue;
+      }
+      ServerGroup& dst = it->second;
+      for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+        ServerAggResult& da = dst.aggs[a];
+        ServerAggResult& sa = group.aggs[a];
+        switch (plan.aggregates[a].kind) {
+          case ServerAggregate::Kind::kAsheSum:
+            da.ashe_value += sa.ashe_value;
+            da.id_blobs.insert(da.id_blobs.end(),
+                               std::make_move_iterator(sa.id_blobs.begin()),
+                               std::make_move_iterator(sa.id_blobs.end()));
+            break;
+          case ServerAggregate::Kind::kRowCount:
+            da.row_count += sa.row_count;
+            break;
+          case ServerAggregate::Kind::kOreMin:
+          case ServerAggregate::Kind::kOreMax:
+            ReduceMinMax(plan.aggregates[a].kind, sa, da);
+            break;
+        }
+      }
+    }
+  }
+  out.job = MergeParallelJobs(jobs);
+
+  size_t bytes = 0;
+  for (auto& [key, group] : merged) {
+    bytes += group.key.size();
+    for (const ServerAggResult& agg : group.aggs) {
+      bytes += 8;
+      for (const Bytes& blob : agg.id_blobs) {
+        bytes += blob.size();
+      }
+      if (agg.minmax_valid) {
+        bytes += 16;
+      }
+    }
+    out.groups.push_back(std::move(group));
+  }
+  out.response_bytes = bytes;
+  return out;
+}
+
+// Round-one probe for two-round-trip queries: same table, predicates and
+// join, but a single row count and no grouping — just enough for the
+// coordinator to learn which shards hold matching rows.
+ServerPlan ProbePlan(const ServerPlan& plan) {
+  ServerPlan probe = plan;
+  probe.aggregates.clear();
+  ServerAggregate count;
+  count.kind = ServerAggregate::Kind::kRowCount;
+  probe.aggregates.push_back(count);
+  probe.group_by.clear();
+  probe.inflation = 1;
+  return probe;
+}
+
+}  // namespace
+
+ShardedSeabedBackend::ShardedSeabedBackend(const ExecutionContext* context, size_t shards)
+    : context_(context),
+      shards_(shards),
+      servers_(shards),
+      pool_(std::min<size_t>(std::max<size_t>(shards, 1),
+                             std::max<unsigned>(1, std::thread::hardware_concurrency()))) {
+  SEABED_CHECK_MSG(shards_ >= 1, "a sharded backend needs at least one shard");
+}
+
+size_t ShardedSeabedBackend::ShardOfRow(size_t row) const {
+  // Multiplicative hash so placement cannot correlate with data order.
+  return static_cast<size_t>((row * 0x9E3779B97F4A7C15ULL) >> 33) % shards_;
+}
+
+ShardedSeabedBackend::ShardedTable& ShardedSeabedBackend::State(const std::string& table) {
+  const auto it = tables_.find(table);
+  SEABED_CHECK_MSG(it != tables_.end(), "table " << table << " was not prepared for sharding");
+  return it->second;
+}
+
+const ShardedSeabedBackend::ShardedTable& ShardedSeabedBackend::State(
+    const std::string& table) const {
+  const auto it = tables_.find(table);
+  SEABED_CHECK_MSG(it != tables_.end(), "table " << table << " was not prepared for sharding");
+  return it->second;
+}
+
+const Server& ShardedSeabedBackend::shard_server(size_t shard) const {
+  SEABED_CHECK(shard < shards_);
+  return servers_[shard];
+}
+
+const EncryptedDatabase& ShardedSeabedBackend::shard_database(const std::string& table,
+                                                              size_t shard) const {
+  SEABED_CHECK(shard < shards_);
+  return State(table).parts[shard];
+}
+
+const EncryptedDatabase* ShardedSeabedBackend::replica_database(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  const ShardedTable& state = State(table);
+  return state.replica.has_value() ? &*state.replica : nullptr;
+}
+
+const EncryptedDatabase& ShardedSeabedBackend::EnsureReplica(const AttachedTable& right) {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  ShardedTable& state = State(right.name);
+  if (!state.replica.has_value()) {
+    // The replica shares column keys with the shard partitions, so it must
+    // occupy its own identifier space — it lives just above the last
+    // shard's. Reusing a shard's base would repeat ASHE pads across two
+    // ciphertexts of different plaintexts, leaking their difference.
+    const Encryptor encryptor(*context_->keys);
+    state.replica = encryptor.EncryptWithBaseId(*right.plain, right.schema, right.plan,
+                                                ShardBaseId(shards_));
+  }
+  return *state.replica;
+}
+
+void ShardedSeabedBackend::Prepare(AttachedTable& table) {
+  const Encryptor encryptor(*context_->keys);
+  ShardedTable state;
+
+  // Hash-partition the rows.
+  std::vector<std::vector<size_t>> assignment(shards_);
+  const size_t rows = table.plain->NumRows();
+  for (size_t row = 0; row < rows; ++row) {
+    assignment[ShardOfRow(row)].push_back(row);
+  }
+
+  state.plain_parts.resize(shards_);
+  state.parts.resize(shards_);
+  // Shard encryptions are independent (shared inputs are const) — build
+  // them concurrently on the fan-out pool so attach cost does not grow
+  // linearly with the shard count.
+  pool_.ParallelFor(shards_, [&](size_t s) {
+    state.plain_parts[s] =
+        SubsetRows(*table.plain, table.name + "#shard" + std::to_string(s), assignment[s]);
+    state.parts[s] = encryptor.EncryptWithBaseId(*state.plain_parts[s], table.schema,
+                                                 table.plan, ShardBaseId(s));
+  });
+  for (size_t s = 0; s < shards_; ++s) {
+    servers_[s].RegisterTable(state.parts[s].table);
+  }
+
+  // The client-side view: one plan (identical across shards) plus the union
+  // of the shards' DET dictionaries, so group keys produced by any shard
+  // render back to plaintext.
+  EncryptedDatabase view;
+  view.plan = state.parts.front().plan;
+  view.table = state.parts.front().table;
+  for (const EncryptedDatabase& part : state.parts) {
+    MergeDictionaries(part, view);
+  }
+  table.enc = std::move(view);
+
+  tables_[table.name] = std::move(state);
+}
+
+void ShardedSeabedBackend::Append(AttachedTable& table, const Table& new_rows) {
+  ShardedTable& state = State(table.name);
+  const Encryptor encryptor(*context_->keys);
+  const size_t prior_rows = table.plain->NumRows();
+  const size_t batch = new_rows.NumRows();
+
+  // New global rows keep the same deterministic placement the initial
+  // partitioning used.
+  std::vector<std::vector<size_t>> assignment(shards_);
+  for (size_t row = 0; row < batch; ++row) {
+    assignment[ShardOfRow(prior_rows + row)].push_back(row);
+  }
+
+  // When a replica exists it shares the attached table's non-sensitive
+  // columns, so grow those through AppendRows and the rest directly
+  // (mirrors SeabedBackend); without one, grow the plaintext table whole.
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    if (state.replica.has_value()) {
+      GrowPlainTable(*table.plain, new_rows, state.replica->table.get());
+      encryptor.AppendRows(*state.replica, new_rows, table.schema);
+    } else {
+      GrowPlainTable(*table.plain, new_rows, nullptr);
+    }
+  }
+
+  for (size_t s = 0; s < shards_; ++s) {
+    if (assignment[s].empty()) {
+      continue;
+    }
+    const auto part_batch = SubsetRows(new_rows, table.name + "#batch", assignment[s]);
+    GrowPlainTable(*state.plain_parts[s], *part_batch, state.parts[s].table.get());
+    encryptor.AppendRows(state.parts[s], *part_batch, table.schema);
+  }
+
+  // Appends may mint new DET tokens (dictionary growth); refresh the view.
+  SEABED_CHECK(table.enc.has_value());
+  for (const EncryptedDatabase& part : state.parts) {
+    MergeDictionaries(part, *table.enc);
+  }
+}
+
+std::vector<EncryptedResponse> ShardedSeabedBackend::FanOut(const ServerPlan& plan,
+                                                            const std::vector<bool>& active,
+                                                            const Table* right) const {
+  std::vector<EncryptedResponse> responses(shards_);
+  pool_.ParallelFor(shards_, [&](size_t s) {
+    if (active[s]) {
+      responses[s] = servers_[s].Execute(plan, *context_->cluster, right);
+    }
+  });
+  return responses;
+}
+
+ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
+  const AttachedTable& fact = context_->catalog->Get(query.table);
+  SEABED_CHECK_MSG(fact.enc.has_value(), "table " << fact.name << " was not prepared");
+
+  // One translation serves every shard: the shards share the encryption
+  // plan, keys and table name, so the server plan is identical across the
+  // fleet.
+  Stopwatch translate_sw;
+  TranslatorOptions topts = context_->translator;
+  topts.cluster_workers = context_->cluster->num_workers();
+  const Translator translator(*fact.enc, *context_->keys);
+  TranslatedQuery tq = translator.Translate(query, topts);
+
+  // Joins broadcast the full replica: every shard joins its partition
+  // against the whole right table, handed to the servers directly (it never
+  // enters their registries).
+  const EncryptedDatabase* right_db = nullptr;
+  const Table* right_table = nullptr;
+  if (tq.server.join.has_value()) {
+    const AttachedTable& right = context_->catalog->Get(query.join->right_table);
+    SEABED_CHECK_MSG(right.enc.has_value(), "joined table " << right.name << " not prepared");
+    right_db = &EnsureReplica(right);
+    right_table = right_db->table.get();
+  }
+  const double translate_seconds = translate_sw.ElapsedSeconds();
+
+  // Round one (two-round-trip queries only): probe all shards with a cheap
+  // row count; round two then skips shards with no matching rows.
+  std::vector<bool> active(shards_, true);
+  std::vector<double> shard_seconds(shards_, 0.0);
+  double probe_seconds = 0;
+  if (query.needs_two_round_trips) {
+    std::vector<EncryptedResponse> probes = FanOut(ProbePlan(tq.server), active, right_table);
+    for (size_t s = 0; s < shards_; ++s) {
+      active[s] = probes[s].rows_touched > 0;
+      shard_seconds[s] = probes[s].ServerSeconds();
+      probe_seconds = std::max(probe_seconds, probes[s].ServerSeconds());
+    }
+  }
+
+  std::vector<EncryptedResponse> responses = FanOut(tq.server, active, right_table);
+  for (size_t s = 0; s < shards_; ++s) {
+    shard_seconds[s] += responses[s].ServerSeconds();
+  }
+
+  Stopwatch merge_sw;
+  EncryptedResponse merged = MergeShardResponses(tq.server, responses);
+  const double merge_seconds = merge_sw.ElapsedSeconds();
+  merged.driver_seconds += merge_seconds;
+
+  const Client client(*fact.enc, *context_->keys);
+  ResultSet result = client.Decrypt(merged, tq, *context_->cluster, right_db, stats);
+  if (stats != nullptr) {
+    stats->backend = name();
+    stats->translate_seconds = translate_seconds;
+    // Shards are independent clusters running in parallel: total simulated
+    // server latency is the probe round (if any) plus the slowest shard of
+    // round two plus the coordinator merge (already inside driver_seconds).
+    stats->server_seconds += probe_seconds;
+    stats->shard_server_seconds = std::move(shard_seconds);
+    stats->merge_seconds = merge_seconds;
+  }
+  return result;
+}
+
+}  // namespace seabed

@@ -1,0 +1,102 @@
+// Scale-out Seabed: N partitioned Server instances behind one Executor.
+//
+// The paper's Figure 7 sweeps cluster cores inside ONE simulated Spark
+// cluster; this backend adds the next axis — multiple servers. Attach
+// hash-partitions each table's rows into one encrypted database per shard;
+// the first join that needs a table as its right side builds one full
+// encrypted replica of it, broadcast to every shard. Execute translates the
+// query once and fans the same server plan out to all shards concurrently,
+// and a coordinator merge layer combines the partial encrypted responses
+// before a single client decryption:
+//
+//   * ASHE sums add ciphertext-side (group elements add, ID-list blobs
+//     concatenate — shards encrypt into disjoint identifier spaces, so the
+//     multiset union never collides);
+//   * COUNTs add;
+//   * GROUP BY groups union-merge by serialized key;
+//   * ORE MIN/MAX reduce by comparing the shards' winners.
+//
+// Queries flagged `needs_two_round_trips` probe all shards with a cheap
+// row-count plan first and re-issue the full plan only to shards that
+// matched — round two touches a subset of the fleet.
+//
+// Latency model: the shards are independent clusters of the session's
+// cluster shape running in parallel, so simulated server time is the slowest
+// shard plus the measured merge; QueryStats reports the per-shard breakdown.
+#ifndef SEABED_SRC_SEABED_SHARDED_BACKEND_H_
+#define SEABED_SRC_SEABED_SHARDED_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/seabed/executor.h"
+
+namespace seabed {
+
+class ShardedSeabedBackend : public Executor {
+ public:
+  ShardedSeabedBackend(const ExecutionContext* context, size_t shards);
+
+  const char* name() const override { return "sharded-seabed"; }
+  void Prepare(AttachedTable& table) override;
+  void Append(AttachedTable& table, const Table& new_rows) override;
+  ResultSet Execute(const Query& query, QueryStats* stats) override;
+
+  size_t num_shards() const { return shards_; }
+  // The untrusted side of shard `shard`, exposed for tests.
+  const Server& shard_server(size_t shard) const;
+  // Shard `shard`'s partition of `table` (aborts when not attached).
+  const EncryptedDatabase& shard_database(const std::string& table, size_t shard) const;
+  // The full-table join replica of `table`, or nullptr while no join query
+  // has needed one. Exposed for tests.
+  const EncryptedDatabase* replica_database(const std::string& table) const;
+
+  // Deterministic row placement: which shard owns global row `row` of an
+  // attached table. Exposed so tests can pin the partitioning.
+  size_t ShardOfRow(size_t row) const;
+
+ private:
+  // Everything the backend keeps per attached table.
+  struct ShardedTable {
+    // Per-shard plaintext sub-tables (the rows this shard owns) and their
+    // encrypted form. Parallel vectors of size `shards_`.
+    std::vector<std::shared_ptr<Table>> plain_parts;
+    std::vector<EncryptedDatabase> parts;
+    // Full-table replica for the broadcast side of joins, built by the
+    // first query that needs it (guarded by `replica_mu_`). Never enters
+    // the server registries — Execute hands it to the servers directly.
+    std::optional<EncryptedDatabase> replica;
+  };
+
+  ShardedTable& State(const std::string& table);
+  const ShardedTable& State(const std::string& table) const;
+
+  // Returns `right`'s replica, encrypting it on first use.
+  const EncryptedDatabase& EnsureReplica(const AttachedTable& right);
+
+  // Runs `plan` on every shard in `active` concurrently (skipped shards get
+  // a default-constructed response). `right` is the broadcast join table
+  // (nullptr for non-join plans).
+  std::vector<EncryptedResponse> FanOut(const ServerPlan& plan, const std::vector<bool>& active,
+                                        const Table* right) const;
+
+  const ExecutionContext* context_;
+  size_t shards_;
+  std::vector<Server> servers_;
+  std::map<std::string, ShardedTable> tables_;
+  // Serializes lazy replica construction (Execute may run concurrently via
+  // Session::ExecuteBatch).
+  mutable std::mutex replica_mu_;
+  // Fan-out pool shared by all queries of this backend (shards run
+  // concurrently; each shard's scan then parallelizes on the cluster model).
+  mutable ThreadPool pool_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_SHARDED_BACKEND_H_

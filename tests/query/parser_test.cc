@@ -147,7 +147,7 @@ TEST(ParserTest, ParsedQueryExecutes) {
   const Cluster cluster(cfg);
   const Query q =
       MustParseSql("SELECT store, SUM(revenue) AS total FROM sales GROUP BY store");
-  const ResultSet r = ExecutePlain(table, q, cluster);
+  const ResultSet r = ExecutePlain(table, q, cluster, nullptr, nullptr);
   ASSERT_EQ(r.rows.size(), 2u);
   EXPECT_EQ(std::get<int64_t>(r.rows[0][1]), 40);
   EXPECT_EQ(std::get<int64_t>(r.rows[1][1]), 20);

@@ -45,7 +45,7 @@ TEST_F(PlainExecutorTest, GlobalSum) {
   Query q;
   q.table = "sales";
   q.Sum("amount");
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   ASSERT_EQ(r.rows.size(), 1u);
   EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 460);
 }
@@ -54,7 +54,7 @@ TEST_F(PlainExecutorTest, CountStar) {
   Query q;
   q.table = "sales";
   q.Count();
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 6);
 }
 
@@ -63,7 +63,7 @@ TEST_F(PlainExecutorTest, FilteredSumStringEq) {
   q.table = "sales";
   q.Sum("amount");
   q.Where("region", CmpOp::kEq, std::string("east"));
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 175);
 }
 
@@ -72,7 +72,7 @@ TEST_F(PlainExecutorTest, FilteredSumIntRange) {
   q.table = "sales";
   q.Sum("amount");
   q.Where("year", CmpOp::kGe, int64_t{2021});
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 150);
 }
 
@@ -82,7 +82,7 @@ TEST_F(PlainExecutorTest, ConjunctiveFilters) {
   q.Count();
   q.Where("region", CmpOp::kEq, std::string("west"));
   q.Where("year", CmpOp::kLt, int64_t{2021});
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 1);
 }
 
@@ -92,7 +92,7 @@ TEST_F(PlainExecutorTest, GroupBySums) {
   q.Sum("amount");
   q.Count();
   q.GroupBy("region");
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   ASSERT_EQ(r.rows.size(), 3u);
   // Rows sorted by group key: east, north, west.
   EXPECT_EQ(std::get<std::string>(r.rows[0][0]), "east");
@@ -109,7 +109,7 @@ TEST_F(PlainExecutorTest, MultiColumnGroupBy) {
   q.table = "sales";
   q.Count();
   q.GroupBy("region").GroupBy("year");
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   EXPECT_EQ(r.rows.size(), 5u);  // east/2020, east/2021, north/2020, west/2020, west/2021
 }
 
@@ -117,7 +117,7 @@ TEST_F(PlainExecutorTest, AvgIsDouble) {
   Query q;
   q.table = "sales";
   q.Avg("amount");
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   EXPECT_NEAR(std::get<double>(r.rows[0][0]), 460.0 / 6, 1e-9);
 }
 
@@ -125,7 +125,7 @@ TEST_F(PlainExecutorTest, MinMax) {
   Query q;
   q.table = "sales";
   q.Min("amount").Max("amount");
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 10);
   EXPECT_EQ(std::get<int64_t>(r.rows[0][1]), 200);
 }
@@ -135,7 +135,7 @@ TEST_F(PlainExecutorTest, Variance) {
   q.table = "sales";
   q.Variance("amount");
   q.Where("region", CmpOp::kEq, std::string("east"));
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   // Values {100, 50, 25}: mean 58.333, var = (100^2+50^2+25^2)/3 - mean^2.
   const double mean = 175.0 / 3;
   const double expected = (10000.0 + 2500.0 + 625.0) / 3 - mean * mean;
@@ -148,7 +148,7 @@ TEST_F(PlainExecutorTest, EmptyResultFilter) {
   q.Sum("amount");
   q.Where("region", CmpOp::kEq, std::string("south"));
   q.GroupBy("region");
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   EXPECT_TRUE(r.rows.empty());
 }
 
@@ -157,7 +157,7 @@ TEST_F(PlainExecutorTest, NeFilter) {
   q.table = "sales";
   q.Count();
   q.Where("region", CmpOp::kNe, std::string("east"));
-  const ResultSet r = ExecutePlain(table_, q, cluster_);
+  const ResultSet r = ExecutePlain(table_, q, cluster_, nullptr, nullptr);
   EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 3);
 }
 

@@ -117,7 +117,7 @@ TEST(AppendTest, QueriesSeeAppendedRows) {
     Query q;
     q.table = "log";
     q.Sum("m").Count().Where("dim", CmpOp::kEq, std::string(value));
-    const ResultSet plain = ExecutePlain(*combined, q, cluster);
+    const ResultSet plain = ExecutePlain(*combined, q, cluster, nullptr, nullptr);
     const ResultSet enc = f.session.Execute(q);
     ASSERT_EQ(enc.rows.size(), 1u) << value;
     EXPECT_EQ(std::get<int64_t>(enc.rows[0][0]), std::get<int64_t>(plain.rows[0][0])) << value;

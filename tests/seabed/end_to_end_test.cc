@@ -137,7 +137,7 @@ class EndToEndTest : public ::testing::Test {
   }
 
   void ExpectMatchesPlain(const Query& q, TranslatorOptions topts = {}) {
-    const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
+    const ResultSet plain = ExecutePlain(*table_, q, session_.cluster(), nullptr, nullptr);
     const ResultSet enc = RunSeabed(q, topts);
     EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
   }
@@ -234,10 +234,10 @@ TEST_F(EndToEndTest, InflationPlanActuallyInflates) {
   const TranslatedQuery tq = translator.Translate(q, topts);
   EXPECT_GT(tq.server.inflation, 1u);
   const Server& server = static_cast<SeabedBackend&>(session_.executor()).server();
-  const EncryptedResponse response = server.Execute(tq.server, session_.cluster());
+  const EncryptedResponse response = server.Execute(tq.server, session_.cluster(), nullptr);
   EXPECT_GT(response.groups.size(), 3u);  // inflated on the wire
   const Client client(db, session_.keys());
-  const ResultSet r = client.Decrypt(response, tq, session_.cluster());
+  const ResultSet r = client.Decrypt(response, tq, session_.cluster(), nullptr, nullptr);
   EXPECT_EQ(r.rows.size(), 3u);  // deflated at the client
 }
 
@@ -289,7 +289,7 @@ TEST_F(EndToEndTest, EmptyResult) {
   q.Sum("salary").Where("ts", CmpOp::kGt, int64_t{99999});
   // Plain yields one row (sum over nothing = 0); Seabed's server finds no
   // matching rows and returns an all-zero aggregate as well.
-  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster(), nullptr, nullptr);
   const ResultSet enc = RunSeabed(q);
   ASSERT_EQ(plain.rows.size(), 1u);
   ASSERT_EQ(enc.rows.size(), 1u);
@@ -369,7 +369,7 @@ TEST_F(PaillierEndToEndTest, GlobalSumMatchesPlain) {
   Query q;
   q.table = "emp";
   q.Sum("salary");
-  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster(), nullptr, nullptr);
   const ResultSet enc = RunPaillier(q);
   EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
 }
@@ -378,7 +378,7 @@ TEST_F(PaillierEndToEndTest, DetFilterMatchesPlain) {
   Query q;
   q.table = "emp";
   q.Sum("salary").Count().Where("country", CmpOp::kEq, std::string("india"));
-  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster(), nullptr, nullptr);
   const ResultSet enc = RunPaillier(q);
   EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
 }
@@ -387,7 +387,7 @@ TEST_F(PaillierEndToEndTest, GroupByMatchesPlain) {
   Query q;
   q.table = "emp";
   q.Sum("bonus").Count().GroupBy("store");
-  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster(), nullptr, nullptr);
   const ResultSet enc = RunPaillier(q);
   EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
 }
@@ -396,7 +396,7 @@ TEST_F(PaillierEndToEndTest, OreFilterMatchesPlain) {
   Query q;
   q.table = "emp";
   q.Sum("salary").Where("ts", CmpOp::kGe, int64_t{800});
-  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster());
+  const ResultSet plain = ExecutePlain(*table_, q, session_.cluster(), nullptr, nullptr);
   const ResultSet enc = RunPaillier(q);
   EXPECT_EQ(RowsAsStrings(enc), RowsAsStrings(plain));
 }

@@ -1,0 +1,299 @@
+// Direct tests for the scale-out fan-out/merge backend: partitioning
+// invariants, disjoint ASHE identifier spaces, per-shard stats, the
+// two-round-trip probe path, appends, and joins through the replica. The
+// randomized equivalence suite (fuzz_equivalence_test.cc) covers breadth;
+// these tests pin the mechanics.
+#include "src/seabed/sharded_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/seabed/session.h"
+
+namespace seabed {
+namespace {
+
+std::vector<std::string> RowsAsStrings(const ResultSet& r) {
+  std::vector<std::string> rows;
+  for (const auto& row : r.rows) {
+    std::string s;
+    for (const Value& v : row) {
+      if (const auto* d = std::get_if<double>(&v)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", *d);
+        s += buf;
+      } else {
+        s += ValueToString(v);
+      }
+      s += "|";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+SessionOptions TestOptions(BackendKind backend, size_t shards) {
+  SessionOptions options;
+  options.backend = backend;
+  options.shards = shards;
+  options.planner.expected_rows = 1200;
+  options.key_seed = 77;
+  options.cluster.num_workers = 4;
+  options.cluster.job_overhead_seconds = 0;
+  options.cluster.task_overhead_seconds = 0;
+  return options;
+}
+
+class ShardedBackendTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kShards = 4;
+
+  ShardedBackendTest()
+      : plain_(TestOptions(BackendKind::kPlain, 1)),
+        sharded_(TestOptions(BackendKind::kShardedSeabed, kShards)) {
+    schema_.table_name = "emp";
+    schema_.columns.push_back({"store", ColumnType::kString, true, std::nullopt});
+    schema_.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+    schema_.columns.push_back({"salary", ColumnType::kInt64, true, std::nullopt});
+
+    table_ = std::make_shared<Table>("emp");
+    auto store_col = std::make_shared<StringColumn>();
+    auto ts_col = std::make_shared<Int64Column>();
+    auto salary_col = std::make_shared<Int64Column>();
+    Rng rng(11);
+    const char* stores[] = {"s1", "s2", "s3"};
+    for (int i = 0; i < 1200; ++i) {
+      store_col->Append(stores[rng.Below(3)]);
+      ts_col->Append(static_cast<int64_t>(rng.Below(1000)));
+      salary_col->Append(rng.Range(-1000, 100000));
+    }
+    table_->AddColumn("store", store_col);
+    table_->AddColumn("ts", ts_col);
+    table_->AddColumn("salary", salary_col);
+
+    for (Session* s : {&plain_, &sharded_}) {
+      s->Attach(table_, schema_, Samples());
+    }
+  }
+
+  static std::vector<Query> Samples() {
+    std::vector<Query> samples;
+    Query q;
+    q.table = "emp";
+    q.Sum("salary").Count().Min("ts").Max("ts");
+    q.Where("ts", CmpOp::kGe, int64_t{0});
+    q.GroupBy("store");
+    samples.push_back(q);
+    return samples;
+  }
+
+  ShardedSeabedBackend& backend() {
+    return static_cast<ShardedSeabedBackend&>(sharded_.executor());
+  }
+
+  Session plain_;
+  Session sharded_;
+  PlainSchema schema_;
+  std::shared_ptr<Table> table_;
+};
+
+TEST_F(ShardedBackendTest, PartitionsCoverEveryRowExactlyOnce) {
+  size_t total = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    const size_t rows = backend().shard_database("emp", s).table->NumRows();
+    EXPECT_GT(rows, 0u) << "shard " << s << " is empty — hash placement is degenerate";
+    total += rows;
+  }
+  EXPECT_EQ(total, table_->NumRows());
+}
+
+TEST_F(ShardedBackendTest, ShardsEncryptIntoDisjointIdentifierSpaces) {
+  uint64_t previous_end = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    const Table& enc = *backend().shard_database("emp", s).table;
+    const auto* col = static_cast<const AsheColumn*>(enc.GetColumn("salary#ashe").get());
+    const uint64_t first = col->IdOfRow(0);
+    const uint64_t last = col->IdOfRow(col->RowCount() - 1);
+    EXPECT_GT(first, previous_end) << "shard " << s << " overlaps the previous shard's ids";
+    previous_end = last;
+  }
+}
+
+TEST_F(ShardedBackendTest, FanOutMatchesPlainAndFillsShardStats) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary", "total").Count("n").Min("ts", "lo").Max("ts", "hi");
+  q.Where("ts", CmpOp::kGe, int64_t{400});
+
+  QueryStats plain_stats, sharded_stats;
+  const ResultSet reference = plain_.Execute(q, &plain_stats);
+  const ResultSet result = sharded_.Execute(q, &sharded_stats);
+  EXPECT_EQ(RowsAsStrings(result), RowsAsStrings(reference));
+
+  EXPECT_EQ(sharded_stats.backend, "sharded-seabed");
+  EXPECT_EQ(sharded_stats.rows_touched, plain_stats.rows_touched);
+  ASSERT_EQ(sharded_stats.shard_server_seconds.size(), kShards);
+  EXPECT_GE(sharded_stats.merge_seconds, 0.0);
+  EXPECT_GT(sharded_stats.job.num_tasks, 0u);
+  EXPECT_GT(sharded_stats.translate_seconds, 0.0);
+  // Simulated latency is the slowest shard (plus merge), not the sum.
+  double max_shard = 0;
+  for (const double s : sharded_stats.shard_server_seconds) {
+    max_shard = std::max(max_shard, s);
+  }
+  EXPECT_GE(sharded_stats.server_seconds, max_shard);
+}
+
+TEST_F(ShardedBackendTest, GroupByMergesGroupsAcrossShards) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary", "total").Count("n");
+  q.GroupBy("store");
+  EXPECT_EQ(RowsAsStrings(sharded_.Execute(q, nullptr)),
+            RowsAsStrings(plain_.Execute(q, nullptr)));
+}
+
+TEST_F(ShardedBackendTest, TwoRoundTripQuerySkipsShardsAndStaysCorrect) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary", "total").Count("n");
+  q.Where("ts", CmpOp::kGe, int64_t{990});  // selective: some shards may miss
+  q.needs_two_round_trips = true;
+  EXPECT_EQ(RowsAsStrings(sharded_.Execute(q, nullptr)),
+            RowsAsStrings(plain_.Execute(q, nullptr)));
+
+  // A probe that matches nowhere must still produce the SQL zero row.
+  Query none = q;
+  none.filters.clear();
+  none.Where("ts", CmpOp::kGe, int64_t{100000});
+  EXPECT_EQ(RowsAsStrings(sharded_.Execute(none, nullptr)),
+            RowsAsStrings(plain_.Execute(none, nullptr)));
+}
+
+TEST_F(ShardedBackendTest, AppendGrowsEveryShardConsistently) {
+  auto batch = std::make_shared<Table>("emp");
+  auto store_col = std::make_shared<StringColumn>();
+  auto ts_col = std::make_shared<Int64Column>();
+  auto salary_col = std::make_shared<Int64Column>();
+  Rng rng(23);
+  for (int i = 0; i < 300; ++i) {
+    store_col->Append("s1");
+    ts_col->Append(static_cast<int64_t>(rng.Below(1000)));
+    salary_col->Append(rng.Range(0, 5000));
+  }
+  batch->AddColumn("store", store_col);
+  batch->AddColumn("ts", ts_col);
+  batch->AddColumn("salary", salary_col);
+
+  // The sessions share `table_`, so append through exactly one of them; the
+  // plain session then executes over the already-grown table.
+  const size_t before = table_->NumRows();
+  sharded_.Append("emp", *batch);
+  EXPECT_EQ(table_->NumRows(), before + 300);
+
+  size_t total = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    total += backend().shard_database("emp", s).table->NumRows();
+  }
+  EXPECT_EQ(total, before + 300);
+
+  Query q;
+  q.table = "emp";
+  q.Sum("salary", "total").Count("n");
+  q.GroupBy("store");
+  EXPECT_EQ(RowsAsStrings(sharded_.Execute(q, nullptr)),
+            RowsAsStrings(plain_.Execute(q, nullptr)));
+}
+
+// Joins resolve the right side against the full replica on every shard.
+TEST(ShardedJoinTest, JoinAggregatesThroughTheReplica) {
+  PlainSchema fact_schema;
+  fact_schema.table_name = "visits";
+  fact_schema.columns.push_back({"url", ColumnType::kInt64, true, std::nullopt});
+  fact_schema.columns.push_back({"revenue", ColumnType::kInt64, true, std::nullopt});
+
+  PlainSchema dim_schema;
+  dim_schema.table_name = "pages";
+  dim_schema.columns.push_back({"url", ColumnType::kInt64, true, std::nullopt});
+  dim_schema.columns.push_back({"rank", ColumnType::kInt64, true, std::nullopt});
+  dim_schema.columns.push_back({"site", ColumnType::kString, false, std::nullopt});
+
+  auto fact = std::make_shared<Table>("visits");
+  auto dim = std::make_shared<Table>("pages");
+  {
+    auto url = std::make_shared<Int64Column>();
+    auto revenue = std::make_shared<Int64Column>();
+    Rng rng(5);
+    for (int i = 0; i < 900; ++i) {
+      url->Append(static_cast<int64_t>(rng.Below(60)));
+      revenue->Append(rng.Range(0, 300));
+    }
+    fact->AddColumn("url", url);
+    fact->AddColumn("revenue", revenue);
+  }
+  {
+    auto url = std::make_shared<Int64Column>();
+    auto rank = std::make_shared<Int64Column>();
+    auto site = std::make_shared<StringColumn>();
+    Rng rng(6);
+    for (int i = 0; i < 50; ++i) {
+      url->Append(i);
+      rank->Append(rng.Range(1, 100));
+      site->Append(i % 2 == 0 ? "a" : "b");
+    }
+    dim->AddColumn("url", url);
+    dim->AddColumn("rank", rank);
+    dim->AddColumn("site", site);
+  }
+
+  Query join_sample;
+  join_sample.table = "visits";
+  join_sample.Sum("revenue");
+  join_sample.join = Join{"pages", "url", "right:url"};
+  Query dim_sample;
+  dim_sample.table = "pages";
+  dim_sample.Avg("rank");
+  dim_sample.join = Join{"visits", "url", "right:url"};
+
+  Session plain(TestOptions(BackendKind::kPlain, 1));
+  Session sharded(TestOptions(BackendKind::kShardedSeabed, 3));
+  for (Session* s : {&plain, &sharded}) {
+    s->Attach(fact, fact_schema, {join_sample});
+    s->Attach(dim, dim_schema, {dim_sample});
+  }
+
+  Query q = join_sample;
+  q.aggregates.clear();
+  q.Sum("revenue", "rev").Avg("right:rank", "mean_rank").Count("n");
+  q.GroupBy("right:site");
+
+  auto& backend = static_cast<ShardedSeabedBackend&>(sharded.executor());
+  EXPECT_EQ(backend.replica_database("pages"), nullptr)
+      << "the replica must be built lazily, on the first join";
+
+  EXPECT_EQ(RowsAsStrings(sharded.Execute(q, nullptr)),
+            RowsAsStrings(plain.Execute(q, nullptr)));
+
+  // The replica shares column keys with the shard partitions, so its ASHE
+  // identifier space must sit above every shard's — pad reuse across the
+  // two encryptions of the same table would leak plaintext differences.
+  const EncryptedDatabase* replica = backend.replica_database("pages");
+  ASSERT_NE(replica, nullptr);
+  const auto* replica_rank =
+      static_cast<const AsheColumn*>(replica->table->GetColumn("rank#ashe").get());
+  for (size_t s = 0; s < backend.num_shards(); ++s) {
+    const Table& part = *backend.shard_database("pages", s).table;
+    const auto* part_rank = static_cast<const AsheColumn*>(part.GetColumn("rank#ashe").get());
+    EXPECT_GT(replica_rank->IdOfRow(0), part_rank->IdOfRow(part_rank->RowCount() - 1))
+        << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace seabed

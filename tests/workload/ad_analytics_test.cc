@@ -76,7 +76,7 @@ TEST(AdAnalyticsTest, EndToEndHourlyQueryMatchesPlain) {
   session.Attach(table, schema, AdAnalyticsSampleQueries(spec));
 
   Query q = AdAnalyticsPerfQuery(4, 2, 1);
-  const ResultSet plain = ExecutePlain(*table, q, session.cluster());
+  const ResultSet plain = ExecutePlain(*table, q, session.cluster(), nullptr, nullptr);
   const ResultSet enc = session.Execute(q);
 
   ASSERT_EQ(enc.rows.size(), plain.rows.size());
@@ -113,7 +113,7 @@ TEST(AdAnalyticsTest, SplasheFilterQueryMatchesPlain) {
   q.Sum(measure).Count();
   q.Where(layout.dimension, CmpOp::kEq, layout.splayed_values.front());
 
-  const ResultSet plain = ExecutePlain(*table, q, session.cluster());
+  const ResultSet plain = ExecutePlain(*table, q, session.cluster(), nullptr, nullptr);
   const ResultSet enc = session.Execute(q);
 
   ASSERT_EQ(enc.rows.size(), 1u);

@@ -61,7 +61,7 @@ class BdbTest : public ::testing::Test {
 
   ResultSet RunPlain(const BdbQuery& bq) {
     const Table* right = bq.query.join.has_value() ? rankings_.get() : nullptr;
-    return ExecutePlain(FactTable(bq), bq.query, session_.cluster(), right);
+    return ExecutePlain(FactTable(bq), bq.query, session_.cluster(), right, nullptr);
   }
 
   BdbSpec spec_;
