@@ -5,8 +5,23 @@
 
 #include "src/common/check.h"
 
+// Provenance compiled in by CMake; "unknown" outside a configured build.
+#ifndef SEABED_GIT_SHA_DEFAULT
+#define SEABED_GIT_SHA_DEFAULT "unknown"
+#endif
+#ifndef SEABED_BUILD_TYPE
+#define SEABED_BUILD_TYPE "unknown"
+#endif
+
 namespace seabed {
 namespace {
+
+// The commit this record is attributable to: the runner can override the
+// configure-time value (a stale build dir would otherwise misattribute).
+const char* RecordGitSha() {
+  const char* sha = std::getenv("SEABED_GIT_SHA");
+  return (sha != nullptr && *sha != '\0') ? sha : SEABED_GIT_SHA_DEFAULT;
+}
 
 SyntheticHarness::Options Normalize(SyntheticHarness::Options options) {
   if (options.paillier_rows == 0) {
@@ -89,6 +104,18 @@ std::unique_ptr<Session> SyntheticHarness::MakeShardedSession(size_t shards) {
   so.shards = shards;
   auto session = std::make_unique<Session>(std::move(so));
   session->AttachPlanned(plain_, schema_, seabed_.plan("synthetic"));
+  return session;
+}
+
+std::unique_ptr<Session> SyntheticHarness::MakeCachingSession(BackendKind inner, size_t shards) {
+  SessionOptions so = BackendOptions(BackendKind::kCachingSeabed, options_);
+  so.cache.inner = inner;
+  so.shards = shards;
+  auto session = std::make_unique<Session>(std::move(so));
+  // A private copy of the table: caching benches Append (invalidation
+  // measurements), which must not grow the plain_ instance the harness's
+  // other sessions share.
+  session->AttachPlanned(CloneTable(*plain_), schema_, seabed_.plan("synthetic"));
   return session;
 }
 
@@ -180,7 +207,10 @@ BenchRecorder::~BenchRecorder() {
     std::fprintf(stderr, "BenchRecorder: cannot write %s\n", file.c_str());
     return;
   }
-  std::fprintf(out, "{\"bench\": \"%s\", \"records\": [", name_.c_str());
+  // git_sha + build_type make archived records attributable across commits;
+  // scripts/check.sh refuses to archive files missing either key.
+  std::fprintf(out, "{\"bench\": \"%s\", \"git_sha\": \"%s\", \"build_type\": \"%s\", \"records\": [",
+               name_.c_str(), RecordGitSha(), SEABED_BUILD_TYPE);
   for (size_t i = 0; i < records_.size(); ++i) {
     const Record& r = records_[i];
     std::fprintf(out, "%s\n  {\"series\": \"%s\"", i == 0 ? "" : ",", r.series.c_str());

@@ -65,6 +65,11 @@ class SyntheticHarness {
   // real fan-out/merge path instead of the analytical cluster model.
   std::unique_ptr<Session> MakeShardedSession(size_t shards);
 
+  // Builds a kCachingSeabed session (result + translated-plan cache over
+  // `inner`; `shards` applies when the inner backend is sharded) over the
+  // same synthetic table, reusing the seabed session's encryption plan.
+  std::unique_ptr<Session> MakeCachingSession(BackendKind inner, size_t shards = 1);
+
   uint64_t rows() const { return options_.rows; }
   uint64_t paillier_rows() const { return options_.paillier_rows; }
   Session& noenc() { return noenc_; }

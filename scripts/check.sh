@@ -2,14 +2,21 @@
 # Tier-1 verify: configure, build, and run the test suite, then smoke-run the
 # benches so every commit leaves a machine-readable perf trajectory.
 #
-#   ./scripts/check.sh                 # incremental build + tests + bench smoke
+#   ./scripts/check.sh                  # incremental build + tests + bench smoke
 #   BUILD_DIR=out ./scripts/check.sh
-#   SMOKE_BENCH=0 ./scripts/check.sh   # tests only
+#   SMOKE_BENCH=0 ./scripts/check.sh    # tests only
+#   SEABED_SANITIZE=1 CTEST_ARGS="-LE slow" SMOKE_BENCH=0 ./scripts/check.sh
+#                                       # the CI sanitizer job: Debug + ASan/UBSan,
+#                                       # fast test tier, no benches
+#   COMPARE_BENCH=0 ./scripts/check.sh  # skip the bench-regression gate
 #
 # Bench smoke mode runs a representative subset on a tiny synthetic table
 # (SEABED_BENCH_ROWS=20000) and archives the BENCH_*.json records under
 # $BUILD_DIR/bench-json/ — CI uploads that directory as a build artifact, so
-# successive commits accumulate comparable perf records.
+# successive commits accumulate comparable perf records. Records must embed
+# git_sha and build_type keys (harness provenance) or archiving fails, and
+# scripts/compare_bench.py gates >30% median-latency regressions against the
+# committed bench/baseline/ snapshot.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,21 +24,64 @@ BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
 SMOKE_BENCH="${SMOKE_BENCH:-1}"
 SMOKE_ROWS="${SMOKE_ROWS:-20000}"
+SEABED_SANITIZE="${SEABED_SANITIZE:-0}"
+CTEST_ARGS="${CTEST_ARGS:-}"
+COMPARE_BENCH="${COMPARE_BENCH:-1}"
 
-cmake -B "$BUILD_DIR" -S .
+# Both flags are passed explicitly every time: CMake caches them, and a
+# sanitizer run must not leak ASan/Debug into the next plain run of this
+# script (or into update_bench_baseline.sh) through a shared build dir.
+CMAKE_ARGS=()
+if [[ "$SEABED_SANITIZE" == "1" ]]; then
+  # Sanitizer flavor: Debug + ASan/UBSan (the CI matrix's second job).
+  CMAKE_ARGS+=(-DSEABED_SANITIZE=ON -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Debug}")
+else
+  CMAKE_ARGS+=(-DSEABED_SANITIZE=OFF -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}")
+fi
+# ccache keeps the two-job CI matrix under its timeout; harmless locally.
+if command -v ccache > /dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 # --no-tests=error: a configure that silently disabled the suite (e.g. GTest
 # missing) must fail the check, not pass it with zero tests.
-ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS"
+# CTEST_ARGS="-LE slow" skips the slow tier (fuzz equivalence + determinism);
+# see the ctest label docs in README.
+# shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS" $CTEST_ARGS
 
 if [[ "$SMOKE_BENCH" == "1" ]]; then
   JSON_DIR="$BUILD_DIR/bench-json"
   mkdir -p "$JSON_DIR"
-  for bench in bench_fig6_latency_rows bench_fig7_scalability bench_fig9a_groupby; do
+  # Attribute records to the commit being checked even when the build dir
+  # was configured at an older commit.
+  SEABED_GIT_SHA="$(git rev-parse --short HEAD 2> /dev/null || echo unknown)"
+  export SEABED_GIT_SHA
+  for bench in bench_fig6_latency_rows bench_fig7_scalability bench_fig9a_groupby \
+               bench_fig11_dashboard; do
     echo "--- smoke: $bench (rows=$SMOKE_ROWS) ---"
     SEABED_BENCH_ROWS="$SMOKE_ROWS" SEABED_BENCH_JSON_DIR="$JSON_DIR" \
       "$BUILD_DIR/bench/$bench" > /dev/null
   done
+  # Refuse to archive unattributable records: every BENCH_*.json must carry
+  # the provenance keys the cross-commit trajectory relies on.
+  for record in "$JSON_DIR"/BENCH_*.json; do
+    for key in git_sha build_type; do
+      if ! grep -q "\"$key\"" "$record"; then
+        echo "ERROR: $record is missing the \"$key\" key — refusing to archive" >&2
+        exit 1
+      fi
+    done
+  done
   echo "bench smoke OK — records in $JSON_DIR:"
   ls -l "$JSON_DIR"
+
+  # The committed baseline is a release snapshot: sanitized timings are
+  # 10-50x slower and must never be gated (or baselined) against it.
+  if [[ "$COMPARE_BENCH" == "1" && "$SEABED_SANITIZE" != "1" && -d bench/baseline ]]; then
+    echo "--- bench-regression gate (vs bench/baseline) ---"
+    python3 scripts/compare_bench.py --baseline bench/baseline --fresh "$JSON_DIR"
+  fi
 fi

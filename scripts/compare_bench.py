@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff fresh BENCH_*.json records against a baseline.
+
+Usage:
+    scripts/compare_bench.py --baseline bench/baseline --fresh build/bench-json
+        [--metric total_seconds] [--threshold 0.30] [--min-seconds 1e-3]
+
+Both directories hold BenchRecorder output:
+    {"bench": ..., "git_sha": ..., "build_type": ..., "records": [
+        {"series": ..., <config fields>, <measurement fields>}, ...]}
+
+Records are matched by (bench, build_type, series, config), where the
+config is every field that is not a measurement (measurements: *_seconds,
+result_bytes, prf_calls, median_speedup). build_type is part of the
+identity so Debug/sanitized records can never be gated against a release
+baseline — they simply do not match. Repeat records with the same identity
+collapse to their median metric. The gate FAILS (exit 1) when a matching identity
+regresses by more than --threshold (default: 30% median latency). Pairs
+whose baseline median is below --min-seconds are skipped: sub-millisecond
+paths (e.g. warm cache hits) are pure timer noise percentage-wise.
+
+Identities present on only one side never fail the gate (benches come and
+go); they are listed so a silently dropped bench is visible in the CI log.
+
+Refresh the baseline with scripts/update_bench_baseline.sh.
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+MEASUREMENT_KEYS = {"result_bytes", "prf_calls", "median_speedup"}
+
+
+def is_measurement(key):
+    return key.endswith("_seconds") or key in MEASUREMENT_KEYS
+
+
+def load_records(directory, metric):
+    """Maps (bench, build_type, series, config) -> list of metric values."""
+    groups = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        with open(path) as f:
+            doc = json.load(f)
+        bench = doc.get("bench", path.stem)
+        build_type = doc.get("build_type", "unknown")
+        for record in doc.get("records", []):
+            if metric not in record:
+                continue
+            config = tuple(
+                sorted((k, v) for k, v in record.items()
+                       if k != "series" and not is_measurement(k)))
+            key = (bench, build_type, record.get("series", "?"), config)
+            groups.setdefault(key, []).append(float(record[metric]))
+    return {key: statistics.median(values) for key, values in groups.items()}
+
+
+def describe(key):
+    bench, build_type, series, config = key
+    cfg = " ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                   for k, v in config)
+    return f"{bench}/{series} ({build_type})" + (f" [{cfg}]" if cfg else "")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--metric", default="total_seconds")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fail on regressions above this fraction (default 0.30)")
+    parser.add_argument("--min-seconds", type=float, default=1e-3,
+                        help="skip pairs whose baseline median is below this")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline, args.metric)
+    fresh = load_records(args.fresh, args.metric)
+    if not baseline:
+        print(f"compare_bench: no baseline records under {args.baseline}", file=sys.stderr)
+        return 1
+    if not fresh:
+        print(f"compare_bench: no fresh records under {args.fresh}", file=sys.stderr)
+        return 1
+
+    regressions = []
+    compared = skipped = 0
+    for key, base_median in sorted(baseline.items()):
+        if key not in fresh:
+            print(f"  [baseline-only] {describe(key)}")
+            continue
+        if base_median < args.min_seconds:
+            skipped += 1
+            continue
+        compared += 1
+        ratio = fresh[key] / base_median
+        status = "ok"
+        if ratio > 1 + args.threshold:
+            status = "REGRESSION"
+            regressions.append(key)
+        elif ratio < 1 - args.threshold:
+            status = "improved"
+        print(f"  [{status:>10}] {describe(key)}: "
+              f"{base_median:.6f}s -> {fresh[key]:.6f}s ({ratio:.2f}x baseline)")
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"  [fresh-only] {describe(key)}")
+
+    print(f"compare_bench: {compared} compared, {skipped} sub-threshold skipped, "
+          f"{len(regressions)} regression(s) at >{args.threshold:.0%} on {args.metric}")
+    if regressions:
+        for key in regressions:
+            print(f"REGRESSION: {describe(key)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

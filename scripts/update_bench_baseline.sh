@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Refreshes the committed bench baseline (bench/baseline/) that
+# scripts/compare_bench.py gates CI against.
+#
+#   ./scripts/update_bench_baseline.sh            # build + smoke-run + snapshot
+#   SMOKE_ROWS=50000 ./scripts/update_bench_baseline.sh
+#
+# Run it after an intentional perf change (or on a new reference machine),
+# eyeball the compare_bench diff it prints, and commit the updated JSON.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+SMOKE_ROWS="${SMOKE_ROWS:-20000}"
+BASELINE_DIR="bench/baseline"
+
+# Explicit release flags: a prior sanitizer configure of the same build dir
+# must not poison the committed baseline with ASan/Debug timings.
+CMAKE_ARGS=(-DSEABED_SANITIZE=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+if command -v ccache > /dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+STAGE_DIR="$(mktemp -d)"
+trap 'rm -rf "$STAGE_DIR"' EXIT
+
+SEABED_GIT_SHA="$(git rev-parse --short HEAD 2> /dev/null || echo unknown)"
+export SEABED_GIT_SHA
+for bench in bench_fig6_latency_rows bench_fig7_scalability bench_fig9a_groupby \
+             bench_fig11_dashboard; do
+  echo "--- baseline: $bench (rows=$SMOKE_ROWS) ---"
+  SEABED_BENCH_ROWS="$SMOKE_ROWS" SEABED_BENCH_JSON_DIR="$STAGE_DIR" \
+    "$BUILD_DIR/bench/$bench" > /dev/null
+done
+
+if [[ -d "$BASELINE_DIR" ]]; then
+  echo "--- diff vs the previous baseline (informational) ---"
+  python3 scripts/compare_bench.py --baseline "$BASELINE_DIR" --fresh "$STAGE_DIR" || true
+fi
+
+mkdir -p "$BASELINE_DIR"
+rm -f "$BASELINE_DIR"/BENCH_*.json
+cp "$STAGE_DIR"/BENCH_*.json "$BASELINE_DIR/"
+echo "baseline updated:"
+ls -l "$BASELINE_DIR"
+echo "review and commit $BASELINE_DIR to pin the new reference."

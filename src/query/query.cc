@@ -1,5 +1,6 @@
 #include "src/query/query.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace seabed {
@@ -25,6 +26,48 @@ const char* AggFuncName(AggFunc func) {
 }
 
 namespace {
+
+const char* CmpOpToken(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+// Typed literal rendering so `x = 1` and `x = '1'` fingerprint apart.
+std::string TypedLiteral(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    return "i" + std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "d%.17g", *d);
+    return buf;
+  }
+  return "s" + std::get<std::string>(v);
+}
+
+// Length-prefixes every variable-length component (column names, aliases,
+// literals): user-controlled strings may contain the fingerprint's own
+// separator characters, and an unescaped `dim = "x&grp=sy"` must not
+// collide with the two-predicate `dim="x" AND grp="y"`.
+void AppendToken(std::string& out, const std::string& token) {
+  out += std::to_string(token.size());
+  out += ':';
+  out += token;
+}
+
 std::string DefaultAlias(AggFunc func, const std::string& column) {
   std::string name = AggFuncName(func);
   if (!column.empty()) {
@@ -33,6 +76,51 @@ std::string DefaultAlias(AggFunc func, const std::string& column) {
   return name;
 }
 }  // namespace
+
+std::string Query::Fingerprint(FingerprintMode mode) const {
+  std::string key = "t=";
+  AppendToken(key, table);
+
+  key += ";a=";
+  for (const Aggregate& agg : aggregates) {
+    key += AggFuncName(agg.func);
+    AppendToken(key, agg.column);
+    AppendToken(key, agg.alias);
+  }
+
+  // A WHERE clause is a conjunction: serialize each predicate, then sort, so
+  // reordered dashboards share a cache line.
+  std::vector<std::string> preds;
+  preds.reserve(filters.size());
+  for (const Predicate& p : filters) {
+    std::string s;
+    AppendToken(s, p.column);
+    s += CmpOpToken(p.op);
+    AppendToken(s, mode == FingerprintMode::kShape ? "?" : TypedLiteral(p.operand));
+    preds.push_back(std::move(s));
+  }
+  std::sort(preds.begin(), preds.end());
+  key += ";f=";
+  for (const std::string& pred : preds) {
+    key += pred;
+  }
+
+  key += ";g=";
+  for (const std::string& column : group_by) {
+    AppendToken(key, column);
+  }
+
+  if (join.has_value()) {
+    key += ";j=";
+    AppendToken(key, join->right_table);
+    AppendToken(key, join->left_column);
+    AppendToken(key, join->right_column);
+  }
+  if (has_udf) {
+    key += ";udf";
+  }
+  return key;
+}
 
 Query& Query::Sum(const std::string& column, const std::string& alias) {
   aggregates.push_back({AggFunc::kSum, column,

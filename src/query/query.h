@@ -80,6 +80,23 @@ struct Query {
   bool has_udf = false;
   bool needs_two_round_trips = false;
 
+  // Canonical query fingerprint for caching layers (result + translated-plan
+  // caches). Two queries with the same fingerprint produce identical result
+  // rows on every backend:
+  //   * filters are ORDER-NORMALIZED (the WHERE clause is a conjunction, so
+  //     `a=1 AND b=2` and `b=2 AND a=1` collapse to one key);
+  //   * aggregates and group-by keys keep their declared order (it defines
+  //     the result columns);
+  //   * literals are typed, so WHERE x = 1 and WHERE x = '1' stay distinct;
+  //   * execution hints that cannot change the rows (`expected_groups`,
+  //     `needs_two_round_trips`) are EXCLUDED — plan caches that depend on
+  //     them must mix them into their own key.
+  // kShape elides filter literals (`ts>=?`), collapsing a dashboard's
+  // parameter sweeps onto one key — the granularity plan/shape statistics
+  // want, too coarse for a result cache.
+  enum class FingerprintMode { kExact, kShape };
+  std::string Fingerprint(FingerprintMode mode = FingerprintMode::kExact) const;
+
   // Fluent builders for tests/examples.
   Query& Sum(const std::string& column, const std::string& alias = "");
   Query& Count(const std::string& alias = "");
@@ -128,6 +145,14 @@ struct QueryStats {
   // ciphertext-side merge time. Empty / zero on single-server backends.
   std::vector<double> shard_server_seconds;
   double merge_seconds = 0;
+
+  // Caching detail (kCachingSeabed): whether this call was answered from the
+  // result cache, whether the inner backend reused a cached translated plan,
+  // and the time spent probing/updating the result cache. All zero/false on
+  // non-caching backends.
+  bool cache_hit = false;
+  bool plan_cache_hit = false;
+  double cache_lookup_seconds = 0;
 
   double TotalSeconds() const {
     return server_seconds + network_seconds + client_seconds;

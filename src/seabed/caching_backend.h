@@ -1,0 +1,109 @@
+// Caching Seabed: a memoization layer over any inner execution backend.
+//
+// The paper's target workload (Section 5: BI dashboards) re-issues
+// near-identical aggregate queries — the same handful of shapes, refreshed
+// on every dashboard load. This decorator makes the warm path cheap twice
+// over:
+//
+//   * a RESULT CACHE keyed by Query::Fingerprint() (filters
+//     order-normalized, literals typed) memoizes the decrypted answer, so a
+//     repeated query skips the untrusted server entirely. Entries are
+//     evicted LRU under both an entry budget and a byte budget, and
+//     invalidated whenever a table they read (fact or join right side) is
+//     appended to or re-attached;
+//   * a TRANSLATED-PLAN CACHE (TranslatedPlanCache, shared with the inner
+//     backend via Executor::SetPlanCache) memoizes the translator's output
+//     per plan key, so even a cache MISS skips rebuilding Translator state
+//     for a shape the dashboard has issued before. Plans survive appends —
+//     translation reads only the encryption plan and keys, never rows.
+//
+// The cache lives on the CLIENT side of the trust boundary: it stores final
+// decrypted rows (the client is trusted; ciphertext re-decryption would only
+// add latency), and the untrusted server learns nothing new — a hit means
+// the server sees no query at all.
+//
+// QueryStats: hits report cache_hit=true, the result shape of the original
+// cold run (result_rows / result_bytes / rows_touched), and only
+// cache_lookup_seconds of latency; misses report the inner backend's full
+// breakdown plus plan_cache_hit when translation was memoized.
+#ifndef SEABED_SRC_SEABED_CACHING_BACKEND_H_
+#define SEABED_SRC_SEABED_CACHING_BACKEND_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/seabed/executor.h"
+
+namespace seabed {
+
+// Rough client-memory footprint of a cached ResultSet, used for the byte
+// budget (value payloads + per-row/-string overheads).
+size_t EstimateResultBytes(const ResultSet& result);
+
+class CachingSeabedBackend : public Executor {
+ public:
+  // Wraps `inner` (built by MakeExecutor from `options.inner`); installs the
+  // plan cache into it unless `options.cache_plans` is off.
+  CachingSeabedBackend(const CacheOptions& options, std::unique_ptr<Executor> inner);
+
+  const char* name() const override { return "caching-seabed"; }
+  void Prepare(AttachedTable& table) override;
+  void Append(AttachedTable& table, const Table& new_rows) override;
+  ResultSet Execute(const Query& query, QueryStats* stats) override;
+
+  // Drops every cached result (plan cache untouched — plans never go stale).
+  void InvalidateResults();
+  // Drops cached results that read `table` as fact or join right side.
+  void InvalidateTable(const std::string& table);
+
+  // --- observability, exposed for tests and benches --------------------------
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t entries() const;
+  size_t cached_bytes() const;
+  const TranslatedPlanCache& plan_cache() const { return plan_cache_; }
+  Executor& inner() { return *inner_; }
+
+ private:
+  struct Entry {
+    // Immutable shared payload: hits snapshot the pointer under the lock
+    // and copy the rows outside it, so concurrent warm hits in ExecuteBatch
+    // never serialize on the row copy (and a hit outlives eviction).
+    std::shared_ptr<const ResultSet> result;
+    // Result-shape stats of the cold run, replayed into hit stats.
+    size_t result_bytes = 0;
+    uint64_t rows_touched = 0;
+    size_t bytes = 0;                  // EstimateResultBytes at insert time
+    std::vector<std::string> tables;   // fact + join right side
+    std::list<std::string>::iterator lru;  // position in lru_ (front = hottest)
+  };
+
+  // All three require `mu_` held.
+  void TouchLocked(Entry& entry, const std::string& key);
+  void InsertLocked(const std::string& key, Entry entry);
+  void EvictLocked();
+
+  CacheOptions options_;
+  std::unique_ptr<Executor> inner_;
+  TranslatedPlanCache plan_cache_;
+
+  // Result cache. Guarded by `mu_`: Session::ExecuteBatch issues concurrent
+  // Execute calls. Misses run the inner backend OUTSIDE the lock — two
+  // concurrent misses on one key both execute and the later insert wins
+  // (idempotent: equivalence says both computed the same rows).
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> results_;
+  std::list<std::string> lru_;  // most-recently-used at the front
+  size_t total_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_CACHING_BACKEND_H_

@@ -5,6 +5,7 @@
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
 #include "src/query/plain_executor.h"
+#include "src/seabed/caching_backend.h"
 #include "src/seabed/client.h"
 #include "src/seabed/sharded_backend.h"
 
@@ -20,6 +21,8 @@ const char* BackendKindName(BackendKind kind) {
       return "paillier";
     case BackendKind::kShardedSeabed:
       return "sharded-seabed";
+    case BackendKind::kCachingSeabed:
+      return "caching-seabed";
   }
   return "?";
 }
@@ -77,6 +80,31 @@ void GrowPlainTable(Table& dst, const Table& src, const Table* shared_with) {
   }
 }
 
+std::shared_ptr<Table> CloneTable(const Table& src) {
+  auto out = std::make_shared<Table>(src.name());
+  for (const std::string& name : src.column_names()) {
+    const ColumnPtr& col = src.GetColumn(name);
+    if (col->type() == ColumnType::kInt64) {
+      auto c = std::make_shared<Int64Column>();
+      const auto* s = static_cast<const Int64Column*>(col.get());
+      for (size_t i = 0; i < src.NumRows(); ++i) {
+        c->Append(s->Get(i));
+      }
+      out->AddColumn(name, std::move(c));
+    } else {
+      SEABED_CHECK_MSG(col->type() == ColumnType::kString,
+                       "clone supports plaintext int/string columns only (" << name << ")");
+      auto c = std::make_shared<StringColumn>();
+      const auto* s = static_cast<const StringColumn*>(col.get());
+      for (size_t i = 0; i < src.NumRows(); ++i) {
+        c->Append(s->Get(i));
+      }
+      out->AddColumn(name, std::move(c));
+    }
+  }
+  return out;
+}
+
 // --- NoEnc -------------------------------------------------------------------
 
 void PlainExecutorBackend::Prepare(AttachedTable& table) {
@@ -120,25 +148,46 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
   Stopwatch translate_sw;
   TranslatorOptions topts = context_->translator;
   topts.cluster_workers = context_->cluster->num_workers();
-  const Translator translator(*fact.enc, *context_->keys);
-  TranslatedQuery tq = translator.Translate(query, topts);
 
   // Joined-table resolution: the translator leaves the plaintext name; the
-  // server's registry is keyed by the encrypted table name.
+  // server's registry is keyed by the encrypted table name. Resolved before
+  // the plan-cache probe because decryption needs `right_db` on hits too.
   const EncryptedDatabase* right_db = nullptr;
-  if (tq.server.join.has_value()) {
+  if (query.join.has_value()) {
     const AttachedTable& right = context_->catalog->Get(query.join->right_table);
     SEABED_CHECK_MSG(right.enc.has_value(), "joined table " << right.name << " not prepared");
     right_db = &*right.enc;
-    tq.server.join->right_table = right.enc->table->name();
+  }
+
+  std::shared_ptr<const TranslatedQuery> tq;
+  bool plan_cache_hit = false;
+  std::string plan_key;
+  if (plan_cache_ != nullptr) {
+    plan_key = PlanCacheKey(query, topts);
+    tq = plan_cache_->Find(plan_key);
+    plan_cache_hit = tq != nullptr;
+  }
+  if (tq == nullptr) {
+    const Translator translator(*fact.enc, *context_->keys);
+    auto fresh = std::make_shared<TranslatedQuery>(translator.Translate(query, topts));
+    if (fresh->server.join.has_value()) {
+      // The resolution is deterministic (encrypted table names are fixed at
+      // Prepare), so the cached plan carries it.
+      fresh->server.join->right_table = right_db->table->name();
+    }
+    tq = std::move(fresh);
+    if (plan_cache_ != nullptr) {
+      plan_cache_->Insert(plan_key, tq);
+    }
   }
   const double translate_seconds = translate_sw.ElapsedSeconds();
 
-  const EncryptedResponse response = server_.Execute(tq.server, *context_->cluster, nullptr);
+  const EncryptedResponse response = server_.Execute(tq->server, *context_->cluster, nullptr);
   const Client client(*fact.enc, *context_->keys);
-  ResultSet result = client.Decrypt(response, tq, *context_->cluster, right_db, stats);
+  ResultSet result = client.Decrypt(response, *tq, *context_->cluster, right_db, stats);
   if (stats != nullptr) {
     stats->translate_seconds = translate_seconds;
+    stats->plan_cache_hit = plan_cache_hit;
   }
   return result;
 }
@@ -197,7 +246,7 @@ ResultSet PaillierBackend::Execute(const Query& query, QueryStats* stats) {
 
 std::unique_ptr<Executor> MakeExecutor(BackendKind kind, const ExecutionContext* context,
                                        const PaillierBackendOptions& paillier_options,
-                                       size_t shards) {
+                                       size_t shards, const CacheOptions& cache) {
   switch (kind) {
     case BackendKind::kPlain:
       return std::make_unique<PlainExecutorBackend>(context);
@@ -207,6 +256,12 @@ std::unique_ptr<Executor> MakeExecutor(BackendKind kind, const ExecutionContext*
       return std::make_unique<PaillierBackend>(context, paillier_options);
     case BackendKind::kShardedSeabed:
       return std::make_unique<ShardedSeabedBackend>(context, shards);
+    case BackendKind::kCachingSeabed: {
+      SEABED_CHECK_MSG(cache.inner != BackendKind::kCachingSeabed,
+                       "a caching backend cannot wrap another caching backend");
+      return std::make_unique<CachingSeabedBackend>(
+          cache, MakeExecutor(cache.inner, context, paillier_options, shards, cache));
+    }
   }
   SEABED_CHECK_MSG(false, "unknown backend kind");
   return nullptr;

@@ -30,9 +30,27 @@ enum class BackendKind {
   kSeabed,         // ASHE/SPLASHE/DET/ORE encrypted pipeline
   kPaillier,       // CryptDB/Monomi-style Paillier baseline
   kShardedSeabed,  // scale-out Seabed: N partitioned servers + merge layer
+  kCachingSeabed,  // result + translated-plan cache over an inner backend
 };
 
 const char* BackendKindName(BackendKind kind);
+
+// Configuration of the kCachingSeabed decorator (see caching_backend.h).
+struct CacheOptions {
+  // The backend that executes misses. Any kind except kCachingSeabed.
+  BackendKind inner = BackendKind::kSeabed;
+
+  // Result-cache budget: entries beyond either limit evict in LRU order.
+  size_t max_entries = 1024;
+  size_t max_bytes = 64u << 20;
+
+  // Disables the translated-plan cache (result caching is unaffected).
+  bool cache_plans = true;
+
+  // Plan-memo budget: keys embed filter literals, so parameter sweeps mint
+  // fresh keys; beyond this many plans the oldest insertion is dropped.
+  size_t plan_cache_entries = 4096;
+};
 
 // One table registered with a Session: the plaintext source, its schema, the
 // planner's encryption plan, and (for encrypted backends) the encrypted form
@@ -96,12 +114,25 @@ class Executor {
   // Runs `query` end-to-end and fills `stats` (when non-null) with the
   // latency breakdown of this call.
   virtual ResultSet Execute(const Query& query, QueryStats* stats) = 0;
+
+  // Points the backend at a shared translated-plan memo (non-owning; must
+  // outlive the executor). Backends that translate per call (kSeabed,
+  // kShardedSeabed) consult it before rebuilding Translator state; the
+  // default ignores the cache. Installed by the kCachingSeabed decorator.
+  virtual void SetPlanCache(TranslatedPlanCache* cache) { (void)cache; }
 };
 
 // Appends `src`'s rows onto `dst`'s plaintext columns. Columns that `dst`
 // shares (by object identity) with `shared_with` are skipped — the encrypted
 // side grows those itself. Shared by the backends' Append implementations.
 void GrowPlainTable(Table& dst, const Table& src, const Table* shared_with);
+
+// Deep copy of a plaintext int/string table (fresh columns, no sharing).
+// Sessions exercised with Append must each own their table — Append grows
+// the attached table in place, so attaching one shared instance to several
+// sessions would compound every batch. Used by benches and the equivalence
+// suites.
+std::shared_ptr<Table> CloneTable(const Table& src);
 
 // NoEnc: plaintext execution over the attached tables.
 class PlainExecutorBackend : public Executor {
@@ -127,6 +158,7 @@ class SeabedBackend : public Executor {
   void Prepare(AttachedTable& table) override;
   void Append(AttachedTable& table, const Table& new_rows) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
+  void SetPlanCache(TranslatedPlanCache* cache) override { plan_cache_ = cache; }
 
   // The untrusted side, exposed for tests that inspect what the server sees.
   const Server& server() const { return server_; }
@@ -134,6 +166,7 @@ class SeabedBackend : public Executor {
  private:
   const ExecutionContext* context_;
   Server server_;
+  TranslatedPlanCache* plan_cache_ = nullptr;
 };
 
 struct PaillierBackendOptions {
@@ -163,10 +196,12 @@ class PaillierBackend : public Executor {
 };
 
 // Builds the backend for `kind`. `paillier_options` configures kPaillier;
-// `shards` sets the fan-out width of kShardedSeabed (ignored elsewhere).
+// `shards` sets the fan-out width of kShardedSeabed; `cache` configures
+// kCachingSeabed, whose inner backend is built by recursing on
+// `cache.inner` (each knob is ignored by the kinds it does not concern).
 std::unique_ptr<Executor> MakeExecutor(BackendKind kind, const ExecutionContext* context,
                                        const PaillierBackendOptions& paillier_options,
-                                       size_t shards);
+                                       size_t shards, const CacheOptions& cache);
 
 }  // namespace seabed
 

@@ -19,7 +19,8 @@ Session::Session(SessionOptions options)
   context_.cluster =
       options_.external_cluster != nullptr ? options_.external_cluster : own_cluster_.get();
   context_.translator = options_.translator;
-  executor_ = MakeExecutor(options_.backend, &context_, options_.paillier, options_.shards);
+  executor_ = MakeExecutor(options_.backend, &context_, options_.paillier, options_.shards,
+                           options_.cache);
 }
 
 Session::~Session() = default;

@@ -45,6 +45,11 @@ struct SessionOptions {
   // attached table; queries fan out and merge at the coordinator.
   size_t shards = 4;
 
+  // kCachingSeabed configuration: the inner backend that executes misses
+  // (kSeabed or kShardedSeabed — `shards` applies to the latter) and the
+  // result-cache LRU budgets. Ignored by the other backends.
+  CacheOptions cache;
+
   // Master-secret seed for the per-column key derivation.
   uint64_t key_seed = 0xC0FFEE;
 };

@@ -313,12 +313,27 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
 
   // One translation serves every shard: the shards share the encryption
   // plan, keys and table name, so the server plan is identical across the
-  // fleet.
+  // fleet. Repeated dashboard shapes skip it entirely via the shared plan
+  // cache (installed by the caching decorator; nullptr otherwise).
   Stopwatch translate_sw;
   TranslatorOptions topts = context_->translator;
   topts.cluster_workers = context_->cluster->num_workers();
-  const Translator translator(*fact.enc, *context_->keys);
-  TranslatedQuery tq = translator.Translate(query, topts);
+  std::shared_ptr<const TranslatedQuery> cached_tq;
+  bool plan_cache_hit = false;
+  std::string plan_key;
+  if (plan_cache_ != nullptr) {
+    plan_key = PlanCacheKey(query, topts);
+    cached_tq = plan_cache_->Find(plan_key);
+    plan_cache_hit = cached_tq != nullptr;
+  }
+  if (cached_tq == nullptr) {
+    const Translator translator(*fact.enc, *context_->keys);
+    cached_tq = std::make_shared<TranslatedQuery>(translator.Translate(query, topts));
+    if (plan_cache_ != nullptr) {
+      plan_cache_->Insert(plan_key, cached_tq);
+    }
+  }
+  const TranslatedQuery& tq = *cached_tq;
 
   // Joins broadcast the full replica: every shard joins its partition
   // against the whole right table, handed to the servers directly (it never
@@ -362,6 +377,7 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   if (stats != nullptr) {
     stats->backend = name();
     stats->translate_seconds = translate_seconds;
+    stats->plan_cache_hit = plan_cache_hit;
     // Shards are independent clusters running in parallel: total simulated
     // server latency is the probe round (if any) plus the slowest shard of
     // round two plus the coordinator merge (already inside driver_seconds).

@@ -46,6 +46,7 @@ class ShardedSeabedBackend : public Executor {
   void Prepare(AttachedTable& table) override;
   void Append(AttachedTable& table, const Table& new_rows) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
+  void SetPlanCache(TranslatedPlanCache* cache) override { plan_cache_ = cache; }
 
   size_t num_shards() const { return shards_; }
   // The untrusted side of shard `shard`, exposed for tests.
@@ -87,6 +88,7 @@ class ShardedSeabedBackend : public Executor {
 
   const ExecutionContext* context_;
   size_t shards_;
+  TranslatedPlanCache* plan_cache_ = nullptr;
   std::vector<Server> servers_;
   std::map<std::string, ShardedTable> tables_;
   // Serializes lazy replica construction (Execute may run concurrently via

@@ -312,4 +312,70 @@ TranslatedQuery Translator::Translate(const Query& query,
   return out;
 }
 
+// --- translated-plan cache ---------------------------------------------------
+
+std::string PlanCacheKey(const Query& query, const TranslatorOptions& options) {
+  std::string key = query.Fingerprint(Query::FingerprintMode::kExact);
+  key += ";eg=" + std::to_string(query.expected_groups);
+  key += ";w=" + std::to_string(options.cluster_workers);
+  key += ";gi=" + std::to_string(options.enable_group_inflation ? 1 : 0);
+  key += ";il=" + std::to_string(options.idlist.use_range ? 1 : 0) +
+         std::to_string(options.idlist.use_diff ? 1 : 0) +
+         std::to_string(options.idlist.use_vb ? 1 : 0) +
+         std::to_string(static_cast<int>(options.idlist.compression));
+  key += ";wc=" + std::to_string(options.worker_side_compression ? 1 : 0);
+  return key;
+}
+
+TranslatedPlanCache::TranslatedPlanCache(size_t max_entries)
+    : max_entries_(max_entries > 0 ? max_entries : 1) {}
+
+std::shared_ptr<const TranslatedQuery> TranslatedPlanCache::Find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void TranslatedPlanCache::Insert(const std::string& key,
+                                 std::shared_ptr<const TranslatedQuery> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    it->second = std::move(plan);  // refresh in place, keep its slot
+    return;
+  }
+  while (plans_.size() >= max_entries_) {
+    plans_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+  insertion_order_.push_back(key);
+  plans_.emplace(key, std::move(plan));
+}
+
+void TranslatedPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  insertion_order_.clear();
+}
+
+size_t TranslatedPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+uint64_t TranslatedPlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t TranslatedPlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
 }  // namespace seabed

@@ -9,6 +9,11 @@
 #ifndef SEABED_SRC_SEABED_TRANSLATOR_H_
 #define SEABED_SRC_SEABED_TRANSLATOR_H_
 
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -127,6 +132,43 @@ class Translator {
  private:
   const EncryptedDatabase* db_;
   const ClientKeys* keys_;
+};
+
+// The plan-cache key: everything Translate reads beyond the encrypted schema
+// — the exact query fingerprint (filters order-normalized, literals typed)
+// plus the inflation hint and the TranslatorOptions digest. Translation is a
+// pure function of (schema plan, keys, this key): DET tokens are
+// deterministic per key, and appends never change column schemes, so a plan
+// cached under this key stays valid for the lifetime of the attached table.
+std::string PlanCacheKey(const Query& query, const TranslatorOptions& options);
+
+// Thread-safe memo of translated plans, shared by the backends of one
+// session (Session::ExecuteBatch translates concurrently). Entries are
+// immutable shared_ptrs, so a hit outlives a concurrent Clear(). Bounded:
+// keys embed exact filter literals, so a dashboard sweeping a parameter
+// (WHERE ts >= <moving t>) would otherwise grow the memo without limit —
+// at capacity the oldest insertion is dropped (plans are cheap to rebuild;
+// FIFO keeps the hot steady-state shapes without LRU bookkeeping).
+class TranslatedPlanCache {
+ public:
+  explicit TranslatedPlanCache(size_t max_entries = 4096);
+
+  // Returns the cached plan, or nullptr (counting a hit / miss).
+  std::shared_ptr<const TranslatedQuery> Find(const std::string& key);
+  void Insert(const std::string& key, std::shared_ptr<const TranslatedQuery> plan);
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const TranslatedQuery>> plans_;
+  std::list<std::string> insertion_order_;  // oldest at the front
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
 };
 
 }  // namespace seabed

@@ -1,0 +1,149 @@
+// Query::Fingerprint is the cache key of the caching backend: it must
+// collapse semantically identical queries (predicate reordering) while
+// keeping every row-changing variation distinct.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/query/parser.h"
+#include "src/query/query.h"
+
+namespace seabed {
+namespace {
+
+Query BaseQuery() {
+  Query q;
+  q.table = "retail";
+  q.Sum("revenue", "total").Count("orders");
+  q.Where("country", CmpOp::kEq, std::string("india"));
+  q.Where("ts", CmpOp::kGe, int64_t{10});
+  q.GroupBy("store");
+  return q;
+}
+
+TEST(QueryFingerprintTest, ReorderedFiltersCollapse) {
+  Query a = BaseQuery();
+
+  Query b;
+  b.table = "retail";
+  b.Sum("revenue", "total").Count("orders");
+  b.Where("ts", CmpOp::kGe, int64_t{10});  // swapped order
+  b.Where("country", CmpOp::kEq, std::string("india"));
+  b.GroupBy("store");
+
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(QueryFingerprintTest, RowChangingVariationsStayDistinct) {
+  const Query base = BaseQuery();
+  const std::string fp = base.Fingerprint();
+
+  {
+    Query q = BaseQuery();
+    q.filters[1].operand = int64_t{11};  // different literal
+    EXPECT_NE(q.Fingerprint(), fp);
+  }
+  {
+    Query q = BaseQuery();
+    q.filters[1].op = CmpOp::kGt;  // different operator
+    EXPECT_NE(q.Fingerprint(), fp);
+  }
+  {
+    Query q = BaseQuery();
+    q.table = "retail2";
+    EXPECT_NE(q.Fingerprint(), fp);
+  }
+  {
+    Query q = BaseQuery();
+    q.group_by.clear();  // grouping changes the rows
+    EXPECT_NE(q.Fingerprint(), fp);
+  }
+  {
+    Query q = BaseQuery();
+    q.aggregates[0].alias = "sum2";  // alias names the result column
+    EXPECT_NE(q.Fingerprint(), fp);
+  }
+  {
+    Query q = BaseQuery();
+    q.join = Join{"dim", "fk", "right:key"};
+    EXPECT_NE(q.Fingerprint(), fp);
+  }
+}
+
+TEST(QueryFingerprintTest, SeparatorCharactersCannotForgeCollisions) {
+  // One predicate whose literal embeds the serialized form of another
+  // predicate must not collide with the genuine two-predicate query
+  // (components are length-prefixed, not merely joined).
+  Query a;
+  a.table = "t";
+  a.Count("n");
+  a.Where("dim", CmpOp::kEq, std::string("x&grp=sy"));
+
+  Query b;
+  b.table = "t";
+  b.Count("n");
+  b.Where("dim", CmpOp::kEq, std::string("x"));
+  b.Where("grp", CmpOp::kEq, std::string("y"));
+
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+
+  // Same idea through an aggregate alias.
+  Query c;
+  c.table = "t";
+  c.Sum("m", "x,sum(m)y");
+  Query d;
+  d.table = "t";
+  d.Sum("m", "x").Sum("m", "y");
+  EXPECT_NE(c.Fingerprint(), d.Fingerprint());
+}
+
+TEST(QueryFingerprintTest, TypedLiteralsDoNotCollide) {
+  Query a;
+  a.table = "t";
+  a.Count();
+  a.Where("x", CmpOp::kEq, int64_t{1});
+
+  Query b;
+  b.table = "t";
+  b.Count();
+  b.Where("x", CmpOp::kEq, std::string("1"));
+
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(QueryFingerprintTest, ExecutionHintsAreExcluded) {
+  // expected_groups and needs_two_round_trips change the execution strategy,
+  // never the rows — a result cache should hit across them.
+  Query a = BaseQuery();
+  Query b = BaseQuery();
+  b.expected_groups = 7;
+  b.needs_two_round_trips = true;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(QueryFingerprintTest, ShapeModeElidesLiteralsOnly) {
+  Query a = BaseQuery();
+  Query b = BaseQuery();
+  b.filters[0].operand = std::string("chile");
+  b.filters[1].operand = int64_t{99};
+
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.Fingerprint(Query::FingerprintMode::kShape),
+            b.Fingerprint(Query::FingerprintMode::kShape));
+
+  // Shape still distinguishes which columns are filtered.
+  Query c = BaseQuery();
+  c.filters[0].column = "region";
+  EXPECT_NE(a.Fingerprint(Query::FingerprintMode::kShape),
+            c.Fingerprint(Query::FingerprintMode::kShape));
+}
+
+TEST(QueryFingerprintTest, SqlAndFluentFormsAgree) {
+  const Query sql = MustParseSql(
+      "SELECT SUM(revenue) AS total, COUNT(*) AS orders FROM retail "
+      "WHERE ts >= 10 AND country = 'india' GROUP BY store");
+  EXPECT_EQ(sql.Fingerprint(), BaseQuery().Fingerprint());
+}
+
+}  // namespace
+}  // namespace seabed

@@ -7,12 +7,19 @@
 //   kPlain            (the reference semantics),
 //   kSeabed           (ASHE/SPLASHE/DET/ORE pipeline),
 //   kPaillier         (CryptDB/Monomi baseline; variance is out of its model),
-//   kShardedSeabed    at shard counts {1, 2, 4, 7}.
+//   kShardedSeabed    at shard counts {1, 2, 4, 7},
+//   kCachingSeabed    over both a single-server and a sharded (3) inner.
 //
 // Ten seeds x ~20 trials ≈ 200 random queries per full run. This is the
 // correctness argument for the fan-out/merge layer: coordinator aggregation
 // must be indistinguishable from sequential execution (merge-at-coordinator
 // equivalence, in the distributed-systems framing).
+//
+// The caching backends run every query TWICE — cold then warm — and both
+// answers must match kPlain; random appends to the fact and dimension
+// tables are interleaved between trials (every backend gets the same
+// batch), so a cache serving a stale pre-append result, or a plan cache
+// serving a mistranslation, shows up as a row mismatch here.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -187,27 +194,101 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
     std::unique_ptr<Session> session;
     bool supports_variance = true;
     bool honors_translator_options = false;
+    bool caching = false;  // run twice: cold + warm must both match kPlain
   };
   std::vector<Backend> backends;
   backends.push_back({"plain", std::make_unique<Session>(options_for(BackendKind::kPlain, 1)),
-                      true, false});
+                      true, false, false});
   backends.push_back({"seabed", std::make_unique<Session>(options_for(BackendKind::kSeabed, 1)),
-                      true, true});
+                      true, true, false});
   backends.push_back(
       {"paillier", std::make_unique<Session>(options_for(BackendKind::kPaillier, 1)),
-       /*supports_variance=*/false, false});
+       /*supports_variance=*/false, false, false});
   for (const size_t shards : kShardCounts) {
     backends.push_back({"sharded-" + std::to_string(shards),
                         std::make_unique<Session>(options_for(BackendKind::kShardedSeabed, shards)),
-                        true, true});
+                        true, true, false});
+  }
+  {
+    SessionOptions copts = options_for(BackendKind::kCachingSeabed, 1);
+    copts.cache.inner = BackendKind::kSeabed;
+    backends.push_back({"caching", std::make_unique<Session>(std::move(copts)), true, true, true});
+  }
+  {
+    SessionOptions copts = options_for(BackendKind::kCachingSeabed, 3);
+    copts.cache.inner = BackendKind::kShardedSeabed;
+    backends.push_back(
+        {"caching-sharded-3", std::make_unique<Session>(std::move(copts)), true, true, true});
   }
   for (Backend& b : backends) {
-    b.session->Attach(table, schema, samples);
-    b.session->Attach(dim_table, dim_schema, dim_samples);
+    // Every session owns its tables: the append rounds below grow them.
+    b.session->Attach(CloneTable(*table), schema, samples);
+    b.session->Attach(CloneTable(*dim_table), dim_schema, dim_samples);
   }
+
+  // --- random append batches --------------------------------------------------
+  auto make_fact_batch = [&](size_t n) {
+    auto batch = std::make_shared<Table>("fuzz");
+    auto bdim = std::make_shared<StringColumn>();
+    auto bgrp = std::make_shared<StringColumn>();
+    auto bts = std::make_shared<Int64Column>();
+    auto bm1 = std::make_shared<Int64Column>();
+    auto bm2 = std::make_shared<Int64Column>();
+    auto bfk = std::make_shared<Int64Column>();
+    for (size_t i = 0; i < n; ++i) {
+      bdim->Append("v" + std::to_string(dim_sampler.Sample(rng)));
+      bgrp->Append("g" + std::to_string(rng.Below(grp_card)));
+      bts->Append(static_cast<int64_t>(rng.Below(100)));
+      bm1->Append(rng.Range(-50, 1000));
+      bm2->Append(rng.Range(0, 100));
+      bfk->Append(static_cast<int64_t>(rng.Below(key_card + key_card / 8)));
+    }
+    batch->AddColumn("dim", bdim);
+    batch->AddColumn("grp", bgrp);
+    batch->AddColumn("ts", bts);
+    batch->AddColumn("m1", bm1);
+    batch->AddColumn("m2", bm2);
+    batch->AddColumn("fk", bfk);
+    return batch;
+  };
+  auto make_dim_batch = [&](size_t n) {
+    auto batch = std::make_shared<Table>("dimt");
+    auto bkey = std::make_shared<Int64Column>();
+    auto bscore = std::make_shared<Int64Column>();
+    auto bcat = std::make_shared<StringColumn>();
+    for (size_t i = 0; i < n; ++i) {
+      bkey->Append(static_cast<int64_t>(rng.Below(key_card)));
+      bscore->Append(rng.Range(-20, 500));
+      bcat->Append("c" + std::to_string(rng.Below(3)));
+    }
+    batch->AddColumn("key", bkey);
+    batch->AddColumn("score", bscore);
+    batch->AddColumn("cat", bcat);
+    return batch;
+  };
 
   // --- random queries ---------------------------------------------------------
   for (int trial = 0; trial < 20; ++trial) {
+    // Append rounds interleave with the queries: every backend ingests the
+    // same batch, so answers stay comparable — and any cached result that
+    // survives its table's growth (stale ciphertext) diverges from kPlain
+    // on the very next trial, which re-issues earlier query shapes by
+    // construction (same rng stream prefix reuse is not needed: repeated
+    // shapes occur naturally and the caching backends re-run EVERY query
+    // warm below).
+    if (trial == 5 || trial == 12) {
+      const auto batch = make_fact_batch(40 + rng.Below(60));
+      for (Backend& b : backends) {
+        b.session->Append("fuzz", *batch);
+      }
+    }
+    if (trial == 15) {
+      const auto batch = make_dim_batch(10 + rng.Below(20));
+      for (Backend& b : backends) {
+        b.session->Append("dimt", *batch);
+      }
+    }
+
     Query q;
     q.table = "fuzz";
     const bool join_query = rng.Chance(0.3);
@@ -305,7 +386,16 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
         backend.session->set_translator_options(topts);
       }
       SCOPED_TRACE("backend=" + backend.label);
-      EXPECT_EQ(RowsAsStrings(backend.session->Execute(q, nullptr)), reference);
+      QueryStats cold;
+      EXPECT_EQ(RowsAsStrings(backend.session->Execute(q, &cold)), reference);
+      if (backend.caching) {
+        // Warm path: the repeat must be answered from the cache and still
+        // byte-match the plaintext reference.
+        QueryStats warm;
+        EXPECT_EQ(RowsAsStrings(backend.session->Execute(q, &warm)), reference);
+        EXPECT_TRUE(warm.cache_hit);
+        EXPECT_EQ(warm.result_rows, cold.result_rows);
+      }
     }
   }
 }
