@@ -1,0 +1,234 @@
+// "Figure 12" (beyond the paper): the two-round probe-and-prune crossover on
+// the single-server backend.
+//
+// Sweeps query selectivity from 0.1% to 100% over a clustered table (rows
+// laid out in contiguous runs per segment — the time/tenant-partitioned
+// layout row-group pruning exists for) and runs every point at probe mode
+// off, auto and forced (SessionOptions::probe, src/seabed/probe.h):
+//
+//   * at LOW selectivity the probe round prunes almost every row group, so
+//     round two scans a sliver of the table — auto must be >= 2x cheaper
+//     than off at <= 1% selectivity;
+//   * at HIGH selectivity pruning cannot help; auto's cost gate (the
+//     planner's selectivity estimate vs. the probe threshold) must DECLINE
+//     to probe, staying within 10% of off, while forced shows the price of
+//     probing anyway.
+//
+// The cluster's fixed job/task overheads and the client link's fixed latency
+// are zeroed here: the probe is a driver-side summary lookup, not an extra
+// cluster job or network round trip, so those constants are identical across
+// the modes and would only flatten the crossover the sweep exists to show
+// (at smoke-scale row counts the 0.5 ms link latency alone would swamp the
+// entire scan).
+//
+// Exit status is the CI gate: nonzero when the low-selectivity win or the
+// high-selectivity no-regression bound fails.
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/rng.h"
+
+namespace seabed {
+namespace {
+
+// Segment frequencies, also published to the planner as the ValueDistribution
+// auto mode's selectivity estimate reads. Runs are contiguous, so an equality
+// filter on sK touches exactly one stretch of row groups.
+constexpr struct {
+  const char* seg;
+  double frequency;
+} kSegments[] = {
+    {"s0", 0.001}, {"s1", 0.009}, {"s2", 0.04}, {"s3", 0.20}, {"s4", 0.75},
+};
+
+std::shared_ptr<Table> MakeClusteredTable(uint64_t rows) {
+  auto table = std::make_shared<Table>("sweep");
+  auto seg = std::make_shared<StringColumn>();
+  auto value = std::make_shared<Int64Column>();
+  Rng rng(4242);
+  size_t emitted = 0;
+  for (const auto& s : kSegments) {
+    // The last segment absorbs the rounding remainder.
+    const size_t run = &s == &kSegments[std::size(kSegments) - 1]
+                           ? rows - emitted
+                           : static_cast<size_t>(static_cast<double>(rows) * s.frequency);
+    for (size_t i = 0; i < run; ++i) {
+      seg->Append(s.seg);
+      value->Append(rng.Range(0, 1000));
+    }
+    emitted += run;
+  }
+  table->AddColumn("seg", seg);
+  table->AddColumn("value", value);
+  return table;
+}
+
+PlainSchema SweepSchema() {
+  PlainSchema schema;
+  schema.table_name = "sweep";
+  ValueDistribution dist;
+  for (const auto& s : kSegments) {
+    dist.values.push_back(s.seg);
+    dist.frequencies.push_back(s.frequency);
+  }
+  schema.columns.push_back({"seg", ColumnType::kString, true, dist});
+  schema.columns.push_back({"value", ColumnType::kInt64, true, std::nullopt});
+  return schema;
+}
+
+std::vector<Query> SweepSamples() {
+  std::vector<Query> samples;
+  // seg appears in a GROUP BY so the planner realizes it with DET rather
+  // than SPLASHE — a splayed filter leaves no server predicate to probe.
+  Query q;
+  q.table = "sweep";
+  q.Sum("value").Count();
+  q.Where("seg", CmpOp::kEq, std::string("s0"));
+  q.GroupBy("seg");
+  samples.push_back(q);
+  return samples;
+}
+
+struct Point {
+  const char* label;
+  double selectivity;
+  Query query;
+};
+
+std::vector<Point> SweepPoints() {
+  std::vector<Point> points;
+  for (const auto& s : kSegments) {
+    Query q;
+    q.table = "sweep";
+    q.Sum("value", "total").Count("n");
+    q.Where("seg", CmpOp::kEq, std::string(s.seg));
+    points.push_back({s.seg, s.frequency, std::move(q)});
+  }
+  {
+    // The 100% point: a not-equals filter every row passes. It is prunable
+    // (forced mode pays a useless probe) but estimates to selectivity 1.0,
+    // so auto declines and must track off.
+    Query q;
+    q.table = "sweep";
+    q.Sum("value", "total").Count("n");
+    q.Where("seg", CmpOp::kNe, std::string("none"));
+    points.push_back({"all", 1.0, std::move(q)});
+  }
+  return points;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+int Main() {
+  // Floor of 50k rows: below that the full scan itself is only tens of
+  // microseconds and the gate would be measuring host-timer noise, not the
+  // crossover. (The smoke run's 20k is raised; the sweep stays sub-second.)
+  const uint64_t rows = std::max<uint64_t>(50000, EnvU64("SEABED_BENCH_ROWS", 2000000));
+  const uint64_t repeat = std::max<uint64_t>(3, EnvU64("SEABED_BENCH_REPEAT", 5));
+  BenchRecorder recorder("fig12_probe");
+
+  SessionOptions options;
+  options.backend = BackendKind::kSeabed;
+  // 4 workers keeps the sweep scan-bound: with a very wide cluster the FULL
+  // scan's critical path shrinks toward one pruned row group per worker and
+  // host-thread dispatch jitter, not scan work, decides the ratio.
+  options.cluster.num_workers = 4;
+  options.cluster.job_overhead_seconds = 0;
+  options.cluster.task_overhead_seconds = 0;
+  options.cluster.client_link.latency_seconds = 0;
+  options.planner.expected_rows = rows;
+  Session session(std::move(options));
+  session.Attach(MakeClusteredTable(rows), SweepSchema(), SweepSamples());
+  {
+    // Smoke-scale tables get finer row groups: with the default 1024-row
+    // groups a 20k-row table has only ~20 of them, so a 0.1% segment still
+    // costs a whole kilorow-group scan and the crossover blurs into noise.
+    ProbeOptions popts = session.probe_options();
+    popts.row_group_size = rows <= 100000 ? 256 : 1024;
+    session.set_probe_options(popts);
+  }
+
+  constexpr ProbeMode kModes[] = {ProbeMode::kOff, ProbeMode::kAuto, ProbeMode::kForced};
+  const std::vector<Point> points = SweepPoints();
+
+  std::printf("=== Figure 12: probe-and-prune crossover, single-server backend "
+              "(rows=%llu, repeat=%llu, row groups of %zu) ===\n",
+              static_cast<unsigned long long>(rows), static_cast<unsigned long long>(repeat),
+              session.probe_options().row_group_size);
+  std::printf("%-6s %8s %12s %12s %12s %9s %8s %12s\n", "point", "sel%", "off(s)", "auto(s)",
+              "forced(s)", "speedup", "probed", "pruned");
+
+  bool gate_failed = false;
+  for (const Point& point : points) {
+    double medians[std::size(kModes)] = {};
+    QueryStats last_auto, last_forced;
+    for (size_t m = 0; m < std::size(kModes); ++m) {
+      ProbeOptions popts = session.probe_options();
+      popts.mode = kModes[m];
+      session.set_probe_options(popts);
+      session.Execute(point.query, nullptr);  // untimed warm-up (pool spin-up)
+      std::vector<double> totals;
+      for (uint64_t r = 0; r < repeat; ++r) {
+        QueryStats stats;
+        session.Execute(point.query, &stats);
+        totals.push_back(stats.TotalSeconds());
+        recorder.AddStats(ProbeModeName(kModes[m]),
+                          {{"selectivity", point.selectivity},
+                           {"probe_used", stats.probe_used ? 1.0 : 0.0},
+                           {"probe_seconds", stats.probe_seconds},
+                           {"row_groups_pruned", static_cast<double>(stats.row_groups_pruned)},
+                           {"row_groups_total", static_cast<double>(stats.row_groups_total)}},
+                          stats);
+        if (kModes[m] == ProbeMode::kAuto) {
+          last_auto = stats;
+        } else if (kModes[m] == ProbeMode::kForced) {
+          last_forced = stats;
+        }
+      }
+      medians[m] = Median(std::move(totals));
+    }
+
+    const double off = medians[0], auto_s = medians[1], forced = medians[2];
+    const double speedup = auto_s > 0 ? off / auto_s : 0;
+    char pruned[32];
+    std::snprintf(pruned, sizeof(pruned), "%llu/%llu",
+                  static_cast<unsigned long long>(last_forced.row_groups_pruned),
+                  static_cast<unsigned long long>(last_forced.row_groups_total));
+    std::printf("%-6s %8.2f %12.6f %12.6f %12.6f %8.1fx %8s %12s\n", point.label,
+                point.selectivity * 100, off, auto_s, forced, speedup,
+                last_auto.probe_used ? "yes" : "no", pruned);
+
+    // --- the acceptance gates -------------------------------------------------
+    if (point.selectivity <= 0.01) {
+      if (last_auto.probe_used != true || speedup < 2.0) {
+        std::printf("REGRESSION: %s (sel %.2f%%) auto is only %.2fx faster than off "
+                    "(>= 2x required)\n",
+                    point.label, point.selectivity * 100, speedup);
+        gate_failed = true;
+      }
+    }
+    if (point.selectivity >= 1.0) {
+      // 1 ms absolute slack: at smoke row counts both medians are tens of
+      // microseconds and a 10% relative bound would gate timer noise.
+      if (last_auto.probe_used || auto_s > off * 1.10 + 1e-3) {
+        std::printf("REGRESSION: %s auto did not decline the probe (probed=%d, "
+                    "%.6fs vs off %.6fs)\n",
+                    point.label, last_auto.probe_used ? 1 : 0, auto_s, off);
+        gate_failed = true;
+      }
+    }
+  }
+  return gate_failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace seabed
+
+int main() { return seabed::Main(); }

@@ -13,24 +13,6 @@ namespace {
 
 int CompareInt(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
 
-bool ApplyCmp(CmpOp op, int cmp) {
-  switch (op) {
-    case CmpOp::kEq:
-      return cmp == 0;
-    case CmpOp::kNe:
-      return cmp != 0;
-    case CmpOp::kLt:
-      return cmp < 0;
-    case CmpOp::kLe:
-      return cmp <= 0;
-    case CmpOp::kGt:
-      return cmp > 0;
-    case CmpOp::kGe:
-      return cmp >= 0;
-  }
-  return false;
-}
-
 // Running state for one aggregate within one group.
 struct AggState {
   int64_t sum = 0;
@@ -140,7 +122,7 @@ bool PredicateHolds(const Predicate& pred, const ResolvedColumn& rc, size_t row)
   if (col->type() == ColumnType::kInt64) {
     const int64_t v = static_cast<const Int64Column*>(col.get())->Get(row);
     const int64_t operand = std::get<int64_t>(pred.operand);
-    return ApplyCmp(pred.op, CompareInt(v, operand));
+    return CmpOpMatchesOrder(pred.op, CompareInt(v, operand));
   }
   SEABED_CHECK_MSG(col->type() == ColumnType::kString,
                    "plaintext predicate on encrypted column " << rc.name);

@@ -40,6 +40,29 @@ enum class CmpOp {
   kGe,
 };
 
+// Whether `op` accepts a three-way comparison result (`order` < 0, == 0 or
+// > 0 as in strcmp). The single definition every predicate evaluator —
+// plain executor, encrypted server, Paillier baseline, planner estimate,
+// probe pruning — must share, so a CmpOp addition cannot diverge them.
+// Header-inline: this sits in every scan's per-row hot loop.
+constexpr bool CmpOpMatchesOrder(CmpOp op, int order) {
+  switch (op) {
+    case CmpOp::kEq:
+      return order == 0;
+    case CmpOp::kNe:
+      return order != 0;
+    case CmpOp::kLt:
+      return order < 0;
+    case CmpOp::kLe:
+      return order <= 0;
+    case CmpOp::kGt:
+      return order > 0;
+    case CmpOp::kGe:
+      return order >= 0;
+  }
+  return false;
+}
+
 struct Aggregate {
   AggFunc func = AggFunc::kSum;
   std::string column;  // empty for COUNT(*)
@@ -153,6 +176,16 @@ struct QueryStats {
   bool cache_hit = false;
   bool plan_cache_hit = false;
   double cache_lookup_seconds = 0;
+
+  // Two-round probe detail (src/seabed/probe.h): whether round one ran, its
+  // cost (also folded into server_seconds), and how much of the fleet it let
+  // round two skip. On kSeabed the units are row groups of the summary
+  // index; on kShardedSeabed they are shards. All zero/false when no probe
+  // ran — cache hits in particular never probe.
+  bool probe_used = false;
+  double probe_seconds = 0;
+  uint64_t row_groups_total = 0;
+  uint64_t row_groups_pruned = 0;
 
   double TotalSeconds() const {
     return server_seconds + network_seconds + client_seconds;

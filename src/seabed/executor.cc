@@ -182,12 +182,46 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
   }
   const double translate_seconds = translate_sw.ElapsedSeconds();
 
-  const EncryptedResponse response = server_.Execute(tq->server, *context_->cluster, nullptr);
+  // Round one (adaptive two-round execution): evaluate the plan's probe
+  // section against the server's row-group summaries, then scan only the
+  // surviving groups — or skip round two entirely when nothing can match.
+  // kAuto pays the probe only when the planner's selectivity estimate (or an
+  // explicit client two-round hint) predicts round two will skip most rows.
+  const ProbeOptions& popts = context_->probe;
+  bool probe_used = false;
+  ServerProbeResult probe;
+  if (popts.mode != ProbeMode::kOff && tq->probe.prunable) {
+    bool go = popts.mode == ProbeMode::kForced || query.needs_two_round_trips;
+    if (!go) {
+      go = EstimateFilterSelectivity(query, fact.schema) <= popts.auto_selectivity_threshold;
+    }
+    if (go) {
+      probe = server_.Probe(tq->server.table, tq->probe, popts.row_group_size);
+      probe_used = true;
+    }
+  }
+
+  EncryptedResponse response;
+  if (probe_used && probe.surviving.empty()) {
+    // Zero-match short-circuit: no row group can satisfy the predicates, so
+    // round two never runs. An empty response decrypts to the same rows a
+    // zero-match scan produces (global aggregates still yield the SQL zero
+    // row).
+    response = EncryptedResponse{};
+  } else {
+    response = server_.Execute(tq->server, *context_->cluster, nullptr,
+                               probe_used ? &probe.surviving : nullptr);
+  }
   const Client client(*fact.enc, *context_->keys);
   ResultSet result = client.Decrypt(response, *tq, *context_->cluster, right_db, stats);
   if (stats != nullptr) {
     stats->translate_seconds = translate_seconds;
     stats->plan_cache_hit = plan_cache_hit;
+    stats->probe_used = probe_used;
+    stats->probe_seconds = probe.seconds;
+    stats->row_groups_total = probe.total_groups;
+    stats->row_groups_pruned = probe.pruned_groups;
+    stats->server_seconds += probe.seconds;  // round one is server latency too
   }
   return result;
 }

@@ -20,6 +20,7 @@
 #include "src/seabed/encryptor.h"
 #include "src/seabed/paillier_baseline.h"
 #include "src/seabed/planner.h"
+#include "src/seabed/probe.h"
 #include "src/seabed/server.h"
 #include "src/seabed/translator.h"
 
@@ -83,13 +84,15 @@ class TableCatalog {
 };
 
 // Session-owned state every backend reads at query time. The Session mutates
-// `cluster` (core-count sweeps) and `translator` (codec/inflation knobs)
-// between Execute calls; backends must re-read them per call.
+// `cluster` (core-count sweeps), `translator` (codec/inflation knobs) and
+// `probe` (two-round mode sweeps) between Execute calls; backends must
+// re-read them per call.
 struct ExecutionContext {
   const TableCatalog* catalog = nullptr;
   const ClientKeys* keys = nullptr;
   const Cluster* cluster = nullptr;
   TranslatorOptions translator;
+  ProbeOptions probe;
 };
 
 // Abstract execution backend. Implementations are stateless per call apart

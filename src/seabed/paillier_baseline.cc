@@ -22,24 +22,6 @@ std::string PaillierColumnName(const std::string& ashe_column) {
   return ashe_column.substr(0, ashe_column.size() - suffix.size()) + "#paillier";
 }
 
-bool ApplyOrder(CmpOp op, int order) {
-  switch (op) {
-    case CmpOp::kEq:
-      return order == 0;
-    case CmpOp::kNe:
-      return order != 0;
-    case CmpOp::kLt:
-      return order < 0;
-    case CmpOp::kLe:
-      return order <= 0;
-    case CmpOp::kGt:
-      return order > 0;
-    case CmpOp::kGe:
-      return order >= 0;
-  }
-  return false;
-}
-
 struct PartialAgg {
   BigNum product{1};  // multiplicative identity == Enc(0) with unit randomness
   bool touched = false;
@@ -94,7 +76,7 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
           case ServerPredicate::Kind::kPlainInt: {
             const int64_t v =
                 static_cast<const Int64Column*>(t.GetColumn(sp.column).get())->Get(r);
-            pass = ApplyOrder(sp.op, v < sp.int_operand ? -1 : (v > sp.int_operand ? 1 : 0));
+            pass = CmpOpMatchesOrder(sp.op, v < sp.int_operand ? -1 : (v > sp.int_operand ? 1 : 0));
             break;
           }
           case ServerPredicate::Kind::kPlainString: {
@@ -114,7 +96,7 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
           case ServerPredicate::Kind::kOreCmp: {
             const auto& ct =
                 static_cast<const OreColumn*>(t.GetColumn(sp.column).get())->Get(r);
-            pass = ApplyOrder(sp.op, Ore::Compare(ct, sp.ore_operand).order);
+            pass = CmpOpMatchesOrder(sp.op, Ore::Compare(ct, sp.ore_operand).order);
             break;
           }
         }

@@ -1,6 +1,8 @@
 #include "src/seabed/planner.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <set>
 
 #include "src/common/check.h"
@@ -11,6 +13,17 @@ namespace {
 
 // True when the column name refers to the joined (right) table.
 bool IsRightRef(const std::string& name) { return name.rfind("right:", 0) == 0; }
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
 
 }  // namespace
 
@@ -244,6 +257,54 @@ EncryptionPlan PlanEncryption(const PlainSchema& schema, const std::vector<Query
     plan.splashe.push_back(std::move(layout));
   }
   return plan;
+}
+
+double EstimateFilterSelectivity(const Query& query, const PlainSchema& schema) {
+  double selectivity = 1.0;
+  for (const Predicate& pred : query.filters) {
+    if (IsRightRef(pred.column)) {
+      continue;  // right-table filters don't shrink the fact-side scan
+    }
+    const bool is_eq = pred.op == CmpOp::kEq;
+    const bool is_ne = pred.op == CmpOp::kNe;
+    double estimate = is_eq ? 0.15 : (is_ne ? 0.85 : 0.5);
+
+    const PlainColumnSpec* spec = schema.Find(pred.column);
+    if (spec != nullptr && spec->distribution.has_value() &&
+        spec->distribution->frequencies.size() >= spec->distribution->values.size()) {
+      const ValueDistribution& dist = *spec->distribution;
+      // Frequency mass of the values satisfying the predicate. String
+      // domains answer eq/ne only; numeric domains answer ranges too.
+      const int64_t* int_operand = std::get_if<int64_t>(&pred.operand);
+      const std::string* str_operand = std::get_if<std::string>(&pred.operand);
+      double mass = 0;
+      bool known = true;
+      for (size_t i = 0; i < dist.values.size() && known; ++i) {
+        bool matches = false;
+        if (int_operand != nullptr) {
+          int64_t v = 0;
+          if (!ParseInt64(dist.values[i], &v)) {
+            known = false;  // non-numeric domain vs. int literal: no estimate
+            break;
+          }
+          matches = CmpOpMatchesOrder(pred.op, v < *int_operand ? -1 : (v > *int_operand ? 1 : 0));
+        } else if (str_operand != nullptr && (is_eq || is_ne)) {
+          matches = is_eq ? dist.values[i] == *str_operand : dist.values[i] != *str_operand;
+        } else {
+          known = false;  // string range predicates: no order on the domain
+          break;
+        }
+        if (matches) {
+          mass += dist.frequencies[i];
+        }
+      }
+      if (known) {
+        estimate = mass;
+      }
+    }
+    selectivity *= std::clamp(estimate, 0.0, 1.0);
+  }
+  return std::clamp(selectivity, 0.0, 1.0);
 }
 
 }  // namespace seabed

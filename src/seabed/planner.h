@@ -55,6 +55,17 @@ std::map<std::string, ColumnUsage> AnalyzeUsage(const PlainSchema& schema,
 EncryptionPlan PlanEncryption(const PlainSchema& schema, const std::vector<Query>& queries,
                               const PlannerOptions& options = {});
 
+// Estimated fraction of fact-table rows satisfying `query`'s fact-side
+// filters, in [0, 1]. Per-filter estimates multiply (independence
+// assumption). Columns with a ValueDistribution answer exactly: equality
+// filters read the literal's frequency, range filters (on numeric domains)
+// sum the frequencies of qualifying values. Without a distribution the
+// textbook defaults apply — equality filters are assumed selective (0.15),
+// ranges are not (0.5). Joined-table filters don't reduce the fact-side
+// scan and are ignored. This is the cost gate for ProbeMode::kAuto: probe
+// only when the estimate predicts round two will skip most of the table.
+double EstimateFilterSelectivity(const Query& query, const PlainSchema& schema);
+
 }  // namespace seabed
 
 #endif  // SEABED_SRC_SEABED_PLANNER_H_

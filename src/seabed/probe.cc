@@ -1,0 +1,276 @@
+#include "src/seabed/probe.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+
+namespace seabed {
+namespace {
+
+// Whether any value in [min_order, max_order] (orders of the group's min and
+// max relative to the operand) can satisfy `op`. The column is a range, so a
+// value of every order between the two extremes may exist in the group.
+bool RangeMayMatch(CmpOp op, int min_order, int max_order) {
+  switch (op) {
+    case CmpOp::kEq:
+      return min_order <= 0 && max_order >= 0;
+    case CmpOp::kNe:
+      return !(min_order == 0 && max_order == 0);
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+      return CmpOpMatchesOrder(op, min_order);
+    case CmpOp::kGt:
+    case CmpOp::kGe:
+      return CmpOpMatchesOrder(op, max_order);
+  }
+  return true;
+}
+
+int IntOrder(int64_t v, int64_t operand) { return v < operand ? -1 : (v > operand ? 1 : 0); }
+
+}  // namespace
+
+const char* ProbeModeName(ProbeMode mode) {
+  switch (mode) {
+    case ProbeMode::kOff:
+      return "off";
+    case ProbeMode::kAuto:
+      return "auto";
+    case ProbeMode::kForced:
+      return "forced";
+  }
+  return "?";
+}
+
+ServerPlan CountProbePlan(const ServerPlan& plan) {
+  ServerPlan probe = plan;
+  probe.aggregates.clear();
+  ServerAggregate count;
+  count.kind = ServerAggregate::Kind::kRowCount;
+  probe.aggregates.push_back(count);
+  probe.group_by.clear();
+  probe.inflation = 1;
+  return probe;
+}
+
+ProbeSection DeriveProbeSection(const ServerPlan& plan) {
+  ProbeSection out;
+  for (const ServerPredicate& pred : plan.predicates) {
+    if (pred.on_right) {
+      continue;  // joined-table predicates cannot exclude fact row groups
+    }
+    out.predicates.push_back(pred);
+  }
+  out.prunable = !out.predicates.empty();
+  return out;
+}
+
+RowGroupSummary SummarizeRowGroup(const Table& table, RowRange range) {
+  RowGroupSummary out;
+  out.rows = range;
+  for (const std::string& name : table.column_names()) {
+    const ColumnPtr& col = table.GetColumn(name);
+    switch (col->type()) {
+      case ColumnType::kDet: {
+        const auto* det = static_cast<const DetColumn*>(col.get());
+        std::set<uint64_t> tokens;
+        RowGroupSummary::TokenSet& ts = out.det[name];
+        for (size_t row = range.begin; row < range.end; ++row) {
+          tokens.insert(det->Get(row));
+          if (tokens.size() > RowGroupSummary::kMaxDistinct) {
+            ts.overflowed = true;
+            break;
+          }
+        }
+        if (!ts.overflowed) {
+          ts.tokens.assign(tokens.begin(), tokens.end());
+        }
+        break;
+      }
+      case ColumnType::kOre: {
+        const auto* ore = static_cast<const OreColumn*>(col.get());
+        RowGroupSummary::OreRange& r = out.ore[name];
+        r.min = r.max = ore->Get(range.begin);
+        for (size_t row = range.begin + 1; row < range.end; ++row) {
+          const OreCiphertext& ct = ore->Get(row);
+          if (Ore::Less(ct, r.min)) {
+            r.min = ct;
+          } else if (Ore::Less(r.max, ct)) {
+            r.max = ct;
+          }
+        }
+        break;
+      }
+      case ColumnType::kInt64: {
+        const auto* i64 = static_cast<const Int64Column*>(col.get());
+        RowGroupSummary::IntRange& r = out.ints[name];
+        r.min = r.max = i64->Get(range.begin);
+        for (size_t row = range.begin + 1; row < range.end; ++row) {
+          const int64_t v = i64->Get(row);
+          r.min = std::min(r.min, v);
+          r.max = std::max(r.max, v);
+        }
+        break;
+      }
+      case ColumnType::kString: {
+        const auto* str = static_cast<const StringColumn*>(col.get());
+        std::set<std::string> values;
+        RowGroupSummary::StringSet& ss = out.strings[name];
+        for (size_t row = range.begin; row < range.end; ++row) {
+          values.insert(str->Get(row));
+          if (values.size() > RowGroupSummary::kMaxDistinct) {
+            ss.overflowed = true;
+            break;
+          }
+        }
+        if (!ss.overflowed) {
+          ss.values.assign(values.begin(), values.end());
+        }
+        break;
+      }
+      case ColumnType::kAshe:
+      case ColumnType::kPaillier:
+        break;  // semantically opaque to the server — nothing to summarize
+    }
+  }
+  return out;
+}
+
+bool GroupMayMatch(const RowGroupSummary& group,
+                   const std::vector<ServerPredicate>& predicates) {
+  for (const ServerPredicate& pred : predicates) {
+    switch (pred.kind) {
+      case ServerPredicate::Kind::kDetEq: {
+        const auto it = group.det.find(pred.column);
+        if (it == group.det.end() || it->second.overflowed) {
+          break;  // unknown column or saturated set: cannot prune
+        }
+        const std::vector<uint64_t>& tokens = it->second.tokens;
+        const bool present =
+            std::binary_search(tokens.begin(), tokens.end(), pred.det_token);
+        if (pred.op == CmpOp::kEq ? !present
+                                  : tokens.size() == 1 && tokens.front() == pred.det_token) {
+          return false;
+        }
+        break;
+      }
+      case ServerPredicate::Kind::kOreCmp: {
+        const auto it = group.ore.find(pred.column);
+        if (it == group.ore.end()) {
+          break;
+        }
+        const int min_order = Ore::Compare(it->second.min, pred.ore_operand).order;
+        const int max_order = Ore::Compare(it->second.max, pred.ore_operand).order;
+        if (!RangeMayMatch(pred.op, min_order, max_order)) {
+          return false;
+        }
+        break;
+      }
+      case ServerPredicate::Kind::kPlainInt: {
+        const auto it = group.ints.find(pred.column);
+        if (it == group.ints.end()) {
+          break;
+        }
+        if (!RangeMayMatch(pred.op, IntOrder(it->second.min, pred.int_operand),
+                           IntOrder(it->second.max, pred.int_operand))) {
+          return false;
+        }
+        break;
+      }
+      case ServerPredicate::Kind::kPlainString: {
+        const auto it = group.strings.find(pred.column);
+        if (it == group.strings.end() || it->second.overflowed) {
+          break;
+        }
+        const std::vector<std::string>& values = it->second.values;
+        const bool present =
+            std::binary_search(values.begin(), values.end(), pred.str_operand);
+        if (pred.op == CmpOp::kEq ? !present
+                                  : values.size() == 1 && values.front() == pred.str_operand) {
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+RowGroupIndex::RowGroupIndex(size_t group_size)
+    : group_size_(group_size > 0 ? group_size : 1) {}
+
+void RowGroupIndex::Refresh(const Table& table) {
+  const size_t rows = table.NumRows();
+  if (rows < rows_summarized_) {
+    // The table shrank (re-attach under the same name): rebuild from scratch.
+    groups_.clear();
+    rows_summarized_ = 0;
+  }
+  if (rows == rows_summarized_) {
+    return;
+  }
+  // Appends may have grown the trailing partial group; re-summarize it along
+  // with the new rows. Only the last group can be partial, so everything
+  // before it stays valid.
+  if (!groups_.empty() && groups_.back().rows.size() < group_size_) {
+    rows_summarized_ = groups_.back().rows.begin;
+    groups_.pop_back();
+  }
+  for (size_t begin = rows_summarized_; begin < rows; begin += group_size_) {
+    groups_.push_back(SummarizeRowGroup(table, {begin, std::min(begin + group_size_, rows)}));
+  }
+  rows_summarized_ = rows;
+}
+
+RowGroupIndex::PruneResult RowGroupIndex::Prune(const ProbeSection& probe) const {
+  PruneResult out;
+  out.total_groups = groups_.size();
+  for (const RowGroupSummary& group : groups_) {
+    if (!GroupMayMatch(group, probe.predicates)) {
+      ++out.pruned_groups;
+      continue;
+    }
+    if (!out.surviving.empty() && out.surviving.back().end == group.rows.begin) {
+      out.surviving.back().end = group.rows.end;
+    } else {
+      out.surviving.push_back(group.rows);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<RowRange>> PartitionRanges(const std::vector<RowRange>& ranges,
+                                                   size_t max_tasks) {
+  std::vector<std::vector<RowRange>> tasks;
+  size_t total = 0;
+  for (const RowRange& r : ranges) {
+    total += r.size();
+  }
+  if (total == 0 || max_tasks == 0) {
+    return tasks;
+  }
+  // Don't shred a tiny pruned scan across the whole fleet: below this many
+  // rows a task is pure dispatch overhead, which would eat exactly the win
+  // the probe round just bought.
+  constexpr size_t kMinRowsPerTask = 2048;
+  max_tasks = std::min(max_tasks, std::max<size_t>(1, total / kMinRowsPerTask));
+  const size_t per_task = (total + max_tasks - 1) / max_tasks;
+  tasks.emplace_back();
+  size_t filled = 0;  // rows assigned to the current task
+  for (RowRange r : ranges) {
+    while (r.size() > 0) {
+      if (filled >= per_task) {
+        tasks.emplace_back();
+        filled = 0;
+      }
+      const size_t take = std::min(r.size(), per_task - filled);
+      tasks.back().push_back({r.begin, r.begin + take});
+      r.begin += take;
+      filled += take;
+    }
+  }
+  return tasks;
+}
+
+}  // namespace seabed

@@ -47,24 +47,6 @@ ColRef Resolve(const Table& fact, const Table* right, const std::string& name, b
   return ref;
 }
 
-bool ApplyOrder(CmpOp op, int order) {
-  switch (op) {
-    case CmpOp::kEq:
-      return order == 0;
-    case CmpOp::kNe:
-      return order != 0;
-    case CmpOp::kLt:
-      return order < 0;
-    case CmpOp::kLe:
-      return order <= 0;
-    case CmpOp::kGt:
-      return order > 0;
-    case CmpOp::kGe:
-      return order >= 0;
-  }
-  return false;
-}
-
 // Running aggregate state for one group within one partition.
 struct PartialAgg {
   uint64_t value = 0;
@@ -103,8 +85,39 @@ const std::shared_ptr<Table>& Server::GetTable(const std::string& name) const {
   return it->second;
 }
 
+ServerProbeResult Server::Probe(const std::string& table, const ProbeSection& probe,
+                                size_t row_group_size) const {
+  Stopwatch sw;
+  const Table& fact = *GetTable(table);
+  ProbeIndexEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    std::unique_ptr<ProbeIndexEntry>& slot = probe_index_[fact.name()];
+    if (slot == nullptr) {
+      slot = std::make_unique<ProbeIndexEntry>();
+      slot->index = RowGroupIndex(row_group_size);
+    }
+    entry = slot.get();
+  }
+  ServerProbeResult out;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->index.group_size() != row_group_size) {
+      entry->index = RowGroupIndex(row_group_size);
+    }
+    entry->index.Refresh(fact);
+    RowGroupIndex::PruneResult pruned = entry->index.Prune(probe);
+    out.surviving = std::move(pruned.surviving);
+    out.total_groups = pruned.total_groups;
+    out.pruned_groups = pruned.pruned_groups;
+  }
+  out.seconds = sw.ElapsedSeconds();
+  return out;
+}
+
 EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster,
-                                  const Table* right_override) const {
+                                  const Table* right_override,
+                                  const std::vector<RowRange>* scan_ranges) const {
   const Table& fact = *GetTable(plan.table);
   const Table* right = nullptr;
 
@@ -154,11 +167,21 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
     group_cols.push_back(Resolve(fact, right, g.column, g.on_right));
   }
 
-  const auto partitions = fact.Partitions(cluster.num_workers());
-  std::vector<std::unordered_map<std::string, PartialGroup>> partials(partitions.size());
-  std::vector<uint64_t> touched(partitions.size(), 0);
+  // The scan's unit of parallel work: one task per partition for a full
+  // scan, or the probe's surviving row groups re-balanced across the workers
+  // for a pruned round two.
+  std::vector<std::vector<RowRange>> tasks;
+  if (scan_ranges == nullptr) {
+    for (const RowRange& part : fact.Partitions(cluster.num_workers())) {
+      tasks.push_back({part});
+    }
+  } else {
+    tasks = PartitionRanges(*scan_ranges, cluster.num_workers());
+  }
+  std::vector<std::unordered_map<std::string, PartialGroup>> partials(tasks.size());
+  std::vector<uint64_t> touched(tasks.size(), 0);
 
-  const JobStats job = cluster.RunJob(partitions.size(), [&](size_t p) {
+  const JobStats job = cluster.RunJob(tasks.size(), [&](size_t p) {
     auto& local = partials[p];
     auto process = [&](size_t row, size_t right_row) {
       // Predicates.
@@ -170,7 +193,7 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
         switch (sp.kind) {
           case ServerPredicate::Kind::kPlainInt: {
             const int64_t v = ref.i64->Get(r);
-            pass = ApplyOrder(sp.op, v < sp.int_operand ? -1 : (v > sp.int_operand ? 1 : 0));
+            pass = CmpOpMatchesOrder(sp.op, v < sp.int_operand ? -1 : (v > sp.int_operand ? 1 : 0));
             break;
           }
           case ServerPredicate::Kind::kPlainString: {
@@ -185,7 +208,7 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
           }
           case ServerPredicate::Kind::kOreCmp: {
             const OreComparison cmp = Ore::Compare(ref.ore->Get(r), sp.ore_operand);
-            pass = ApplyOrder(sp.op, cmp.order);
+            pass = CmpOpMatchesOrder(sp.op, cmp.order);
             break;
           }
         }
@@ -265,14 +288,16 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
       }
     };
 
-    for (size_t row = partitions[p].begin; row < partitions[p].end; ++row) {
-      if (join_left != nullptr) {
-        const auto [lo, hi] = join_index.equal_range(join_left->Get(row));
-        for (auto it = lo; it != hi; ++it) {
-          process(row, it->second);
+    for (const RowRange& range : tasks[p]) {
+      for (size_t row = range.begin; row < range.end; ++row) {
+        if (join_left != nullptr) {
+          const auto [lo, hi] = join_index.equal_range(join_left->Get(row));
+          for (auto it = lo; it != hi; ++it) {
+            process(row, it->second);
+          }
+        } else {
+          process(row, 0);
         }
-      } else {
-        process(row, 0);
       }
     }
 

@@ -14,12 +14,14 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/engine/cluster.h"
 #include "src/engine/table.h"
 #include "src/engine/value.h"
+#include "src/seabed/probe.h"
 #include "src/seabed/translator.h"
 
 namespace seabed {
@@ -66,6 +68,16 @@ struct EncryptedResponse {
   }
 };
 
+// Round-one result of the server-side row-group probe.
+struct ServerProbeResult {
+  // Surviving row ranges of the fact table, in row order. Empty = no row
+  // group can match (round two may be skipped entirely).
+  std::vector<RowRange> surviving;
+  size_t total_groups = 0;
+  size_t pruned_groups = 0;
+  double seconds = 0;  // measured round-one cost
+};
+
 class Server {
  public:
   // Registers a table under its (encrypted) name.
@@ -73,14 +85,36 @@ class Server {
 
   const std::shared_ptr<Table>& GetTable(const std::string& name) const;
 
+  // Round one of two-round execution: evaluates `probe`'s predicates against
+  // the coarse row-group summary index of `table` and returns the row groups
+  // round two must still scan. The index is built lazily at the first probe
+  // and re-synced with the table's row count on every call (appends grow the
+  // registered table in place, behind the server's back).
+  ServerProbeResult Probe(const std::string& table, const ProbeSection& probe,
+                          size_t row_group_size) const;
+
   // Executes `plan`. When the plan joins and `right_override` is non-null,
   // the joined table is taken from the override instead of the registry —
   // the sharded backend broadcasts an unregistered replica this way.
+  // `scan_ranges`, when non-null, restricts the fact-table scan to those row
+  // ranges (the pruned round two; a probe's `surviving` goes here).
   EncryptedResponse Execute(const ServerPlan& plan, const Cluster& cluster,
-                            const Table* right_override) const;
+                            const Table* right_override,
+                            const std::vector<RowRange>* scan_ranges = nullptr) const;
 
  private:
+  // Row-group summary index of one table plus its own lock, so concurrent
+  // probes (Session::ExecuteBatch) only serialize per table — the first
+  // probe after Attach/Append summarizes O(rows) and must not block probes
+  // of other tables. `probe_mu_` guards only the map lookup/creation.
+  struct ProbeIndexEntry {
+    std::mutex mu;
+    RowGroupIndex index;
+  };
+
   std::map<std::string, std::shared_ptr<Table>> tables_;
+  mutable std::mutex probe_mu_;
+  mutable std::map<std::string, std::unique_ptr<ProbeIndexEntry>> probe_index_;
 };
 
 }  // namespace seabed

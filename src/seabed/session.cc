@@ -19,6 +19,7 @@ Session::Session(SessionOptions options)
   context_.cluster =
       options_.external_cluster != nullptr ? options_.external_cluster : own_cluster_.get();
   context_.translator = options_.translator;
+  context_.probe = options_.probe;
   executor_ = MakeExecutor(options_.backend, &context_, options_.paillier, options_.shards,
                            options_.cache);
 }
@@ -90,6 +91,8 @@ void Session::UseCluster(const Cluster* cluster) {
 void Session::set_translator_options(const TranslatorOptions& options) {
   context_.translator = options;
 }
+
+void Session::set_probe_options(const ProbeOptions& options) { context_.probe = options; }
 
 const EncryptionPlan& Session::plan(const std::string& table) const {
   return catalog_.Get(table).plan;

@@ -40,6 +40,13 @@ struct SessionOptions {
   TranslatorOptions translator;
   PaillierBackendOptions paillier;
 
+  // Two-round probe-and-prune execution (src/seabed/probe.h). On kSeabed
+  // (standalone or as a caching inner) round one consults the server's
+  // row-group summaries and round two scans only surviving groups; on
+  // kShardedSeabed kForced extends the shard-level probe to every query.
+  // kPlain/kPaillier ignore it.
+  ProbeOptions probe;
+
   // Fan-out width of the kShardedSeabed backend (ignored by the others).
   // Each shard is an independent Server holding a hash partition of every
   // attached table; queries fan out and merge at the coordinator.
@@ -95,6 +102,10 @@ class Session {
   void UseCluster(const Cluster* cluster);
   void set_translator_options(const TranslatorOptions& options);
   const TranslatorOptions& translator_options() const { return context_.translator; }
+  // Probe-mode sweeps (off vs. auto vs. forced) without re-encrypting
+  // anything — the probe benches flip this between Execute calls.
+  void set_probe_options(const ProbeOptions& options);
+  const ProbeOptions& probe_options() const { return context_.probe; }
 
   // --- accessors --------------------------------------------------------------
   const Cluster& cluster() const { return *context_.cluster; }

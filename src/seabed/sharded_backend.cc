@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
 #include "src/seabed/client.h"
+#include "src/seabed/probe.h"
 
 namespace seabed {
 namespace {
@@ -136,20 +137,6 @@ EncryptedResponse MergeShardResponses(const ServerPlan& plan,
   }
   out.response_bytes = bytes;
   return out;
-}
-
-// Round-one probe for two-round-trip queries: same table, predicates and
-// join, but a single row count and no grouping — just enough for the
-// coordinator to learn which shards hold matching rows.
-ServerPlan ProbePlan(const ServerPlan& plan) {
-  ServerPlan probe = plan;
-  probe.aggregates.clear();
-  ServerAggregate count;
-  count.kind = ServerAggregate::Kind::kRowCount;
-  probe.aggregates.push_back(count);
-  probe.group_by.clear();
-  probe.inflation = 1;
-  return probe;
 }
 
 }  // namespace
@@ -348,15 +335,27 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   }
   const double translate_seconds = translate_sw.ElapsedSeconds();
 
-  // Round one (two-round-trip queries only): probe all shards with a cheap
-  // row count; round two then skips shards with no matching rows.
+  // Round one: probe all shards with a cheap row count (the shared
+  // CountProbePlan, src/seabed/probe.h); round two then skips shards with no
+  // matching rows. Two-round-trip queries always probe (the PR-2 contract);
+  // ProbeMode::kForced extends the probe to every query.
   std::vector<bool> active(shards_, true);
   std::vector<double> shard_seconds(shards_, 0.0);
+  bool probe_used = false;
   double probe_seconds = 0;
-  if (query.needs_two_round_trips) {
-    std::vector<EncryptedResponse> probes = FanOut(ProbePlan(tq.server), active, right_table);
+  size_t shards_skipped = 0;
+  // kForced is still gated on the plan being prunable at the shard level —
+  // without a predicate or join every non-empty shard reports matches and
+  // the probe round is a second full fan-out for nothing. (Client-flagged
+  // two-round queries keep probing unconditionally: the PR-2 contract.)
+  const bool shard_prunable = !tq.server.predicates.empty() || tq.server.join.has_value();
+  if (query.needs_two_round_trips ||
+      (context_->probe.mode == ProbeMode::kForced && shard_prunable)) {
+    probe_used = true;
+    std::vector<EncryptedResponse> probes = FanOut(CountProbePlan(tq.server), active, right_table);
     for (size_t s = 0; s < shards_; ++s) {
       active[s] = probes[s].rows_touched > 0;
+      shards_skipped += active[s] ? 0 : 1;
       shard_seconds[s] = probes[s].ServerSeconds();
       probe_seconds = std::max(probe_seconds, probes[s].ServerSeconds());
     }
@@ -384,6 +383,11 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
     stats->server_seconds += probe_seconds;
     stats->shard_server_seconds = std::move(shard_seconds);
     stats->merge_seconds = merge_seconds;
+    stats->probe_used = probe_used;
+    stats->probe_seconds = probe_seconds;
+    // On the sharded backend the "row group" of the probe stats is a shard.
+    stats->row_groups_total = probe_used ? shards_ : 0;
+    stats->row_groups_pruned = shards_skipped;
   }
   return result;
 }

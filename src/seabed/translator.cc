@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/crypto/det.h"
+#include "src/seabed/probe.h"
 
 namespace seabed {
 namespace {
@@ -309,6 +310,9 @@ TranslatedQuery Translator::Translate(const Query& query,
     }
   }
   client.inflation = server.inflation;
+
+  // --- probe section (two-round execution, src/seabed/probe.h) -----------------
+  out.probe = DeriveProbeSection(server);
   return out;
 }
 

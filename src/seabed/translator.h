@@ -105,9 +105,22 @@ struct ClientPlan {
   size_t inflation = 1;
 };
 
+// The round-one probe section of a translated plan (derived by
+// DeriveProbeSection in src/seabed/probe.h): the fact-side server predicates
+// a row-group summary index can evaluate. Derived once at translation time,
+// so plan-cache hits skip the derivation along with the translation.
+struct ProbeSection {
+  std::vector<ServerPredicate> predicates;
+  // False when no predicate can exclude a row group (e.g. unfiltered scans,
+  // SPLASHE-rewritten filters, right-table-only filters) — backends skip the
+  // probe round entirely then.
+  bool prunable = false;
+};
+
 struct TranslatedQuery {
   ServerPlan server;
   ClientPlan client;
+  ProbeSection probe;
 };
 
 struct TranslatorOptions {

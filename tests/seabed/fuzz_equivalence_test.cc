@@ -20,6 +20,16 @@
 // tables are interleaved between trials (every backend gets the same
 // batch), so a cache serving a stale pre-append result, or a plan cache
 // serving a mistranslation, shows up as a row mismatch here.
+//
+// PROBE AXIS: the Seabed-pipeline backends additionally replay every query
+// at probe mode off, auto and forced (src/seabed/probe.h) — the two-round
+// row-group pruning (kSeabed) and the forced shard-level probe
+// (kShardedSeabed) must be answer-invariant. The caching backends instead
+// rotate the probe mode per trial BEFORE the cold run (a warm repeat is
+// answered client-side and never reaches the inner backend). Execute gives
+// appends no seam between round one and round two of a single call, so the
+// adversarial interleaving is append-between-trials: summaries built by
+// pre-append probes must not leak into post-append answers.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -194,31 +204,33 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
     std::unique_ptr<Session> session;
     bool supports_variance = true;
     bool honors_translator_options = false;
-    bool caching = false;  // run twice: cold + warm must both match kPlain
+    bool caching = false;       // run twice: cold + warm must both match kPlain
+    bool probe_axis = false;    // replay at probe off/auto/forced
   };
   std::vector<Backend> backends;
   backends.push_back({"plain", std::make_unique<Session>(options_for(BackendKind::kPlain, 1)),
-                      true, false, false});
+                      true, false, false, false});
   backends.push_back({"seabed", std::make_unique<Session>(options_for(BackendKind::kSeabed, 1)),
-                      true, true, false});
+                      true, true, false, true});
   backends.push_back(
       {"paillier", std::make_unique<Session>(options_for(BackendKind::kPaillier, 1)),
-       /*supports_variance=*/false, false, false});
+       /*supports_variance=*/false, false, false, false});
   for (const size_t shards : kShardCounts) {
     backends.push_back({"sharded-" + std::to_string(shards),
                         std::make_unique<Session>(options_for(BackendKind::kShardedSeabed, shards)),
-                        true, true, false});
+                        true, true, false, true});
   }
   {
     SessionOptions copts = options_for(BackendKind::kCachingSeabed, 1);
     copts.cache.inner = BackendKind::kSeabed;
-    backends.push_back({"caching", std::make_unique<Session>(std::move(copts)), true, true, true});
+    backends.push_back(
+        {"caching", std::make_unique<Session>(std::move(copts)), true, true, true, true});
   }
   {
     SessionOptions copts = options_for(BackendKind::kCachingSeabed, 3);
     copts.cache.inner = BackendKind::kShardedSeabed;
     backends.push_back(
-        {"caching-sharded-3", std::make_unique<Session>(std::move(copts)), true, true, true});
+        {"caching-sharded-3", std::make_unique<Session>(std::move(copts)), true, true, true, true});
   }
   for (Backend& b : backends) {
     // Every session owns its tables: the append rounds below grow them.
@@ -377,6 +389,16 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
     const std::vector<std::string> reference =
         RowsAsStrings(backends.front().session->Execute(q, nullptr));
 
+    // Small row groups so the ~300-900-row tables still span several groups
+    // and the probes genuinely prune.
+    constexpr ProbeMode kProbeModes[] = {ProbeMode::kOff, ProbeMode::kAuto, ProbeMode::kForced};
+    auto probe_options = [](ProbeMode mode) {
+      ProbeOptions popts;
+      popts.mode = mode;
+      popts.row_group_size = 128;
+      return popts;
+    };
+
     for (size_t b = 1; b < backends.size(); ++b) {
       Backend& backend = backends[b];
       if (HasVariance(q) && !backend.supports_variance) {
@@ -386,14 +408,33 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
         backend.session->set_translator_options(topts);
       }
       SCOPED_TRACE("backend=" + backend.label);
+      if (backend.probe_axis && !backend.caching) {
+        // Probe axis: identical rows at off, auto and forced.
+        for (const ProbeMode mode : kProbeModes) {
+          SCOPED_TRACE(std::string("probe=") + ProbeModeName(mode));
+          backend.session->set_probe_options(probe_options(mode));
+          QueryStats stats;
+          EXPECT_EQ(RowsAsStrings(backend.session->Execute(q, &stats)), reference);
+          if (mode == ProbeMode::kOff && !q.needs_two_round_trips) {
+            EXPECT_FALSE(stats.probe_used);
+          }
+        }
+        continue;
+      }
+      if (backend.probe_axis && backend.caching) {
+        // A warm repeat never reaches the inner backend, so the probe mode
+        // rotates per trial and applies to the cold run.
+        backend.session->set_probe_options(probe_options(kProbeModes[trial % 3]));
+      }
       QueryStats cold;
       EXPECT_EQ(RowsAsStrings(backend.session->Execute(q, &cold)), reference);
       if (backend.caching) {
         // Warm path: the repeat must be answered from the cache and still
-        // byte-match the plaintext reference.
+        // byte-match the plaintext reference — without probing.
         QueryStats warm;
         EXPECT_EQ(RowsAsStrings(backend.session->Execute(q, &warm)), reference);
         EXPECT_TRUE(warm.cache_hit);
+        EXPECT_FALSE(warm.probe_used);
         EXPECT_EQ(warm.result_rows, cold.result_rows);
       }
     }

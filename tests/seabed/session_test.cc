@@ -34,6 +34,40 @@ std::vector<std::string> RowsAsStrings(const ResultSet& r) {
   return rows;
 }
 
+// Stats-invariant helper for the two-round probe path, applied across the
+// backend tests below: replaying `q` with probe off and probe forced must
+// (a) return `reference` both times, (b) never report probe stats with the
+// probe off, and (c) with the probe forced, touch at most as many rows as
+// the full scan — pruning only skips row groups that hold no match, so the
+// predicate-surviving row count can never grow. Backends that ignore the
+// probe (kPlain, kPaillier) pass trivially with probe_used == false.
+void ExpectProbeStatsInvariants(Session& session, const Query& q,
+                                const std::vector<std::string>& reference) {
+  const ProbeOptions saved = session.probe_options();
+  ProbeOptions popts = saved;
+  popts.mode = ProbeMode::kOff;
+  session.set_probe_options(popts);
+  QueryStats off;
+  EXPECT_EQ(RowsAsStrings(session.Execute(q, &off)), reference);
+  if (!q.needs_two_round_trips) {
+    EXPECT_FALSE(off.probe_used);
+    EXPECT_EQ(off.row_groups_pruned, 0u);
+  }
+
+  popts.mode = ProbeMode::kForced;
+  popts.row_group_size = 256;
+  session.set_probe_options(popts);
+  QueryStats forced;
+  EXPECT_EQ(RowsAsStrings(session.Execute(q, &forced)), reference);
+  EXPECT_LE(forced.rows_touched, off.rows_touched);
+  if (forced.probe_used) {
+    EXPECT_LE(forced.row_groups_pruned, forced.row_groups_total);
+  } else {
+    EXPECT_EQ(forced.row_groups_total, 0u);
+  }
+  session.set_probe_options(saved);
+}
+
 ClusterConfig TestClusterConfig() {
   ClusterConfig cfg;
   cfg.num_workers = 4;
@@ -158,6 +192,11 @@ TEST_F(SessionTest, AllBackendsReturnIdenticalRows) {
     const ResultSet paillier = paillier_.Execute(q);
     EXPECT_EQ(RowsAsStrings(seabed), RowsAsStrings(reference));
     EXPECT_EQ(RowsAsStrings(paillier), RowsAsStrings(reference));
+    // Probe tier: the same queries at probe off vs. forced, on every backend
+    // (kSeabed prunes row groups; kPlain/kPaillier must ignore the knob).
+    for (Session* s : AllSessions()) {
+      ExpectProbeStatsInvariants(*s, q, RowsAsStrings(reference));
+    }
   }
 }
 
@@ -301,7 +340,35 @@ TEST_F(SessionJoinTest, JoinQueriesAgreeAcrossBackends) {
     const auto reference = RowsAsStrings(plain_.Execute(bq.query));
     EXPECT_EQ(RowsAsStrings(seabed_.Execute(bq.query)), reference);
     EXPECT_EQ(RowsAsStrings(paillier_.Execute(bq.query)), reference);
+    // A forced probe may prune on the fact-side predicates only; the join
+    // and right-table filters must still see every surviving row.
+    ExpectProbeStatsInvariants(seabed_, bq.query, reference);
   }
+}
+
+TEST_F(SessionJoinTest, CacheHitsNeverProbe) {
+  SessionOptions options = JoinOptions(BackendKind::kCachingSeabed);
+  options.cache.inner = BackendKind::kSeabed;
+  options.probe.mode = ProbeMode::kForced;
+  options.probe.row_group_size = 256;
+  Session caching(std::move(options));
+  caching.Attach(MakeRankingsTable(spec_), RankingsSchema(), RankingsSampleQueries());
+
+  Query q = MustParseSql(
+      "SELECT SUM(pageRank) AS total, COUNT(*) AS n FROM rankings WHERE pageRank >= 4000");
+  QueryStats cold;
+  const auto cold_rows = RowsAsStrings(caching.Execute(q, &cold));
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(cold.probe_used);  // forced mode reaches the inner backend
+
+  QueryStats warm;
+  EXPECT_EQ(RowsAsStrings(caching.Execute(q, &warm)), cold_rows);
+  // The stats-invariant the probe docs promise: a result served from the
+  // client-side cache never ran a probe round.
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_FALSE(warm.probe_used);
+  EXPECT_EQ(warm.probe_seconds, 0.0);
+  EXPECT_EQ(warm.row_groups_total, 0u);
 }
 
 }  // namespace
