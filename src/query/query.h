@@ -163,10 +163,13 @@ struct QueryStats {
   // pin it across sessions.
   uint64_t rows_touched = 0;
 
-  // Sharded fan-out detail (kShardedSeabed): simulated server latency per
-  // shard (both round trips, when the query needs two) and the coordinator's
+  // Sharded fan-out detail (kShardedSeabed): simulated round-two server
+  // latency per shard, the per-shard probe cost (round-one count probe plus
+  // any intra-shard row-group probe) reported separately so pruned shards —
+  // which run no round two — don't over-report, and the coordinator's
   // ciphertext-side merge time. Empty / zero on single-server backends.
   std::vector<double> shard_server_seconds;
+  std::vector<double> shard_probe_seconds;
   double merge_seconds = 0;
 
   // Caching detail (kCachingSeabed): whether this call was answered from the
@@ -179,9 +182,11 @@ struct QueryStats {
 
   // Two-round probe detail (src/seabed/probe.h): whether round one ran, its
   // cost (also folded into server_seconds), and how much of the fleet it let
-  // round two skip. On kSeabed the units are row groups of the summary
-  // index; on kShardedSeabed they are shards. All zero/false when no probe
-  // ran — cache hits in particular never probe.
+  // round two skip. The units are row groups of the summary index — on
+  // kShardedSeabed aggregated across the shards' per-server indexes when the
+  // intra-shard prune ran, and falling back to shard granularity when only
+  // the shard-level count probe did. All zero/false when no probe ran —
+  // cache hits in particular never probe.
   bool probe_used = false;
   double probe_seconds = 0;
   uint64_t row_groups_total = 0;
@@ -190,6 +195,21 @@ struct QueryStats {
   double TotalSeconds() const {
     return server_seconds + network_seconds + client_seconds;
   }
+};
+
+// Skew-aware shard-rebalancing detail (kShardedSeabed,
+// src/seabed/sharded_backend.h). Appends place whole batches, so a skewed
+// stream unbalances the fleet; when rebalancing is enabled the backend
+// migrates whole row-groups off overloaded shards and accumulates the moves
+// here (cumulative over the backend's lifetime — Append has no per-call
+// stats object the way Execute does).
+struct RebalanceStats {
+  uint64_t rebalances = 0;         // Append calls that triggered a migration
+  uint64_t row_groups_moved = 0;   // whole row-groups shipped between shards
+  uint64_t rows_moved = 0;         // rows re-encrypted into recipient shards
+  uint64_t rows_reencrypted = 0;   // donor remainders re-encrypted into fresh
+                                   // identifier-space slots
+  double seconds = 0;              // measured migration wall-clock
 };
 
 }  // namespace seabed

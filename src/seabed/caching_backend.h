@@ -55,6 +55,9 @@ class CachingSeabedBackend : public Executor {
   void Prepare(AttachedTable& table) override;
   void Append(AttachedTable& table, const Table& new_rows) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
+  std::optional<RebalanceStats> rebalance_stats() const override {
+    return inner_->rebalance_stats();
+  }
 
   // Drops every cached result (plan cache untouched — plans never go stale).
   void InvalidateResults();

@@ -53,6 +53,27 @@ struct CacheOptions {
   size_t plan_cache_entries = 4096;
 };
 
+// Skew-aware shard rebalancing (kShardedSeabed only; the other backends
+// ignore it). Appends place whole batches on one shard (append locality), so
+// a skewed stream can concentrate rows; when enabled, Append migrates whole
+// row-groups from overloaded shards to underloaded ones — moved rows are
+// re-encrypted into the recipient's ASHE identifier space and the donor's
+// remainder into a fresh disjoint slot, so coordinator merge semantics are
+// untouched. Moves accumulate in RebalanceStats (src/query/query.h).
+struct ShardRebalanceOptions {
+  // Off by default: Append never migrates rows.
+  bool enabled = false;
+
+  // Trigger: rebalance when the largest shard exceeds this multiple of the
+  // ideal per-shard row count (total rows / shards).
+  double max_skew_ratio = 1.5;
+
+  // Migration granularity — rows per migrated row-group. Moves are whole
+  // groups carved off the donor's tail, so donor prefixes keep their
+  // identifiers and summaries.
+  size_t row_group_size = 1024;
+};
+
 // One table registered with a Session: the plaintext source, its schema, the
 // planner's encryption plan, and (for encrypted backends) the encrypted form
 // built by Executor::Prepare.
@@ -93,6 +114,7 @@ struct ExecutionContext {
   const Cluster* cluster = nullptr;
   TranslatorOptions translator;
   ProbeOptions probe;
+  ShardRebalanceOptions rebalance;
 };
 
 // Abstract execution backend. Implementations are stateless per call apart
@@ -123,6 +145,12 @@ class Executor {
   // kShardedSeabed) consult it before rebuilding Translator state; the
   // default ignores the cache. Installed by the kCachingSeabed decorator.
   virtual void SetPlanCache(TranslatedPlanCache* cache) { (void)cache; }
+
+  // Snapshot of the cumulative skew-rebalancing detail, or nullopt on
+  // backends that never migrate rows (everything but kShardedSeabed; the
+  // caching decorator forwards to its inner backend). A copy taken under
+  // the backend's state lock, so it is safe to call while appends run.
+  virtual std::optional<RebalanceStats> rebalance_stats() const { return std::nullopt; }
 };
 
 // Appends `src`'s rows onto `dst`'s plaintext columns. Columns that `dst`

@@ -73,6 +73,19 @@ void AppendKeyPart(std::string& key, uint64_t v) {
 
 void Server::RegisterTable(std::shared_ptr<Table> table) {
   SEABED_CHECK(table != nullptr);
+  // Re-registering a name swaps the table object (shard rebalancing
+  // re-encrypts a donor's remainder into a fresh table; re-attach does the
+  // same), and Probe's staleness check is row-count-only — it cannot see a
+  // swap whose row count later regrows past the summarized count. Reset any
+  // summaries built for the old object so the next probe rebuilds.
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    const auto it = probe_index_.find(table->name());
+    if (it != probe_index_.end()) {
+      std::lock_guard<std::mutex> entry_lock(it->second->mu);
+      it->second->index = RowGroupIndex(it->second->index.group_size());
+    }
+  }
   tables_[table->name()] = std::move(table);
 }
 

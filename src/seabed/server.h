@@ -80,7 +80,12 @@ struct ServerProbeResult {
 
 class Server {
  public:
-  // Registers a table under its (encrypted) name.
+  // Registers a table under its (encrypted) name. Re-registering a name
+  // replaces the table and resets its row-group summary index — the probe's
+  // row-count staleness check cannot detect an object swap (rebalancing,
+  // re-attach) once the replacement regrows past the old count. Callers
+  // must serialize registration against concurrent Execute/Probe calls (the
+  // backends hold their state lock exclusively here).
   void RegisterTable(std::shared_ptr<Table> table);
 
   const std::shared_ptr<Table>& GetTable(const std::string& name) const;

@@ -20,6 +20,7 @@ Session::Session(SessionOptions options)
       options_.external_cluster != nullptr ? options_.external_cluster : own_cluster_.get();
   context_.translator = options_.translator;
   context_.probe = options_.probe;
+  context_.rebalance = options_.shards_rebalance;
   executor_ = MakeExecutor(options_.backend, &context_, options_.paillier, options_.shards,
                            options_.cache);
 }

@@ -52,6 +52,13 @@ struct SessionOptions {
   // attached table; queries fan out and merge at the coordinator.
   size_t shards = 4;
 
+  // Skew-aware rebalancing of the kShardedSeabed backend (off by default;
+  // ignored by the others). Appends place whole batches on one shard, so a
+  // skewed stream unbalances the fleet; past the configured skew ratio,
+  // Append migrates whole row-groups to underloaded shards (see
+  // ShardRebalanceOptions in executor.h and Session::rebalance_stats()).
+  ShardRebalanceOptions shards_rebalance;
+
   // kCachingSeabed configuration: the inner backend that executes misses
   // (kSeabed or kShardedSeabed — `shards` applies to the latter) and the
   // result-cache LRU budgets. Ignored by the other backends.
@@ -112,6 +119,11 @@ class Session {
   const ClientKeys& keys() const { return keys_; }
   BackendKind backend_kind() const { return options_.backend; }
   Executor& executor() { return *executor_; }
+
+  // Snapshot of the cumulative shard-rebalancing moves, or nullopt on
+  // backends that never migrate rows (everything but kShardedSeabed / a
+  // caching wrapper over it). Safe to poll while appends run.
+  std::optional<RebalanceStats> rebalance_stats() const { return executor_->rebalance_stats(); }
 
   const AttachedTable& attached(const std::string& table) const { return catalog_.Get(table); }
   const EncryptionPlan& plan(const std::string& table) const;

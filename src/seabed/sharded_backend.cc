@@ -1,12 +1,14 @@
 #include "src/seabed/sharded_backend.h"
 
 #include <algorithm>
+#include <numeric>
 #include <thread>
 #include <utility>
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
 #include "src/seabed/client.h"
+#include "src/seabed/planner.h"
 #include "src/seabed/probe.h"
 
 namespace seabed {
@@ -176,13 +178,25 @@ const Server& ShardedSeabedBackend::shard_server(size_t shard) const {
 const EncryptedDatabase& ShardedSeabedBackend::shard_database(const std::string& table,
                                                               size_t shard) const {
   SEABED_CHECK(shard < shards_);
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   return State(table).parts[shard];
 }
 
 const EncryptedDatabase* ShardedSeabedBackend::replica_database(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
   std::lock_guard<std::mutex> lock(replica_mu_);
   const ShardedTable& state = State(table);
   return state.replica.has_value() ? &*state.replica : nullptr;
+}
+
+std::vector<size_t> ShardedSeabedBackend::ShardRowCounts(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  const ShardedTable& state = State(table);
+  std::vector<size_t> counts(shards_);
+  for (size_t s = 0; s < shards_; ++s) {
+    counts[s] = state.plain_parts[s]->NumRows();
+  }
+  return counts;
 }
 
 const EncryptedDatabase& ShardedSeabedBackend::EnsureReplica(const AttachedTable& right) {
@@ -201,8 +215,12 @@ const EncryptedDatabase& ShardedSeabedBackend::EnsureReplica(const AttachedTable
 }
 
 void ShardedSeabedBackend::Prepare(AttachedTable& table) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
   const Encryptor encryptor(*context_->keys);
   ShardedTable state;
+  // Slots 0..shards-1 belong to the shard partitions, slot `shards_` to the
+  // lazily built join replica; rebalancing allocates fresh slots from here.
+  state.next_id_slot = shards_ + 1;
 
   // Hash-partition the rows.
   std::vector<std::vector<size_t>> assignment(shards_);
@@ -241,17 +259,10 @@ void ShardedSeabedBackend::Prepare(AttachedTable& table) {
 }
 
 void ShardedSeabedBackend::Append(AttachedTable& table, const Table& new_rows) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
   ShardedTable& state = State(table.name);
   const Encryptor encryptor(*context_->keys);
   const size_t prior_rows = table.plain->NumRows();
-  const size_t batch = new_rows.NumRows();
-
-  // New global rows keep the same deterministic placement the initial
-  // partitioning used.
-  std::vector<std::vector<size_t>> assignment(shards_);
-  for (size_t row = 0; row < batch; ++row) {
-    assignment[ShardOfRow(prior_rows + row)].push_back(row);
-  }
 
   // When a replica exists it shares the attached table's non-sensitive
   // columns, so grow those through AppendRows and the rest directly
@@ -266,20 +277,137 @@ void ShardedSeabedBackend::Append(AttachedTable& table, const Table& new_rows) {
     }
   }
 
-  for (size_t s = 0; s < shards_; ++s) {
-    if (assignment[s].empty()) {
-      continue;
-    }
-    const auto part_batch = SubsetRows(new_rows, table.name + "#batch", assignment[s]);
-    GrowPlainTable(*state.plain_parts[s], *part_batch, state.parts[s].table.get());
-    encryptor.AppendRows(state.parts[s], *part_batch, table.schema);
-  }
+  // Append locality: the whole batch lands on the shard that owns its first
+  // global row — one encryption stream per batch, the way log-structured
+  // ingest appends land in one partition. A skewed stream of batches can
+  // therefore concentrate rows on few shards; MaybeRebalance repairs that
+  // when SessionOptions::shards_rebalance says to.
+  const size_t dest = ShardOfRow(prior_rows);
+  GrowPlainTable(*state.plain_parts[dest], new_rows, state.parts[dest].table.get());
+  encryptor.AppendRows(state.parts[dest], new_rows, table.schema);
 
   // Appends may mint new DET tokens (dictionary growth); refresh the view.
   SEABED_CHECK(table.enc.has_value());
-  for (const EncryptedDatabase& part : state.parts) {
-    MergeDictionaries(part, *table.enc);
+  MergeDictionaries(state.parts[dest], *table.enc);
+
+  MaybeRebalance(table, state, encryptor);
+}
+
+void ShardedSeabedBackend::MaybeRebalance(const AttachedTable& table, ShardedTable& state,
+                                          const Encryptor& encryptor) {
+  const ShardRebalanceOptions& opts = context_->rebalance;
+  if (!opts.enabled || shards_ < 2) {
+    return;
   }
+  const size_t group = std::max<size_t>(1, opts.row_group_size);
+
+  std::vector<size_t> counts(shards_);
+  size_t total = 0;
+  for (size_t s = 0; s < shards_; ++s) {
+    counts[s] = state.plain_parts[s]->NumRows();
+    total += counts[s];
+  }
+  if (total == 0) {
+    return;
+  }
+  const double ideal = static_cast<double>(total) / static_cast<double>(shards_);
+  // Below one whole row-group of surplus there is nothing movable, whatever
+  // the ratio says.
+  const double trigger = std::max(ideal * opts.max_skew_ratio, ideal + static_cast<double>(group));
+
+  // Plan the moves on row counts first (cheap), then execute with a single
+  // donor re-encryption per donor. Every move carves whole row-groups off
+  // the donor's current tail — the cut lands on a boundary of the donor's
+  // local group grid, so moved units are exactly the groups a probe index
+  // summarizes. A shard never plays both roles: a donor turned recipient
+  // would invalidate the tail arithmetic below.
+  struct Move {
+    size_t donor = 0;
+    size_t recipient = 0;
+    size_t rows = 0;
+  };
+  std::vector<Move> moves;
+  std::vector<char> was_donor(shards_, 0), was_recipient(shards_, 0);
+  for (size_t iter = 0; iter < shards_ * 8; ++iter) {
+    const size_t donor =
+        std::max_element(counts.begin(), counts.end()) - counts.begin();
+    const size_t recipient =
+        std::min_element(counts.begin(), counts.end()) - counts.begin();
+    if (donor == recipient || static_cast<double>(counts[donor]) <= trigger ||
+        was_recipient[donor] || was_donor[recipient]) {
+      break;
+    }
+    const size_t surplus = counts[donor] - static_cast<size_t>(ideal);
+    const size_t deficit = static_cast<size_t>(ideal) > counts[recipient]
+                               ? static_cast<size_t>(ideal) - counts[recipient]
+                               : 0;
+    const size_t want = std::min(surplus, std::max(deficit, group));
+    // The donor's tail partial group moves first, then whole groups.
+    size_t rows = counts[donor] % group;
+    while (rows + group <= want) {
+      rows += group;
+    }
+    if (rows == 0) {
+      rows = std::min(counts[donor], group);
+    }
+    if (rows >= counts[donor] || counts[recipient] + rows >= counts[donor] - rows + group) {
+      break;  // never empty a shard or mint a new hotspot
+    }
+    moves.push_back({donor, recipient, rows});
+    was_donor[donor] = 1;
+    was_recipient[recipient] = 1;
+    counts[donor] -= rows;
+    counts[recipient] += rows;
+  }
+  if (moves.empty()) {
+    return;
+  }
+
+  Stopwatch sw;
+  rebalance_stats_.rebalances += 1;
+  std::vector<size_t> tail(shards_);  // donor cut position, walks toward 0
+  for (size_t s = 0; s < shards_; ++s) {
+    tail[s] = state.plain_parts[s]->NumRows();
+  }
+  for (const Move& move : moves) {
+    // Re-encrypting into the recipient's identifier space is the canonical
+    // append path: AppendRows continues the recipient's contiguous ASHE run,
+    // so identifier spaces stay disjoint and merge semantics are untouched.
+    std::vector<size_t> rows(move.rows);
+    std::iota(rows.begin(), rows.end(), tail[move.donor] - move.rows);
+    const auto segment =
+        SubsetRows(*state.plain_parts[move.donor], table.name + "#migrate", rows);
+    GrowPlainTable(*state.plain_parts[move.recipient], *segment,
+                   state.parts[move.recipient].table.get());
+    encryptor.AppendRows(state.parts[move.recipient], *segment, table.schema);
+    tail[move.donor] -= move.rows;
+    rebalance_stats_.rows_moved += move.rows;
+    rebalance_stats_.row_groups_moved += (move.rows + group - 1) / group;
+  }
+  for (size_t s = 0; s < shards_; ++s) {
+    if (!was_donor[s]) {
+      continue;
+    }
+    // The donor's remainder re-encrypts into a fresh identifier-space slot.
+    // This costs O(remaining rows) per donor, but the cheap alternative —
+    // truncating the donor in place, which would keep the prefix
+    // ciphertexts unchanged — is unsafe: later appends would re-mint the
+    // truncated tail's identifiers (ids are base + row) for different
+    // plaintexts, repeating ASHE pads an adversary who recorded the old
+    // upload could subtract to learn plaintext differences.
+    std::vector<size_t> kept(tail[s]);
+    std::iota(kept.begin(), kept.end(), size_t{0});
+    auto remainder = SubsetRows(*state.plain_parts[s],
+                                table.name + "#shard" + std::to_string(s), kept);
+    state.parts[s] = encryptor.EncryptWithBaseId(*remainder, table.schema, table.plan,
+                                                 ShardBaseId(state.next_id_slot++));
+    state.plain_parts[s] = std::move(remainder);
+    // Replaces the old registration; the server's row-group index re-syncs
+    // against the shrunken table at the next probe.
+    servers_[s].RegisterTable(state.parts[s].table);
+    rebalance_stats_.rows_reencrypted += tail[s];
+  }
+  rebalance_stats_.seconds += sw.ElapsedSeconds();
 }
 
 std::vector<EncryptedResponse> ShardedSeabedBackend::FanOut(const ServerPlan& plan,
@@ -295,6 +423,9 @@ std::vector<EncryptedResponse> ShardedSeabedBackend::FanOut(const ServerPlan& pl
 }
 
 ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
+  // Shared for the whole call: Append (exclusive) must never grow a shard
+  // partition or the join replica while a fan-out is scanning them.
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
   const AttachedTable& fact = context_->catalog->Get(query.table);
   SEABED_CHECK_MSG(fact.enc.has_value(), "table " << fact.name << " was not prepared");
 
@@ -339,10 +470,10 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   // CountProbePlan, src/seabed/probe.h); round two then skips shards with no
   // matching rows. Two-round-trip queries always probe (the PR-2 contract);
   // ProbeMode::kForced extends the probe to every query.
+  const ProbeOptions& popts = context_->probe;
   std::vector<bool> active(shards_, true);
-  std::vector<double> shard_seconds(shards_, 0.0);
-  bool probe_used = false;
-  double probe_seconds = 0;
+  std::vector<double> shard_probe_seconds(shards_, 0.0);
+  bool shard_probe_used = false;
   size_t shards_skipped = 0;
   // kForced is still gated on the plan being prunable at the shard level —
   // without a predicate or join every non-empty shard reports matches and
@@ -350,26 +481,89 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   // two-round queries keep probing unconditionally: the PR-2 contract.)
   const bool shard_prunable = !tq.server.predicates.empty() || tq.server.join.has_value();
   if (query.needs_two_round_trips ||
-      (context_->probe.mode == ProbeMode::kForced && shard_prunable)) {
-    probe_used = true;
+      (popts.mode == ProbeMode::kForced && shard_prunable)) {
+    shard_probe_used = true;
     std::vector<EncryptedResponse> probes = FanOut(CountProbePlan(tq.server), active, right_table);
     for (size_t s = 0; s < shards_; ++s) {
       active[s] = probes[s].rows_touched > 0;
       shards_skipped += active[s] ? 0 : 1;
-      shard_seconds[s] = probes[s].ServerSeconds();
-      probe_seconds = std::max(probe_seconds, probes[s].ServerSeconds());
+      shard_probe_seconds[s] = probes[s].ServerSeconds();
     }
   }
 
-  std::vector<EncryptedResponse> responses = FanOut(tq.server, active, right_table);
-  for (size_t s = 0; s < shards_; ++s) {
-    shard_seconds[s] += responses[s].ServerSeconds();
+  // Intra-shard pruning gate — the same adaptive rule SeabedBackend applies:
+  // the plan must be prunable at row-group granularity, and either the mode
+  // forces it, the client flagged the two-round path, or the planner's
+  // selectivity estimate predicts a win.
+  bool intra_prune = false;
+  if (popts.mode != ProbeMode::kOff && tq.probe.prunable) {
+    intra_prune = popts.mode == ProbeMode::kForced || query.needs_two_round_trips ||
+                  EstimateFilterSelectivity(query, fact.schema) <= popts.auto_selectivity_threshold;
   }
 
-  Stopwatch merge_sw;
-  EncryptedResponse merged = MergeShardResponses(tq.server, responses);
-  const double merge_seconds = merge_sw.ElapsedSeconds();
-  merged.driver_seconds += merge_seconds;
+  bool any_active = false;
+  for (size_t s = 0; s < shards_; ++s) {
+    any_active = any_active || active[s];
+  }
+
+  std::vector<double> shard_round_two_seconds(shards_, 0.0);
+  EncryptedResponse merged;
+  double merge_seconds = 0;
+  bool intra_probed = false;
+  uint64_t row_groups_total = 0;
+  uint64_t row_groups_pruned = 0;
+  if (!any_active) {
+    // Zero-match short-circuit (mirrors SeabedBackend): no shard holds a
+    // matching row, so round two never fans out — the empty merged response
+    // decrypts to the same rows a zero-match scan produces (global
+    // aggregates still yield the SQL zero row).
+    merged = EncryptedResponse{};
+  } else {
+    // Round two, pruned inside each surviving shard: the shard's Server
+    // evaluates the plan's ProbeSection against its row-group summary index
+    // and scans only the surviving ranges — the same pruned-scan
+    // Execute(scan_ranges) path the single-server backend runs, now inside
+    // the fleet. Shards whose index rules out every group skip the scan.
+    std::vector<EncryptedResponse> responses(shards_);
+    std::vector<ServerProbeResult> probes(shards_);
+    std::vector<char> probed(shards_, 0);
+    pool_.ParallelFor(shards_, [&](size_t s) {
+      if (!active[s]) {
+        return;
+      }
+      const std::vector<RowRange>* scan_ranges = nullptr;
+      if (intra_prune) {
+        probes[s] = servers_[s].Probe(tq.server.table, tq.probe, popts.row_group_size);
+        probed[s] = 1;
+        if (probes[s].surviving.empty()) {
+          return;  // shard-local zero match: no round-two scan here
+        }
+        scan_ranges = &probes[s].surviving;
+      }
+      responses[s] = servers_[s].Execute(tq.server, *context_->cluster, right_table, scan_ranges);
+    });
+    for (size_t s = 0; s < shards_; ++s) {
+      if (probed[s]) {
+        intra_probed = true;
+        row_groups_total += probes[s].total_groups;
+        row_groups_pruned += probes[s].pruned_groups;
+        shard_probe_seconds[s] += probes[s].seconds;
+      }
+      shard_round_two_seconds[s] = responses[s].ServerSeconds();
+    }
+
+    Stopwatch merge_sw;
+    merged = MergeShardResponses(tq.server, responses);
+    merge_seconds = merge_sw.ElapsedSeconds();
+    merged.driver_seconds += merge_seconds;
+  }
+
+  // Shards probe in parallel, so the probe round costs the slowest shard.
+  double probe_seconds = 0;
+  for (const double s : shard_probe_seconds) {
+    probe_seconds = std::max(probe_seconds, s);
+  }
+  const bool probe_used = shard_probe_used || intra_probed;
 
   const Client client(*fact.enc, *context_->keys);
   ResultSet result = client.Decrypt(merged, tq, *context_->cluster, right_db, stats);
@@ -381,13 +575,24 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
     // server latency is the probe round (if any) plus the slowest shard of
     // round two plus the coordinator merge (already inside driver_seconds).
     stats->server_seconds += probe_seconds;
-    stats->shard_server_seconds = std::move(shard_seconds);
+    // The two rounds report separately: a shard pruned in round one (or by
+    // its own index) did no round-two work and must not bill any.
+    stats->shard_server_seconds = std::move(shard_round_two_seconds);
+    stats->shard_probe_seconds = std::move(shard_probe_seconds);
     stats->merge_seconds = merge_seconds;
     stats->probe_used = probe_used;
     stats->probe_seconds = probe_seconds;
-    // On the sharded backend the "row group" of the probe stats is a shard.
-    stats->row_groups_total = probe_used ? shards_ : 0;
-    stats->row_groups_pruned = shards_skipped;
+    if (intra_probed) {
+      // Row groups of the shards' summary indexes, aggregated across the
+      // fleet (shards skipped by round one were never probed at row-group
+      // granularity and contribute nothing).
+      stats->row_groups_total = row_groups_total;
+      stats->row_groups_pruned = row_groups_pruned;
+    } else {
+      // Only the shard-level count probe ran: a "row group" is a shard.
+      stats->row_groups_total = shard_probe_used ? shards_ : 0;
+      stats->row_groups_pruned = shards_skipped;
+    }
   }
   return result;
 }

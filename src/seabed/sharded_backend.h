@@ -18,11 +18,29 @@
 //
 // Queries flagged `needs_two_round_trips` probe all shards with a cheap
 // row-count plan first and re-issue the full plan only to shards that
-// matched — round two touches a subset of the fleet.
+// matched — round two touches a subset of the fleet. When no shard matches,
+// round two is skipped entirely (the empty merged response decrypts to the
+// same rows a zero-match scan produces). Inside surviving shards, round two
+// additionally consults each shard Server's row-group summary index
+// (Server::Probe, src/seabed/probe.h) under the session's probe mode, so the
+// pruned-scan Execute(scan_ranges) path runs *within* shards and
+// QueryStats::row_groups_total/pruned aggregate the per-shard indexes.
+//
+// Appends place whole batches on the shard that owns the batch's first
+// global row (append locality — one encryption stream per batch, mirroring
+// log-structured ingest), so a skewed append stream concentrates rows on few
+// shards. SessionOptions::shards_rebalance (off by default) repairs that:
+// past the configured skew ratio, Append migrates whole row-groups off the
+// donor's tail — moved rows re-encrypt into the recipient's ASHE identifier
+// space (the canonical append path) and the donor's remainder into a fresh
+// disjoint slot, so identifiers are never reused across re-encryptions and
+// coordinator merge semantics are untouched. Moves accumulate in
+// RebalanceStats.
 //
 // Latency model: the shards are independent clusters of the session's
 // cluster shape running in parallel, so simulated server time is the slowest
-// shard plus the measured merge; QueryStats reports the per-shard breakdown.
+// shard plus the measured merge; QueryStats reports the per-shard breakdown
+// with probe-round and round-two time separated.
 #ifndef SEABED_SRC_SEABED_SHARDED_BACKEND_H_
 #define SEABED_SRC_SEABED_SHARDED_BACKEND_H_
 
@@ -30,6 +48,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +66,12 @@ class ShardedSeabedBackend : public Executor {
   void Append(AttachedTable& table, const Table& new_rows) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
   void SetPlanCache(TranslatedPlanCache* cache) override { plan_cache_ = cache; }
+  std::optional<RebalanceStats> rebalance_stats() const override {
+    // Append mutates the counters under the exclusive state lock; snapshot
+    // under the shared one so monitors can poll during an append stream.
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    return rebalance_stats_;
+  }
 
   size_t num_shards() const { return shards_; }
   // The untrusted side of shard `shard`, exposed for tests.
@@ -54,11 +79,19 @@ class ShardedSeabedBackend : public Executor {
   // Shard `shard`'s partition of `table` (aborts when not attached).
   const EncryptedDatabase& shard_database(const std::string& table, size_t shard) const;
   // The full-table join replica of `table`, or nullptr while no join query
-  // has needed one. Exposed for tests.
+  // has needed one. Exposed for tests; taken under the backend's state lock,
+  // so don't hold the returned pointer across a concurrent Append — snapshot
+  // what you need before resuming mutation traffic.
   const EncryptedDatabase* replica_database(const std::string& table) const;
 
-  // Deterministic row placement: which shard owns global row `row` of an
-  // attached table. Exposed so tests can pin the partitioning.
+  // Per-shard row counts of `table`'s partitions, exposed so tests and
+  // benches can observe skew and rebalancing.
+  std::vector<size_t> ShardRowCounts(const std::string& table) const;
+
+  // Deterministic placement: which shard owns global row `row` at Attach
+  // time, and which shard an append batch starting at global row `row` lands
+  // on whole (append locality). Exposed so tests can pin — and deliberately
+  // skew — the partitioning.
   size_t ShardOfRow(size_t row) const;
 
  private:
@@ -72,6 +105,11 @@ class ShardedSeabedBackend : public Executor {
     // first query that needs it (guarded by `replica_mu_`). Never enters
     // the server registries — Execute hands it to the servers directly.
     std::optional<EncryptedDatabase> replica;
+    // Next free ASHE identifier-space slot for this table. Slots 0..shards-1
+    // are the shard partitions, slot `shards` is the replica; rebalancing
+    // re-encrypts donor remainders into fresh slots from here so identifiers
+    // are never reused across two encryptions of the same table.
+    uint64_t next_id_slot = 0;
   };
 
   ShardedTable& State(const std::string& table);
@@ -86,13 +124,27 @@ class ShardedSeabedBackend : public Executor {
   std::vector<EncryptedResponse> FanOut(const ServerPlan& plan, const std::vector<bool>& active,
                                         const Table* right) const;
 
+  // Migrates whole row-groups between shards when an Append left the fleet
+  // skewed past `context_->rebalance.max_skew_ratio`. Requires `state_mu_`
+  // held exclusively (called from Append).
+  void MaybeRebalance(const AttachedTable& table, ShardedTable& state,
+                      const Encryptor& encryptor);
+
   const ExecutionContext* context_;
   size_t shards_;
   TranslatedPlanCache* plan_cache_ = nullptr;
   std::vector<Server> servers_;
   std::map<std::string, ShardedTable> tables_;
-  // Serializes lazy replica construction (Execute may run concurrently via
-  // Session::ExecuteBatch).
+  RebalanceStats rebalance_stats_;
+  // Readers/writer lock over the shard state: Execute (and the test
+  // accessors) hold it shared for their whole duration, Prepare/Append hold
+  // it exclusive — an Append mutating a shard partition or the join replica
+  // in place (column growth reallocates) must never interleave with a
+  // fan-out reading them. Concurrent Executes (Session::ExecuteBatch) still
+  // run in parallel.
+  mutable std::shared_mutex state_mu_;
+  // Serializes lazy replica construction between concurrent Executes (which
+  // hold `state_mu_` only shared). Ordered after `state_mu_`.
   mutable std::mutex replica_mu_;
   // Fan-out pool shared by all queries of this backend (shards run
   // concurrently; each shard's scan then parallelizes on the cluster model).

@@ -137,6 +137,79 @@ TEST(DeterminismTest, SameSeedShardedBackendsMatchShardByShard) {
   EXPECT_EQ(stats_a.rows_touched, stats_b.rows_touched);
 }
 
+// Rebalancing is part of the deterministic-upload contract too: migration
+// planning reads only row counts, and donor re-encryption allocates
+// identifier-space slots in a fixed order, so two sessions fed the same
+// skewed append stream must still produce byte-identical shard databases.
+TEST(DeterminismTest, SameSeedRebalancedShardsMatchShardByShard) {
+  const Dataset d = MakeDataset();
+  auto options = [&] {
+    SessionOptions o = OptionsFor(BackendKind::kShardedSeabed, 55);
+    o.shards_rebalance.enabled = true;
+    o.shards_rebalance.max_skew_ratio = 1.2;
+    o.shards_rebalance.row_group_size = 64;
+    return o;
+  };
+  Session a(options());
+  Session b(options());
+  // Each session owns its table: appends grow it in place.
+  a.AttachPlanned(CloneTable(*d.table), d.schema,
+                  PlanEncryption(d.schema, d.samples, PlannerOptions{}));
+  b.AttachPlanned(CloneTable(*d.table), d.schema,
+                  PlanEncryption(d.schema, d.samples, PlannerOptions{}));
+
+  auto& backend_a = static_cast<ShardedSeabedBackend&>(a.executor());
+  auto& backend_b = static_cast<ShardedSeabedBackend&>(b.executor());
+
+  // A skewed stream: every batch steered onto one placement bucket, forcing
+  // migrations in both sessions.
+  size_t total_rows = d.table->NumRows();
+  const size_t hot = backend_a.ShardOfRow(total_rows);
+  Rng rng(9);
+  auto append_batch = [&](size_t rows) {
+    auto batch = std::make_shared<Table>("emp");
+    auto country = std::make_shared<StringColumn>();
+    auto store = std::make_shared<StringColumn>();
+    auto ts = std::make_shared<Int64Column>();
+    auto salary = std::make_shared<Int64Column>();
+    for (size_t i = 0; i < rows; ++i) {
+      country->Append("india");
+      store->Append("s1");
+      ts->Append(static_cast<int64_t>(rng.Below(1000)));
+      salary->Append(rng.Range(0, 100000));
+    }
+    batch->AddColumn("country", country);
+    batch->AddColumn("store", store);
+    batch->AddColumn("ts", ts);
+    batch->AddColumn("salary", salary);
+    a.Append("emp", *batch);
+    b.Append("emp", *batch);
+    total_rows += rows;
+  };
+  for (int round = 0; round < 4; ++round) {
+    while (backend_a.ShardOfRow(total_rows) != hot) {
+      append_batch(1);
+    }
+    append_batch(200);
+  }
+
+  ASSERT_TRUE(a.rebalance_stats().has_value());
+  EXPECT_GT(a.rebalance_stats()->rebalances, 0u);
+  EXPECT_EQ(a.rebalance_stats()->rows_moved, b.rebalance_stats()->rows_moved);
+  EXPECT_EQ(a.rebalance_stats()->rows_reencrypted, b.rebalance_stats()->rows_reencrypted);
+  for (size_t s = 0; s < backend_a.num_shards(); ++s) {
+    EXPECT_EQ(SerializeTable(*backend_a.shard_database("emp", s).table),
+              SerializeTable(*backend_b.shard_database("emp", s).table))
+        << "shard " << s;
+  }
+
+  QueryStats stats_a, stats_b;
+  const Query q = RangeQuery();
+  a.Execute(q, &stats_a);
+  b.Execute(q, &stats_b);
+  EXPECT_EQ(stats_a.rows_touched, stats_b.rows_touched);
+}
+
 TEST(DeterminismTest, DifferentSeedsProduceDifferentCiphertexts) {
   const Dataset d = MakeDataset();
   Session a(OptionsFor(BackendKind::kSeabed, 99));

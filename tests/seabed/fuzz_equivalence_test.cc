@@ -32,12 +32,14 @@
 // pre-append probes must not leak into post-append answers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/seabed/session.h"
+#include "src/seabed/sharded_backend.h"
 
 namespace seabed {
 namespace {
@@ -443,6 +445,153 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// --- skewed-append axis ------------------------------------------------------
+//
+// Appends place whole batches (append locality), so a stream steered onto
+// one placement bucket concentrates rows on one shard. This axis drives that
+// worst case: every batch lands on the same shard, and the sharded backend
+// with rebalancing OFF and ON must both stay equivalent to kPlain while the
+// rebalancer migrates whole row-groups behind the queries' back. Probe modes
+// rotate per trial so pruned two-round execution also runs over migrated
+// groups.
+class SkewedAppendFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SkewedAppendFuzzTest, SkewedStreamsStayEquivalentWithRebalanceOnAndOff) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  constexpr size_t kShards = 4;
+
+  auto make_batch = [&](size_t n, int64_t ts_base) {
+    auto batch = std::make_shared<Table>("skew");
+    auto seg = std::make_shared<StringColumn>();
+    auto ts = std::make_shared<Int64Column>();
+    auto value = std::make_shared<Int64Column>();
+    for (size_t i = 0; i < n; ++i) {
+      seg->Append("k" + std::to_string(rng.Below(4)));
+      ts->Append(ts_base + static_cast<int64_t>(i));
+      value->Append(rng.Range(-50, 500));
+    }
+    batch->AddColumn("seg", seg);
+    batch->AddColumn("ts", ts);
+    batch->AddColumn("value", value);
+    return batch;
+  };
+
+  PlainSchema schema;
+  schema.table_name = "skew";
+  schema.columns.push_back({"seg", ColumnType::kString, true, std::nullopt});
+  schema.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+  schema.columns.push_back({"value", ColumnType::kInt64, true, std::nullopt});
+  std::vector<Query> samples;
+  {
+    Query q;
+    q.table = "skew";
+    q.Sum("value").Count().Min("ts").Max("ts");
+    q.Where("seg", CmpOp::kEq, std::string("k0"));
+    q.Where("ts", CmpOp::kGe, int64_t{0});
+    q.GroupBy("seg");
+    samples.push_back(q);
+  }
+
+  auto options_for = [&](BackendKind backend, bool rebalance) {
+    SessionOptions options;
+    options.backend = backend;
+    options.shards = kShards;
+    options.planner.expected_rows = 400;
+    options.key_seed = seed * 17 + 3;
+    options.cluster.num_workers = 4;
+    options.cluster.job_overhead_seconds = 0;
+    options.cluster.task_overhead_seconds = 0;
+    if (rebalance) {
+      options.shards_rebalance.enabled = true;
+      options.shards_rebalance.max_skew_ratio = 1.2;
+      options.shards_rebalance.row_group_size = 64;
+    }
+    return options;
+  };
+  struct Backend {
+    std::string label;
+    std::unique_ptr<Session> session;
+  };
+  std::vector<Backend> backends;
+  backends.push_back({"plain", std::make_unique<Session>(options_for(BackendKind::kPlain, false))});
+  backends.push_back(
+      {"sharded", std::make_unique<Session>(options_for(BackendKind::kShardedSeabed, false))});
+  backends.push_back(
+      {"sharded-rebal",
+       std::make_unique<Session>(options_for(BackendKind::kShardedSeabed, true))});
+
+  const auto base = make_batch(300 + rng.Below(200), 0);
+  for (Backend& b : backends) {
+    b.session->Attach(CloneTable(*base), schema, samples);
+  }
+  auto& placement =
+      static_cast<const ShardedSeabedBackend&>(backends[1].session->executor());
+
+  // Every append steered onto one bucket: 1-row fillers advance the global
+  // row count until the placement hash points at the hot shard, then the
+  // real batch lands there whole. All sessions ingest identical batches.
+  size_t total_rows = base->NumRows();
+  const size_t hot = placement.ShardOfRow(total_rows);
+  auto append_all = [&](const std::shared_ptr<Table>& batch) {
+    for (Backend& b : backends) {
+      b.session->Append("skew", *batch);
+    }
+    total_rows += batch->NumRows();
+  };
+  constexpr ProbeMode kProbeModes[] = {ProbeMode::kOff, ProbeMode::kAuto, ProbeMode::kForced};
+  for (int trial = 0; trial < 8; ++trial) {
+    while (placement.ShardOfRow(total_rows) != hot) {
+      append_all(make_batch(1, static_cast<int64_t>(total_rows)));
+    }
+    append_all(make_batch(120 + rng.Below(120), static_cast<int64_t>(total_rows)));
+
+    Query q;
+    q.table = "skew";
+    q.Sum("value", "a0").Count("a1");
+    if (rng.Chance(0.6)) {
+      q.Where("seg", CmpOp::kEq, "k" + std::to_string(rng.Below(5)));
+    }
+    if (rng.Chance(0.5)) {
+      q.Where("ts", rng.Chance(0.5) ? CmpOp::kGe : CmpOp::kLt,
+              static_cast<int64_t>(rng.Below(total_rows)));
+    }
+    if (rng.Chance(0.3)) {
+      q.GroupBy("seg");
+    }
+    q.needs_two_round_trips = rng.Chance(0.25);
+
+    // One probe mode per trial (not all three every trial): a trial at kOff
+    // leaves the row-group indexes untouched while appends — and the
+    // rebalancer's shrink-then-regrow table swaps — keep happening, so a
+    // later kForced trial probes across a genuinely stale window.
+    const ProbeMode mode = kProbeModes[(trial + static_cast<int>(seed)) % 3];
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " trial=" + std::to_string(trial) +
+                 " probe=" + ProbeModeName(mode));
+    const auto reference = RowsAsStrings(backends.front().session->Execute(q, nullptr));
+    for (size_t b = 1; b < backends.size(); ++b) {
+      SCOPED_TRACE("backend=" + backends[b].label);
+      ProbeOptions popts;
+      popts.mode = mode;
+      popts.row_group_size = 64;
+      backends[b].session->set_probe_options(popts);
+      EXPECT_EQ(RowsAsStrings(backends[b].session->Execute(q, nullptr)), reference);
+    }
+  }
+
+  // The axis only proves something if the stream was skewed and the
+  // rebalancer actually moved row-groups.
+  const auto skewed_counts = placement.ShardRowCounts("skew");
+  EXPECT_GT(*std::max_element(skewed_counts.begin(), skewed_counts.end()),
+            total_rows / 2);
+  const std::optional<RebalanceStats> stats = backends[2].session->rebalance_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->rebalances, 0u);
+  EXPECT_GT(stats->rows_moved, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkewedAppendFuzzTest, ::testing::Values(7, 19, 42));
 
 }  // namespace
 }  // namespace seabed

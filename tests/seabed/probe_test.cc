@@ -146,6 +146,98 @@ std::shared_ptr<Table> MakeBatch(const std::string& seg_value, size_t rows, uint
   return batch;
 }
 
+// Satellite regression for the append-resync path: Refresh must re-compute
+// the trailing *partial* group when an append lands inside it rather than
+// only appending full new groups — a stale partial summary would keep
+// pruning a group that now holds matches and silently drop rows.
+TEST(RowGroupIndexTest, RefreshRecomputesThePartialLastGroupAfterMidGroupAppend) {
+  auto v = std::make_shared<Int64Column>();
+  for (int i = 0; i < 10; ++i) {
+    v->Append(1);
+  }
+  Table table("t");
+  table.AddColumn("v", v);
+
+  RowGroupIndex index(8);  // groups [0,8) and the partial [8,10)
+  index.Refresh(table);
+  EXPECT_EQ(index.num_groups(), 2u);
+  EXPECT_EQ(index.rows_summarized(), 10u);
+
+  ServerPredicate pred;
+  pred.kind = ServerPredicate::Kind::kPlainInt;
+  pred.column = "v";
+  pred.op = CmpOp::kEq;
+  pred.int_operand = 5;
+  ProbeSection probe;
+  probe.predicates.push_back(pred);
+  probe.prunable = true;
+  EXPECT_TRUE(index.Prune(probe).surviving.empty());
+
+  // Mid-group append: the new rows extend the partial group [8,10) to
+  // [8,13) without starting a new one.
+  for (int i = 0; i < 3; ++i) {
+    v->Append(5);
+  }
+  index.Refresh(table);
+  EXPECT_EQ(index.num_groups(), 2u);
+  EXPECT_EQ(index.rows_summarized(), 13u);
+
+  const RowGroupIndex::PruneResult pruned = index.Prune(probe);
+  ASSERT_EQ(pruned.surviving.size(), 1u);
+  EXPECT_EQ(pruned.surviving.front().begin, 8u);
+  EXPECT_EQ(pruned.surviving.front().end, 13u);
+  EXPECT_EQ(pruned.total_groups, 2u);
+  EXPECT_EQ(pruned.pruned_groups, 1u);
+}
+
+// Regression for the table-swap staleness hole: Probe's row-count check
+// cannot see RegisterTable replacing the table object (shard rebalancing
+// re-encrypts a donor's remainder into a fresh, smaller table), so if the
+// replacement later regrows PAST the old summarized count, summaries of the
+// old object would survive and prune groups that now hold matches.
+// RegisterTable must reset the index.
+TEST(RowGroupIndexTest, ReRegisteringATableResetsItsSummaries) {
+  Server server;
+  auto make_table = [](size_t rows, int64_t value) {
+    auto v = std::make_shared<Int64Column>();
+    for (size_t i = 0; i < rows; ++i) {
+      v->Append(value);
+    }
+    auto t = std::make_shared<Table>("t#enc");
+    t->AddColumn("v", v);
+    return t;
+  };
+
+  ServerPredicate pred;
+  pred.kind = ServerPredicate::Kind::kPlainInt;
+  pred.column = "v";
+  pred.op = CmpOp::kEq;
+  pred.int_operand = 5;
+  ProbeSection probe;
+  probe.predicates.push_back(pred);
+  probe.prunable = true;
+
+  // Summaries built at 12 rows of value 1: everything prunes.
+  server.RegisterTable(make_table(12, 1));
+  EXPECT_TRUE(server.Probe("t#enc", probe, 8).surviving.empty());
+
+  // Swap in a 4-row replacement (the rebalance shape), then regrow it past
+  // the old 12-row count with rows that DO match — all behind Probe's back.
+  const auto replacement = make_table(4, 1);
+  server.RegisterTable(replacement);
+  auto* v = static_cast<Int64Column*>(replacement->GetColumn("v").get());
+  for (size_t i = 0; i < 8; ++i) {
+    v->Append(5);
+  }
+
+  // A stale index would report 12 rows summarized and prune every group.
+  const ServerProbeResult result = server.Probe("t#enc", probe, 8);
+  EXPECT_EQ(result.total_groups, 2u);
+  ASSERT_FALSE(result.surviving.empty());
+  EXPECT_EQ(result.surviving.front().begin, 0u);
+  EXPECT_EQ(result.surviving.back().end, 12u);
+}
+
 class ProbeTest : public ::testing::Test {
  protected:
   ProbeTest()
@@ -363,6 +455,17 @@ TEST_P(ProbeForcedMiniFuzz, ProbedBackendsMatchPlainWithAppendsInterleaved) {
     SessionOptions options = ProbeSessionOptions(BackendKind::kShardedSeabed, ProbeMode::kForced);
     options.shards = 3;
     backends.push_back({"sharded-forced", std::make_unique<Session>(std::move(options))});
+  }
+  {
+    // Rebalancing in the fast tier, so the sanitizer job covers row-group
+    // migration: a tight ratio + small groups makes the interleaved appends
+    // below actually trigger moves.
+    SessionOptions options = ProbeSessionOptions(BackendKind::kShardedSeabed, ProbeMode::kForced);
+    options.shards = 3;
+    options.shards_rebalance.enabled = true;
+    options.shards_rebalance.max_skew_ratio = 1.2;
+    options.shards_rebalance.row_group_size = 64;
+    backends.push_back({"sharded-rebal", std::make_unique<Session>(std::move(options))});
   }
   for (Backend& b : backends) {
     b.session->Attach(CloneTable(*table), schema, samples);

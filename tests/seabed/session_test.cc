@@ -10,63 +10,13 @@
 #include "src/common/rng.h"
 #include "src/query/parser.h"
 #include "src/workload/bdb.h"
+#include "tests/seabed/test_util.h"
 
 namespace seabed {
 namespace {
-
-std::vector<std::string> RowsAsStrings(const ResultSet& r) {
-  std::vector<std::string> rows;
-  for (const auto& row : r.rows) {
-    std::string s;
-    for (const Value& v : row) {
-      if (const auto* d = std::get_if<double>(&v)) {
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.4f", *d);
-        s += buf;
-      } else {
-        s += ValueToString(v);
-      }
-      s += "|";
-    }
-    rows.push_back(std::move(s));
-  }
-  std::sort(rows.begin(), rows.end());
-  return rows;
-}
-
-// Stats-invariant helper for the two-round probe path, applied across the
-// backend tests below: replaying `q` with probe off and probe forced must
-// (a) return `reference` both times, (b) never report probe stats with the
-// probe off, and (c) with the probe forced, touch at most as many rows as
-// the full scan — pruning only skips row groups that hold no match, so the
-// predicate-surviving row count can never grow. Backends that ignore the
-// probe (kPlain, kPaillier) pass trivially with probe_used == false.
-void ExpectProbeStatsInvariants(Session& session, const Query& q,
-                                const std::vector<std::string>& reference) {
-  const ProbeOptions saved = session.probe_options();
-  ProbeOptions popts = saved;
-  popts.mode = ProbeMode::kOff;
-  session.set_probe_options(popts);
-  QueryStats off;
-  EXPECT_EQ(RowsAsStrings(session.Execute(q, &off)), reference);
-  if (!q.needs_two_round_trips) {
-    EXPECT_FALSE(off.probe_used);
-    EXPECT_EQ(off.row_groups_pruned, 0u);
-  }
-
-  popts.mode = ProbeMode::kForced;
-  popts.row_group_size = 256;
-  session.set_probe_options(popts);
-  QueryStats forced;
-  EXPECT_EQ(RowsAsStrings(session.Execute(q, &forced)), reference);
-  EXPECT_LE(forced.rows_touched, off.rows_touched);
-  if (forced.probe_used) {
-    EXPECT_LE(forced.row_groups_pruned, forced.row_groups_total);
-  } else {
-    EXPECT_EQ(forced.row_groups_total, 0u);
-  }
-  session.set_probe_options(saved);
-}
+// RowsAsStrings and the ExpectProbeStatsInvariants probe tier come from
+// tests/seabed/test_util.h — the sharded-backend suite applies the same
+// invariants to the fan-out path.
 
 ClusterConfig TestClusterConfig() {
   ClusterConfig cfg;

@@ -1,41 +1,48 @@
 // Direct tests for the scale-out fan-out/merge backend: partitioning
-// invariants, disjoint ASHE identifier spaces, per-shard stats, the
-// two-round-trip probe path, appends, and joins through the replica. The
-// randomized equivalence suite (fuzz_equivalence_test.cc) covers breadth;
-// these tests pin the mechanics.
+// invariants, disjoint ASHE identifier spaces, per-shard stats (probe round
+// and round two reported separately), the two-round-trip probe path with its
+// zero-match short-circuit, intra-shard row-group pruning, appends (batch
+// locality), skew-triggered rebalancing, concurrency of Append against
+// joins, and joins through the replica. The randomized equivalence suite
+// (fuzz_equivalence_test.cc) covers breadth; these tests pin the mechanics.
 #include "src/seabed/sharded_backend.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/seabed/session.h"
+#include "tests/seabed/test_util.h"
 
 namespace seabed {
 namespace {
 
-std::vector<std::string> RowsAsStrings(const ResultSet& r) {
-  std::vector<std::string> rows;
-  for (const auto& row : r.rows) {
-    std::string s;
-    for (const Value& v : row) {
-      if (const auto* d = std::get_if<double>(&v)) {
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.4f", *d);
-        s += buf;
-      } else {
-        s += ValueToString(v);
-      }
-      s += "|";
-    }
-    rows.push_back(std::move(s));
+// A batch over the "emp" schema: `rows` rows of one store with timestamps
+// ts_base, ts_base+1, ... (contiguous, so batches land clustered and
+// row-group summaries can prune them).
+std::shared_ptr<Table> MakeEmpBatch(size_t rows, const std::string& store, int64_t ts_base,
+                                    uint64_t seed) {
+  auto batch = std::make_shared<Table>("emp");
+  auto store_col = std::make_shared<StringColumn>();
+  auto ts_col = std::make_shared<Int64Column>();
+  auto salary_col = std::make_shared<Int64Column>();
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    store_col->Append(store);
+    ts_col->Append(ts_base + static_cast<int64_t>(i));
+    salary_col->Append(rng.Range(0, 5000));
   }
-  std::sort(rows.begin(), rows.end());
-  return rows;
+  batch->AddColumn("store", store_col);
+  batch->AddColumn("ts", ts_col);
+  batch->AddColumn("salary", salary_col);
+  return batch;
 }
 
 SessionOptions TestOptions(BackendKind backend, size_t shards) {
@@ -177,19 +184,7 @@ TEST_F(ShardedBackendTest, TwoRoundTripQuerySkipsShardsAndStaysCorrect) {
 }
 
 TEST_F(ShardedBackendTest, AppendGrowsEveryShardConsistently) {
-  auto batch = std::make_shared<Table>("emp");
-  auto store_col = std::make_shared<StringColumn>();
-  auto ts_col = std::make_shared<Int64Column>();
-  auto salary_col = std::make_shared<Int64Column>();
-  Rng rng(23);
-  for (int i = 0; i < 300; ++i) {
-    store_col->Append("s1");
-    ts_col->Append(static_cast<int64_t>(rng.Below(1000)));
-    salary_col->Append(rng.Range(0, 5000));
-  }
-  batch->AddColumn("store", store_col);
-  batch->AddColumn("ts", ts_col);
-  batch->AddColumn("salary", salary_col);
+  const auto batch = MakeEmpBatch(300, "s1", 0, 23);
 
   // The sessions share `table_`, so append through exactly one of them; the
   // plain session then executes over the already-grown table.
@@ -203,12 +198,321 @@ TEST_F(ShardedBackendTest, AppendGrowsEveryShardConsistently) {
   }
   EXPECT_EQ(total, before + 300);
 
+  // Append locality: the whole batch lands on the shard owning its first
+  // global row.
+  const std::vector<size_t> counts = backend().ShardRowCounts("emp");
+  EXPECT_EQ(counts[backend().ShardOfRow(before)],
+            backend().shard_database("emp", backend().ShardOfRow(before)).table->NumRows());
+
   Query q;
   q.table = "emp";
   q.Sum("salary", "total").Count("n");
   q.GroupBy("store");
   EXPECT_EQ(RowsAsStrings(sharded_.Execute(q, nullptr)),
             RowsAsStrings(plain_.Execute(q, nullptr)));
+}
+
+// Satellite regression: when round one reports no matching shard, round two
+// must not fan out at all — no scan job, no touched rows, no shard billing
+// round-two time. The merged empty response still decrypts to the SQL zero
+// row for global aggregates.
+TEST_F(ShardedBackendTest, ZeroMatchProbeShortCircuitsRoundTwo) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary", "total").Count("n");
+  q.Where("ts", CmpOp::kGe, int64_t{100000});  // matches nothing anywhere
+  q.needs_two_round_trips = true;
+
+  QueryStats stats;
+  EXPECT_EQ(RowsAsStrings(sharded_.Execute(q, &stats)),
+            RowsAsStrings(plain_.Execute(q, nullptr)));
+  EXPECT_TRUE(stats.probe_used);
+  EXPECT_EQ(stats.row_groups_pruned, stats.row_groups_total);
+  EXPECT_EQ(stats.job.num_tasks, 0u);
+  EXPECT_EQ(stats.rows_touched, 0u);
+  EXPECT_EQ(stats.merge_seconds, 0.0);
+
+  // Satellite regression: probe-round time reports separately from round
+  // two, so the skipped shards must bill zero round-two seconds while the
+  // probe round itself shows up in the probe vector.
+  ASSERT_EQ(stats.shard_server_seconds.size(), kShards);
+  ASSERT_EQ(stats.shard_probe_seconds.size(), kShards);
+  for (const double s : stats.shard_server_seconds) {
+    EXPECT_EQ(s, 0.0);
+  }
+  double max_probe = 0;
+  for (const double s : stats.shard_probe_seconds) {
+    max_probe = std::max(max_probe, s);
+  }
+  EXPECT_GT(max_probe, 0.0);
+  EXPECT_EQ(stats.probe_seconds, max_probe);
+}
+
+TEST_F(ShardedBackendTest, ProbeStatsInvariantsHoldOnTheFanOutPath) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary", "total").Count("n");
+  q.Where("ts", CmpOp::kGe, int64_t{900});
+  ExpectProbeStatsInvariants(sharded_, q, RowsAsStrings(plain_.Execute(q, nullptr)));
+
+  Query grouped;
+  grouped.table = "emp";
+  grouped.Sum("salary", "total");
+  grouped.GroupBy("store");
+  grouped.needs_two_round_trips = true;
+  ExpectProbeStatsInvariants(sharded_, grouped, RowsAsStrings(plain_.Execute(grouped, nullptr)));
+}
+
+// Tentpole: round two consults each surviving shard's row-group summary
+// index, so pruning happens *inside* shards and the probe stats aggregate
+// row groups across the fleet instead of counting shards.
+TEST_F(ShardedBackendTest, IntraShardPruningPrunesRowGroupsInsideShards) {
+  // A clustered batch lands whole on one shard (append locality), so its
+  // rows occupy a contiguous stretch of that shard's row groups; every other
+  // group's ORE range ends below the filter bound and must prune.
+  const auto batch = MakeEmpBatch(300, "s2", 2000, 31);
+  sharded_.Append("emp", *batch);
+
+  ProbeOptions popts;
+  popts.mode = ProbeMode::kForced;
+  popts.row_group_size = 64;
+  sharded_.set_probe_options(popts);
+
+  Query q;
+  q.table = "emp";
+  q.Sum("salary", "total").Count("n");
+  q.Where("ts", CmpOp::kGe, int64_t{2000});
+  QueryStats stats;
+  EXPECT_EQ(RowsAsStrings(sharded_.Execute(q, &stats)),
+            RowsAsStrings(plain_.Execute(q, nullptr)));
+  EXPECT_TRUE(stats.probe_used);
+  EXPECT_GT(stats.row_groups_total, kShards);  // row groups, not shards
+  EXPECT_GT(stats.row_groups_pruned, 0u);
+  EXPECT_LT(stats.row_groups_pruned, stats.row_groups_total);
+  EXPECT_EQ(stats.rows_touched, 300u);
+  sharded_.set_probe_options(ProbeOptions{});
+}
+
+// Appends a batch that lands on shard `target`: append locality places a
+// batch on ShardOfRow(first global row), so 1-row filler batches advance the
+// global row count until the placement hash points at the target. Every
+// session in `sessions` ingests the same batches (fillers included), keeping
+// them comparable.
+void AppendSteered(const std::vector<Session*>& sessions, const ShardedSeabedBackend& backend,
+                   size_t* total_rows, size_t target, const Table& batch, uint64_t seed) {
+  size_t guard = 0;
+  while (backend.ShardOfRow(*total_rows) != target) {
+    const auto filler = MakeEmpBatch(1, "s3", 0, seed * 131 + guard);
+    for (Session* s : sessions) {
+      s->Append("emp", *filler);
+    }
+    *total_rows += 1;
+    ASSERT_LT(++guard, 64u) << "placement hash never reached shard " << target;
+  }
+  for (Session* s : sessions) {
+    s->Append("emp", batch);
+  }
+  *total_rows += batch.NumRows();
+}
+
+// Tentpole: a skewed append stream (every batch steered to one shard) must
+// trigger whole-row-group migration once the configured skew ratio is
+// exceeded, leave the fleet balanced, keep ASHE identifier spaces disjoint
+// (donor remainders re-encrypt into fresh slots), and change no answer.
+TEST(ShardRebalanceTest, SkewedAppendsTriggerMigrationAndStayCorrect) {
+  constexpr size_t kShards = 4;
+  SessionOptions rebal_options = TestOptions(BackendKind::kShardedSeabed, kShards);
+  rebal_options.shards_rebalance.enabled = true;
+  rebal_options.shards_rebalance.max_skew_ratio = 1.3;
+  rebal_options.shards_rebalance.row_group_size = 128;
+
+  Session plain(TestOptions(BackendKind::kPlain, 1));
+  Session skewed(TestOptions(BackendKind::kShardedSeabed, kShards));
+  Session rebalanced(std::move(rebal_options));
+
+  const auto seed_table = MakeEmpBatch(400, "s1", 0, 7);
+  PlainSchema schema;
+  schema.table_name = "emp";
+  schema.columns.push_back({"store", ColumnType::kString, true, std::nullopt});
+  schema.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+  schema.columns.push_back({"salary", ColumnType::kInt64, true, std::nullopt});
+  std::vector<Query> samples;
+  {
+    Query q;
+    q.table = "emp";
+    q.Sum("salary").Count().Min("ts").Max("ts");
+    q.Where("ts", CmpOp::kGe, int64_t{0});
+    q.GroupBy("store");
+    samples.push_back(q);
+  }
+  const std::vector<Session*> sessions = {&plain, &skewed, &rebalanced};
+  for (Session* s : sessions) {
+    s->Attach(CloneTable(*seed_table), schema, samples);
+  }
+
+  auto& skewed_backend = static_cast<ShardedSeabedBackend&>(skewed.executor());
+  auto& rebal_backend = static_cast<ShardedSeabedBackend&>(rebalanced.executor());
+
+  // Ten 400-row batches, all steered onto one shard: the unbalanced fleet
+  // ends up with one hot shard holding the lion's share.
+  size_t total_rows = seed_table->NumRows();
+  const size_t hot = skewed_backend.ShardOfRow(total_rows);
+  for (uint64_t b = 0; b < 10; ++b) {
+    const auto batch = MakeEmpBatch(400, b % 2 == 0 ? "s1" : "s2",
+                                    static_cast<int64_t>(1000 + b * 400), 100 + b);
+    AppendSteered(sessions, skewed_backend, &total_rows, hot, *batch, b);
+  }
+
+  const std::vector<size_t> skewed_counts = skewed_backend.ShardRowCounts("emp");
+  const std::vector<size_t> rebal_counts = rebal_backend.ShardRowCounts("emp");
+  const size_t skewed_max = *std::max_element(skewed_counts.begin(), skewed_counts.end());
+  const size_t rebal_max = *std::max_element(rebal_counts.begin(), rebal_counts.end());
+  const size_t total = total_rows;
+  EXPECT_GT(skewed_max, (total * 3) / 4) << "the stream was not actually skewed";
+  // Rebalancing must hold the largest shard near the configured ratio (one
+  // row-group of slack: moves are whole groups).
+  EXPECT_LE(rebal_max, static_cast<size_t>(1.3 * static_cast<double>(total) / kShards) + 128);
+
+  const std::optional<RebalanceStats> stats = rebalanced.rebalance_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->rebalances, 0u);
+  EXPECT_GT(stats->rows_moved, 0u);
+  EXPECT_GT(stats->row_groups_moved, 0u);
+  EXPECT_GT(stats->rows_reencrypted, 0u);
+  EXPECT_EQ(skewed.rebalance_stats()->rebalances, 0u);
+
+  // Identifier spaces stay disjoint after migration: no ASHE identifier of
+  // the salary column appears in two shard partitions (pad reuse across
+  // coexisting ciphertexts would leak plaintext differences).
+  std::set<uint64_t> seen_ids;
+  for (size_t s = 0; s < kShards; ++s) {
+    const Table& part = *rebal_backend.shard_database("emp", s).table;
+    const auto* col = static_cast<const AsheColumn*>(part.GetColumn("salary#ashe").get());
+    for (size_t row = 0; row < col->RowCount(); ++row) {
+      EXPECT_TRUE(seen_ids.insert(col->IdOfRow(row)).second)
+          << "id " << col->IdOfRow(row) << " reused in shard " << s;
+    }
+  }
+
+  // Every answer is unchanged by the migration — including pruned two-round
+  // execution over the moved row groups.
+  std::vector<Query> queries;
+  {
+    Query q;
+    q.table = "emp";
+    q.Sum("salary", "total").Count("n");
+    queries.push_back(q);
+    Query g = q;
+    g.GroupBy("store");
+    queries.push_back(g);
+    Query r = q;
+    r.Where("ts", CmpOp::kGe, int64_t{3000});
+    r.needs_two_round_trips = true;
+    queries.push_back(r);
+    Query m;
+    m.table = "emp";
+    m.Min("ts", "lo").Max("ts", "hi");
+    queries.push_back(m);
+  }
+  for (const Query& q : queries) {
+    const auto reference = RowsAsStrings(plain.Execute(q, nullptr));
+    EXPECT_EQ(RowsAsStrings(skewed.Execute(q, nullptr)), reference);
+    EXPECT_EQ(RowsAsStrings(rebalanced.Execute(q, nullptr)), reference);
+    ExpectProbeStatsInvariants(rebalanced, q, reference);
+  }
+}
+
+// Satellite regression: Append mutates the join replica (and the shard
+// partitions) in place; a concurrent join fan-out reading them used to race
+// on column growth. Execute now holds the state lock shared for its whole
+// duration and Append holds it exclusive — this test drives both paths from
+// two threads and then checks the final answers (runs in the fast tier, so
+// the ASan/UBSan CI job covers it).
+TEST(ShardedConcurrencyTest, AppendDuringJoinQueriesIsSafe) {
+  PlainSchema fact_schema;
+  fact_schema.table_name = "visits";
+  fact_schema.columns.push_back({"url", ColumnType::kInt64, true, std::nullopt});
+  fact_schema.columns.push_back({"revenue", ColumnType::kInt64, true, std::nullopt});
+  PlainSchema dim_schema;
+  dim_schema.table_name = "pages";
+  dim_schema.columns.push_back({"url", ColumnType::kInt64, true, std::nullopt});
+  dim_schema.columns.push_back({"rank", ColumnType::kInt64, true, std::nullopt});
+
+  auto make_fact = [](size_t rows, uint64_t seed) {
+    auto t = std::make_shared<Table>("visits");
+    auto url = std::make_shared<Int64Column>();
+    auto revenue = std::make_shared<Int64Column>();
+    Rng rng(seed);
+    for (size_t i = 0; i < rows; ++i) {
+      url->Append(static_cast<int64_t>(rng.Below(40)));
+      revenue->Append(rng.Range(0, 300));
+    }
+    t->AddColumn("url", url);
+    t->AddColumn("revenue", revenue);
+    return t;
+  };
+  auto make_dim = [](size_t rows, uint64_t seed) {
+    auto t = std::make_shared<Table>("pages");
+    auto url = std::make_shared<Int64Column>();
+    auto rank = std::make_shared<Int64Column>();
+    Rng rng(seed);
+    for (size_t i = 0; i < rows; ++i) {
+      url->Append(static_cast<int64_t>(i % 40));
+      rank->Append(rng.Range(1, 100));
+    }
+    t->AddColumn("url", url);
+    t->AddColumn("rank", rank);
+    return t;
+  };
+
+  Query join_sample;
+  join_sample.table = "visits";
+  join_sample.Sum("revenue").Avg("right:rank");
+  join_sample.join = Join{"pages", "url", "right:url"};
+  Query dim_sample;
+  dim_sample.table = "pages";
+  dim_sample.Sum("rank");
+  dim_sample.join = Join{"visits", "url", "right:url"};
+
+  SessionOptions options = TestOptions(BackendKind::kShardedSeabed, 3);
+  options.shards_rebalance.enabled = true;  // migrations join the party too
+  options.shards_rebalance.max_skew_ratio = 1.2;
+  options.shards_rebalance.row_group_size = 64;
+  Session sharded(std::move(options));
+  Session plain(TestOptions(BackendKind::kPlain, 1));
+  for (Session* s : {&sharded, &plain}) {
+    s->Attach(make_fact(600, 3), fact_schema, {join_sample});
+    s->Attach(make_dim(40, 4), dim_schema, {dim_sample});
+  }
+
+  Query q = join_sample;
+  q.aggregates.clear();
+  q.Sum("revenue", "rev").Avg("right:rank", "mean_rank").Count("n");
+  sharded.Execute(q, nullptr);  // builds the replica before the race starts
+
+  constexpr int kIterations = 12;
+  std::thread reader([&] {
+    for (int i = 0; i < kIterations; ++i) {
+      sharded.Execute(q, nullptr);
+    }
+  });
+  std::vector<std::shared_ptr<Table>> fact_batches, dim_batches;
+  for (int i = 0; i < kIterations; ++i) {
+    fact_batches.push_back(make_fact(30, 100 + i));
+    dim_batches.push_back(make_dim(10, 200 + i));
+    sharded.Append("visits", *fact_batches.back());
+    sharded.Append("pages", *dim_batches.back());
+  }
+  reader.join();
+
+  // The plain session ingests the same batches serially; final answers must
+  // agree once the dust settles.
+  for (int i = 0; i < kIterations; ++i) {
+    plain.Append("visits", *fact_batches[i]);
+    plain.Append("pages", *dim_batches[i]);
+  }
+  EXPECT_EQ(RowsAsStrings(sharded.Execute(q, nullptr)),
+            RowsAsStrings(plain.Execute(q, nullptr)));
 }
 
 // Joins resolve the right side against the full replica on every shard.
