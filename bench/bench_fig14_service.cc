@@ -1,0 +1,229 @@
+// "Figure 14" (beyond the paper): closed-loop serving throughput through
+// seabed::Service.
+//
+// The paper's deployment target is many analysts refreshing dashboards
+// against one encrypted store; PR 1-13 measured single-query latency on the
+// caller's thread. This bench puts the Service front-end over the sharded
+// backend (4 shards, the paper-style modeled cluster) and drives it with N
+// CLOSED-LOOP clients — each client submits one query from a zipfian mix,
+// waits for the answer, verifies it against the plaintext reference, and
+// immediately submits the next. Reported per client count (1/4/16/64):
+// queries/sec plus P50/P99 end-to-end latency (queue wait + execution +
+// the modeled server round trip, which the service "sleeps out" so measured
+// throughput reflects the simulated cluster rather than host core count).
+//
+// Throughput must come from the serving layer itself: request overlap across
+// workers, cross-query shape batching (one translation + one dispatch per
+// group), and exact-duplicate coalescing — the zipf head makes both common,
+// exactly like a popular dashboard. The gate: >= 3x queries/sec at 16
+// clients vs 1 client (SEABED_BENCH_FIG14_MIN_SPEEDUP overrides), and every
+// single answer byte-equal to kPlain. REGRESSION + nonzero exit otherwise.
+//
+// Env knobs: SEABED_BENCH_ROWS, SEABED_BENCH_FIG14_SECONDS (seconds per
+// client point, default 4), SEABED_BENCH_FIG14_MIN_SPEEDUP (default 3).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/rng.h"
+#include "src/seabed/service.h"
+
+namespace seabed {
+namespace {
+
+constexpr size_t kClientSweep[] = {1, 4, 16, 64};
+constexpr size_t kShards = 4;
+constexpr uint64_t kGroups = 100;
+
+// Canonical row strings (sorted, doubles at 4 places) for the per-answer
+// plaintext equality check.
+std::vector<std::string> CanonicalRows(const ResultSet& r) {
+  std::vector<std::string> rows;
+  for (const auto& row : r.rows) {
+    std::string s;
+    for (const Value& v : row) {
+      if (const auto* d = std::get_if<double>(&v)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", *d);
+        s += buf;
+      } else {
+        s += ValueToString(v);
+      }
+      s += "|";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// The dashboard mix: a zipfian head of hot shapes (coalescing + plan-cache
+// fodder) over a tail of parameter variants.
+std::vector<Query> QueryMix() {
+  std::vector<Query> mix;
+  mix.push_back(SyntheticSumQuery(10));
+  mix.push_back(SyntheticSumQuery(25));
+  mix.push_back(SyntheticGroupByQuery(kGroups));
+  {
+    Query q = SyntheticSumQuery(50);
+    q.Count("n");
+    mix.push_back(q);
+  }
+  {
+    Query q = SyntheticSumQuery(60);
+    q.Avg("value", "mean");
+    mix.push_back(q);
+  }
+  mix.push_back(SyntheticSumQuery(5));
+  mix.push_back(SyntheticSumQuery(75));
+  {
+    Query q = SyntheticSumQuery(40);
+    q.Count("n").Avg("value", "mean");
+    mix.push_back(q);
+  }
+  mix.push_back(SyntheticSumQuery(90));
+  mix.push_back(SyntheticSumQuery(100));
+  mix.push_back(SyntheticSumQuery(20));
+  {
+    Query q = SyntheticGroupByQuery(kGroups);
+    q.Where("sel", CmpOp::kLt, int64_t{50});
+    mix.push_back(q);
+  }
+  return mix;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(values.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(values.size())));
+  return values[idx];
+}
+
+int Main() {
+  const double point_seconds =
+      static_cast<double>(EnvU64("SEABED_BENCH_FIG14_SECONDS", 4));
+  const double min_speedup =
+      static_cast<double>(EnvU64("SEABED_BENCH_FIG14_MIN_SPEEDUP", 3));
+  const Cluster cluster(BenchClusterConfig(16));
+  BenchRecorder recorder("fig14_service");
+
+  SyntheticHarness::Options options = SyntheticHarness::FromEnv();
+  options.group_cardinality = kGroups;
+  options.build_paillier = false;  // the story here is serving, not baselines
+  SyntheticHarness harness(options);
+
+  const std::vector<Query> mix = QueryMix();
+  std::vector<std::vector<std::string>> references;
+  references.reserve(mix.size());
+  for (const Query& q : mix) {
+    references.push_back(CanonicalRows(harness.RunNoEnc(q, cluster)));
+  }
+
+  // One service across the whole sweep (steady-state serving: the plan cache
+  // stays warm between points, like a long-lived deployment).
+  ServiceOptions sopts;
+  sopts.session = harness.MakeSessionOptions(BackendKind::kShardedSeabed);
+  sopts.session.shards = kShards;
+  sopts.session.external_cluster = &cluster;
+  sopts.num_workers = 80;  // parked in modeled latency most of the time
+  sopts.max_queue_depth = 4096;
+  sopts.max_batch = 16;
+  sopts.pace_modeled_latency = true;  // sleep out the simulated round trip
+  Service service(sopts);
+  service.AttachPlanned(harness.plain_shared(), harness.schema(),
+                        harness.seabed().plan("synthetic"));
+
+  std::printf("=== Figure 14: closed-loop serving throughput, %zu-shard backend "
+              "(rows=%llu, %.0fs per point) ===\n",
+              kShards, static_cast<unsigned long long>(harness.rows()), point_seconds);
+  std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "clients", "qps", "p50(s)", "p99(s)",
+              "queries", "groups", "coalesced");
+
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<double> qps_by_point;
+  for (const size_t clients : kClientSweep) {
+    const ServiceCounters before = service.counters();
+    std::vector<std::vector<double>> latencies(clients);
+    std::atomic<uint64_t> completed{0};
+    const auto start = std::chrono::steady_clock::now();
+    const auto end = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(point_seconds));
+
+    std::vector<std::thread> drivers;
+    for (size_t c = 0; c < clients; ++c) {
+      drivers.emplace_back([&, c] {
+        Rng rng(1000 + 31 * c);
+        const ZipfSampler zipf(mix.size(), 1.2);
+        while (std::chrono::steady_clock::now() < end) {
+          const size_t pick = static_cast<size_t>(zipf.Sample(rng));
+          const auto issued = std::chrono::steady_clock::now();
+          ServiceResult r = service.Submit(mix[pick]).get();
+          const std::chrono::duration<double> took =
+              std::chrono::steady_clock::now() - issued;
+          if (!r.ok || CanonicalRows(r.rows) != references[pick]) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          latencies[c].push_back(took.count());
+          completed.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : drivers) {
+      t.join();
+    }
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    const double qps = static_cast<double>(completed.load()) / elapsed.count();
+    const double p50 = Percentile(all, 0.50);
+    const double p99 = Percentile(all, 0.99);
+    const ServiceCounters after = service.counters();
+    qps_by_point.push_back(qps);
+
+    std::printf("%8zu %10.2f %10.4f %10.4f %10llu %10llu %10llu\n", clients, qps, p50, p99,
+                static_cast<unsigned long long>(completed.load()),
+                static_cast<unsigned long long>(after.groups - before.groups),
+                static_cast<unsigned long long>(after.coalesced - before.coalesced));
+    recorder.Add("sharded4", {{"clients", static_cast<double>(clients)},
+                              {"queries_per_second", qps},
+                              {"total_seconds", p50},
+                              {"p99_seconds", p99}});
+  }
+  service.Shutdown();
+
+  const double speedup = qps_by_point[0] > 0 ? qps_by_point[2] / qps_by_point[0] : 0;
+  std::printf("\nqps @16 clients / qps @1 client = %.2fx (gate: >= %.0fx)\n", speedup,
+              min_speedup);
+  recorder.Add("summary", {{"median_speedup", speedup}});
+
+  bool failed = false;
+  if (mismatches.load() > 0) {
+    std::printf("REGRESSION: %llu answers diverged from the plaintext reference\n",
+                static_cast<unsigned long long>(mismatches.load()));
+    failed = true;
+  }
+  if (speedup < min_speedup) {
+    std::printf("REGRESSION: concurrent throughput scaled %.2fx, below the %.0fx gate\n",
+                speedup, min_speedup);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace seabed
+
+int main() { return seabed::Main(); }

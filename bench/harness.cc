@@ -99,6 +99,10 @@ SyntheticHarness::SyntheticHarness(const Options& options)
   }
 }
 
+SessionOptions SyntheticHarness::MakeSessionOptions(BackendKind backend) const {
+  return BackendOptions(backend, options_);
+}
+
 std::unique_ptr<Session> SyntheticHarness::MakeShardedSession(size_t shards) {
   SessionOptions so = BackendOptions(BackendKind::kShardedSeabed, options_);
   so.shards = shards;

@@ -70,6 +70,14 @@ class SyntheticHarness {
   // same synthetic table, reusing the seabed session's encryption plan.
   std::unique_ptr<Session> MakeCachingSession(BackendKind inner, size_t shards = 1);
 
+  // Session options for `backend` matching this harness's planner/key setup
+  // — for fronts that own their session stack but must stay comparable (the
+  // seabed::Service bench builds on these plus AttachPlanned(plain_shared(),
+  // schema(), seabed().plan("synthetic"))).
+  SessionOptions MakeSessionOptions(BackendKind backend) const;
+  const PlainSchema& schema() const { return schema_; }
+  std::shared_ptr<Table> plain_shared() const { return plain_; }
+
   uint64_t rows() const { return options_.rows; }
   uint64_t paillier_rows() const { return options_.paillier_rows; }
   Session& noenc() { return noenc_; }

@@ -8,6 +8,9 @@
 #   SEABED_SANITIZE=1 CTEST_ARGS="-LE slow" SMOKE_BENCH=0 ./scripts/check.sh
 #                                       # the CI sanitizer job: Debug + ASan/UBSan,
 #                                       # fast test tier, no benches
+#   SEABED_SANITIZE=thread CTEST_ARGS="-LE slow" SMOKE_BENCH=0 ./scripts/check.sh
+#                                       # the CI TSan job (data races in the
+#                                       # serving layer); keeps optimization on
 #   COMPARE_BENCH=0 ./scripts/check.sh  # skip the bench-regression gate
 #
 # Bench smoke mode runs a representative subset on a tiny synthetic table
@@ -35,6 +38,9 @@ CMAKE_ARGS=()
 if [[ "$SEABED_SANITIZE" == "1" ]]; then
   # Sanitizer flavor: Debug + ASan/UBSan (the CI matrix's second job).
   CMAKE_ARGS+=(-DSEABED_SANITIZE=ON -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Debug}")
+elif [[ "$SEABED_SANITIZE" == "thread" ]]; then
+  # TSan flavor: races hide at -O0, so keep optimization (RelWithDebInfo).
+  CMAKE_ARGS+=(-DSEABED_SANITIZE=thread -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}")
 else
   CMAKE_ARGS+=(-DSEABED_SANITIZE=OFF -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}")
 fi
@@ -60,7 +66,8 @@ if [[ "$SMOKE_BENCH" == "1" ]]; then
   SEABED_GIT_SHA="$(git rev-parse --short HEAD 2> /dev/null || echo unknown)"
   export SEABED_GIT_SHA
   for bench in bench_fig6_latency_rows bench_fig7_scalability bench_fig9a_groupby \
-               bench_fig11_dashboard bench_fig12_probe bench_fig13_rebalance; do
+               bench_fig11_dashboard bench_fig12_probe bench_fig13_rebalance \
+               bench_fig14_service; do
     echo "--- smoke: $bench (rows=$SMOKE_ROWS) ---"
     SEABED_BENCH_ROWS="$SMOKE_ROWS" SEABED_BENCH_JSON_DIR="$JSON_DIR" \
       "$BUILD_DIR/bench/$bench" > /dev/null
@@ -80,7 +87,7 @@ if [[ "$SMOKE_BENCH" == "1" ]]; then
 
   # The committed baseline is a release snapshot: sanitized timings are
   # 10-50x slower and must never be gated (or baselined) against it.
-  if [[ "$COMPARE_BENCH" == "1" && "$SEABED_SANITIZE" != "1" && -d bench/baseline ]]; then
+  if [[ "$COMPARE_BENCH" == "1" && "$SEABED_SANITIZE" == "0" && -d bench/baseline ]]; then
     echo "--- bench-regression gate (vs bench/baseline) ---"
     python3 scripts/compare_bench.py --baseline bench/baseline --fresh "$JSON_DIR"
   fi

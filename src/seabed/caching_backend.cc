@@ -35,12 +35,17 @@ CachingSeabedBackend::CachingSeabedBackend(const CacheOptions& options,
 }
 
 void CachingSeabedBackend::Prepare(AttachedTable& table) {
+  // Exclusive: the inner backend's tables must not change under a running
+  // query (the inner executors assume Prepare/Append are externally ordered
+  // against Execute — see Executor).
+  std::unique_lock<std::shared_mutex> serve_lock(serve_mu_);
   inner_->Prepare(table);
   // A (re-)attach changes what queries over this table should see.
   InvalidateTable(table.name);
 }
 
 void CachingSeabedBackend::Append(AttachedTable& table, const Table& new_rows) {
+  std::unique_lock<std::shared_mutex> serve_lock(serve_mu_);
   inner_->Append(table, new_rows);
   // Cached results that read this table are stale now. Cached PLANS are not:
   // translation depends on the encryption plan, keys and column schemes,
@@ -89,8 +94,10 @@ ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   std::shared_ptr<const ResultSet> hit;
   size_t hit_result_bytes = 0;
   uint64_t hit_rows_touched = 0;
+  uint64_t lookup_epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    lookup_epoch = epoch_;
     const auto it = results_.find(key);
     if (it != results_.end()) {
       ++hits_;
@@ -118,12 +125,17 @@ ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   }
   const double lookup_seconds = lookup_sw.ElapsedSeconds();
 
-  // Miss: run the inner backend outside the lock (concurrent queries must
-  // keep overlapping), then publish.
+  // Miss: run the inner backend outside the cache lock (concurrent queries
+  // must keep overlapping) but under the SHARED serve lock, so a concurrent
+  // Prepare/Append cannot mutate the inner tables mid-query.
   QueryStats local_stats;
   QueryStats* inner_stats = stats != nullptr ? stats : &local_stats;
   *inner_stats = QueryStats{};
-  ResultSet result = inner_->Execute(query, inner_stats);
+  ResultSet result;
+  {
+    std::shared_lock<std::shared_mutex> serve_lock(serve_mu_);
+    result = inner_->Execute(query, inner_stats);
+  }
 
   Entry entry;
   entry.result = std::make_shared<const ResultSet>(result);
@@ -138,7 +150,11 @@ ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   Stopwatch insert_sw;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    InsertLocked(key, std::move(entry));
+    // Publish only if no invalidation ran since the lookup — a result
+    // computed over the pre-append table must not outlive the append.
+    if (epoch_ == lookup_epoch) {
+      InsertLocked(key, std::move(entry));
+    }
   }
   if (stats != nullptr) {
     stats->backend = name();
@@ -150,6 +166,7 @@ ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
 
 void CachingSeabedBackend::InvalidateResults() {
   std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
   results_.clear();
   lru_.clear();
   total_bytes_ = 0;
@@ -157,6 +174,7 @@ void CachingSeabedBackend::InvalidateResults() {
 
 void CachingSeabedBackend::InvalidateTable(const std::string& table) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
   for (auto it = results_.begin(); it != results_.end();) {
     const Entry& entry = it->second;
     if (std::find(entry.tables.begin(), entry.tables.end(), table) != entry.tables.end()) {

@@ -26,6 +26,12 @@
 // cold run (result_rows / result_bytes / rows_touched), and only
 // cache_lookup_seconds of latency; misses report the inner backend's full
 // breakdown plus plan_cache_hit when translation was memoized.
+//
+// THREAD SAFETY: fully safe for multi-threaded fronts (seabed::Service).
+// The result cache and stats are mutex-guarded; Prepare/Append take a serve
+// rwlock exclusively against in-flight Execute calls (which hold it shared),
+// and an invalidation epoch stops a miss that raced an append from
+// publishing a result computed over the pre-append table.
 #ifndef SEABED_SRC_SEABED_CACHING_BACKEND_H_
 #define SEABED_SRC_SEABED_CACHING_BACKEND_H_
 
@@ -34,6 +40,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -95,14 +102,25 @@ class CachingSeabedBackend : public Executor {
   std::unique_ptr<Executor> inner_;
   TranslatedPlanCache plan_cache_;
 
+  // Structural serve lock, for multi-threaded fronts (seabed::Service):
+  // Execute holds it SHARED across the inner miss execution; Prepare/Append
+  // hold it EXCLUSIVE while mutating the inner backend's tables. Single-
+  // threaded sessions and ExecuteBatch (queries only) never contend on it.
+  // Ordered before `mu_` (never acquire serve_mu_ while holding mu_).
+  mutable std::shared_mutex serve_mu_;
+
   // Result cache. Guarded by `mu_`: Session::ExecuteBatch issues concurrent
   // Execute calls. Misses run the inner backend OUTSIDE the lock — two
   // concurrent misses on one key both execute and the later insert wins
-  // (idempotent: equivalence says both computed the same rows).
+  // (idempotent: equivalence says both computed the same rows). `epoch_`
+  // fences misses against invalidation: an insert whose lookup predates an
+  // InvalidateTable/InvalidateResults is dropped instead of republishing a
+  // result computed over the old table.
   mutable std::mutex mu_;
   std::map<std::string, Entry> results_;
   std::list<std::string> lru_;  // most-recently-used at the front
   size_t total_bytes_ = 0;
+  uint64_t epoch_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -1,0 +1,232 @@
+// seabed::Service — a concurrent query-serving front-end (ROADMAP: "serve
+// concurrent traffic").
+//
+// Every backend built so far executes on the caller's thread; the paper's
+// setting is the opposite — many analysts hammering one dashboard deployment.
+// Service puts a real serving layer in front of one configured Session (any
+// BackendKind, including caching/sharded stacks):
+//
+//   ServiceOptions opts;
+//   opts.session.backend = BackendKind::kShardedSeabed;
+//   Service service(opts);
+//   service.Attach(table, schema, sample_queries);
+//   std::future<ServiceResult> f = service.Submit(MustParseSql(sql));
+//   ResultSet rows = f.get().rows;          // blocks until served
+//   service.Shutdown(/*drain=*/true);
+//
+// Inside:
+//   * a bounded MPMC submission queue (src/common/mpmc_queue.h) provides
+//     admission control — Submit never blocks; past `max_queue_depth` the
+//     future resolves immediately with kRejectedQueueFull backpressure;
+//   * two priority lanes (kInteractive beats kBatch) so cheap dashboard
+//     probes are not stuck behind bulk scans;
+//   * per-query deadlines are honored at DEQUEUE: a query whose deadline
+//     passed while queued fails with kDeadlineExpired without executing;
+//   * cross-query SHAPE BATCHING — consecutive queued queries with equal
+//     Query::Fingerprint(kShape) pop as one group, translate once via the
+//     service-owned TranslatedPlanCache, and execute as one
+//     Session::ExecuteBatch. Identical queries (equal kExact fingerprints)
+//     additionally coalesce onto a single execution;
+//   * appends ride the SAME queue as barrier jobs: the queue quiesces
+//     in-flight groups, runs the append exclusively, then thaws — callers
+//     never touch the backend lock, and every query observes either the
+//     pre- or post-append table, never a torn state. The barrier orders
+//     against DISPATCH order: same-lane queries submitted before the append
+//     are guaranteed the pre-append table, but the priority lanes may
+//     reorder dispatch across lanes, so a kBatch query still queued when an
+//     append (lane 0) dispatches observes the post-append table.
+//
+// Per-query ServiceStats stack queue_wait_seconds, admission outcome, lane,
+// and batch size on top of the usual QueryStats.
+#ifndef SEABED_SRC_SEABED_SERVICE_H_
+#define SEABED_SRC_SEABED_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/mpmc_queue.h"
+#include "src/seabed/session.h"
+
+namespace seabed {
+
+// Scheduler lane. Lower values dequeue first.
+enum class ServiceLane { kInteractive = 0, kBatch = 1 };
+
+enum class AdmissionOutcome {
+  kAdmitted,            // executed (or coalesced onto an identical execution)
+  kRejectedQueueFull,   // backpressure: queue was at max_queue_depth
+  kRejectedShutdown,    // submitted after Shutdown, or dropped by a no-drain one
+  kDeadlineExpired,     // deadline passed while queued; never executed
+};
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
+struct SubmitOptions {
+  ServiceLane lane = ServiceLane::kInteractive;
+  // Absolute deadline; checked when the query is dequeued (a query the
+  // scheduler cannot reach in time fails fast instead of wasting a worker).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+// Serving-layer stats layered on top of the per-query QueryStats.
+struct ServiceStats {
+  AdmissionOutcome admission = AdmissionOutcome::kAdmitted;
+  ServiceLane lane = ServiceLane::kInteractive;
+  double queue_wait_seconds = 0;  // enqueue -> dequeue
+  size_t batch_size = 0;          // queries served by this query's shape group
+  bool coalesced = false;         // answered by an identical query's execution
+  uint64_t dispatch_seq = 0;      // global dispatch order of the group
+  QueryStats query;               // zeroed when the query never executed
+};
+
+struct ServiceResult {
+  bool ok = false;
+  std::string error;  // set when !ok (rejected / expired / dropped)
+  ResultSet rows;
+  ServiceStats stats;
+};
+
+// Monotonic service-lifetime counters (snapshot via Service::counters()).
+struct ServiceCounters {
+  uint64_t submitted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_shutdown = 0;
+  uint64_t expired = 0;
+  uint64_t executed = 0;   // queries that ran (coalesced ones count)
+  uint64_t coalesced = 0;  // duplicates answered without their own execution
+  uint64_t groups = 0;     // shape groups dispatched
+  uint64_t appends = 0;    // barrier jobs executed
+  uint64_t max_group = 0;  // largest shape group dispatched
+};
+
+struct ServiceOptions {
+  // The session stack the service owns and serves (backend, shards, cache,
+  // probe — everything Session supports).
+  SessionOptions session;
+
+  // Worker threads pumping the queue. More workers than cores is deliberate:
+  // against the modeled cluster a worker spends most of a query parked in
+  // simulated server latency, so oversubscription is what overlaps requests.
+  size_t num_workers = 8;
+
+  // Admission control: TryPush fails past this many queued jobs.
+  size_t max_queue_depth = 1024;
+
+  // Largest shape group one worker pops (and the ExecuteBatch width cap).
+  size_t max_batch = 16;
+
+  // Answer byte-identical queries (equal kExact fingerprints) inside one
+  // group with a single execution.
+  bool coalesce_identical = true;
+
+  // Sleep out the MODELED server + network latency of each dispatched group
+  // (one modeled round trip per group). Off by default — unit tests want
+  // wall-clock-free behavior; the closed-loop bench turns it on so measured
+  // throughput reflects the simulated cluster instead of the host's cores.
+  bool pace_modeled_latency = false;
+
+  // Spawn workers in the constructor. Tests that probe pure queue behavior
+  // (admission, drop-on-shutdown) set false and never Start().
+  bool autostart = true;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+  ~Service();  // Shutdown(/*drain=*/true)
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // --- setup -----------------------------------------------------------------
+  // Attach tables before opening the floodgates. Safe while workers run (the
+  // serve lock excludes in-flight queries) but NOT barrier-ordered against
+  // queued work — unlike Append, which is.
+  void Attach(std::shared_ptr<Table> table, const PlainSchema& schema,
+              const std::vector<Query>& sample_queries);
+  void AttachPlanned(std::shared_ptr<Table> table, const PlainSchema& schema,
+                     EncryptionPlan plan);
+
+  // --- serving ---------------------------------------------------------------
+  // Never blocks: rejections resolve the future immediately.
+  std::future<ServiceResult> Submit(Query query, SubmitOptions options = {});
+  std::vector<std::future<ServiceResult>> SubmitBatch(std::vector<Query> queries,
+                                                      SubmitOptions options = {});
+  // Queues an exclusive barrier job appending `rows` to `table`. Completes
+  // after everything dequeued before it and before everything queued after.
+  std::future<ServiceResult> SubmitAppend(std::string table,
+                                          std::shared_ptr<const Table> rows);
+
+  // Spawns the worker pool (idempotent; no-op after the autostart ctor).
+  void Start();
+  // Stops admissions, then either serves the backlog (`drain`) or fails it
+  // with kRejectedShutdown. Idempotent; joins the workers either way.
+  void Shutdown(bool drain = true);
+
+  // --- observability ---------------------------------------------------------
+  ServiceCounters counters() const;
+  const TranslatedPlanCache& plan_cache() const { return plan_cache_; }
+  size_t queue_depth() const { return queue_.size(); }
+  // The owned session. Execute/Append through it directly only when no
+  // workers are running — traffic belongs in Submit/SubmitAppend.
+  Session& session() { return session_; }
+
+ private:
+  struct Job {
+    enum class Kind { kQuery, kAppend };
+    Kind kind = Kind::kQuery;
+    Query query;
+    std::string shape_key;  // Fingerprint(kShape), precomputed at submit
+    std::string exact_key;  // Fingerprint(kExact), for coalescing
+    std::string append_table;
+    std::shared_ptr<const Table> append_rows;
+    ServiceLane lane = ServiceLane::kInteractive;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<ServiceResult> promise;
+  };
+
+  void WorkerLoop();
+  void RunAppend(Job job);
+  void RunGroup(std::vector<Job> jobs);
+  static void Reject(Job&& job, AdmissionOutcome outcome, const std::string& error);
+  void BumpMaxGroup(uint64_t group_size);
+
+  ServiceOptions options_;
+  Session session_;
+  TranslatedPlanCache plan_cache_;
+  MpmcQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> dispatch_seq_{0};
+
+  // Excludes setup (Attach, exclusive) from serving (query groups, shared).
+  // Appends need no lock: the queue's barrier protocol already quiesces
+  // every in-flight group before one runs.
+  std::shared_mutex serve_mu_;
+
+  struct Counters {
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> rejected_queue_full{0};
+    std::atomic<uint64_t> rejected_shutdown{0};
+    std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> executed{0};
+    std::atomic<uint64_t> coalesced{0};
+    std::atomic<uint64_t> groups{0};
+    std::atomic<uint64_t> appends{0};
+    std::atomic<uint64_t> max_group{0};
+  };
+  Counters counters_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_SERVICE_H_

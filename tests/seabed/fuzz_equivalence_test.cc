@@ -33,13 +33,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/seabed/service.h"
 #include "src/seabed/session.h"
 #include "src/seabed/sharded_backend.h"
+#include "src/workload/synthetic.h"
 
 namespace seabed {
 namespace {
@@ -592,6 +596,158 @@ TEST_P(SkewedAppendFuzzTest, SkewedStreamsStayEquivalentWithRebalanceOnAndOff) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SkewedAppendFuzzTest, ::testing::Values(7, 19, 42));
+
+// --- service concurrency axis ------------------------------------------------
+//
+// The fuzz stream through seabed::Service instead of a caller-thread session:
+// M submitter threads race a random query mix into the serving queue, and an
+// append is pushed while those queries are still queued/in flight. The
+// queue's barrier protocol must make every answer equal to a sequential
+// kPlain execution at a consistent point: interactive-lane queries share the
+// append's lane, so FIFO + barrier guarantee them the PRE-append table
+// byte for byte; batch-lane queries may be dispatched before or after the
+// barrier (the priority lanes reorder dispatch), so each must equal the
+// pre- OR the post-append reference — anything else (torn reads, stale
+// caches, lost rows) fails both. The backend stack rotates with the seed
+// (single-server, sharded fan-out, caching over sharded), so the axis also
+// covers the serve locks added for PR 6.
+class ServiceConcurrencyFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServiceConcurrencyFuzzTest, ThreadedServiceStreamEqualsSequentialPlain) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  constexpr int kPhases = 3;
+  constexpr size_t kSubmitThreads = 4;
+  constexpr size_t kQueriesPerPhase = 16;
+
+  SyntheticSpec spec;
+  spec.rows = 400 + rng.Below(400);
+  spec.seed = seed * 13 + 1;
+  spec.group_cardinality = 2 + rng.Below(5);
+  const std::shared_ptr<Table> base = MakeSyntheticTable(spec);
+  const PlainSchema schema = SyntheticSchema(spec);
+  const std::vector<Query> samples = SyntheticSampleQueries(spec);
+
+  SessionOptions plain_options;
+  plain_options.backend = BackendKind::kPlain;
+  plain_options.planner.expected_rows = spec.rows;
+  plain_options.cluster.job_overhead_seconds = 0;
+  plain_options.cluster.task_overhead_seconds = 0;
+  Session plain(plain_options);
+  plain.Attach(CloneTable(*base), schema, samples);
+
+  ServiceOptions service_options;
+  service_options.session = plain_options;
+  service_options.session.key_seed = seed * 31 + 7;
+  service_options.session.shards = 3;
+  service_options.session.cluster.num_workers = 1 + rng.Below(4);
+  switch (seed % 3) {
+    case 0:
+      service_options.session.backend = BackendKind::kSeabed;
+      break;
+    case 1:
+      service_options.session.backend = BackendKind::kShardedSeabed;
+      break;
+    default:
+      service_options.session.backend = BackendKind::kCachingSeabed;
+      service_options.session.cache.inner = BackendKind::kShardedSeabed;
+      break;
+  }
+  service_options.num_workers = 4;
+  service_options.max_batch = 1 + rng.Below(8);
+  service_options.max_queue_depth = 256;  // never reject: the stream must be lossless
+  Service service(service_options);
+  service.Attach(CloneTable(*base), schema, samples);
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " backend=" +
+               BackendKindName(service_options.session.backend));
+
+  auto random_query = [&]() {
+    Query q;
+    q.table = "synthetic";
+    switch (rng.Below(3)) {
+      case 0:
+        q.Sum("value", "a0");
+        break;
+      case 1:
+        q.Sum("value", "a0").Count("a1");
+        break;
+      default:
+        q.Avg("value", "a0");
+        break;
+    }
+    if (rng.Chance(0.7)) {
+      q.Where("sel", CmpOp::kLt, static_cast<int64_t>(5 + rng.Below(95)));
+    }
+    if (rng.Chance(0.4)) {
+      q.GroupBy("grp");
+      q.expected_groups = spec.group_cardinality;
+    }
+    return q;
+  };
+
+  for (int phase = 0; phase < kPhases; ++phase) {
+    SCOPED_TRACE("phase=" + std::to_string(phase));
+    std::vector<Query> queries;
+    std::vector<std::vector<std::string>> references;
+    for (size_t i = 0; i < kQueriesPerPhase; ++i) {
+      queries.push_back(random_query());
+      references.push_back(RowsAsStrings(plain.Execute(queries.back())));
+    }
+
+    // Race the phase's queries in from kSubmitThreads producers...
+    std::vector<std::future<ServiceResult>> futures(kQueriesPerPhase);
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < kSubmitThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (size_t i = t; i < kQueriesPerPhase; i += kSubmitThreads) {
+          SubmitOptions submit;
+          submit.lane = (i % 2 == 0) ? ServiceLane::kInteractive : ServiceLane::kBatch;
+          futures[i] = service.Submit(queries[i], submit);
+        }
+      });
+    }
+    for (std::thread& t : submitters) {
+      t.join();
+    }
+
+    // ...then push the append while they are still queued or in flight: the
+    // barrier must order it after every one of them.
+    SyntheticSpec batch_spec = spec;
+    batch_spec.rows = 30 + rng.Below(80);
+    batch_spec.seed = seed * 101 + static_cast<uint64_t>(phase);
+    const std::shared_ptr<Table> batch = MakeSyntheticTable(batch_spec);
+    std::future<ServiceResult> appended = service.SubmitAppend("synthetic", batch);
+
+    plain.Append("synthetic", *batch);
+    for (size_t i = 0; i < kQueriesPerPhase; ++i) {
+      ServiceResult r = futures[i].get();
+      ASSERT_TRUE(r.ok) << "query " << i << ": " << r.error;
+      EXPECT_EQ(r.stats.admission, AdmissionOutcome::kAdmitted);
+      if (r.stats.lane == ServiceLane::kInteractive) {
+        // Same lane as the append, submitted before it: FIFO + barrier pin
+        // the pre-append answer.
+        EXPECT_EQ(RowsAsStrings(r.rows), references[i]) << "query " << i;
+      } else {
+        // Batch lane: dispatched either side of the barrier, but never a
+        // torn state — the answer must be one of the two sequential ones.
+        const std::vector<std::string> got = RowsAsStrings(r.rows);
+        EXPECT_TRUE(got == references[i] || got == RowsAsStrings(plain.Execute(queries[i])))
+            << "query " << i << " matches neither the pre- nor post-append reference";
+      }
+    }
+    ASSERT_TRUE(appended.get().ok);
+  }
+
+  service.Shutdown();
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.executed, static_cast<uint64_t>(kPhases) * kQueriesPerPhase);
+  EXPECT_EQ(counters.appends, static_cast<uint64_t>(kPhases));
+  EXPECT_EQ(counters.rejected_queue_full, 0u);
+  EXPECT_EQ(counters.expired, 0u);
+}
+
+// 12 % 3 / 23 % 3 / 46 % 3 pick one seed per backend stack.
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceConcurrencyFuzzTest, ::testing::Values(12, 23, 46));
 
 }  // namespace
 }  // namespace seabed

@@ -1,0 +1,413 @@
+// seabed::Service behavior: admission control, deadlines, drain semantics,
+// shape batching / coalescing, append barrier ordering, lane priority, and
+// multi-threaded equivalence with a sequential kPlain session. Everything
+// here runs with modeled cluster overheads zeroed so the suite stays fast;
+// the closed-loop throughput story lives in bench_fig14_service.
+#include "src/seabed/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/seabed/executor.h"
+#include "src/workload/synthetic.h"
+#include "tests/seabed/test_util.h"
+
+namespace seabed {
+namespace {
+
+constexpr uint64_t kRows = 1200;
+constexpr uint64_t kGroups = 8;
+
+SyntheticSpec TestSpec(uint64_t rows = kRows, uint64_t seed = 7) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.seed = seed;
+  spec.group_cardinality = kGroups;
+  return spec;
+}
+
+SessionOptions TestSessionOptions(BackendKind backend) {
+  SessionOptions so;
+  so.backend = backend;
+  so.cluster.num_workers = 4;
+  so.cluster.job_overhead_seconds = 0;
+  so.cluster.task_overhead_seconds = 0;
+  so.planner.expected_rows = kRows;
+  so.shards = 2;
+  so.key_seed = 99;
+  return so;
+}
+
+ServiceOptions TestServiceOptions(BackendKind backend) {
+  ServiceOptions options;
+  options.session = TestSessionOptions(backend);
+  options.num_workers = 4;
+  options.max_queue_depth = 256;
+  options.max_batch = 16;
+  return options;
+}
+
+// Shared fixture: one synthetic table; the plain reference session and the
+// service under test each attach their own clone so appends stay isolated.
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest()
+      : spec_(TestSpec()),
+        table_(MakeSyntheticTable(spec_)),
+        schema_(SyntheticSchema(spec_)),
+        samples_(SyntheticSampleQueries(spec_)),
+        plain_(TestSessionOptions(BackendKind::kPlain)) {
+    plain_.Attach(CloneTable(*table_), schema_, samples_);
+  }
+
+  std::unique_ptr<Service> MakeService(ServiceOptions options) {
+    auto service = std::make_unique<Service>(std::move(options));
+    service->Attach(CloneTable(*table_), schema_, samples_);
+    return service;
+  }
+
+  std::vector<Query> MixedQueries() const {
+    return {SyntheticSumQuery(5),  SyntheticSumQuery(25), SyntheticSumQuery(50),
+            SyntheticSumQuery(75), SyntheticSumQuery(100), SyntheticGroupByQuery(kGroups)};
+  }
+
+  SyntheticSpec spec_;
+  std::shared_ptr<Table> table_;
+  PlainSchema schema_;
+  std::vector<Query> samples_;
+  Session plain_;
+};
+
+TEST_F(ServiceTest, ServesQueriesAndMatchesPlain) {
+  std::unique_ptr<Service> service = MakeService(TestServiceOptions(BackendKind::kSeabed));
+  const std::vector<Query> queries = MixedQueries();
+  std::vector<std::future<ServiceResult>> futures;
+  for (const Query& q : queries) {
+    futures.push_back(service->Submit(q));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ServiceResult r = futures[i].get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.stats.admission, AdmissionOutcome::kAdmitted);
+    EXPECT_GE(r.stats.queue_wait_seconds, 0.0);
+    EXPECT_GE(r.stats.batch_size, 1u);
+    EXPECT_EQ(RowsAsStrings(r.rows), RowsAsStrings(plain_.Execute(queries[i])));
+  }
+  service->Shutdown();
+  const ServiceCounters c = service->counters();
+  EXPECT_EQ(c.submitted, queries.size());
+  EXPECT_EQ(c.executed, queries.size());
+  EXPECT_EQ(c.rejected_queue_full, 0u);
+}
+
+TEST_F(ServiceTest, AdmissionRejectsBeyondMaxQueueDepth) {
+  ServiceOptions options = TestServiceOptions(BackendKind::kSeabed);
+  options.autostart = false;  // no consumers: the queue fills deterministically
+  options.max_queue_depth = 3;
+  std::unique_ptr<Service> service = MakeService(std::move(options));
+
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(service->Submit(SyntheticSumQuery(40)));
+  }
+  // The overflow futures resolve immediately, without blocking the caller.
+  for (int i = 3; i < 5; ++i) {
+    ServiceResult r = futures[static_cast<size_t>(i)].get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.stats.admission, AdmissionOutcome::kRejectedQueueFull);
+  }
+  EXPECT_EQ(service->counters().rejected_queue_full, 2u);
+  EXPECT_EQ(service->queue_depth(), 3u);
+
+  service->Shutdown(/*drain=*/false);
+  for (int i = 0; i < 3; ++i) {
+    ServiceResult r = futures[static_cast<size_t>(i)].get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.stats.admission, AdmissionOutcome::kRejectedShutdown);
+  }
+  EXPECT_EQ(service->counters().executed, 0u);
+}
+
+TEST_F(ServiceTest, DeadlineExpiredQueriesFailWithoutExecuting) {
+  ServiceOptions options = TestServiceOptions(BackendKind::kSeabed);
+  options.autostart = false;
+  std::unique_ptr<Service> service = MakeService(std::move(options));
+
+  SubmitOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  // Same shape on purpose: both pop as ONE group and the expired member must
+  // be filtered out of it, not dragged through execution.
+  std::future<ServiceResult> dead = service->Submit(SyntheticSumQuery(40), expired);
+  std::future<ServiceResult> live = service->Submit(SyntheticSumQuery(40));
+  service->Start();
+
+  ServiceResult dead_r = dead.get();
+  EXPECT_FALSE(dead_r.ok);
+  EXPECT_EQ(dead_r.stats.admission, AdmissionOutcome::kDeadlineExpired);
+  EXPECT_EQ(dead_r.stats.query.backend, "");  // never executed
+
+  ServiceResult live_r = live.get();
+  ASSERT_TRUE(live_r.ok) << live_r.error;
+  EXPECT_EQ(live_r.stats.batch_size, 1u);  // the expired sibling left the group
+  EXPECT_EQ(RowsAsStrings(live_r.rows), RowsAsStrings(plain_.Execute(SyntheticSumQuery(40))));
+
+  service->Shutdown();
+  const ServiceCounters c = service->counters();
+  EXPECT_EQ(c.expired, 1u);
+  EXPECT_EQ(c.executed, 1u);
+}
+
+TEST_F(ServiceTest, DrainShutdownCompletesInFlightWork) {
+  ServiceOptions options = TestServiceOptions(BackendKind::kSeabed);
+  options.num_workers = 2;
+  std::unique_ptr<Service> service = MakeService(std::move(options));
+
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(service->Submit(SyntheticSumQuery(10 + (i % 4) * 20)));
+  }
+  service->Shutdown(/*drain=*/true);  // must serve the whole backlog first
+  for (auto& f : futures) {
+    ServiceResult r = f.get();
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+  EXPECT_EQ(service->counters().executed, 12u);
+
+  // After shutdown, submissions bounce immediately.
+  ServiceResult late = service->Submit(SyntheticSumQuery(40)).get();
+  EXPECT_FALSE(late.ok);
+  EXPECT_EQ(late.stats.admission, AdmissionOutcome::kRejectedShutdown);
+}
+
+TEST_F(ServiceTest, NoDrainShutdownFailsQueuedJobs) {
+  ServiceOptions options = TestServiceOptions(BackendKind::kSeabed);
+  options.autostart = false;
+  std::unique_ptr<Service> service = MakeService(std::move(options));
+
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service->Submit(SyntheticSumQuery(40)));
+  }
+  service->Shutdown(/*drain=*/false);
+  for (auto& f : futures) {
+    ServiceResult r = f.get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.stats.admission, AdmissionOutcome::kRejectedShutdown);
+  }
+  EXPECT_EQ(service->counters().rejected_shutdown, 4u);
+  EXPECT_EQ(service->counters().executed, 0u);
+}
+
+TEST_F(ServiceTest, ShapeBatchingCoalescesIdenticalQueriesAndTranslation) {
+  ServiceOptions options = TestServiceOptions(BackendKind::kSeabed);
+  options.autostart = false;  // queue everything, then let ONE worker pop
+  options.num_workers = 1;
+  std::unique_ptr<Service> service = MakeService(std::move(options));
+
+  const Query q = SyntheticSumQuery(30);
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service->Submit(q));
+  }
+  service->Start();
+
+  const std::vector<std::string> expected = RowsAsStrings(plain_.Execute(q));
+  size_t coalesced_flags = 0;
+  for (auto& f : futures) {
+    ServiceResult r = f.get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(RowsAsStrings(r.rows), expected);
+    EXPECT_EQ(r.stats.batch_size, 8u);
+    coalesced_flags += r.stats.coalesced ? 1 : 0;
+  }
+  service->Shutdown();
+
+  // One group, one execution, one translation for eight submissions.
+  EXPECT_EQ(coalesced_flags, 7u);
+  const ServiceCounters c = service->counters();
+  EXPECT_EQ(c.groups, 1u);
+  EXPECT_EQ(c.executed, 8u);
+  EXPECT_EQ(c.coalesced, 7u);
+  EXPECT_EQ(c.max_group, 8u);
+  EXPECT_EQ(service->plan_cache().misses(), 1u);
+}
+
+TEST_F(ServiceTest, SameShapeDifferentLiteralsKeepPerQueryStats) {
+  ServiceOptions options = TestServiceOptions(BackendKind::kSeabed);
+  options.autostart = false;
+  options.num_workers = 1;
+  std::unique_ptr<Service> service = MakeService(std::move(options));
+
+  // Equal kShape fingerprints (the literal is elided) — one group, one
+  // ExecuteBatch — but distinct kExact fingerprints, so no coalescing.
+  const Query narrow = SyntheticSumQuery(5);
+  const Query wide = SyntheticSumQuery(95);
+  std::future<ServiceResult> f_narrow = service->Submit(narrow);
+  std::future<ServiceResult> f_wide = service->Submit(wide);
+  service->Start();
+
+  ServiceResult narrow_r = f_narrow.get();
+  ServiceResult wide_r = f_wide.get();
+  service->Shutdown();
+  ASSERT_TRUE(narrow_r.ok && wide_r.ok);
+  EXPECT_EQ(narrow_r.stats.batch_size, 2u);
+  EXPECT_EQ(wide_r.stats.batch_size, 2u);
+  EXPECT_FALSE(narrow_r.stats.coalesced);
+  EXPECT_FALSE(wide_r.stats.coalesced);
+  EXPECT_EQ(service->counters().groups, 1u);
+
+  // Per-query stats must belong to each query, not the last batch member:
+  // the two selectivities touch very different row counts, and each must
+  // agree with a serial plain-session run of the same query.
+  QueryStats plain_narrow, plain_wide;
+  EXPECT_EQ(RowsAsStrings(narrow_r.rows),
+            RowsAsStrings(plain_.Execute(narrow, &plain_narrow)));
+  EXPECT_EQ(RowsAsStrings(wide_r.rows), RowsAsStrings(plain_.Execute(wide, &plain_wide)));
+  EXPECT_EQ(narrow_r.stats.query.rows_touched, plain_narrow.rows_touched);
+  EXPECT_EQ(wide_r.stats.query.rows_touched, plain_wide.rows_touched);
+  EXPECT_LT(narrow_r.stats.query.rows_touched, wide_r.stats.query.rows_touched);
+}
+
+TEST_F(ServiceTest, AppendsAreBarrierOrderedAgainstQueries) {
+  std::unique_ptr<Service> service = MakeService(TestServiceOptions(BackendKind::kSeabed));
+  const Query q = SyntheticSumQuery(100);
+  std::shared_ptr<Table> batch = MakeSyntheticTable(TestSpec(/*rows=*/150, /*seed=*/123));
+
+  // FIFO through one lane: the pre-query pops first, the append barrier
+  // waits for it, the post-query cannot pop until the barrier thaws.
+  std::future<ServiceResult> before = service->Submit(q);
+  std::future<ServiceResult> append = service->SubmitAppend("synthetic", batch);
+  std::future<ServiceResult> after = service->Submit(q);
+
+  const std::vector<std::string> plain_before = RowsAsStrings(plain_.Execute(q));
+  ServiceResult before_r = before.get();
+  ASSERT_TRUE(before_r.ok) << before_r.error;
+  EXPECT_EQ(RowsAsStrings(before_r.rows), plain_before);
+
+  ServiceResult append_r = append.get();
+  ASSERT_TRUE(append_r.ok) << append_r.error;
+
+  plain_.Append("synthetic", *batch);
+  const std::vector<std::string> plain_after = RowsAsStrings(plain_.Execute(q));
+  ASSERT_NE(plain_before, plain_after);  // the batch must actually change the sum
+
+  ServiceResult after_r = after.get();
+  ASSERT_TRUE(after_r.ok) << after_r.error;
+  EXPECT_EQ(RowsAsStrings(after_r.rows), plain_after);
+
+  service->Shutdown();
+  EXPECT_EQ(service->counters().appends, 1u);
+}
+
+TEST_F(ServiceTest, InteractiveLaneDispatchesBeforeBatchLane) {
+  ServiceOptions options = TestServiceOptions(BackendKind::kSeabed);
+  options.autostart = false;
+  options.num_workers = 1;
+  std::unique_ptr<Service> service = MakeService(std::move(options));
+
+  SubmitOptions batch_lane;
+  batch_lane.lane = ServiceLane::kBatch;
+  std::future<ServiceResult> slow1 = service->Submit(SyntheticGroupByQuery(kGroups), batch_lane);
+  std::future<ServiceResult> slow2 = service->Submit(SyntheticSumQuery(60), batch_lane);
+  std::future<ServiceResult> probe = service->Submit(SyntheticSumQuery(10));  // interactive
+  service->Start();
+
+  ServiceResult probe_r = probe.get();
+  ServiceResult slow1_r = slow1.get();
+  ServiceResult slow2_r = slow2.get();
+  service->Shutdown();
+  ASSERT_TRUE(probe_r.ok && slow1_r.ok && slow2_r.ok);
+  EXPECT_EQ(probe_r.stats.lane, ServiceLane::kInteractive);
+  EXPECT_EQ(slow1_r.stats.lane, ServiceLane::kBatch);
+  // Queued last, dispatched first: the interactive lane outranks the backlog.
+  EXPECT_LT(probe_r.stats.dispatch_seq, slow1_r.stats.dispatch_seq);
+  EXPECT_LT(probe_r.stats.dispatch_seq, slow2_r.stats.dispatch_seq);
+}
+
+TEST_F(ServiceTest, CachingBackendInvalidatesThroughServiceAppends) {
+  ServiceOptions options = TestServiceOptions(BackendKind::kCachingSeabed);
+  std::unique_ptr<Service> service = MakeService(std::move(options));
+  const Query q = SyntheticSumQuery(100);
+
+  ServiceResult cold = service->Submit(q).get();
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(RowsAsStrings(cold.rows), RowsAsStrings(plain_.Execute(q)));
+
+  ServiceResult warm = service->Submit(q).get();
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.stats.query.cache_hit);
+
+  std::shared_ptr<Table> batch = MakeSyntheticTable(TestSpec(/*rows=*/150, /*seed=*/321));
+  ASSERT_TRUE(service->SubmitAppend("synthetic", batch).get().ok);
+  plain_.Append("synthetic", *batch);
+
+  ServiceResult fresh = service->Submit(q).get();
+  ASSERT_TRUE(fresh.ok);
+  EXPECT_FALSE(fresh.stats.query.cache_hit);  // the append invalidated it
+  EXPECT_EQ(RowsAsStrings(fresh.rows), RowsAsStrings(plain_.Execute(q)));
+  service->Shutdown();
+}
+
+// The TSan centerpiece: many submitter threads, every backend stack, results
+// must match a sequential plain session query-for-query.
+class ServiceConcurrencyTest : public ServiceTest,
+                               public ::testing::WithParamInterface<BackendKind> {};
+
+TEST_P(ServiceConcurrencyTest, ConcurrentSubmittersMatchPlainReference) {
+  ServiceOptions options = TestServiceOptions(GetParam());
+  options.num_workers = 6;
+  std::unique_ptr<Service> service = MakeService(std::move(options));
+
+  const std::vector<Query> pool = MixedQueries();
+  std::vector<std::vector<std::string>> expected;
+  expected.reserve(pool.size());
+  for (const Query& q : pool) {
+    expected.push_back(RowsAsStrings(plain_.Execute(q)));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::vector<std::pair<size_t, std::future<ServiceResult>>> local;
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t pick = static_cast<size_t>((t * 7 + i) % pool.size());
+        SubmitOptions submit;
+        submit.lane = (i % 3 == 0) ? ServiceLane::kBatch : ServiceLane::kInteractive;
+        local.emplace_back(pick, service->Submit(pool[pick], submit));
+      }
+      for (auto& [pick, future] : local) {
+        ServiceResult r = future.get();
+        if (!r.ok || RowsAsStrings(r.rows) != expected[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  service->Shutdown();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service->counters().executed, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServiceConcurrencyTest,
+                         ::testing::Values(BackendKind::kSeabed, BackendKind::kShardedSeabed,
+                                           BackendKind::kCachingSeabed),
+                         [](const ::testing::TestParamInfo<BackendKind>& info) {
+                           std::string name = BackendKindName(info.param);
+                           name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace seabed
