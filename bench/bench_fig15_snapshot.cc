@@ -1,0 +1,388 @@
+// "Figure 15" (beyond the paper): snapshot-isolated serving under sustained
+// ingest.
+//
+// The tentpole claim behind this bench: appends never block queries. The old
+// serving path quiesced the whole service around every append — freeze the
+// dispatch lanes, drain every in-flight query, then encrypt and merge the
+// batch under an exclusive lock. That discipline is global: an append to ANY
+// table stalls queries against EVERY table. The snapshot path builds the
+// successor table version off to the side and publishes it with one atomic
+// pointer swap; readers keep the version they pinned and tables are
+// completely independent.
+//
+// The workload is the classic HTAP split that makes the difference visible:
+//   - a small, hot "synthetic" dashboard table serving kClients closed-loop
+//     query clients (cheap selective aggregates, paced by the modeled
+//     cluster round trip — clients are mostly idle between answers, exactly
+//     when ingest work should be running);
+//   - a large "events" table taking a sustained append stream: kAppends
+//     batches on a fixed wall-clock schedule (one every kAppendSpacing, the
+//     cadence of a log-structured ingest pipeline), each batch several times
+//     the events table's seed data;
+//   - one mid-window "audit" query against the events table itself, which
+//     must equal the plaintext answer at SOME append state — a reader of the
+//     actively-ingesting table pins exactly one published version, so a torn
+//     scan or half-applied batch is a correctness failure, not a perf blip.
+//
+// The A/B runs the SAME workload twice through seabed::Service over the
+// sharded backend — once with force_quiesce_appends=true (the pre-snapshot
+// lock discipline) and once in the default snapshot mode. Under the rwlock
+// discipline every append spends its encrypt+merge (plus the drain of
+// in-flight paced queries) with the service exclusively locked, so most of
+// each ingest period is dead time for the dashboard; under snapshots the
+// same append work overlaps the clients' paced idle gaps.
+//
+// Gates (REGRESSION + nonzero exit otherwise):
+//   - every dashboard answer equals the plaintext reference, and every
+//     events answer equals the plaintext reference at some append state,
+//   - dashboard queries/sec under ingest >= 2x the quiescing baseline
+//     (SEABED_BENCH_FIG15_MIN_SPEEDUP overrides),
+//   - snapshot-mode p99 latency no worse than the baseline's p99
+//     (SEABED_BENCH_FIG15_MAX_P99_PCT, percent, default 100): the whole
+//     point is that the ingest stalls vanish from the tail.
+//
+// Env knobs: SEABED_BENCH_ROWS, SEABED_BENCH_FIG15_MIN_SPEEDUP,
+// SEABED_BENCH_FIG15_MAX_P99_PCT.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/rng.h"
+#include "src/seabed/service.h"
+#include "src/workload/synthetic.h"
+
+namespace seabed {
+namespace {
+
+constexpr size_t kShards = 4;
+constexpr uint64_t kGroups = 100;
+constexpr size_t kClients = 2;
+constexpr size_t kAppends = 12;
+constexpr std::chrono::milliseconds kAppendSpacing{75};
+
+// Canonical row strings (sorted, doubles at 4 places) for the per-answer
+// plaintext equality check.
+std::vector<std::string> CanonicalRows(const ResultSet& r) {
+  std::vector<std::string> rows;
+  for (const auto& row : r.rows) {
+    std::string s;
+    for (const Value& v : row) {
+      if (const auto* d = std::get_if<double>(&v)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", *d);
+        s += buf;
+      } else {
+        s += ValueToString(v);
+      }
+      s += "|";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// The dashboard mix: selective aggregations over the small hot table (the
+// interactive end of the paper's workload). The hot table never changes, so
+// each shape has exactly one plaintext answer; what varies between the two
+// modes is purely how often ingest work on the OTHER table gets in the way.
+std::vector<Query> QueryMix() {
+  std::vector<Query> mix;
+  mix.push_back(SyntheticSumQuery(5));
+  mix.push_back(SyntheticSumQuery(10));
+  {
+    Query q = SyntheticSumQuery(15);
+    q.Count("n");
+    mix.push_back(q);
+  }
+  {
+    Query q = SyntheticSumQuery(20);
+    q.Avg("value", "mean");
+    mix.push_back(q);
+  }
+  return mix;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(values.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(values.size())));
+  return values[idx];
+}
+
+struct ModeResult {
+  double qps = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double append_seconds = 0;  // wall time for the whole ingest stream
+  double audit_seconds = 0;   // the mid-ingest events query's latency
+  uint64_t queries = 0;
+};
+
+int Main() {
+  const double min_speedup =
+      static_cast<double>(EnvU64("SEABED_BENCH_FIG15_MIN_SPEEDUP", 2));
+  const double max_p99_pct =
+      static_cast<double>(EnvU64("SEABED_BENCH_FIG15_MAX_P99_PCT", 100));
+  // A lighter modeled cluster than the other figures, so the window holds
+  // enough queries to measure: queries pay one modeled round trip, appends
+  // pay the modeled ingest job (encrypt stage + migration stage + shuffle —
+  // see ShardedSeabedBackend::Append). Under the quiescing baseline that
+  // ingest time passes with the service locked; under snapshots it passes
+  // off to the side of serving.
+  ClusterConfig cluster_config = BenchClusterConfig(16);
+  cluster_config.job_overhead_seconds = 0.015;
+  cluster_config.task_overhead_seconds = 0.001;
+  const Cluster cluster(cluster_config);
+  BenchRecorder recorder("fig15_snapshot");
+
+  SyntheticHarness::Options options = SyntheticHarness::FromEnv();
+  options.group_cardinality = kGroups;
+  options.build_paillier = false;  // the story here is ingest vs serving
+  SyntheticHarness harness(options);
+
+  // The hot dashboard table: small, never appended to.
+  SyntheticSpec hot_spec;
+  hot_spec.rows = std::max<uint64_t>(harness.rows() / 4, 2048);
+  hot_spec.seed = options.seed;
+  hot_spec.group_cardinality = kGroups;
+  const PlainSchema hot_schema = SyntheticSchema(hot_spec);
+
+  // The ingest target: starts at the full row budget and takes kAppends
+  // batches of the same size (the table several-folds during the window).
+  SyntheticSpec ev_spec;
+  ev_spec.rows = harness.rows();
+  ev_spec.seed = options.seed + 777;
+  PlainSchema ev_schema = SyntheticSchema(ev_spec);
+  ev_schema.table_name = "events";
+  std::vector<Query> ev_samples = SyntheticSampleQueries(ev_spec);
+  for (Query& q : ev_samples) {
+    q.table = "events";
+  }
+  Query audit = SyntheticSumQuery(10);
+  audit.table = "events";
+
+  const std::vector<Query> mix = QueryMix();
+
+  // K fixed append batches, shared by the reference and both modes.
+  std::vector<std::shared_ptr<Table>> batches;
+  for (size_t j = 0; j < kAppends; ++j) {
+    SyntheticSpec bspec = ev_spec;
+    bspec.rows = ev_spec.rows * 3;
+    bspec.seed = 9000 + j;
+    batches.push_back(MakeSyntheticTable(bspec));
+  }
+
+  // Plaintext references: one answer per dashboard shape (the hot table is
+  // immutable), and one audit answer per append state j in 0..kAppends.
+  Session plain(harness.MakeSessionOptions(BackendKind::kPlain));
+  plain.Attach(MakeSyntheticTable(hot_spec), hot_schema, SyntheticSampleQueries(hot_spec));
+  plain.Attach(MakeSyntheticTable(ev_spec), ev_schema, ev_samples);
+  std::vector<std::vector<std::string>> hot_refs;
+  for (const Query& q : mix) {
+    hot_refs.push_back(CanonicalRows(plain.Execute(q)));
+  }
+  std::vector<std::vector<std::string>> audit_refs;
+  audit_refs.reserve(kAppends + 1);
+  for (size_t j = 0; j <= kAppends; ++j) {
+    audit_refs.push_back(CanonicalRows(plain.Execute(audit)));
+    if (j < kAppends) {
+      plain.Append("events", *batches[j]);
+    }
+  }
+
+  std::printf("=== Figure 15: serving under sustained ingest, %zu-shard backend "
+              "(hot rows=%llu, %zu clients; %zu appends of %llu rows to 'events') ===\n",
+              kShards, static_cast<unsigned long long>(hot_spec.rows), kClients, kAppends,
+              static_cast<unsigned long long>(batches[0]->NumRows()));
+  std::printf("%10s %10s %10s %10s %10s %12s %10s\n", "mode", "qps", "p50(s)", "p99(s)",
+              "queries", "ingest(s)", "audit(s)");
+
+  std::atomic<uint64_t> mismatches{0};
+  auto run_mode = [&](bool force_quiesce) {
+    ServiceOptions sopts;
+    sopts.session = harness.MakeSessionOptions(BackendKind::kShardedSeabed);
+    sopts.session.shards = kShards;
+    // Appends land whole batches on one shard (append locality), so the
+    // skew-triggered rebalancer migrates row groups — re-encryption work the
+    // quiescing baseline performs while every query waits, and the snapshot
+    // path performs off to the side.
+    sopts.session.shards_rebalance.enabled = true;
+    sopts.session.shards_rebalance.max_skew_ratio = 1.1;
+    sopts.session.shards_rebalance.row_group_size = 64;
+    sopts.session.external_cluster = &cluster;
+    sopts.num_workers = 8;
+    sopts.max_queue_depth = 4096;
+    sopts.max_batch = 8;
+    sopts.pace_modeled_latency = true;
+    sopts.force_quiesce_appends = force_quiesce;
+    Service service(sopts);
+    // Fresh tables per mode: appends grow the attached events table in
+    // place, so the two modes must not share one.
+    service.Attach(MakeSyntheticTable(hot_spec), hot_schema,
+                   SyntheticSampleQueries(hot_spec));
+    service.Attach(MakeSyntheticTable(ev_spec), ev_schema, ev_samples);
+
+    // Warm the plan/translator caches and pin the state-0 answers before the
+    // clock starts.
+    for (size_t i = 0; i < mix.size(); ++i) {
+      ServiceResult r = service.Submit(mix[i]).get();
+      if (!r.ok || CanonicalRows(r.rows) != hot_refs[i]) {
+        mismatches.fetch_add(1);
+      }
+    }
+    {
+      ServiceResult r = service.Submit(audit).get();
+      if (!r.ok || CanonicalRows(r.rows) != audit_refs[0]) {
+        mismatches.fetch_add(1);
+      }
+    }
+
+    std::atomic<bool> done{false};
+    std::vector<std::vector<double>> latencies(kClients);
+    std::atomic<uint64_t> completed{0};
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(500 + 17 * c);
+        while (!done.load(std::memory_order_acquire)) {
+          const size_t pick = rng.Below(mix.size());
+          const auto issued = std::chrono::steady_clock::now();
+          ServiceResult r = service.Submit(mix[pick]).get();
+          const std::chrono::duration<double> took =
+              std::chrono::steady_clock::now() - issued;
+          if (!r.ok || CanonicalRows(r.rows) != hot_refs[pick]) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          latencies[c].push_back(took.count());
+          completed.fetch_add(1);
+        }
+      });
+    }
+
+    // The analyst: one query against the actively-ingesting table, fired
+    // mid-window. Its answer must be SOME published state's answer — the
+    // snapshot contract for readers racing the appender. (Under the quiescing
+    // baseline it also stalls the append schedule: the barrier must drain it.)
+    const auto ingest_begin = std::chrono::steady_clock::now();
+    double audit_seconds = 0;
+    std::thread auditor([&] {
+      std::this_thread::sleep_until(ingest_begin + (kAppends / 2) * kAppendSpacing);
+      const auto issued = std::chrono::steady_clock::now();
+      ServiceResult r = service.Submit(audit).get();
+      audit_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - issued).count();
+      const std::vector<std::string> got = CanonicalRows(r.rows);
+      bool matched = false;
+      for (size_t j = 0; j <= kAppends && !matched; ++j) {
+        matched = got == audit_refs[j];
+      }
+      if (!r.ok || !matched) {
+        mismatches.fetch_add(1);
+      }
+    });
+
+    // The sustained appender: a fixed wall-clock cadence, the steady drip of
+    // a log-structured ingest pipeline. Both modes get the same schedule; the
+    // quiescing baseline burns most of each period with the service locked
+    // (drain + encrypt + merge), the snapshot path hides that work in the
+    // clients' paced idle gaps.
+    for (size_t j = 0; j < kAppends; ++j) {
+      std::this_thread::sleep_until(ingest_begin + j * kAppendSpacing);
+      ServiceResult r = service.SubmitAppend("events", batches[j]).get();
+      if (!r.ok) {
+        mismatches.fetch_add(1);
+      }
+    }
+    const std::chrono::duration<double> ingest =
+        std::chrono::steady_clock::now() - ingest_begin;
+    auditor.join();
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : clients) {
+      t.join();
+    }
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+    // Post-window: the final events state must be plaintext-exact in full.
+    {
+      ServiceResult r = service.Submit(audit).get();
+      if (!r.ok || CanonicalRows(r.rows) != audit_refs[kAppends]) {
+        mismatches.fetch_add(1);
+      }
+    }
+    service.Shutdown();
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    ModeResult m;
+    m.queries = completed.load();
+    m.qps = static_cast<double>(m.queries) / elapsed.count();
+    m.p50 = Percentile(all, 0.50);
+    m.p99 = Percentile(all, 0.99);
+    m.append_seconds = ingest.count();
+    m.audit_seconds = audit_seconds;
+    const char* label = force_quiesce ? "rwlock" : "snapshot";
+    std::printf("%10s %10.2f %10.4f %10.4f %10llu %12.3f %10.4f\n", label, m.qps, m.p50,
+                m.p99, static_cast<unsigned long long>(m.queries), m.append_seconds,
+                m.audit_seconds);
+    recorder.Add(label, {{"queries_per_second", m.qps},
+                         {"p50_seconds", m.p50},
+                         {"p99_seconds", m.p99},
+                         {"ingest_seconds", m.append_seconds},
+                         {"audit_seconds", m.audit_seconds},
+                         {"clients", static_cast<double>(kClients)}});
+    return m;
+  };
+
+  // Baseline first: the quiescing discipline the snapshot path replaced.
+  const ModeResult quiesce = run_mode(/*force_quiesce=*/true);
+  const ModeResult snapshot = run_mode(/*force_quiesce=*/false);
+
+  const double speedup = quiesce.qps > 0 ? snapshot.qps / quiesce.qps : 0;
+  const double p99_pct = quiesce.p99 > 0 ? 100.0 * snapshot.p99 / quiesce.p99 : 0;
+  std::printf("\nqps under ingest: snapshot / rwlock = %.2fx (gate: >= %.0fx)\n", speedup,
+              min_speedup);
+  std::printf("p99 under ingest: snapshot = %.0f%% of rwlock (gate: <= %.0f%%)\n", p99_pct,
+              max_p99_pct);
+  recorder.Add("summary", {{"qps_speedup", speedup}, {"p99_pct_of_rwlock", p99_pct}});
+
+  bool failed = false;
+  if (mismatches.load() > 0) {
+    std::printf("REGRESSION: %llu answers diverged from every plaintext reference "
+                "state\n",
+                static_cast<unsigned long long>(mismatches.load()));
+    failed = true;
+  }
+  if (speedup < min_speedup) {
+    std::printf("REGRESSION: snapshot serving under ingest scaled %.2fx over the "
+                "quiescing baseline, below the %.0fx gate\n",
+                speedup, min_speedup);
+    failed = true;
+  }
+  if (p99_pct > max_p99_pct) {
+    std::printf("REGRESSION: snapshot p99 is %.0f%% of the quiescing baseline's, above "
+                "the %.0f%% gate\n",
+                p99_pct, max_p99_pct);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace seabed
+
+int main() { return seabed::Main(); }

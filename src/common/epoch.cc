@@ -1,0 +1,79 @@
+#include "src/common/epoch.h"
+
+#include <thread>
+
+namespace seabed {
+
+EpochDomain::~EpochDomain() {
+  // Backends destroy their domain only after all readers are gone; anything
+  // still retired is unreachable and can be dropped outright.
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  retired_.clear();
+}
+
+EpochDomain::Guard::Guard(EpochDomain& domain) : domain_(&domain), slot_(0) {
+  // Spread threads across the slot array so concurrent guards rarely collide
+  // on a cache line; fall back to a linear probe (and, in the pathological
+  // all-slots-busy case, a yield loop — guards last one query execution).
+  const size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+  for (;;) {
+    for (size_t i = 0; i < kSlots; ++i) {
+      const size_t s = (start + i) % kSlots;
+      uint64_t expected = 0;
+      const uint64_t epoch = domain_->epoch_.load(std::memory_order_seq_cst);
+      if (domain_->slots_[s].pinned.compare_exchange_strong(
+              expected, epoch, std::memory_order_seq_cst)) {
+        slot_ = s;
+        return;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+EpochDomain::Guard::~Guard() {
+  domain_->slots_[slot_].pinned.store(0, std::memory_order_seq_cst);
+}
+
+void EpochDomain::Retire(std::shared_ptr<const void> object) {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  // Stamp with the epoch in force while the object was still published;
+  // any guard pinned at or before the stamp may have loaded it.
+  const uint64_t stamp = epoch_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.emplace_back(stamp, std::move(object));
+  CollectLocked();
+}
+
+void EpochDomain::Collect() {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  CollectLocked();
+}
+
+size_t EpochDomain::retired_count() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  return retired_.size();
+}
+
+uint64_t EpochDomain::MinActiveEpoch() const {
+  uint64_t min = UINT64_MAX;
+  for (const Slot& slot : slots_) {
+    const uint64_t pinned = slot.pinned.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < min) min = pinned;
+  }
+  return min;
+}
+
+void EpochDomain::CollectLocked() {
+  const uint64_t min_active = MinActiveEpoch();
+  size_t kept = 0;
+  for (size_t i = 0; i < retired_.size(); ++i) {
+    if (retired_[i].first >= min_active) {
+      if (kept != i) retired_[kept] = std::move(retired_[i]);
+      ++kept;
+    }
+  }
+  retired_.resize(kept);
+}
+
+}  // namespace seabed

@@ -1,0 +1,101 @@
+// Epoch-based reclamation for immutable versioned snapshots.
+//
+// The serving layer publishes table versions through a single atomic pointer
+// swap; readers pin the version they started on by entering an epoch-guarded
+// critical section. A retired version is freed only once every reader that
+// could possibly still dereference it has left its critical section — no
+// reader/writer lock, no reference-count contention on the read path.
+//
+// Protocol (all operations are seq_cst, which is what makes the reasoning
+// below airtight and is cheap next to the crypto work per query):
+//
+//   reader:  claim a slot, store the current global epoch into it,
+//            THEN load the version pointer and use it;
+//            clear the slot when done.
+//   writer:  swap the version pointer, THEN retire the old version
+//            (stamping it with the current epoch and bumping the epoch),
+//            THEN scan the slots: a retired object is freed once
+//            min(active slot epochs) exceeds its stamp.
+//
+// Safety sketch: if the writer's slot scan observed a reader's slot as empty,
+// the reader's slot-store comes after the scan in the seq_cst total order,
+// hence after the pointer swap — so that reader's subsequent pointer load
+// sees the NEW version and never touches the freed one. If the scan observed
+// the slot as occupied, its pinned epoch is <= the retirement stamp and the
+// object is simply kept.
+//
+// Guards are slot-scoped, not thread-scoped: nesting guards on one thread is
+// fine (each claims its own slot). With more simultaneous guards than slots,
+// surplus readers spin-wait for a slot — acceptable because guard lifetimes
+// are one query execution.
+#ifndef SEABED_SRC_COMMON_EPOCH_H_
+#define SEABED_SRC_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace seabed {
+
+class EpochDomain {
+ public:
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+  ~EpochDomain();
+
+  // RAII critical section: while alive, any version whose retirement the
+  // guard's pinned epoch precedes stays allocated.
+  class Guard {
+   public:
+    explicit Guard(EpochDomain& domain);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochDomain* domain_;
+    size_t slot_;
+  };
+
+  // Hands `object` to the domain for deferred destruction. The object is
+  // destroyed (possibly immediately, possibly at a later Retire/Collect)
+  // once no guard pinned an epoch at or before the retirement stamp.
+  // Callers must have already unpublished the object (swapped the pointer).
+  void Retire(std::shared_ptr<const void> object);
+
+  // Frees every retired object no active guard can still reach. Called
+  // automatically by Retire; exposed for tests and for backend teardown.
+  void Collect();
+
+  // Number of retired-but-not-yet-freed objects (diagnostics / tests).
+  size_t retired_count() const;
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_seq_cst); }
+
+ private:
+  static constexpr size_t kSlots = 256;
+  struct alignas(64) Slot {
+    // 0 = quiescent; otherwise the epoch the occupying guard pinned.
+    std::atomic<uint64_t> pinned{0};
+  };
+
+  // Smallest epoch pinned by any active guard, or UINT64_MAX when idle.
+  uint64_t MinActiveEpoch() const;
+  void CollectLocked();
+
+  std::atomic<uint64_t> epoch_{1};
+  Slot slots_[kSlots];
+
+  mutable std::mutex retired_mu_;
+  // (retirement stamp, object) — freed once MinActiveEpoch() > stamp.
+  std::vector<std::pair<uint64_t, std::shared_ptr<const void>>> retired_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_COMMON_EPOCH_H_

@@ -9,15 +9,19 @@
 // (shape batching), up to `max_batch`. Lower lane indices strictly win, so
 // lane 0 is the interactive/priority lane.
 //
-// BARRIER items (caller's `is_barrier` predicate) are exclusive jobs: a
-// consumer that finds a barrier at the overall front freezes the queue, waits
-// until every previously-popped group has reported GroupDone(), then receives
-// the barrier alone. Nothing pops while frozen, so the barrier observes all
-// work dequeued before it and precedes all work queued after it. The consumer
-// runs the job, then Thaw()s and GroupDone()s. The popped-group accounting
-// lives inside the queue's own mutex — a group counts as active from the
-// moment it is popped, so a barrier can never slip between a pop and the
-// start of its execution.
+// BARRIER items (caller's `is_barrier` predicate) are ordering jobs, always
+// delivered alone: a consumer that finds a barrier at the overall front
+// freezes the queue, so nothing queued after the barrier dispatches before
+// it completes; the consumer runs the job, then Thaw()s and GroupDone()s.
+// With `quiesce_barriers` (the default) the consumer additionally waits
+// until every previously-popped group has reported GroupDone() before
+// receiving the barrier — the barrier then EXCLUDES all other work, not just
+// orders against it. Non-quiescing queues skip that wait: the barrier runs
+// concurrently with in-flight groups (a snapshot-isolated backend needs only
+// the ordering half — appends never block queries). The popped-group
+// accounting lives inside the queue's own mutex — a group counts as active
+// from the moment it is popped, so a quiescing barrier can never slip
+// between a pop and the start of its execution.
 //
 // Close() wakes everyone; consumers keep draining until empty, then PopGroup
 // returns 0 (the shutdown-with-drain path). Drain() instead rips the backlog
@@ -39,8 +43,8 @@ namespace seabed {
 template <typename T>
 class MpmcQueue {
  public:
-  explicit MpmcQueue(size_t max_depth, size_t lanes = 1)
-      : max_depth_(max_depth), lanes_(lanes) {
+  explicit MpmcQueue(size_t max_depth, size_t lanes = 1, bool quiesce_barriers = true)
+      : max_depth_(max_depth), quiesce_barriers_(quiesce_barriers), lanes_(lanes) {
     SEABED_CHECK_MSG(lanes >= 1, "MpmcQueue needs at least one lane");
   }
 
@@ -87,11 +91,16 @@ class MpmcQueue {
       }
       std::deque<T>& lane = *FirstNonEmptyLaneLocked();
       if (is_barrier(lane.front())) {
-        // Freeze, then wait for every already-popped group to finish. The
-        // barrier item stays queued while we wait so a concurrent Drain()
-        // still collects it (size_ == 0 detects that and restarts).
+        // Freeze: nothing queued after the barrier dispatches until Thaw().
+        // In quiescing mode, additionally wait for every already-popped
+        // group to finish (the barrier EXCLUDES in-flight work); otherwise
+        // the barrier pops immediately and overlaps them. The barrier item
+        // stays queued while we wait so a concurrent Drain() still collects
+        // it (size_ == 0 detects that and restarts).
         frozen_ = true;
-        cv_quiesce_.wait(lock, [&] { return active_ == 0 || size_ == 0; });
+        if (quiesce_barriers_) {
+          cv_quiesce_.wait(lock, [&] { return active_ == 0 || size_ == 0; });
+        }
         if (size_ == 0) {
           frozen_ = false;
           lock.unlock();
@@ -99,8 +108,8 @@ class MpmcQueue {
           lock.lock();
           continue;
         }
-        // Still frozen and quiesced: nothing popped since, so the barrier is
-        // still at the front of its lane.
+        // Still frozen: nothing popped since, so the barrier is still at the
+        // front of its lane.
         std::deque<T>& blane = *FirstNonEmptyLaneLocked();
         SEABED_CHECK_MSG(is_barrier(blane.front()), "barrier vanished while frozen");
         out->push_back(std::move(blane.front()));
@@ -199,6 +208,7 @@ class MpmcQueue {
   }
 
   const size_t max_depth_;
+  const bool quiesce_barriers_;
   mutable std::mutex mu_;
   std::condition_variable cv_pop_;      // consumers waiting for work
   std::condition_variable cv_quiesce_;  // a barrier waiting for active_ == 0

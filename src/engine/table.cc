@@ -60,4 +60,31 @@ std::vector<RowRange> Table::Partitions(size_t n) const {
   return parts;
 }
 
+ColumnPtr DeepCopyColumn(const Column& column) {
+  switch (column.type()) {
+    case ColumnType::kInt64:
+      return std::make_shared<Int64Column>(static_cast<const Int64Column&>(column));
+    case ColumnType::kString:
+      return std::make_shared<StringColumn>(static_cast<const StringColumn&>(column));
+    case ColumnType::kAshe:
+      return std::make_shared<AsheColumn>(static_cast<const AsheColumn&>(column));
+    case ColumnType::kDet:
+      return std::make_shared<DetColumn>(static_cast<const DetColumn&>(column));
+    case ColumnType::kOre:
+      return std::make_shared<OreColumn>(static_cast<const OreColumn&>(column));
+    case ColumnType::kPaillier:
+      return std::make_shared<PaillierColumn>(static_cast<const PaillierColumn&>(column));
+  }
+  SEABED_CHECK_MSG(false, "unknown column type");
+  __builtin_unreachable();
+}
+
+std::shared_ptr<Table> DeepCopyTable(const Table& src) {
+  auto copy = std::make_shared<Table>(src.name());
+  for (const std::string& name : src.column_names()) {
+    copy->AddColumn(name, DeepCopyColumn(*src.GetColumn(name)));
+  }
+  return copy;
+}
+
 }  // namespace seabed

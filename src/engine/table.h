@@ -6,6 +6,7 @@
 #ifndef SEABED_SRC_ENGINE_TABLE_H_
 #define SEABED_SRC_ENGINE_TABLE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,14 @@ class Table {
   std::vector<std::string> names_;
   std::vector<ColumnPtr> columns_;
 };
+
+// Value copy of a single column (any type, plaintext or encrypted).
+ColumnPtr DeepCopyColumn(const Column& column);
+
+// Fully independent copy of `src`: fresh column objects, same values. The
+// snapshot machinery uses this to build a new table version off to the side
+// while readers keep scanning the published one.
+std::shared_ptr<Table> DeepCopyTable(const Table& src);
 
 }  // namespace seabed
 

@@ -44,13 +44,25 @@ void CachingSeabedBackend::Prepare(AttachedTable& table) {
   InvalidateTable(table.name);
 }
 
-void CachingSeabedBackend::Append(AttachedTable& table, const Table& new_rows) {
-  std::unique_lock<std::shared_mutex> serve_lock(serve_mu_);
-  inner_->Append(table, new_rows);
-  // Cached results that read this table are stale now. Cached PLANS are not:
-  // translation depends on the encryption plan, keys and column schemes,
-  // all fixed at Prepare — appends only add rows (and DET tokens derive
-  // deterministically per value, so old literals still match).
+void CachingSeabedBackend::Append(AttachedTable& table, const Table& new_rows,
+                                 JobStats* stats) {
+  // Snapshot-isolated inner backends synchronize appends internally (the new
+  // version is built off to the side and published with one atomic swap), so
+  // in-flight misses keep executing over their pinned snapshot — no serve
+  // exclusion needed. Legacy backends still require external ordering
+  // against Execute.
+  std::unique_lock<std::shared_mutex> serve_lock(serve_mu_, std::defer_lock);
+  if (!inner_->snapshot_isolated()) {
+    serve_lock.lock();
+  }
+  inner_->Append(table, new_rows, stats);
+  // Invalidate AFTER the post-append version is published: a miss racing
+  // this append either pinned the new version (its result is current) or
+  // pinned the old one — and then its lookup epoch predates this bump, so
+  // its insert is dropped. Cached PLANS are not invalidated: translation
+  // depends on the encryption plan, keys and column schemes, all fixed at
+  // Prepare — appends only add rows (and DET tokens derive deterministically
+  // per value, so old literals still match).
   InvalidateTable(table.name);
 }
 
@@ -97,7 +109,7 @@ ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   uint64_t lookup_epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    lookup_epoch = epoch_;
+    lookup_epoch = epoch_.load(std::memory_order_acquire);
     const auto it = results_.find(key);
     if (it != results_.end()) {
       ++hits_;
@@ -126,14 +138,19 @@ ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   const double lookup_seconds = lookup_sw.ElapsedSeconds();
 
   // Miss: run the inner backend outside the cache lock (concurrent queries
-  // must keep overlapping) but under the SHARED serve lock, so a concurrent
-  // Prepare/Append cannot mutate the inner tables mid-query.
+  // must keep overlapping). A snapshot-isolated inner pins its own immutable
+  // version, so no serve lock is needed and a concurrent Append proceeds
+  // unblocked; legacy inner backends take the SHARED serve lock so a
+  // concurrent Prepare/Append cannot mutate their tables mid-query.
   QueryStats local_stats;
   QueryStats* inner_stats = stats != nullptr ? stats : &local_stats;
   *inner_stats = QueryStats{};
   ResultSet result;
   {
-    std::shared_lock<std::shared_mutex> serve_lock(serve_mu_);
+    std::shared_lock<std::shared_mutex> serve_lock(serve_mu_, std::defer_lock);
+    if (!inner_->snapshot_isolated()) {
+      serve_lock.lock();
+    }
     result = inner_->Execute(query, inner_stats);
   }
 
@@ -151,8 +168,8 @@ ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Publish only if no invalidation ran since the lookup — a result
-    // computed over the pre-append table must not outlive the append.
-    if (epoch_ == lookup_epoch) {
+    // computed over the pre-append snapshot must not outlive the append.
+    if (epoch_.load(std::memory_order_acquire) == lookup_epoch) {
       InsertLocked(key, std::move(entry));
     }
   }
@@ -166,7 +183,7 @@ ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
 
 void CachingSeabedBackend::InvalidateResults() {
   std::lock_guard<std::mutex> lock(mu_);
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   results_.clear();
   lru_.clear();
   total_bytes_ = 0;
@@ -174,7 +191,7 @@ void CachingSeabedBackend::InvalidateResults() {
 
 void CachingSeabedBackend::InvalidateTable(const std::string& table) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   for (auto it = results_.begin(); it != results_.end();) {
     const Entry& entry = it->second;
     if (std::find(entry.tables.begin(), entry.tables.end(), table) != entry.tables.end()) {

@@ -28,13 +28,17 @@
 // breakdown plus plan_cache_hit when translation was memoized.
 //
 // THREAD SAFETY: fully safe for multi-threaded fronts (seabed::Service).
-// The result cache and stats are mutex-guarded; Prepare/Append take a serve
-// rwlock exclusively against in-flight Execute calls (which hold it shared),
-// and an invalidation epoch stops a miss that raced an append from
-// publishing a result computed over the pre-append table.
+// The result cache and stats are mutex-guarded. When the inner backend is
+// snapshot-isolated (Executor::snapshot_isolated), appends run concurrently
+// with in-flight misses — each miss executes over its pinned table version
+// and the atomic invalidation epoch fences its insert: a miss whose lookup
+// predates the append's invalidation is dropped instead of republishing a
+// result computed over the old table. Legacy inner backends (no snapshot
+// path) keep the serve rwlock: Prepare/Append exclusive, misses shared.
 #ifndef SEABED_SRC_SEABED_CACHING_BACKEND_H_
 #define SEABED_SRC_SEABED_CACHING_BACKEND_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -60,11 +64,13 @@ class CachingSeabedBackend : public Executor {
 
   const char* name() const override { return "caching-seabed"; }
   void Prepare(AttachedTable& table) override;
-  void Append(AttachedTable& table, const Table& new_rows) override;
+  void Append(AttachedTable& table, const Table& new_rows,
+              JobStats* stats = nullptr) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
   std::optional<RebalanceStats> rebalance_stats() const override {
     return inner_->rebalance_stats();
   }
+  bool snapshot_isolated() const override { return inner_->snapshot_isolated(); }
 
   // Drops every cached result (plan cache untouched — plans never go stale).
   void InvalidateResults();
@@ -102,25 +108,32 @@ class CachingSeabedBackend : public Executor {
   std::unique_ptr<Executor> inner_;
   TranslatedPlanCache plan_cache_;
 
-  // Structural serve lock, for multi-threaded fronts (seabed::Service):
-  // Execute holds it SHARED across the inner miss execution; Prepare/Append
-  // hold it EXCLUSIVE while mutating the inner backend's tables. Single-
-  // threaded sessions and ExecuteBatch (queries only) never contend on it.
-  // Ordered before `mu_` (never acquire serve_mu_ while holding mu_).
+  // Structural serve lock for LEGACY (non-snapshot-isolated) inner backends:
+  // a miss holds it SHARED across the inner execution; Prepare/Append hold
+  // it EXCLUSIVE while mutating the inner backend's tables. Snapshot-
+  // isolated inner backends synchronize internally, so Append skips this
+  // lock entirely and misses overlap appends (Prepare stays exclusive: a
+  // re-attach also rewires catalog state). Ordered before `mu_` (never
+  // acquire serve_mu_ while holding mu_).
   mutable std::shared_mutex serve_mu_;
 
   // Result cache. Guarded by `mu_`: Session::ExecuteBatch issues concurrent
   // Execute calls. Misses run the inner backend OUTSIDE the lock — two
   // concurrent misses on one key both execute and the later insert wins
-  // (idempotent: equivalence says both computed the same rows). `epoch_`
-  // fences misses against invalidation: an insert whose lookup predates an
-  // InvalidateTable/InvalidateResults is dropped instead of republishing a
-  // result computed over the old table.
+  // (idempotent: equivalence says both computed the same rows).
   mutable std::mutex mu_;
   std::map<std::string, Entry> results_;
   std::list<std::string> lru_;  // most-recently-used at the front
   size_t total_bytes_ = 0;
-  uint64_t epoch_ = 0;
+  // Invalidation epoch, fencing misses against invalidation: an insert whose
+  // lookup predates an InvalidateTable/InvalidateResults is dropped instead
+  // of republishing a result computed over the old table. Atomic with
+  // acquire/release ordering — with a snapshot-isolated inner backend an
+  // append's invalidation races the miss path, and the fence must be visible
+  // without relying on `mu_` alone: the release increment happens after the
+  // inner backend published its post-append version, so a miss whose acquire
+  // load still sees the old epoch pinned the old version and is dropped.
+  std::atomic<uint64_t> epoch_{0};
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -50,7 +50,10 @@ EncryptedDatabase Encryptor::EncryptWithBaseId(const Table& plain, const PlainSc
     const ColumnPtr& source = plain.GetColumn(spec.name);
 
     if (cp.scheme == EncScheme::kPlain) {
-      db.table->AddColumn(spec.name, source);
+      // Copy (not share) plain-scheme columns: the encrypted table must own
+      // every column so snapshot versions can be copied and grown without
+      // mutating the attached plaintext table under concurrent readers.
+      db.table->AddColumn(spec.name, DeepCopyColumn(*source));
       continue;
     }
 
@@ -446,7 +449,7 @@ EncryptedDatabase Encryptor::EncryptPaillierBaseline(const Table& plain,
     const ColumnPtr& source = plain.GetColumn(spec.name);
 
     if (cp.scheme == EncScheme::kPlain) {
-      db.table->AddColumn(spec.name, source);
+      db.table->AddColumn(spec.name, DeepCopyColumn(*source));
       continue;
     }
 

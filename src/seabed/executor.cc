@@ -105,14 +105,47 @@ std::shared_ptr<Table> CloneTable(const Table& src) {
   return out;
 }
 
+// One real-measured unit of ingest work, priced on the synthetic fabric: the
+// batch splits into row-range tasks round-robined over the modeled workers,
+// exactly Cluster::RunJob's accounting. The work itself ran sequentially on
+// the host (encryption streams append to one destination column), so the
+// measured compute is divided rather than re-run.
+JobStats ModelIngestJob(const Cluster& cluster, double compute_seconds, size_t num_tasks) {
+  const ClusterConfig& cfg = cluster.config();
+  const size_t workers = std::max<size_t>(1, cfg.num_workers);
+  JobStats stats;
+  stats.num_tasks = std::max<size_t>(1, num_tasks);
+  stats.total_compute_seconds = compute_seconds;
+  const size_t tasks_per_worker = (stats.num_tasks + workers - 1) / workers;
+  const double compute_per_worker = compute_seconds / static_cast<double>(workers);
+  stats.server_seconds = cfg.job_overhead_seconds +
+                         static_cast<double>(tasks_per_worker) * cfg.task_overhead_seconds +
+                         compute_per_worker;
+  stats.worker_seconds.assign(workers, compute_per_worker);
+  return stats;
+}
+
+// Task granularity for modeled ingest jobs: the row-range a fabric worker
+// would encrypt as one task.
+constexpr size_t kIngestTaskRows = 8192;
+
+static size_t IngestTasks(const Table& new_rows) {
+  return (new_rows.NumRows() + kIngestTaskRows - 1) / kIngestTaskRows;
+}
+
 // --- NoEnc -------------------------------------------------------------------
 
 void PlainExecutorBackend::Prepare(AttachedTable& table) {
   (void)table;  // plaintext execution needs no preparation
 }
 
-void PlainExecutorBackend::Append(AttachedTable& table, const Table& new_rows) {
+void PlainExecutorBackend::Append(AttachedTable& table, const Table& new_rows,
+                                  JobStats* stats) {
+  Stopwatch sw;
   GrowPlainTable(*table.plain, new_rows, nullptr);
+  if (stats != nullptr) {
+    *stats = ModelIngestJob(*context_->cluster, sw.ElapsedSeconds(), IngestTasks(new_rows));
+  }
 }
 
 ResultSet PlainExecutorBackend::Execute(const Query& query, QueryStats* stats) {
@@ -126,37 +159,99 @@ ResultSet PlainExecutorBackend::Execute(const Query& query, QueryStats* stats) {
 
 // --- Seabed ------------------------------------------------------------------
 
-void SeabedBackend::Prepare(AttachedTable& table) {
-  const Encryptor encryptor(*context_->keys);
-  table.enc = encryptor.Encrypt(*table.plain, table.schema, table.plan);
-  server_.RegisterTable(table.enc->table);
+SeabedBackend::TableState& SeabedBackend::StateFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(states_mu_);
+  std::unique_ptr<TableState>& slot = states_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<TableState>();
+  }
+  return *slot;
 }
 
-void SeabedBackend::Append(AttachedTable& table, const Table& new_rows) {
-  SEABED_CHECK_MSG(table.enc.has_value(), "append to unprepared table " << table.name);
-  // AppendRows grows the non-sensitive columns the encrypted table shares
-  // with the plaintext one; grow only the rest here.
-  GrowPlainTable(*table.plain, new_rows, table.enc->table.get());
+const TableVersion* SeabedBackend::CurrentVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(states_mu_);
+  const auto it = states_.find(name);
+  if (it == states_.end()) {
+    return nullptr;
+  }
+  return it->second->current.load(std::memory_order_seq_cst);
+}
+
+uint64_t SeabedBackend::probe_index_builds(const std::string& table) const {
+  EpochDomain::Guard guard(epochs_);
+  const TableVersion* version = CurrentVersion(table);
+  return version == nullptr ? 0 : version->probe.builds();
+}
+
+void SeabedBackend::Prepare(AttachedTable& table) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   const Encryptor encryptor(*context_->keys);
-  encryptor.AppendRows(*table.enc, new_rows, table.schema);
+  auto version = std::make_shared<TableVersion>();
+  version->enc = encryptor.Encrypt(*table.plain, table.schema, table.plan);
+  table.enc = version->enc;  // session-visible client view (shares the table)
+
+  TableState& state = StateFor(table.name);
+  std::shared_ptr<const TableVersion> old = std::move(state.owner);
+  state.owner = std::move(version);
+  state.current.store(state.owner.get(), std::memory_order_seq_cst);
+  if (old != nullptr) {
+    epochs_.Retire(std::move(old));  // re-attach: drain readers of the old one
+  }
+}
+
+void SeabedBackend::Append(AttachedTable& table, const Table& new_rows, JobStats* stats) {
+  SEABED_CHECK_MSG(table.enc.has_value(), "append to unprepared table " << table.name);
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  Stopwatch sw;
+  TableState& state = StateFor(table.name);
+  const std::shared_ptr<const TableVersion> old = state.owner;
+
+  // Build the successor version off to the side: copy, grow the copy, seed
+  // its probe summaries from the parent. Readers keep scanning `old`.
+  auto next = std::make_shared<TableVersion>();
+  next->enc = CopyEncryptedDatabase(old->enc);
+  const Encryptor encryptor(*context_->keys);
+  encryptor.AppendRows(next->enc, new_rows, table.schema);
+  next->probe.SeedFrom(old->probe, *next->enc.table);
+
+  // The attached plaintext table has no snapshot readers (encrypted Execute
+  // never touches it); grow it in place for the session's own accessors.
+  GrowPlainTable(*table.plain, new_rows, nullptr);
+  table.enc = next->enc;
+
+  // Publish, then retire: any reader that misses the new pointer is pinned
+  // at an epoch that keeps `old` alive until its guard drops.
+  state.current.store(next.get(), std::memory_order_seq_cst);
+  state.owner = std::move(next);
+  epochs_.Retire(old);
+  if (stats != nullptr) {
+    *stats = ModelIngestJob(*context_->cluster, sw.ElapsedSeconds(), IngestTasks(new_rows));
+  }
 }
 
 ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
   const AttachedTable& fact = context_->catalog->Get(query.table);
-  SEABED_CHECK_MSG(fact.enc.has_value(), "table " << fact.name << " was not prepared");
+
+  // Pin this query's snapshot: every table pointer resolved below stays
+  // alive until the guard drops, and all of them belong to versions
+  // published before this point — an overlapping append is invisible.
+  EpochDomain::Guard guard(epochs_);
+  const TableVersion* fver = CurrentVersion(query.table);
+  SEABED_CHECK_MSG(fver != nullptr, "table " << fact.name << " was not prepared");
 
   Stopwatch translate_sw;
   TranslatorOptions topts = context_->translator;
   topts.cluster_workers = context_->cluster->num_workers();
 
-  // Joined-table resolution: the translator leaves the plaintext name; the
-  // server's registry is keyed by the encrypted table name. Resolved before
-  // the plan-cache probe because decryption needs `right_db` on hits too.
+  // Joined-table resolution, from the joined table's own published version.
+  // Resolved before the plan-cache probe because decryption needs `right_db`
+  // on hits too.
   const EncryptedDatabase* right_db = nullptr;
   if (query.join.has_value()) {
-    const AttachedTable& right = context_->catalog->Get(query.join->right_table);
-    SEABED_CHECK_MSG(right.enc.has_value(), "joined table " << right.name << " not prepared");
-    right_db = &*right.enc;
+    const TableVersion* rver = CurrentVersion(query.join->right_table);
+    SEABED_CHECK_MSG(rver != nullptr,
+                     "joined table " << query.join->right_table << " not prepared");
+    right_db = &rver->enc;
   }
 
   std::shared_ptr<const TranslatedQuery> tq;
@@ -168,7 +263,7 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
     plan_cache_hit = tq != nullptr;
   }
   if (tq == nullptr) {
-    const Translator translator(*fact.enc, *context_->keys);
+    const Translator translator(fver->enc, *context_->keys);
     auto fresh = std::make_shared<TranslatedQuery>(translator.Translate(query, topts));
     if (fresh->server.join.has_value()) {
       // The resolution is deterministic (encrypted table names are fixed at
@@ -183,10 +278,11 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
   const double translate_seconds = translate_sw.ElapsedSeconds();
 
   // Round one (adaptive two-round execution): evaluate the plan's probe
-  // section against the server's row-group summaries, then scan only the
-  // surviving groups — or skip round two entirely when nothing can match.
-  // kAuto pays the probe only when the planner's selectivity estimate (or an
-  // explicit client two-round hint) predicts round two will skip most rows.
+  // section against the pinned version's row-group summaries, then scan only
+  // the surviving groups — or skip round two entirely when nothing can
+  // match. kAuto pays the probe only when the planner's selectivity estimate
+  // (or an explicit client two-round hint) predicts round two will skip most
+  // rows.
   const ProbeOptions& popts = context_->probe;
   bool probe_used = false;
   ServerProbeResult probe;
@@ -196,7 +292,7 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
       go = EstimateFilterSelectivity(query, fact.schema) <= popts.auto_selectivity_threshold;
     }
     if (go) {
-      probe = server_.Probe(tq->server.table, tq->probe, popts.row_group_size);
+      probe = fver->probe.Probe(*fver->enc.table, tq->probe, popts.row_group_size);
       probe_used = true;
     }
   }
@@ -209,10 +305,11 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
     // row).
     response = EncryptedResponse{};
   } else {
-    response = server_.Execute(tq->server, *context_->cluster, nullptr,
+    response = server_.Execute(tq->server, *context_->cluster, fver->enc.table.get(),
+                               right_db == nullptr ? nullptr : right_db->table.get(),
                                probe_used ? &probe.surviving : nullptr);
   }
-  const Client client(*fact.enc, *context_->keys);
+  const Client client(fver->enc, *context_->keys);
   ResultSet result = client.Decrypt(response, *tq, *context_->cluster, right_db, stats);
   if (stats != nullptr) {
     stats->translate_seconds = translate_seconds;
@@ -241,11 +338,18 @@ void PaillierBackend::Prepare(AttachedTable& table) {
                                                 paillier_, rng_, randomness_pool_size_);
 }
 
-void PaillierBackend::Append(AttachedTable& table, const Table& new_rows) {
+void PaillierBackend::Append(AttachedTable& table, const Table& new_rows,
+                             JobStats* stats) {
   // The baseline has no incremental path (Paillier construction dominates
-  // anyway — Table 1); grow the plaintext table and re-encrypt it.
+  // anyway — Table 1); grow the plaintext table and re-encrypt it. The
+  // modeled ingest job prices that full rebuild, so the whole table counts
+  // as the task set.
+  Stopwatch sw;
   GrowPlainTable(*table.plain, new_rows, nullptr);
   Prepare(table);
+  if (stats != nullptr) {
+    *stats = ModelIngestJob(*context_->cluster, sw.ElapsedSeconds(), IngestTasks(*table.plain));
+  }
 }
 
 ResultSet PaillierBackend::Execute(const Query& query, QueryStats* stats) {

@@ -9,12 +9,15 @@
 #ifndef SEABED_SRC_SEABED_EXECUTOR_H_
 #define SEABED_SRC_SEABED_EXECUTOR_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/crypto/paillier.h"
 #include "src/query/query.h"
 #include "src/seabed/encryptor.h"
@@ -22,6 +25,7 @@
 #include "src/seabed/planner.h"
 #include "src/seabed/probe.h"
 #include "src/seabed/server.h"
+#include "src/seabed/snapshot.h"
 #include "src/seabed/translator.h"
 
 namespace seabed {
@@ -131,10 +135,14 @@ class Executor {
   virtual void Prepare(AttachedTable& table) = 0;
 
   // Appends `new_rows` to the attached table (paper Section 4.1): grows
-  // `table.plain` and the backend's encrypted state. Implementations own the
-  // split because encrypted tables share their non-sensitive columns with
-  // the plaintext table.
-  virtual void Append(AttachedTable& table, const Table& new_rows) = 0;
+  // `table.plain` and the backend's encrypted state. Snapshot-isolated
+  // backends build a new table version off to the side and publish it with
+  // an atomic swap, so Append may run while queries execute. When `stats`
+  // is non-null it receives the ingest job's simulated cluster cost — real
+  // measured compute, synthetic parallel fabric, the same contract Execute
+  // honors for queries (see src/engine/cluster.h).
+  virtual void Append(AttachedTable& table, const Table& new_rows,
+                      JobStats* stats = nullptr) = 0;
 
   // Runs `query` end-to-end and fills `stats` (when non-null) with the
   // latency breakdown of this call.
@@ -151,6 +159,13 @@ class Executor {
   // caching decorator forwards to its inner backend). A copy taken under
   // the backend's state lock, so it is safe to call while appends run.
   virtual std::optional<RebalanceStats> rebalance_stats() const { return std::nullopt; }
+
+  // True when Execute pins an immutable snapshot instead of relying on
+  // callers for exclusion — appends and queries may then overlap freely
+  // (kSeabed, kShardedSeabed; the caching decorator forwards its inner
+  // backend's answer). The serving layer uses this to drop the quiescing
+  // append barrier and the serve-side reader/writer lock.
+  virtual bool snapshot_isolated() const { return false; }
 };
 
 // Appends `src`'s rows onto `dst`'s plaintext columns. Columns that `dst`
@@ -165,6 +180,14 @@ void GrowPlainTable(Table& dst, const Table& src, const Table* shared_with);
 // suites.
 std::shared_ptr<Table> CloneTable(const Table& src);
 
+// Models one ingest job on the cluster fabric: `compute_seconds` of real
+// measured work split into `num_tasks` row-range tasks round-robined over
+// the modeled workers — the Cluster::RunJob accounting, applied to work that
+// cannot be re-run as independent closures (encryption streams are
+// sequential per destination column). Shared by the backends' Append
+// implementations.
+JobStats ModelIngestJob(const Cluster& cluster, double compute_seconds, size_t num_tasks);
+
 // NoEnc: plaintext execution over the attached tables.
 class PlainExecutorBackend : public Executor {
  public:
@@ -172,7 +195,8 @@ class PlainExecutorBackend : public Executor {
 
   const char* name() const override { return "plain"; }
   void Prepare(AttachedTable& table) override;
-  void Append(AttachedTable& table, const Table& new_rows) override;
+  void Append(AttachedTable& table, const Table& new_rows,
+              JobStats* stats = nullptr) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
 
  private:
@@ -180,24 +204,54 @@ class PlainExecutorBackend : public Executor {
 };
 
 // Seabed: plan-driven encryption, translated server plans over the untrusted
-// Server, client-side decryption.
+// Server, client-side decryption. Tables live in immutable published
+// versions: Execute pins the current version through an epoch guard and runs
+// lock-free; Prepare/Append serialize on a writer mutex, build the next
+// version off to the side, and publish it with one atomic swap.
 class SeabedBackend : public Executor {
  public:
   explicit SeabedBackend(const ExecutionContext* context) : context_(context) {}
 
   const char* name() const override { return "seabed"; }
   void Prepare(AttachedTable& table) override;
-  void Append(AttachedTable& table, const Table& new_rows) override;
+  void Append(AttachedTable& table, const Table& new_rows,
+              JobStats* stats = nullptr) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
   void SetPlanCache(TranslatedPlanCache* cache) override { plan_cache_ = cache; }
+  bool snapshot_isolated() const override { return true; }
 
   // The untrusted side, exposed for tests that inspect what the server sees.
   const Server& server() const { return server_; }
 
+  // Summary-build count of the table's current version (see
+  // VersionProbeIndex::builds; regression hook for the double-build race).
+  uint64_t probe_index_builds(const std::string& table) const;
+
+  // Reclamation domain, exposed for tests that assert retired versions drain.
+  EpochDomain& epoch_domain() const { return epochs_; }
+
  private:
+  struct TableState {
+    // Owning reference to the published version; written under writer_mu_.
+    std::shared_ptr<const TableVersion> owner;
+    // Lock-free read point. Readers must hold an epochs_ guard across the
+    // load and every dereference of the result.
+    std::atomic<const TableVersion*> current{nullptr};
+  };
+
+  // Pinned pointer to `name`'s published version (caller holds a guard), or
+  // null when the table was never prepared.
+  const TableVersion* CurrentVersion(const std::string& name) const;
+  TableState& StateFor(const std::string& name);
+
   const ExecutionContext* context_;
   Server server_;
   TranslatedPlanCache* plan_cache_ = nullptr;
+
+  mutable EpochDomain epochs_;
+  std::mutex writer_mu_;  // serializes Prepare/Append (never held by readers)
+  mutable std::mutex states_mu_;  // guards the states_ map shape only
+  std::map<std::string, std::unique_ptr<TableState>> states_;
 };
 
 struct PaillierBackendOptions {
@@ -214,7 +268,8 @@ class PaillierBackend : public Executor {
 
   const char* name() const override { return "paillier"; }
   void Prepare(AttachedTable& table) override;
-  void Append(AttachedTable& table, const Table& new_rows) override;
+  void Append(AttachedTable& table, const Table& new_rows,
+              JobStats* stats = nullptr) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
 
   const Paillier& paillier() const { return paillier_; }

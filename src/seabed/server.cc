@@ -71,67 +71,11 @@ void AppendKeyPart(std::string& key, uint64_t v) {
 
 }  // namespace
 
-void Server::RegisterTable(std::shared_ptr<Table> table) {
-  SEABED_CHECK(table != nullptr);
-  // Re-registering a name swaps the table object (shard rebalancing
-  // re-encrypts a donor's remainder into a fresh table; re-attach does the
-  // same), and Probe's staleness check is row-count-only — it cannot see a
-  // swap whose row count later regrows past the summarized count. Reset any
-  // summaries built for the old object so the next probe rebuilds.
-  {
-    std::lock_guard<std::mutex> lock(probe_mu_);
-    const auto it = probe_index_.find(table->name());
-    if (it != probe_index_.end()) {
-      std::lock_guard<std::mutex> entry_lock(it->second->mu);
-      it->second->index = RowGroupIndex(it->second->index.group_size());
-    }
-  }
-  tables_[table->name()] = std::move(table);
-}
-
-const std::shared_ptr<Table>& Server::GetTable(const std::string& name) const {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    it = tables_.find(name + "#enc");
-  }
-  SEABED_CHECK_MSG(it != tables_.end(), "server has no table named " << name);
-  return it->second;
-}
-
-ServerProbeResult Server::Probe(const std::string& table, const ProbeSection& probe,
-                                size_t row_group_size) const {
-  Stopwatch sw;
-  const Table& fact = *GetTable(table);
-  ProbeIndexEntry* entry = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(probe_mu_);
-    std::unique_ptr<ProbeIndexEntry>& slot = probe_index_[fact.name()];
-    if (slot == nullptr) {
-      slot = std::make_unique<ProbeIndexEntry>();
-      slot->index = RowGroupIndex(row_group_size);
-    }
-    entry = slot.get();
-  }
-  ServerProbeResult out;
-  {
-    std::lock_guard<std::mutex> lock(entry->mu);
-    if (entry->index.group_size() != row_group_size) {
-      entry->index = RowGroupIndex(row_group_size);
-    }
-    entry->index.Refresh(fact);
-    RowGroupIndex::PruneResult pruned = entry->index.Prune(probe);
-    out.surviving = std::move(pruned.surviving);
-    out.total_groups = pruned.total_groups;
-    out.pruned_groups = pruned.pruned_groups;
-  }
-  out.seconds = sw.ElapsedSeconds();
-  return out;
-}
-
 EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster,
-                                  const Table* right_override,
+                                  const Table* fact_table, const Table* right_override,
                                   const std::vector<RowRange>* scan_ranges) const {
-  const Table& fact = *GetTable(plan.table);
+  SEABED_CHECK_MSG(fact_table != nullptr, "server has no table named " << plan.table);
+  const Table& fact = *fact_table;
   const Table* right = nullptr;
 
   // Broadcast hash join on DET tokens (built once at the driver, like a Spark
@@ -140,7 +84,9 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
   const DetColumn* join_left = nullptr;
   Stopwatch driver_sw;
   if (plan.join.has_value()) {
-    right = right_override != nullptr ? right_override : GetTable(plan.join->right_table).get();
+    SEABED_CHECK_MSG(right_override != nullptr,
+                     "join plan requires the caller's snapshot to supply " << plan.join->right_table);
+    right = right_override;
     const ColRef right_key = Resolve(fact, right, plan.join->right_column, true);
     SEABED_CHECK_MSG(right_key.det != nullptr, "join keys must be DET encrypted");
     for (size_t row = 0; row < right->NumRows(); ++row) {

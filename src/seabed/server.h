@@ -12,9 +12,6 @@
 #ifndef SEABED_SRC_SEABED_SERVER_H_
 #define SEABED_SRC_SEABED_SERVER_H_
 
-#include <map>
-#include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -78,48 +75,25 @@ struct ServerProbeResult {
   double seconds = 0;  // measured round-one cost
 };
 
+// The server is stateless: it holds no table registry and no mutable probe
+// state. Backends own immutable `TableVersion` snapshots (src/seabed/
+// snapshot.h) and hand Execute the exact table objects to scan, so any number
+// of queries run concurrently with zero server-side synchronization — the
+// snapshot publish/reclaim protocol (src/common/epoch.h) is the only
+// concurrency mechanism on the read path. Row-group probing lives with the
+// snapshot too (`VersionProbeIndex`): summaries are built at most once per
+// published version instead of being re-synced behind a mutex.
 class Server {
  public:
-  // Registers a table under its (encrypted) name. Re-registering a name
-  // replaces the table and resets its row-group summary index — the probe's
-  // row-count staleness check cannot detect an object swap (rebalancing,
-  // re-attach) once the replacement regrows past the old count. Callers
-  // must serialize registration against concurrent Execute/Probe calls (the
-  // backends hold their state lock exclusively here).
-  void RegisterTable(std::shared_ptr<Table> table);
-
-  const std::shared_ptr<Table>& GetTable(const std::string& name) const;
-
-  // Round one of two-round execution: evaluates `probe`'s predicates against
-  // the coarse row-group summary index of `table` and returns the row groups
-  // round two must still scan. The index is built lazily at the first probe
-  // and re-synced with the table's row count on every call (appends grow the
-  // registered table in place, behind the server's back).
-  ServerProbeResult Probe(const std::string& table, const ProbeSection& probe,
-                          size_t row_group_size) const;
-
-  // Executes `plan`. When the plan joins and `right_override` is non-null,
-  // the joined table is taken from the override instead of the registry —
-  // the sharded backend broadcasts an unregistered replica this way.
-  // `scan_ranges`, when non-null, restricts the fact-table scan to those row
-  // ranges (the pruned round two; a probe's `surviving` goes here).
+  // Executes `plan` over `fact` (the fact table of the caller's pinned
+  // snapshot; aborts when null — the caller resolved an unknown name). When
+  // the plan joins, `right_override` must carry the joined table (a dimension
+  // snapshot or the sharded backend's broadcast replica). `scan_ranges`, when
+  // non-null, restricts the fact-table scan to those row ranges (the pruned
+  // round two; a probe's `surviving` goes here).
   EncryptedResponse Execute(const ServerPlan& plan, const Cluster& cluster,
-                            const Table* right_override,
+                            const Table* fact, const Table* right_override,
                             const std::vector<RowRange>* scan_ranges = nullptr) const;
-
- private:
-  // Row-group summary index of one table plus its own lock, so concurrent
-  // probes (Session::ExecuteBatch) only serialize per table — the first
-  // probe after Attach/Append summarizes O(rows) and must not block probes
-  // of other tables. `probe_mu_` guards only the map lookup/creation.
-  struct ProbeIndexEntry {
-    std::mutex mu;
-    RowGroupIndex index;
-  };
-
-  std::map<std::string, std::shared_ptr<Table>> tables_;
-  mutable std::mutex probe_mu_;
-  mutable std::map<std::string, std::unique_ptr<ProbeIndexEntry>> probe_index_;
 };
 
 }  // namespace seabed

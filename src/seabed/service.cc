@@ -36,7 +36,9 @@ Service::Service(ServiceOptions options)
     : options_(std::move(options)),
       session_(options_.session),
       plan_cache_(options_.session.cache.plan_cache_entries),
-      queue_(options_.max_queue_depth, kLanes) {
+      quiesce_appends_(options_.force_quiesce_appends ||
+                       !session_.executor().snapshot_isolated()),
+      queue_(options_.max_queue_depth, kLanes, /*quiesce_barriers=*/quiesce_appends_) {
   SEABED_CHECK_MSG(options_.num_workers >= 1, "Service needs at least one worker");
   SEABED_CHECK_MSG(options_.max_batch >= 1, "max_batch must be >= 1");
   // Share one translated-plan memo across every worker. A no-op on backends
@@ -214,8 +216,7 @@ void Service::WorkerLoop() {
       return;  // closed and drained
     }
     if (group.front().kind == Job::Kind::kAppend) {
-      RunAppend(std::move(group.front()));
-      queue_.Thaw();
+      RunAppend(std::move(group.front()));  // thaws the queue itself
       queue_.GroupDone();
     } else {
       RunGroup(std::move(group));
@@ -226,12 +227,46 @@ void Service::WorkerLoop() {
 
 void Service::RunAppend(Job job) {
   const auto dequeued = std::chrono::steady_clock::now();
-  {
-    // The queue barrier already quiesced every query group; the exclusive
-    // serve lock additionally excludes a concurrent direct Attach.
+  const auto exec_begin = std::chrono::steady_clock::now();
+  // The backend reports the ingest job's modeled fabric cost (real measured
+  // compute, synthetic parallelism — the same contract queries honor), and
+  // pace_modeled_latency sleeps it out just like RunGroup does for queries.
+  // WHERE that time passes is exactly the A/B under test below.
+  JobStats ingest;
+  if (quiesce_appends_) {
+    // Legacy path: the queue barrier already quiesced every query group; the
+    // exclusive serve lock additionally excludes a concurrent direct Attach.
+    // The modeled ingest time passes with the service still locked and the
+    // queue still frozen — while the cluster chews on the batch this path
+    // has no way to serve around it. That stall is the discipline the
+    // snapshot path deletes.
     std::unique_lock<std::shared_mutex> lock(serve_mu_);
-    session_.Append(job.append_table, *job.append_rows);
+    session_.Append(job.append_table, *job.append_rows, &ingest);
+    if (options_.pace_modeled_latency && ingest.server_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(ingest.server_seconds));
+    }
+    queue_.Thaw();
+  } else {
+    {
+      // Snapshot path: the backend builds the next table version off to the
+      // side and publishes it atomically, so in-flight query groups (holding
+      // this lock shared) keep running against their pinned versions. Shared
+      // here only to exclude a concurrent Attach rewiring the catalog.
+      std::shared_lock<std::shared_mutex> lock(serve_mu_);
+      session_.Append(job.append_table, *job.append_rows, &ingest);
+    }
+    // The new version is published, so later-queued queries may dispatch now
+    // (preserving SubmitAppend's ordering contract: they observe the append).
+    // Only the appender's own completion waits out the modeled fabric time,
+    // off to the side of the serving path.
+    queue_.Thaw();
+    if (options_.pace_modeled_latency && ingest.server_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(ingest.server_seconds));
+    }
   }
+  // The span covers the modeled-latency pacing, mirroring query groups: the
+  // sleep stands in for the simulated cluster's ingest work.
+  const auto exec_end = std::chrono::steady_clock::now();
   counters_.appends.fetch_add(1, std::memory_order_relaxed);
   ServiceResult result;
   result.ok = true;
@@ -240,6 +275,10 @@ void Service::RunAppend(Job job) {
   result.stats.queue_wait_seconds = Seconds(dequeued - job.enqueued);
   result.stats.batch_size = 1;
   result.stats.dispatch_seq = dispatch_seq_.fetch_add(1, std::memory_order_relaxed);
+  result.stats.exec_begin = exec_begin;
+  result.stats.exec_end = exec_end;
+  result.stats.query.job = ingest;
+  result.stats.query.server_seconds = ingest.server_seconds;
   job.promise.set_value(std::move(result));
 }
 
@@ -262,6 +301,38 @@ void Service::RunGroup(std::vector<Job> jobs) {
       continue;
     }
     live.push_back(std::move(job));
+  }
+  if (live.empty()) {
+    return;
+  }
+
+  if (options_.pre_dispatch_hook) {
+    options_.pre_dispatch_hook();
+  }
+
+  // Re-check at dispatch: the dequeue check above is not enough — time
+  // passes between dequeue and the backend call (group assembly, and on a
+  // busy worker the modeled-latency pacing of a preceding group), and a
+  // query whose deadline lapsed in that window must fail fast, not execute.
+  const auto dispatch = std::chrono::steady_clock::now();
+  {
+    std::vector<Job> still_live;
+    still_live.reserve(live.size());
+    for (Job& job : live) {
+      if (job.deadline.has_value() && *job.deadline < dispatch) {
+        counters_.expired.fetch_add(1, std::memory_order_relaxed);
+        ServiceResult result;
+        result.ok = false;
+        result.error = "deadline expired before dispatch";
+        result.stats.admission = AdmissionOutcome::kDeadlineExpired;
+        result.stats.lane = job.lane;
+        result.stats.queue_wait_seconds = Seconds(dequeued - job.enqueued);
+        job.promise.set_value(std::move(result));
+        continue;
+      }
+      still_live.push_back(std::move(job));
+    }
+    live = std::move(still_live);
   }
   if (live.empty()) {
     return;
@@ -292,6 +363,7 @@ void Service::RunGroup(std::vector<Job> jobs) {
 
   std::vector<ResultSet> results;
   std::vector<QueryStats> stats;
+  const auto exec_begin = std::chrono::steady_clock::now();
   {
     std::shared_lock<std::shared_mutex> lock(serve_mu_);
     if (distinct.size() == 1) {
@@ -314,6 +386,10 @@ void Service::RunGroup(std::vector<Job> jobs) {
       std::this_thread::sleep_for(std::chrono::duration<double>(modeled));
     }
   }
+  // The group's serving span covers the modeled-latency pacing: that sleep
+  // stands in for the simulated cluster's work, so overlap assertions (did
+  // an append run WHILE queries executed?) must see it.
+  const auto exec_end = std::chrono::steady_clock::now();
 
   counters_.executed.fetch_add(live.size(), std::memory_order_relaxed);
   if (live.size() > distinct.size()) {
@@ -331,6 +407,8 @@ void Service::RunGroup(std::vector<Job> jobs) {
     result.stats.batch_size = live.size();
     result.stats.coalesced = owner_seen[owner[i]];
     result.stats.dispatch_seq = seq;
+    result.stats.exec_begin = exec_begin;
+    result.stats.exec_end = exec_end;
     result.stats.query = stats[owner[i]];
     owner_seen[owner[i]] = true;
     live[i].promise.set_value(std::move(result));

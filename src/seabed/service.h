@@ -20,21 +20,30 @@
 //     future resolves immediately with kRejectedQueueFull backpressure;
 //   * two priority lanes (kInteractive beats kBatch) so cheap dashboard
 //     probes are not stuck behind bulk scans;
-//   * per-query deadlines are honored at DEQUEUE: a query whose deadline
-//     passed while queued fails with kDeadlineExpired without executing;
+//   * per-query deadlines are honored twice: at DEQUEUE (a query whose
+//     deadline passed while queued fails with kDeadlineExpired without
+//     executing) and re-checked at DISPATCH — time spent between dequeue and
+//     the backend call (group assembly, a slow sibling group pacing out
+//     modeled latency on the same worker) must not smuggle an expired query
+//     into execution;
 //   * cross-query SHAPE BATCHING — consecutive queued queries with equal
 //     Query::Fingerprint(kShape) pop as one group, translate once via the
 //     service-owned TranslatedPlanCache, and execute as one
 //     Session::ExecuteBatch. Identical queries (equal kExact fingerprints)
 //     additionally coalesce onto a single execution;
-//   * appends ride the SAME queue as barrier jobs: the queue quiesces
-//     in-flight groups, runs the append exclusively, then thaws — callers
-//     never touch the backend lock, and every query observes either the
-//     pre- or post-append table, never a torn state. The barrier orders
-//     against DISPATCH order: same-lane queries submitted before the append
-//     are guaranteed the pre-append table, but the priority lanes may
-//     reorder dispatch across lanes, so a kBatch query still queued when an
-//     append (lane 0) dispatches observes the post-append table.
+//   * appends ride the SAME queue as barrier jobs. On snapshot-isolated
+//     backends (Executor::snapshot_isolated — kSeabed, kShardedSeabed and
+//     caching stacks over them) the barrier is ORDERING ONLY: the append
+//     runs concurrently with in-flight query groups (each pinned to its own
+//     published table version) and merely holds back work queued after it
+//     until the new version is published — appends never block queries.
+//     Legacy backends keep the quiescing barrier: the queue waits out
+//     in-flight groups, runs the append exclusively, then thaws. Either
+//     way every query observes either the pre- or post-append table, never
+//     a torn state, and same-lane queries submitted after the append are
+//     guaranteed the post-append table. The priority lanes may reorder
+//     dispatch across lanes, so a kBatch query still queued when an append
+//     (lane 0) dispatches observes the post-append table.
 //
 // Per-query ServiceStats stack queue_wait_seconds, admission outcome, lane,
 // and batch size on top of the usual QueryStats.
@@ -43,6 +52,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -83,6 +93,13 @@ struct ServiceStats {
   size_t batch_size = 0;          // queries served by this query's shape group
   bool coalesced = false;         // answered by an identical query's execution
   uint64_t dispatch_seq = 0;      // global dispatch order of the group
+  // Wall-clock span of this job's backend work (query group execution incl.
+  // modeled-latency pacing, or the append itself). Tests use these to prove
+  // an append's span OVERLAPS concurrently-executing query spans — the
+  // never-blocks contract is observable, not just asserted. Zero (epoch)
+  // when the job never executed.
+  std::chrono::steady_clock::time_point exec_begin{};
+  std::chrono::steady_clock::time_point exec_end{};
   QueryStats query;               // zeroed when the query never executed
 };
 
@@ -135,6 +152,16 @@ struct ServiceOptions {
   // Spawn workers in the constructor. Tests that probe pure queue behavior
   // (admission, drop-on-shutdown) set false and never Start().
   bool autostart = true;
+
+  // Forces the legacy quiescing append barrier (and the exclusive serve
+  // lock) even on snapshot-isolated backends. The appends-block-queries
+  // baseline for A/B benches (bench_fig15_snapshot); leave off in real use.
+  bool force_quiesce_appends = false;
+
+  // Test-only: runs on the worker after a query group is dequeued, before
+  // the dispatch-time deadline re-check and execution. Lets tests widen the
+  // dequeue->dispatch window deterministically.
+  std::function<void()> pre_dispatch_hook;
 };
 
 class Service {
@@ -202,6 +229,11 @@ class Service {
   ServiceOptions options_;
   Session session_;
   TranslatedPlanCache plan_cache_;
+  // True when appends must exclude queries: the backend is not snapshot-
+  // isolated (or force_quiesce_appends is set). Decides both the queue's
+  // barrier mode and RunAppend's serve-lock mode. Initialized after
+  // session_, before queue_ — declaration order matters.
+  const bool quiesce_appends_;
   MpmcQueue<Job> queue_;
   std::vector<std::thread> workers_;
   std::atomic<bool> accepting_{true};
@@ -209,8 +241,10 @@ class Service {
   std::atomic<uint64_t> dispatch_seq_{0};
 
   // Excludes setup (Attach, exclusive) from serving (query groups, shared).
-  // Appends need no lock: the queue's barrier protocol already quiesces
-  // every in-flight group before one runs.
+  // Appends on snapshot-isolated backends hold it SHARED — they overlap
+  // query groups by design and only need to exclude a concurrent Attach.
+  // With quiesce_appends_ the queue barrier has already drained in-flight
+  // groups, so the append's exclusive acquisition cannot deadlock.
   std::shared_mutex serve_mu_;
 
   struct Counters {

@@ -44,11 +44,11 @@ void Session::AttachPlanned(std::shared_ptr<Table> table, const PlainSchema& sch
   executor_->Prepare(catalog_.Add(std::move(attached)));
 }
 
-void Session::Append(const std::string& table, const Table& new_rows) {
+void Session::Append(const std::string& table, const Table& new_rows, JobStats* stats) {
   // Backends own the growth policy: encrypted tables share the non-sensitive
   // plaintext columns with the attached table, so who appends what depends
   // on the backend (see Executor::Append).
-  executor_->Append(catalog_.GetMutable(table), new_rows);
+  executor_->Append(catalog_.GetMutable(table), new_rows, stats);
 }
 
 ResultSet Session::Execute(const Query& query, QueryStats* stats) {

@@ -89,7 +89,10 @@ class Session {
 
   // Appends plaintext rows to an attached table (paper Section 4.1): the
   // attached plaintext table and the backend's encrypted state both grow.
-  void Append(const std::string& table, const Table& new_rows);
+  // `stats`, when non-null, receives the ingest job's modeled cluster cost
+  // (same real-compute / synthetic-fabric contract as query execution).
+  void Append(const std::string& table, const Table& new_rows,
+              JobStats* stats = nullptr);
 
   // Runs one query end-to-end on the session's backend. `stats`, when
   // non-null, receives the per-call latency breakdown.

@@ -157,17 +157,39 @@ size_t ShardedSeabedBackend::ShardOfRow(size_t row) const {
   return static_cast<size_t>((row * 0x9E3779B97F4A7C15ULL) >> 33) % shards_;
 }
 
-ShardedSeabedBackend::ShardedTable& ShardedSeabedBackend::State(const std::string& table) {
-  const auto it = tables_.find(table);
-  SEABED_CHECK_MSG(it != tables_.end(), "table " << table << " was not prepared for sharding");
-  return it->second;
+ShardedSeabedBackend::TableState& ShardedSeabedBackend::StateFor(const std::string& table) {
+  std::lock_guard<std::mutex> lock(states_mu_);
+  std::unique_ptr<TableState>& slot = states_[table];
+  if (slot == nullptr) {
+    slot = std::make_unique<TableState>();
+  }
+  return *slot;
 }
 
-const ShardedSeabedBackend::ShardedTable& ShardedSeabedBackend::State(
-    const std::string& table) const {
-  const auto it = tables_.find(table);
-  SEABED_CHECK_MSG(it != tables_.end(), "table " << table << " was not prepared for sharding");
-  return it->second;
+const ShardedTableVersion* ShardedSeabedBackend::CurrentVersion(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(states_mu_);
+  const auto it = states_.find(table);
+  if (it == states_.end()) {
+    return nullptr;
+  }
+  return it->second->current.load(std::memory_order_seq_cst);
+}
+
+void ShardedSeabedBackend::Publish(TableState& state,
+                                   std::shared_ptr<const ShardedTableVersion> next) {
+  std::shared_ptr<const ShardedTableVersion> old = std::move(state.owner);
+  state.owner = std::move(next);
+  state.current.store(state.owner.get(), std::memory_order_seq_cst);
+  if (old != nullptr) {
+    epochs_.Retire(std::move(old));
+  }
+}
+
+std::optional<RebalanceStats> ShardedSeabedBackend::rebalance_stats() const {
+  // Append mutates the counters under the writer mutex; snapshot under the
+  // same one so monitors can poll between appends.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return rebalance_stats_;
 }
 
 const Server& ShardedSeabedBackend::shard_server(size_t shard) const {
@@ -178,49 +200,71 @@ const Server& ShardedSeabedBackend::shard_server(size_t shard) const {
 const EncryptedDatabase& ShardedSeabedBackend::shard_database(const std::string& table,
                                                               size_t shard) const {
   SEABED_CHECK(shard < shards_);
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
-  return State(table).parts[shard];
+  EpochDomain::Guard guard(epochs_);
+  const ShardedTableVersion* version = CurrentVersion(table);
+  SEABED_CHECK_MSG(version != nullptr, "table " << table << " was not prepared for sharding");
+  return version->parts[shard];
 }
 
 const EncryptedDatabase* ShardedSeabedBackend::replica_database(const std::string& table) const {
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
-  std::lock_guard<std::mutex> lock(replica_mu_);
-  const ShardedTable& state = State(table);
-  return state.replica.has_value() ? &*state.replica : nullptr;
+  EpochDomain::Guard guard(epochs_);
+  const ShardedTableVersion* version = CurrentVersion(table);
+  SEABED_CHECK_MSG(version != nullptr, "table " << table << " was not prepared for sharding");
+  return version->replica.get();
 }
 
 std::vector<size_t> ShardedSeabedBackend::ShardRowCounts(const std::string& table) const {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
-  const ShardedTable& state = State(table);
+  EpochDomain::Guard guard(epochs_);
+  const ShardedTableVersion* version = CurrentVersion(table);
+  SEABED_CHECK_MSG(version != nullptr, "table " << table << " was not prepared for sharding");
   std::vector<size_t> counts(shards_);
   for (size_t s = 0; s < shards_; ++s) {
-    counts[s] = state.plain_parts[s]->NumRows();
+    counts[s] = version->plain_parts[s]->NumRows();
   }
   return counts;
 }
 
-const EncryptedDatabase& ShardedSeabedBackend::EnsureReplica(const AttachedTable& right) {
-  std::lock_guard<std::mutex> lock(replica_mu_);
-  ShardedTable& state = State(right.name);
-  if (!state.replica.has_value()) {
-    // The replica shares column keys with the shard partitions, so it must
-    // occupy its own identifier space — it lives just above the last
-    // shard's. Reusing a shard's base would repeat ASHE pads across two
-    // ciphertexts of different plaintexts, leaking their difference.
-    const Encryptor encryptor(*context_->keys);
-    state.replica = encryptor.EncryptWithBaseId(*right.plain, right.schema, right.plan,
-                                                ShardBaseId(shards_));
+uint64_t ShardedSeabedBackend::probe_index_builds(const std::string& table, size_t shard) const {
+  SEABED_CHECK(shard < shards_);
+  EpochDomain::Guard guard(epochs_);
+  const ShardedTableVersion* version = CurrentVersion(table);
+  return version == nullptr ? 0 : version->probes[shard]->builds();
+}
+
+void ShardedSeabedBackend::EnsureReplica(const AttachedTable& right) {
+  {
+    EpochDomain::Guard guard(epochs_);
+    const ShardedTableVersion* version = CurrentVersion(right.name);
+    SEABED_CHECK_MSG(version != nullptr, "joined table " << right.name << " not prepared");
+    if (version->replica != nullptr) {
+      return;
+    }
   }
-  return *state.replica;
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  TableState& state = StateFor(right.name);
+  if (state.owner->replica != nullptr) {
+    return;  // a racing query built it while we waited for the writer mutex
+  }
+  // The replica shares column keys with the shard partitions, so it must
+  // occupy its own identifier space — it lives just above the last shard's.
+  // Reusing a shard's base would repeat ASHE pads across two ciphertexts of
+  // different plaintexts, leaking their difference. Built from the attached
+  // plaintext table, which the writer mutex keeps in sync with the published
+  // version, and published as a successor version that shares every part.
+  const Encryptor encryptor(*context_->keys);
+  auto next = std::make_shared<ShardedTableVersion>(*state.owner);
+  next->replica = std::make_shared<const EncryptedDatabase>(encryptor.EncryptWithBaseId(
+      *right.plain, right.schema, right.plan, ShardBaseId(shards_)));
+  Publish(state, std::move(next));
 }
 
 void ShardedSeabedBackend::Prepare(AttachedTable& table) {
-  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  std::lock_guard<std::mutex> writer(writer_mu_);
   const Encryptor encryptor(*context_->keys);
-  ShardedTable state;
+  auto version = std::make_shared<ShardedTableVersion>();
   // Slots 0..shards-1 belong to the shard partitions, slot `shards_` to the
   // lazily built join replica; rebalancing allocates fresh slots from here.
-  state.next_id_slot = shards_ + 1;
+  version->next_id_slot = shards_ + 1;
 
   // Hash-partition the rows.
   std::vector<std::vector<size_t>> assignment(shards_);
@@ -229,72 +273,113 @@ void ShardedSeabedBackend::Prepare(AttachedTable& table) {
     assignment[ShardOfRow(row)].push_back(row);
   }
 
-  state.plain_parts.resize(shards_);
-  state.parts.resize(shards_);
+  version->plain_parts.resize(shards_);
+  version->parts.resize(shards_);
+  version->probes.resize(shards_);
   // Shard encryptions are independent (shared inputs are const) — build
   // them concurrently on the fan-out pool so attach cost does not grow
   // linearly with the shard count.
   pool_.ParallelFor(shards_, [&](size_t s) {
-    state.plain_parts[s] =
+    version->plain_parts[s] =
         SubsetRows(*table.plain, table.name + "#shard" + std::to_string(s), assignment[s]);
-    state.parts[s] = encryptor.EncryptWithBaseId(*state.plain_parts[s], table.schema,
-                                                 table.plan, ShardBaseId(s));
+    version->parts[s] = encryptor.EncryptWithBaseId(*version->plain_parts[s], table.schema,
+                                                    table.plan, ShardBaseId(s));
   });
   for (size_t s = 0; s < shards_; ++s) {
-    servers_[s].RegisterTable(state.parts[s].table);
+    version->probes[s] = std::make_shared<VersionProbeIndex>();
   }
 
   // The client-side view: one plan (identical across shards) plus the union
   // of the shards' DET dictionaries, so group keys produced by any shard
   // render back to plaintext.
-  EncryptedDatabase view;
-  view.plan = state.parts.front().plan;
-  view.table = state.parts.front().table;
-  for (const EncryptedDatabase& part : state.parts) {
-    MergeDictionaries(part, view);
+  version->view.plan = version->parts.front().plan;
+  version->view.table = version->parts.front().table;
+  for (const EncryptedDatabase& part : version->parts) {
+    MergeDictionaries(part, version->view);
   }
-  table.enc = std::move(view);
+  table.enc = version->view;
 
-  tables_[table.name] = std::move(state);
+  Publish(StateFor(table.name), std::move(version));
 }
 
-void ShardedSeabedBackend::Append(AttachedTable& table, const Table& new_rows) {
-  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
-  ShardedTable& state = State(table.name);
+void ShardedSeabedBackend::Append(AttachedTable& table, const Table& new_rows,
+                                  JobStats* stats) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  Stopwatch append_sw;
+  TableState& state = StateFor(table.name);
+  const std::shared_ptr<const ShardedTableVersion> old = state.owner;
+  SEABED_CHECK_MSG(old != nullptr, "append to unprepared table " << table.name);
   const Encryptor encryptor(*context_->keys);
   const size_t prior_rows = table.plain->NumRows();
 
-  // When a replica exists it shares the attached table's non-sensitive
-  // columns, so grow those through AppendRows and the rest directly
-  // (mirrors SeabedBackend); without one, grow the plaintext table whole.
-  {
-    std::lock_guard<std::mutex> lock(replica_mu_);
-    if (state.replica.has_value()) {
-      GrowPlainTable(*table.plain, new_rows, state.replica->table.get());
-      encryptor.AppendRows(*state.replica, new_rows, table.schema);
-    } else {
-      GrowPlainTable(*table.plain, new_rows, nullptr);
-    }
+  // Successor version: structural sharing for everything, then replace just
+  // the pieces this append touches. Readers pinned on `old` see none of it.
+  auto next = std::make_shared<ShardedTableVersion>(*old);
+
+  // A replica, once built, stays consistent with its version: copy and grow.
+  if (old->replica != nullptr) {
+    auto replica = std::make_shared<EncryptedDatabase>(CopyEncryptedDatabase(*old->replica));
+    encryptor.AppendRows(*replica, new_rows, table.schema);
+    next->replica = std::move(replica);
   }
+
+  // The attached plaintext table has no snapshot readers (encrypted Execute
+  // never touches it); grow it in place for the session's own accessors.
+  GrowPlainTable(*table.plain, new_rows, nullptr);
 
   // Append locality: the whole batch lands on the shard that owns its first
   // global row — one encryption stream per batch, the way log-structured
   // ingest appends land in one partition. A skewed stream of batches can
   // therefore concentrate rows on few shards; MaybeRebalance repairs that
-  // when SessionOptions::shards_rebalance says to.
+  // when SessionOptions::shards_rebalance says to. Only the destination
+  // shard is copied; the other shards' parts stay shared with `old`.
   const size_t dest = ShardOfRow(prior_rows);
-  GrowPlainTable(*state.plain_parts[dest], new_rows, state.parts[dest].table.get());
-  encryptor.AppendRows(state.parts[dest], new_rows, table.schema);
+  next->plain_parts[dest] = DeepCopyTable(*old->plain_parts[dest]);
+  GrowPlainTable(*next->plain_parts[dest], new_rows, nullptr);
+  next->parts[dest] = CopyEncryptedDatabase(old->parts[dest]);
+  encryptor.AppendRows(next->parts[dest], new_rows, table.schema);
+  auto dest_probe = std::make_shared<VersionProbeIndex>();
+  dest_probe->SeedFrom(*old->probes[dest], *next->parts[dest].table);
+  next->probes[dest] = std::move(dest_probe);
 
   // Appends may mint new DET tokens (dictionary growth); refresh the view.
-  SEABED_CHECK(table.enc.has_value());
-  MergeDictionaries(state.parts[dest], *table.enc);
+  next->view.table = next->parts.front().table;
+  MergeDictionaries(next->parts[dest], next->view);
 
-  MaybeRebalance(table, state, encryptor);
+  std::vector<char> rebuilt(shards_, 0);
+  rebuilt[dest] = 1;
+  const double encrypt_seconds = append_sw.ElapsedSeconds();
+  const uint64_t moved_before = rebalance_stats_.rows_moved;
+  MaybeRebalance(table, *next, encryptor, rebuilt);
+  next->view.table = next->parts.front().table;  // rebalance may replace part 0
+
+  SEABED_CHECK(table.enc.has_value());
+  table.enc = next->view;  // session-visible merged view
+  if (stats != nullptr) {
+    // The ingest prices as two fabric stages, mirroring how the real system
+    // would run it: an encrypt-and-append job over the batch's row ranges,
+    // then — when the skew trigger fired — a migration stage whose moved
+    // row-groups additionally shuffle to their recipient shards.
+    const Cluster& cluster = *context_->cluster;
+    *stats = ModelIngestJob(cluster, encrypt_seconds,
+                            (new_rows.NumRows() + 8191) / 8192);
+    const uint64_t moved = rebalance_stats_.rows_moved - moved_before;
+    if (moved > 0) {
+      const double migrate_seconds = append_sw.ElapsedSeconds() - encrypt_seconds;
+      JobStats migrate = ModelIngestJob(cluster, migrate_seconds, (moved + 8191) / 8192);
+      const size_t moved_bytes = moved * new_rows.column_names().size() * sizeof(int64_t);
+      migrate.server_seconds += cluster.ShuffleSeconds(moved_bytes, /*num_reducers=*/1);
+      stats->server_seconds += migrate.server_seconds;
+      stats->total_compute_seconds += migrate.total_compute_seconds;
+      stats->num_tasks += migrate.num_tasks;
+    }
+  }
+  Publish(state, std::move(next));
 }
 
-void ShardedSeabedBackend::MaybeRebalance(const AttachedTable& table, ShardedTable& state,
-                                          const Encryptor& encryptor) {
+void ShardedSeabedBackend::MaybeRebalance(const AttachedTable& table, ShardedTableVersion& next,
+                                          const Encryptor& encryptor,
+                                          std::vector<char>& rebuilt) {
   const ShardRebalanceOptions& opts = context_->rebalance;
   if (!opts.enabled || shards_ < 2) {
     return;
@@ -304,7 +389,7 @@ void ShardedSeabedBackend::MaybeRebalance(const AttachedTable& table, ShardedTab
   std::vector<size_t> counts(shards_);
   size_t total = 0;
   for (size_t s = 0; s < shards_; ++s) {
-    counts[s] = state.plain_parts[s]->NumRows();
+    counts[s] = next.plain_parts[s]->NumRows();
     total += counts[s];
   }
   if (total == 0) {
@@ -367,19 +452,31 @@ void ShardedSeabedBackend::MaybeRebalance(const AttachedTable& table, ShardedTab
   rebalance_stats_.rebalances += 1;
   std::vector<size_t> tail(shards_);  // donor cut position, walks toward 0
   for (size_t s = 0; s < shards_; ++s) {
-    tail[s] = state.plain_parts[s]->NumRows();
+    tail[s] = next.plain_parts[s]->NumRows();
   }
   for (const Move& move : moves) {
+    // Recipients grow, so `next` must own their part objects before the
+    // first row lands (donors are only read here — replaced wholesale
+    // below — and need no copy).
+    if (!rebuilt[move.recipient]) {
+      next.plain_parts[move.recipient] = DeepCopyTable(*next.plain_parts[move.recipient]);
+      next.parts[move.recipient] = CopyEncryptedDatabase(next.parts[move.recipient]);
+      auto probe = std::make_shared<VersionProbeIndex>();
+      probe->SeedFrom(*next.probes[move.recipient], *next.parts[move.recipient].table);
+      next.probes[move.recipient] = std::move(probe);
+      rebuilt[move.recipient] = 1;
+    }
     // Re-encrypting into the recipient's identifier space is the canonical
     // append path: AppendRows continues the recipient's contiguous ASHE run,
     // so identifier spaces stay disjoint and merge semantics are untouched.
+    // The recipient's seeded probe summaries lag the migrated tail; the
+    // version's first probe re-syncs them (VersionProbeIndex::Probe).
     std::vector<size_t> rows(move.rows);
     std::iota(rows.begin(), rows.end(), tail[move.donor] - move.rows);
     const auto segment =
-        SubsetRows(*state.plain_parts[move.donor], table.name + "#migrate", rows);
-    GrowPlainTable(*state.plain_parts[move.recipient], *segment,
-                   state.parts[move.recipient].table.get());
-    encryptor.AppendRows(state.parts[move.recipient], *segment, table.schema);
+        SubsetRows(*next.plain_parts[move.donor], table.name + "#migrate", rows);
+    GrowPlainTable(*next.plain_parts[move.recipient], *segment, nullptr);
+    encryptor.AppendRows(next.parts[move.recipient], *segment, table.schema);
     tail[move.donor] -= move.rows;
     rebalance_stats_.rows_moved += move.rows;
     rebalance_stats_.row_groups_moved += (move.rows + group - 1) / group;
@@ -397,37 +494,52 @@ void ShardedSeabedBackend::MaybeRebalance(const AttachedTable& table, ShardedTab
     // upload could subtract to learn plaintext differences.
     std::vector<size_t> kept(tail[s]);
     std::iota(kept.begin(), kept.end(), size_t{0});
-    auto remainder = SubsetRows(*state.plain_parts[s],
+    auto remainder = SubsetRows(*next.plain_parts[s],
                                 table.name + "#shard" + std::to_string(s), kept);
-    state.parts[s] = encryptor.EncryptWithBaseId(*remainder, table.schema, table.plan,
-                                                 ShardBaseId(state.next_id_slot++));
-    state.plain_parts[s] = std::move(remainder);
-    // Replaces the old registration; the server's row-group index re-syncs
-    // against the shrunken table at the next probe.
-    servers_[s].RegisterTable(state.parts[s].table);
+    next.parts[s] = encryptor.EncryptWithBaseId(*remainder, table.schema, table.plan,
+                                                ShardBaseId(next.next_id_slot++));
+    next.plain_parts[s] = std::move(remainder);
+    // A fresh table object gets a fresh (empty) probe index: summaries of
+    // the old object can never leak onto the re-encrypted one, the stale-
+    // summary class of bug PR 5 fixed by registry resets.
+    next.probes[s] = std::make_shared<VersionProbeIndex>();
+    rebuilt[s] = 1;
     rebalance_stats_.rows_reencrypted += tail[s];
   }
   rebalance_stats_.seconds += sw.ElapsedSeconds();
 }
 
-std::vector<EncryptedResponse> ShardedSeabedBackend::FanOut(const ServerPlan& plan,
+std::vector<EncryptedResponse> ShardedSeabedBackend::FanOut(const ShardedTableVersion& version,
+                                                            const ServerPlan& plan,
                                                             const std::vector<bool>& active,
                                                             const Table* right) const {
   std::vector<EncryptedResponse> responses(shards_);
   pool_.ParallelFor(shards_, [&](size_t s) {
     if (active[s]) {
-      responses[s] = servers_[s].Execute(plan, *context_->cluster, right);
+      responses[s] =
+          servers_[s].Execute(plan, *context_->cluster, version.parts[s].table.get(), right);
     }
   });
   return responses;
 }
 
 ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
-  // Shared for the whole call: Append (exclusive) must never grow a shard
-  // partition or the join replica while a fan-out is scanning them.
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
   const AttachedTable& fact = context_->catalog->Get(query.table);
-  SEABED_CHECK_MSG(fact.enc.has_value(), "table " << fact.name << " was not prepared");
+
+  // Joins need the right table's broadcast replica. Guarantee it exists
+  // BEFORE pinning: replica presence is monotone across versions, so any
+  // version pinned after EnsureReplica returns carries one consistent with
+  // its own rows.
+  if (query.join.has_value()) {
+    EnsureReplica(context_->catalog->Get(query.join->right_table));
+  }
+
+  // Pin this query's snapshot: every part table, probe index and replica
+  // resolved below belongs to versions published before this point and
+  // stays alive until the guard drops — an overlapping append is invisible.
+  EpochDomain::Guard guard(epochs_);
+  const ShardedTableVersion* ver = CurrentVersion(query.table);
+  SEABED_CHECK_MSG(ver != nullptr, "table " << fact.name << " was not prepared");
 
   // One translation serves every shard: the shards share the encryption
   // plan, keys and table name, so the server plan is identical across the
@@ -445,7 +557,7 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
     plan_cache_hit = cached_tq != nullptr;
   }
   if (cached_tq == nullptr) {
-    const Translator translator(*fact.enc, *context_->keys);
+    const Translator translator(ver->view, *context_->keys);
     cached_tq = std::make_shared<TranslatedQuery>(translator.Translate(query, topts));
     if (plan_cache_ != nullptr) {
       plan_cache_->Insert(plan_key, cached_tq);
@@ -454,14 +566,16 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   const TranslatedQuery& tq = *cached_tq;
 
   // Joins broadcast the full replica: every shard joins its partition
-  // against the whole right table, handed to the servers directly (it never
-  // enters their registries).
+  // against the whole right table, handed to the servers directly from the
+  // right table's pinned version.
   const EncryptedDatabase* right_db = nullptr;
   const Table* right_table = nullptr;
   if (tq.server.join.has_value()) {
-    const AttachedTable& right = context_->catalog->Get(query.join->right_table);
-    SEABED_CHECK_MSG(right.enc.has_value(), "joined table " << right.name << " not prepared");
-    right_db = &EnsureReplica(right);
+    const ShardedTableVersion* rver = CurrentVersion(query.join->right_table);
+    SEABED_CHECK_MSG(rver != nullptr,
+                     "joined table " << query.join->right_table << " not prepared");
+    SEABED_CHECK(rver->replica != nullptr);
+    right_db = rver->replica.get();
     right_table = right_db->table.get();
   }
   const double translate_seconds = translate_sw.ElapsedSeconds();
@@ -483,7 +597,8 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   if (query.needs_two_round_trips ||
       (popts.mode == ProbeMode::kForced && shard_prunable)) {
     shard_probe_used = true;
-    std::vector<EncryptedResponse> probes = FanOut(CountProbePlan(tq.server), active, right_table);
+    std::vector<EncryptedResponse> probes =
+        FanOut(*ver, CountProbePlan(tq.server), active, right_table);
     for (size_t s = 0; s < shards_; ++s) {
       active[s] = probes[s].rows_touched > 0;
       shards_skipped += active[s] ? 0 : 1;
@@ -533,14 +648,15 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
       }
       const std::vector<RowRange>* scan_ranges = nullptr;
       if (intra_prune) {
-        probes[s] = servers_[s].Probe(tq.server.table, tq.probe, popts.row_group_size);
+        probes[s] = ver->probes[s]->Probe(*ver->parts[s].table, tq.probe, popts.row_group_size);
         probed[s] = 1;
         if (probes[s].surviving.empty()) {
           return;  // shard-local zero match: no round-two scan here
         }
         scan_ranges = &probes[s].surviving;
       }
-      responses[s] = servers_[s].Execute(tq.server, *context_->cluster, right_table, scan_ranges);
+      responses[s] = servers_[s].Execute(tq.server, *context_->cluster,
+                                         ver->parts[s].table.get(), right_table, scan_ranges);
     });
     for (size_t s = 0; s < shards_; ++s) {
       if (probed[s]) {
@@ -565,7 +681,7 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   }
   const bool probe_used = shard_probe_used || intra_probed;
 
-  const Client client(*fact.enc, *context_->keys);
+  const Client client(ver->view, *context_->keys);
   ResultSet result = client.Decrypt(merged, tq, *context_->cluster, right_db, stats);
   if (stats != nullptr) {
     stats->backend = name();

@@ -21,10 +21,18 @@
 // matched — round two touches a subset of the fleet. When no shard matches,
 // round two is skipped entirely (the empty merged response decrypts to the
 // same rows a zero-match scan produces). Inside surviving shards, round two
-// additionally consults each shard Server's row-group summary index
-// (Server::Probe, src/seabed/probe.h) under the session's probe mode, so the
-// pruned-scan Execute(scan_ranges) path runs *within* shards and
-// QueryStats::row_groups_total/pruned aggregate the per-shard indexes.
+// additionally consults each shard's row-group summary index (part of the
+// published snapshot: VersionProbeIndex, src/seabed/snapshot.h) under the
+// session's probe mode, so the pruned-scan Execute(scan_ranges) path runs
+// *within* shards and QueryStats::row_groups_total/pruned aggregate the
+// per-shard indexes.
+//
+// Concurrency: tables live in immutable published versions
+// (ShardedTableVersion). Execute pins the current version through an epoch
+// guard and never takes a lock; Prepare/Append/rebalance serialize on a
+// writer mutex, build the successor version off to the side (copying only
+// the shards they touch), and publish it with one atomic swap. Retired
+// versions drain through epoch-based reclamation (src/common/epoch.h).
 //
 // Appends place whole batches on the shard that owns the batch's first
 // global row (append locality — one encryption stream per batch, mirroring
@@ -44,16 +52,18 @@
 #ifndef SEABED_SRC_SEABED_SHARDED_BACKEND_H_
 #define SEABED_SRC_SEABED_SHARDED_BACKEND_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/common/thread_pool.h"
 #include "src/seabed/executor.h"
+#include "src/seabed/snapshot.h"
 
 namespace seabed {
 
@@ -63,25 +73,24 @@ class ShardedSeabedBackend : public Executor {
 
   const char* name() const override { return "sharded-seabed"; }
   void Prepare(AttachedTable& table) override;
-  void Append(AttachedTable& table, const Table& new_rows) override;
+  void Append(AttachedTable& table, const Table& new_rows,
+              JobStats* stats = nullptr) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
   void SetPlanCache(TranslatedPlanCache* cache) override { plan_cache_ = cache; }
-  std::optional<RebalanceStats> rebalance_stats() const override {
-    // Append mutates the counters under the exclusive state lock; snapshot
-    // under the shared one so monitors can poll during an append stream.
-    std::shared_lock<std::shared_mutex> lock(state_mu_);
-    return rebalance_stats_;
-  }
+  bool snapshot_isolated() const override { return true; }
+  std::optional<RebalanceStats> rebalance_stats() const override;
 
   size_t num_shards() const { return shards_; }
   // The untrusted side of shard `shard`, exposed for tests.
   const Server& shard_server(size_t shard) const;
-  // Shard `shard`'s partition of `table` (aborts when not attached).
+  // Shard `shard`'s partition of `table` in the currently published version
+  // (aborts when not attached). The reference stays valid until the version
+  // is retired AND drained, so don't hold it across a concurrent Append —
+  // snapshot what you need before resuming mutation traffic.
   const EncryptedDatabase& shard_database(const std::string& table, size_t shard) const;
-  // The full-table join replica of `table`, or nullptr while no join query
-  // has needed one. Exposed for tests; taken under the backend's state lock,
-  // so don't hold the returned pointer across a concurrent Append — snapshot
-  // what you need before resuming mutation traffic.
+  // The full-table join replica of `table`'s current version, or nullptr
+  // while no join query has needed one. Same lifetime caveat as
+  // shard_database.
   const EncryptedDatabase* replica_database(const std::string& table) const;
 
   // Per-shard row counts of `table`'s partitions, exposed so tests and
@@ -94,58 +103,65 @@ class ShardedSeabedBackend : public Executor {
   // skew — the partitioning.
   size_t ShardOfRow(size_t row) const;
 
+  // Summary-build count of shard `shard`'s probe index in the current
+  // version (see VersionProbeIndex::builds).
+  uint64_t probe_index_builds(const std::string& table, size_t shard) const;
+
+  // Reclamation domain, exposed for tests that assert retired versions drain.
+  EpochDomain& epoch_domain() const { return epochs_; }
+
  private:
-  // Everything the backend keeps per attached table.
-  struct ShardedTable {
-    // Per-shard plaintext sub-tables (the rows this shard owns) and their
-    // encrypted form. Parallel vectors of size `shards_`.
-    std::vector<std::shared_ptr<Table>> plain_parts;
-    std::vector<EncryptedDatabase> parts;
-    // Full-table replica for the broadcast side of joins, built by the
-    // first query that needs it (guarded by `replica_mu_`). Never enters
-    // the server registries — Execute hands it to the servers directly.
-    std::optional<EncryptedDatabase> replica;
-    // Next free ASHE identifier-space slot for this table. Slots 0..shards-1
-    // are the shard partitions, slot `shards` is the replica; rebalancing
-    // re-encrypts donor remainders into fresh slots from here so identifiers
-    // are never reused across two encryptions of the same table.
-    uint64_t next_id_slot = 0;
+  struct TableState {
+    // Owning reference to the published version; written under writer_mu_.
+    std::shared_ptr<const ShardedTableVersion> owner;
+    // Lock-free read point. Readers must hold an epochs_ guard across the
+    // load and every dereference of the result.
+    std::atomic<const ShardedTableVersion*> current{nullptr};
   };
 
-  ShardedTable& State(const std::string& table);
-  const ShardedTable& State(const std::string& table) const;
+  TableState& StateFor(const std::string& table);
+  // Pinned pointer to `table`'s published version (caller holds a guard), or
+  // null when the table was never prepared.
+  const ShardedTableVersion* CurrentVersion(const std::string& table) const;
+  // Swaps `next` in as `state`'s published version and retires the old one
+  // into the epoch domain. Requires writer_mu_.
+  void Publish(TableState& state, std::shared_ptr<const ShardedTableVersion> next);
 
-  // Returns `right`'s replica, encrypting it on first use.
-  const EncryptedDatabase& EnsureReplica(const AttachedTable& right);
+  // Guarantees `right`'s published version carries a join replica, building
+  // one (as a new version) on first use. Once a version has a replica every
+  // later version does — appends grow a copy — so a reader that pins after
+  // this returns always finds one.
+  void EnsureReplica(const AttachedTable& right);
 
   // Runs `plan` on every shard in `active` concurrently (skipped shards get
-  // a default-constructed response). `right` is the broadcast join table
-  // (nullptr for non-join plans).
-  std::vector<EncryptedResponse> FanOut(const ServerPlan& plan, const std::vector<bool>& active,
+  // a default-constructed response), over `version`'s part tables. `right`
+  // is the broadcast join table (nullptr for non-join plans).
+  std::vector<EncryptedResponse> FanOut(const ShardedTableVersion& version,
+                                        const ServerPlan& plan, const std::vector<bool>& active,
                                         const Table* right) const;
 
   // Migrates whole row-groups between shards when an Append left the fleet
-  // skewed past `context_->rebalance.max_skew_ratio`. Requires `state_mu_`
-  // held exclusively (called from Append).
-  void MaybeRebalance(const AttachedTable& table, ShardedTable& state,
-                      const Encryptor& encryptor);
+  // skewed past `context_->rebalance.max_skew_ratio`. Operates on the
+  // unpublished successor version `next`; `rebuilt[s]` marks shards whose
+  // part objects `next` already owns (copied or rebuilt — everything else
+  // is still structurally shared with the published version and must be
+  // copied before growing). Requires writer_mu_ (called from Append).
+  void MaybeRebalance(const AttachedTable& table, ShardedTableVersion& next,
+                      const Encryptor& encryptor, std::vector<char>& rebuilt);
 
   const ExecutionContext* context_;
   size_t shards_;
   TranslatedPlanCache* plan_cache_ = nullptr;
   std::vector<Server> servers_;
-  std::map<std::string, ShardedTable> tables_;
-  RebalanceStats rebalance_stats_;
-  // Readers/writer lock over the shard state: Execute (and the test
-  // accessors) hold it shared for their whole duration, Prepare/Append hold
-  // it exclusive — an Append mutating a shard partition or the join replica
-  // in place (column growth reallocates) must never interleave with a
-  // fan-out reading them. Concurrent Executes (Session::ExecuteBatch) still
-  // run in parallel.
-  mutable std::shared_mutex state_mu_;
-  // Serializes lazy replica construction between concurrent Executes (which
-  // hold `state_mu_` only shared). Ordered after `state_mu_`.
-  mutable std::mutex replica_mu_;
+  RebalanceStats rebalance_stats_;  // guarded by writer_mu_
+
+  mutable EpochDomain epochs_;
+  // Serializes Prepare/Append/EnsureReplica (version builders). Never held
+  // by the read path: Execute pins a version through `epochs_` and runs
+  // lock-free, so appends and queries overlap freely.
+  mutable std::mutex writer_mu_;
+  mutable std::mutex states_mu_;  // guards the states_ map shape only
+  std::map<std::string, std::unique_ptr<TableState>> states_;
   // Fan-out pool shared by all queries of this backend (shards run
   // concurrently; each shard's scan then parallelizes on the cluster model).
   mutable ThreadPool pool_;

@@ -1,0 +1,55 @@
+#include "src/seabed/snapshot.h"
+
+#include <utility>
+
+#include "src/common/stopwatch.h"
+
+namespace seabed {
+
+EncryptedDatabase CopyEncryptedDatabase(const EncryptedDatabase& src) {
+  EncryptedDatabase copy = src;  // plan, dictionaries, value types by value
+  copy.table = DeepCopyTable(*src.table);
+  return copy;
+}
+
+ServerProbeResult VersionProbeIndex::Probe(const Table& fact, const ProbeSection& probe,
+                                           size_t row_group_size) const {
+  Stopwatch sw;
+  ServerProbeResult out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_group_size_.find(row_group_size);
+    if (it == by_group_size_.end()) {
+      it = by_group_size_.emplace(row_group_size, RowGroupIndex(row_group_size)).first;
+    }
+    RowGroupIndex& index = it->second;
+    if (index.rows_summarized() < fact.NumRows()) {
+      // First probe at this group size on this version (or on rows its seed
+      // had not covered). The version is immutable, so this happens at most
+      // once: a racing probe waits on mu_ and finds the summaries current.
+      builds_.fetch_add(1, std::memory_order_relaxed);
+      index.Refresh(fact);
+    }
+    RowGroupIndex::PruneResult pruned = index.Prune(probe);
+    out.surviving = std::move(pruned.surviving);
+    out.total_groups = pruned.total_groups;
+    out.pruned_groups = pruned.pruned_groups;
+  }
+  out.seconds = sw.ElapsedSeconds();
+  return out;
+}
+
+void VersionProbeIndex::SeedFrom(const VersionProbeIndex& parent, const Table& fact) {
+  std::map<size_t, RowGroupIndex> seeded;
+  {
+    std::lock_guard<std::mutex> lock(parent.mu_);
+    seeded = parent.by_group_size_;  // readers may still probe the parent
+  }
+  for (auto& [size, index] : seeded) {
+    index.Refresh(fact);  // summarize only the appended tail
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  by_group_size_ = std::move(seeded);
+}
+
+}  // namespace seabed

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -397,6 +400,61 @@ TEST_F(CachingBackendTest, BatchedRepeatsShareOneColdRun) {
   caching_->Execute(q, &warm);
   EXPECT_TRUE(warm.cache_hit);
   EXPECT_EQ(backend_->hits(), cache_hits + 1);
+}
+
+// Satellite regression for the invalidation-epoch race: warm lookups and
+// appends run concurrently now (the snapshot-isolated inner backend lets
+// Append skip the serve lock), so the epoch fence is genuinely contended —
+// epoch_ is atomic with acquire/release ordering, and a miss whose lookup
+// predates an append's invalidation must drop its insert instead of
+// republishing a pre-append result. Every answer observed mid-race must
+// equal the table at SOME append boundary (prefix-consistent snapshots,
+// never torn), and the steady state after the race must be the final table.
+TEST_F(CachingBackendTest, WarmLookupsRacingAppendsStayPrefixConsistent) {
+  Build(CacheOptions{});
+  const Query q = RevenueByStore();
+  constexpr int kAppends = 8;
+
+  // Stage the batches and the reference answer after each append boundary.
+  std::vector<std::shared_ptr<Table>> batches;
+  std::vector<std::vector<std::string>> references;
+  references.push_back(RowsAsStrings(plain_->Execute(q, nullptr)));
+  for (int i = 0; i < kAppends; ++i) {
+    batches.push_back(MakeFactTable(40, 5000 + static_cast<uint64_t>(i)));
+    plain_->Append("sales", *batches.back());
+    references.push_back(RowsAsStrings(plain_->Execute(q, nullptr)));
+  }
+
+  caching_->Execute(q, nullptr);  // seed the cache: the race starts warm
+  std::atomic<bool> done{false};
+  std::atomic<size_t> inconsistent{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const std::vector<std::string> got = RowsAsStrings(caching_->Execute(q, nullptr));
+        if (std::find(references.begin(), references.end(), got) == references.end()) {
+          inconsistent.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kAppends; ++i) {
+    caching_->Append("sales", *batches[static_cast<size_t>(i)]);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+
+  EXPECT_EQ(inconsistent.load(), 0u);
+  // The last invalidation must win: the steady state serves the final table,
+  // not a stale entry a racing miss republished.
+  EXPECT_EQ(RowsAsStrings(caching_->Execute(q, nullptr)), references.back());
+  QueryStats warm;
+  caching_->Execute(q, &warm);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(RowsAsStrings(caching_->Execute(q, nullptr)), references.back());
 }
 
 }  // namespace

@@ -234,7 +234,8 @@ TEST_F(EndToEndTest, InflationPlanActuallyInflates) {
   const TranslatedQuery tq = translator.Translate(q, topts);
   EXPECT_GT(tq.server.inflation, 1u);
   const Server& server = static_cast<SeabedBackend&>(session_.executor()).server();
-  const EncryptedResponse response = server.Execute(tq.server, session_.cluster(), nullptr);
+  const EncryptedResponse response =
+      server.Execute(tq.server, session_.cluster(), db.table.get(), nullptr);
   EXPECT_GT(response.groups.size(), 3u);  // inflated on the wire
   const Client client(db, session_.keys());
   const ResultSet r = client.Decrypt(response, tq, session_.cluster(), nullptr, nullptr);

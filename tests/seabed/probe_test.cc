@@ -18,12 +18,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/seabed/session.h"
+#include "src/seabed/snapshot.h"
 
 namespace seabed {
 namespace {
@@ -190,52 +193,98 @@ TEST(RowGroupIndexTest, RefreshRecomputesThePartialLastGroupAfterMidGroupAppend)
   EXPECT_EQ(pruned.pruned_groups, 1u);
 }
 
-// Regression for the table-swap staleness hole: Probe's row-count check
-// cannot see RegisterTable replacing the table object (shard rebalancing
-// re-encrypts a donor's remainder into a fresh, smaller table), so if the
-// replacement later regrows PAST the old summarized count, summaries of the
-// old object would survive and prune groups that now hold matches.
-// RegisterTable must reset the index.
-TEST(RowGroupIndexTest, ReRegisteringATableResetsItsSummaries) {
-  Server server;
-  auto make_table = [](size_t rows, int64_t value) {
-    auto v = std::make_shared<Int64Column>();
-    for (size_t i = 0; i < rows; ++i) {
-      v->Append(value);
-    }
-    auto t = std::make_shared<Table>("t#enc");
-    t->AddColumn("v", v);
-    return t;
-  };
+std::shared_ptr<Table> MakeValueTable(size_t rows, int64_t value) {
+  auto v = std::make_shared<Int64Column>();
+  for (size_t i = 0; i < rows; ++i) {
+    v->Append(value);
+  }
+  auto t = std::make_shared<Table>("t#enc");
+  t->AddColumn("v", v);
+  return t;
+}
 
+ProbeSection MakeEqProbe(int64_t operand) {
   ServerPredicate pred;
   pred.kind = ServerPredicate::Kind::kPlainInt;
   pred.column = "v";
   pred.op = CmpOp::kEq;
-  pred.int_operand = 5;
+  pred.int_operand = operand;
   ProbeSection probe;
   probe.predicates.push_back(pred);
   probe.prunable = true;
+  return probe;
+}
+
+// Regression for the table-swap staleness hole (formerly a server-registry
+// reset): shard rebalancing re-encrypts a donor's remainder into a fresh,
+// smaller table, and summaries built over the OLD object must not survive
+// onto the replacement — if the replacement regrows PAST the old summarized
+// count, stale summaries would keep pruning groups that now hold matches.
+// With versioned snapshots the fix is structural: each fresh table object
+// ships with a fresh VersionProbeIndex, so the old index (and its
+// summaries) retires with the old version instead of being reset in place.
+TEST(VersionProbeIndexTest, FreshIndexPerRebuiltTableDropsStaleSummaries) {
+  const ProbeSection probe = MakeEqProbe(5);
 
   // Summaries built at 12 rows of value 1: everything prunes.
-  server.RegisterTable(make_table(12, 1));
-  EXPECT_TRUE(server.Probe("t#enc", probe, 8).surviving.empty());
+  const auto old_table = MakeValueTable(12, 1);
+  VersionProbeIndex old_index;
+  EXPECT_TRUE(old_index.Probe(*old_table, probe, 8).surviving.empty());
+  EXPECT_EQ(old_index.builds(), 1u);
 
-  // Swap in a 4-row replacement (the rebalance shape), then regrow it past
-  // the old 12-row count with rows that DO match — all behind Probe's back.
-  const auto replacement = make_table(4, 1);
-  server.RegisterTable(replacement);
+  // The rebalance shape: a 4-row replacement object with its own fresh
+  // index, later grown past the old 12-row count with rows that DO match.
+  const auto replacement = MakeValueTable(4, 1);
+  VersionProbeIndex fresh_index;
   auto* v = static_cast<Int64Column*>(replacement->GetColumn("v").get());
   for (size_t i = 0; i < 8; ++i) {
     v->Append(5);
   }
 
-  // A stale index would report 12 rows summarized and prune every group.
-  const ServerProbeResult result = server.Probe("t#enc", probe, 8);
+  // The old index would report 12 rows summarized over the wrong object and
+  // prune every group; the fresh one summarizes the replacement itself.
+  const ServerProbeResult result = fresh_index.Probe(*replacement, probe, 8);
   EXPECT_EQ(result.total_groups, 2u);
   ASSERT_FALSE(result.surviving.empty());
   EXPECT_EQ(result.surviving.front().begin, 0u);
   EXPECT_EQ(result.surviving.back().end, 12u);
+}
+
+// Regression for the first-touch double-build race: two queries probing a
+// freshly published version at the same group size used to both find the
+// summaries missing and both pay the full summarization scan. The index
+// builds under its own mutex now — whoever wins builds once, the racers
+// find the summaries current and only prune. builds() is the witness.
+TEST(VersionProbeIndexTest, ConcurrentFirstTouchProbesBuildExactlyOnce) {
+  const auto table = MakeValueTable(4096, 1);
+  const ProbeSection probe = MakeEqProbe(1);
+  VersionProbeIndex index;
+
+  constexpr size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::atomic<size_t> mismatches{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const ServerProbeResult result = index.Probe(*table, probe, 256);
+      if (result.total_groups != 16 || result.surviving.size() != 1) {
+        mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0u);
+  // The version is immutable, so exactly one probe may pay the build; a
+  // double build is the regression.
+  EXPECT_EQ(index.builds(), 1u);
+
+  // A second group size is a separate lazy build on the same version.
+  index.Probe(*table, probe, 512);
+  EXPECT_EQ(index.builds(), 2u);
+  index.Probe(*table, probe, 512);
+  EXPECT_EQ(index.builds(), 2u);
 }
 
 class ProbeTest : public ::testing::Test {

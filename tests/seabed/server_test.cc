@@ -37,7 +37,6 @@ class ServerTest : public ::testing::Test {
     plan_ = PlanEncryption(schema_, {sample}, popts);
     const Encryptor encryptor(keys_);
     db_ = encryptor.Encrypt(*table, schema_, plan_);
-    server_.RegisterTable(db_.table);
   }
 
   static ClusterConfig Config() {
@@ -67,7 +66,7 @@ TEST_F(ServerTest, GlobalSumProducesOneGroupWithBlobs) {
   q.table = "s";
   q.Sum("m");
   const TranslatedQuery tq = Translate(q);
-  const EncryptedResponse r = server_.Execute(tq.server, cluster_, nullptr);
+  const EncryptedResponse r = server_.Execute(tq.server, cluster_, db_.table.get(), nullptr);
   ASSERT_EQ(r.groups.size(), 1u);
   ASSERT_EQ(r.groups[0].aggs.size(), 1u);
   // Worker-side compression: one blob per partition that saw rows.
@@ -83,7 +82,7 @@ TEST_F(ServerTest, DriverSideCompressionYieldsSingleBlob) {
   TranslatorOptions topts;
   topts.worker_side_compression = false;
   const TranslatedQuery tq = Translate(q, topts);
-  const EncryptedResponse r = server_.Execute(tq.server, cluster_, nullptr);
+  const EncryptedResponse r = server_.Execute(tq.server, cluster_, db_.table.get(), nullptr);
   ASSERT_EQ(r.groups.size(), 1u);
   EXPECT_EQ(r.groups[0].aggs[0].id_blobs.size(), 1u);
   EXPECT_GT(r.driver_seconds, 0.0);
@@ -94,7 +93,7 @@ TEST_F(ServerTest, GroupByCountsShuffleBytes) {
   q.table = "s";
   q.Sum("m").GroupBy("g");
   const TranslatedQuery tq = Translate(q);
-  const EncryptedResponse r = server_.Execute(tq.server, cluster_, nullptr);
+  const EncryptedResponse r = server_.Execute(tq.server, cluster_, db_.table.get(), nullptr);
   EXPECT_EQ(r.groups.size(), 2u);
   EXPECT_GT(r.shuffle_bytes, 0u);
   EXPECT_GT(r.shuffle_seconds, 0.0);
@@ -107,7 +106,7 @@ TEST_F(ServerTest, InflationMultipliesWireGroups) {
   q.expected_groups = 2;  // 2 < 4 workers -> inflation 2
   const TranslatedQuery tq = Translate(q);
   EXPECT_EQ(tq.server.inflation, 2u);
-  const EncryptedResponse r = server_.Execute(tq.server, cluster_, nullptr);
+  const EncryptedResponse r = server_.Execute(tq.server, cluster_, db_.table.get(), nullptr);
   EXPECT_EQ(r.groups.size(), 4u);  // 2 groups x 2 suffixes
   // Suffixes recorded for client deflation.
   bool saw_nonzero_suffix = false;
@@ -133,7 +132,7 @@ TEST_F(ServerTest, ServerSeesOnlyCiphertext) {
 TEST_F(ServerTest, UnknownTableAborts) {
   ServerPlan plan;
   plan.table = "missing";
-  EXPECT_DEATH(server_.Execute(plan, cluster_, nullptr), "no table named");
+  EXPECT_DEATH(server_.Execute(plan, cluster_, nullptr, nullptr), "no table named");
 }
 
 TEST_F(ServerTest, ResponseBytesGrowWithSelectivityFragmentation) {
@@ -147,8 +146,10 @@ TEST_F(ServerTest, ResponseBytesGrowWithSelectivityFragmentation) {
   odd.Sum("m").Where("g", CmpOp::kEq, std::string("odd"));
   TranslatorOptions topts;
   topts.idlist.compression = IdListCompression::kNone;  // isolate run counts
-  const EncryptedResponse r_all = server_.Execute(Translate(all, topts).server, cluster_, nullptr);
-  const EncryptedResponse r_odd = server_.Execute(Translate(odd, topts).server, cluster_, nullptr);
+  const EncryptedResponse r_all =
+      server_.Execute(Translate(all, topts).server, cluster_, db_.table.get(), nullptr);
+  const EncryptedResponse r_odd =
+      server_.Execute(Translate(odd, topts).server, cluster_, db_.table.get(), nullptr);
   EXPECT_GT(r_odd.response_bytes, r_all.response_bytes);
 }
 

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <string>
@@ -422,12 +424,15 @@ TEST(ShardRebalanceTest, SkewedAppendsTriggerMigrationAndStayCorrect) {
   }
 }
 
-// Satellite regression: Append mutates the join replica (and the shard
-// partitions) in place; a concurrent join fan-out reading them used to race
-// on column growth. Execute now holds the state lock shared for its whole
-// duration and Append holds it exclusive — this test drives both paths from
-// two threads and then checks the final answers (runs in the fast tier, so
-// the ASan/UBSan CI job covers it).
+// Satellite regression: Append used to mutate the join replica (and the
+// shard partitions) in place, racing a concurrent join fan-out on column
+// growth. Appends now build an immutable successor version off to the side
+// and publish it atomically; Execute pins its version through an epoch guard
+// and runs lock-free. This test drives both paths from two threads, checks
+// the final answers, and — the tentpole's observable claim — asserts via
+// wall-clock spans that appends EXECUTED WHILE queries executed instead of
+// serializing behind them (runs in the fast tier, so the ASan/UBSan and
+// TSan CI jobs cover it).
 TEST(ShardedConcurrencyTest, AppendDuringJoinQueriesIsSafe) {
   PlainSchema fact_schema;
   fact_schema.table_name = "visits";
@@ -491,19 +496,64 @@ TEST(ShardedConcurrencyTest, AppendDuringJoinQueriesIsSafe) {
   sharded.Execute(q, nullptr);  // builds the replica before the race starts
 
   constexpr int kIterations = 12;
+  using TimePoint = std::chrono::steady_clock::time_point;
+  std::vector<std::pair<TimePoint, TimePoint>> query_spans(kIterations);
+  std::vector<std::pair<TimePoint, TimePoint>> append_spans;
+  append_spans.reserve(2 * kIterations);
+  // Snapshot appends on batches this small finish in tens of microseconds —
+  // far less than one join query (~tens of milliseconds) and less than the
+  // reader thread's wakeup latency. To actually exercise the race (and to
+  // observe the overlap the tentpole promises), each append waits until the
+  // reader is inside Execute before firing: the append then lands wholly
+  // within a query span, which the old reader/writer lock made impossible.
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
   std::thread reader([&] {
     for (int i = 0; i < kIterations; ++i) {
+      started.fetch_add(1, std::memory_order_release);
+      query_spans[i].first = std::chrono::steady_clock::now();
       sharded.Execute(q, nullptr);
+      query_spans[i].second = std::chrono::steady_clock::now();
+      finished.fetch_add(1, std::memory_order_release);
     }
   });
   std::vector<std::shared_ptr<Table>> fact_batches, dim_batches;
   for (int i = 0; i < kIterations; ++i) {
     fact_batches.push_back(make_fact(30, 100 + i));
     dim_batches.push_back(make_dim(10, 200 + i));
-    sharded.Append("visits", *fact_batches.back());
-    sharded.Append("pages", *dim_batches.back());
+  }
+  auto wait_for_inflight_query = [&] {
+    for (;;) {
+      const int done = finished.load(std::memory_order_acquire);
+      if (started.load(std::memory_order_acquire) > done || done >= kIterations) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  };
+  for (int i = 0; i < kIterations; ++i) {
+    for (const std::string& table : {std::string("visits"), std::string("pages")}) {
+      const Table& batch = table == "visits" ? *fact_batches[i] : *dim_batches[i];
+      wait_for_inflight_query();
+      const TimePoint begin = std::chrono::steady_clock::now();
+      sharded.Append(table, batch);
+      append_spans.emplace_back(begin, std::chrono::steady_clock::now());
+    }
   }
   reader.join();
+
+  // Appends never block queries, observed: some append's wall-clock span
+  // must overlap some query's — under the old reader/writer lock every
+  // append strictly followed or preceded every query.
+  size_t overlaps = 0;
+  for (const auto& [qb, qe] : query_spans) {
+    for (const auto& [ab, ae] : append_spans) {
+      if (ab < qe && qb < ae) {
+        ++overlaps;
+      }
+    }
+  }
+  EXPECT_GT(overlaps, 0u);
 
   // The plain session ingests the same batches serially; final answers must
   // agree once the dust settles.
