@@ -102,7 +102,7 @@ class Lexer {
       if (matched) {
         continue;
       }
-      if (std::string("(),*=<>").find(c) != std::string::npos) {
+      if (std::string("(),*=<>?").find(c) != std::string::npos) {
         Token t;
         t.type = TokenType::kSymbol;
         t.text = std::string(1, c);
@@ -273,8 +273,12 @@ class Parser {
           pred.operand = Advance().int_value;
         } else if (Peek().type == TokenType::kString) {
           pred.operand = Advance().text;
+        } else if (ConsumeSymbol("?")) {
+          // Placeholder literal: slots are assigned left to right across the
+          // WHERE clause, matching the bind order of Session::Prepare.
+          pred.param = num_params_++;
         } else {
-          return Fail("expected literal");
+          return Fail("expected literal or '?'");
         }
         q->filters.push_back(std::move(pred));
       } while (ConsumeKeyword("AND"));
@@ -392,6 +396,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t cursor_ = 0;
+  int num_params_ = 0;
   std::string error_;
 };
 

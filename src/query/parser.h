@@ -15,10 +15,12 @@
 //          | ident (bare column in GROUP BY position is implied)
 //   pred  := operand cmp literal
 //   cmp   := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
-//   literal := integer | 'single quoted string'
+//   literal := integer | 'single quoted string' | '?'
 //
 // Keywords are case-insensitive. Joined-table columns are written
-// table.column and mapped to the engine's "right:" prefix.
+// table.column and mapped to the engine's "right:" prefix. A '?' literal is
+// a prepared-statement placeholder (Predicate::param); slots number left to
+// right across the WHERE clause and bind via Session::Prepare + Execute.
 #ifndef SEABED_SRC_QUERY_PARSER_H_
 #define SEABED_SRC_QUERY_PARSER_H_
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/common/check.h"
+
 namespace seabed {
 
 const char* AggFuncName(AggFunc func) {
@@ -96,7 +98,17 @@ std::string Query::Fingerprint(FingerprintMode mode) const {
     std::string s;
     AppendToken(s, p.column);
     s += CmpOpToken(p.op);
-    AppendToken(s, mode == FingerprintMode::kShape ? "?" : TypedLiteral(p.operand));
+    std::string literal;
+    if (mode == FingerprintMode::kShape) {
+      literal = "?";
+    } else if (p.param >= 0) {
+      // Unbound placeholder: the slot is the literal's identity. `?N` cannot
+      // collide with TypedLiteral output, which always starts with i/d/s.
+      literal = "?" + std::to_string(p.param);
+    } else {
+      literal = TypedLiteral(p.operand);
+    }
+    AppendToken(s, literal);
     preds.push_back(std::move(s));
   }
   std::sort(preds.begin(), preds.end());
@@ -157,8 +169,40 @@ Query& Query::Variance(const std::string& column, const std::string& alias) {
   return *this;
 }
 
+size_t Query::num_params() const {
+  int max_slot = -1;
+  for (const Predicate& p : filters) {
+    max_slot = std::max(max_slot, p.param);
+  }
+  return static_cast<size_t>(max_slot + 1);
+}
+
+Query Query::BindParams(std::span<const Value> params) const {
+  SEABED_CHECK_MSG(params.size() == num_params(),
+                   "BindParams: query has " << num_params() << " placeholder slot(s), got "
+                                            << params.size() << " value(s)");
+  Query bound = *this;
+  for (Predicate& p : bound.filters) {
+    if (p.param < 0) {
+      continue;
+    }
+    p.operand = params[static_cast<size_t>(p.param)];
+    p.param = -1;
+  }
+  return bound;
+}
+
 Query& Query::Where(const std::string& column, CmpOp op, Value operand) {
   filters.push_back({column, op, std::move(operand)});
+  return *this;
+}
+
+Query& Query::WhereParam(const std::string& column, CmpOp op) {
+  Predicate p;
+  p.column = column;
+  p.op = op;
+  p.param = static_cast<int>(num_params());
+  filters.push_back(std::move(p));
   return *this;
 }
 

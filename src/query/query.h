@@ -11,6 +11,7 @@
 #define SEABED_SRC_QUERY_QUERY_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,11 @@ struct Predicate {
   std::string column;
   CmpOp op = CmpOp::kEq;
   Value operand;
+  // Placeholder slot for prepared statements: -1 means `operand` holds a
+  // bound literal; >= 0 names the 0-based parameter this predicate binds at
+  // execution time (`operand` is ignored until then). Slots are assigned in
+  // order of appearance by the parser (`?`) and by WhereParam().
+  int param = -1;
 };
 
 // Equi-join of the query's (fact) table against a second table. Columns of
@@ -116,9 +122,21 @@ struct Query {
   //     them must mix them into their own key.
   // kShape elides filter literals (`ts>=?`), collapsing a dashboard's
   // parameter sweeps onto one key — the granularity plan/shape statistics
-  // want, too coarse for a result cache.
+  // want, too coarse for a result cache. Unbound placeholder predicates
+  // render as `?N` (slot index) in kExact mode: the slot is part of the
+  // query's identity, and `?N` cannot collide with typed literals (which
+  // always start with i/d/s).
   enum class FingerprintMode { kExact, kShape };
   std::string Fingerprint(FingerprintMode mode = FingerprintMode::kExact) const;
+
+  // Placeholder support (prepared statements, src/seabed/prepared.h).
+  // num_params() is 1 + the highest slot index (0 when fully bound);
+  // BindParams substitutes `params[slot]` into every placeholder predicate
+  // and returns the fully-bound copy. Slot-contiguity is validated by
+  // Session::Prepare, not here.
+  size_t num_params() const;
+  bool has_params() const { return num_params() > 0; }
+  Query BindParams(std::span<const Value> params) const;
 
   // Fluent builders for tests/examples.
   Query& Sum(const std::string& column, const std::string& alias = "");
@@ -128,6 +146,8 @@ struct Query {
   Query& Max(const std::string& column, const std::string& alias = "");
   Query& Variance(const std::string& column, const std::string& alias = "");
   Query& Where(const std::string& column, CmpOp op, Value operand);
+  // Adds a placeholder predicate on the next free slot (== num_params()).
+  Query& WhereParam(const std::string& column, CmpOp op);
   Query& GroupBy(const std::string& column);
 };
 
@@ -179,6 +199,14 @@ struct QueryStats {
   bool cache_hit = false;
   bool plan_cache_hit = false;
   double cache_lookup_seconds = 0;
+
+  // Prepared-statement detail: whether this call went through the
+  // Prepare+bind path, and the time spent binding parameters (Query
+  // substitution plus per-slot DET/ORE encryption). Reported uniformly by
+  // every backend; zero/false on ad-hoc Execute calls. translate_seconds on
+  // a warm prepared call covers only the shape-plan cache lookup.
+  bool prepared = false;
+  double bind_seconds = 0;
 
   // Two-round probe detail (src/seabed/probe.h): whether round one ran, its
   // cost (also folded into server_seconds), and how much of the fleet it let

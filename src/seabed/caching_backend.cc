@@ -1,6 +1,6 @@
 #include "src/seabed/caching_backend.h"
 
-#include <algorithm>
+#include <mutex>
 #include <utility>
 
 #include "src/common/check.h"
@@ -8,29 +8,18 @@
 
 namespace seabed {
 
-size_t EstimateResultBytes(const ResultSet& result) {
-  size_t bytes = sizeof(ResultSet);
-  for (const std::string& name : result.column_names) {
-    bytes += sizeof(std::string) + name.size();
-  }
-  for (const auto& row : result.rows) {
-    bytes += sizeof(row) + row.size() * sizeof(Value);
-    for (const Value& v : row) {
-      if (const auto* s = std::get_if<std::string>(&v)) {
-        bytes += s->size();
-      }
-    }
-  }
-  return bytes;
-}
-
 CachingSeabedBackend::CachingSeabedBackend(const CacheOptions& options,
                                            std::unique_ptr<Executor> inner)
-    : options_(options), inner_(std::move(inner)), plan_cache_(options.plan_cache_entries) {
+    : options_(options),
+      inner_(std::move(inner)),
+      results_(options.shared != nullptr
+                   ? options.shared
+                   : std::make_shared<SharedResultCache>(
+                         SharedResultCache::Limits{options.max_entries, options.max_bytes})),
+      plan_cache_(std::make_shared<TranslatedPlanCache>(options.plan_cache_entries)) {
   SEABED_CHECK_MSG(inner_ != nullptr, "caching backend needs an inner executor");
-  SEABED_CHECK_MSG(options_.max_entries >= 1, "caching backend needs room for one entry");
   if (options_.cache_plans) {
-    inner_->SetPlanCache(&plan_cache_);
+    inner_->SetPlanCache(plan_cache_);
   }
 }
 
@@ -45,7 +34,7 @@ void CachingSeabedBackend::Prepare(AttachedTable& table) {
 }
 
 void CachingSeabedBackend::Append(AttachedTable& table, const Table& new_rows,
-                                 JobStats* stats) {
+                                  JobStats* stats) {
   // Snapshot-isolated inner backends synchronize appends internally (the new
   // version is built off to the side and published with one atomic swap), so
   // in-flight misses keep executing over their pinned snapshot — no serve
@@ -66,74 +55,50 @@ void CachingSeabedBackend::Append(AttachedTable& table, const Table& new_rows,
   InvalidateTable(table.name);
 }
 
-void CachingSeabedBackend::TouchLocked(Entry& entry, const std::string& key) {
-  lru_.erase(entry.lru);
-  lru_.push_front(key);
-  entry.lru = lru_.begin();
-}
-
-void CachingSeabedBackend::EvictLocked() {
-  while (!lru_.empty() &&
-         (results_.size() > options_.max_entries || total_bytes_ > options_.max_bytes)) {
-    const std::string victim = lru_.back();
-    lru_.pop_back();
-    const auto it = results_.find(victim);
-    SEABED_CHECK(it != results_.end());
-    total_bytes_ -= it->second.bytes;
-    results_.erase(it);
-  }
-}
-
-void CachingSeabedBackend::InsertLocked(const std::string& key, Entry entry) {
-  const auto it = results_.find(key);
-  if (it != results_.end()) {
-    // Concurrent miss on the same key: keep one copy, refresh its payload.
-    total_bytes_ -= it->second.bytes;
-    lru_.erase(it->second.lru);
-    results_.erase(it);
-  }
-  lru_.push_front(key);
-  entry.lru = lru_.begin();
-  total_bytes_ += entry.bytes;
-  results_.emplace(key, std::move(entry));
-  EvictLocked();
-}
-
 ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
-  const std::string key = query.Fingerprint(Query::FingerprintMode::kExact);
+  return ExecuteVia(query, stats,
+                    [&](QueryStats* inner_stats) { return inner_->Execute(query, inner_stats); });
+}
+
+ResultSet CachingSeabedBackend::ExecutePrepared(const PreparedQuery& prepared,
+                                                std::span<const Value> params,
+                                                QueryStats* stats) {
+  // The result cache keys on the BOUND literals (a prepared hit and an
+  // ad-hoc hit of the same values share one entry); the inner backend's
+  // prepared path supplies the plan reuse on misses.
+  Stopwatch bind_sw;
+  const Query bound = prepared.Bind(params);
+  const double bind_seconds = bind_sw.ElapsedSeconds();
+  ResultSet result = ExecuteVia(bound, stats, [&](QueryStats* inner_stats) {
+    return inner_->ExecutePrepared(prepared, params, inner_stats);
+  });
+  if (stats != nullptr) {
+    stats->prepared = true;
+    stats->bind_seconds += bind_seconds;  // a miss already billed the inner bind
+  }
+  return result;
+}
+
+ResultSet CachingSeabedBackend::ExecuteVia(
+    const Query& bound, QueryStats* stats,
+    const std::function<ResultSet(QueryStats*)>& run_inner) {
+  const std::string key = bound.Fingerprint(Query::FingerprintMode::kExact);
 
   Stopwatch lookup_sw;
-  std::shared_ptr<const ResultSet> hit;
-  size_t hit_result_bytes = 0;
-  uint64_t hit_rows_touched = 0;
-  uint64_t lookup_epoch = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    lookup_epoch = epoch_.load(std::memory_order_acquire);
-    const auto it = results_.find(key);
-    if (it != results_.end()) {
-      ++hits_;
-      TouchLocked(it->second, key);
-      hit = it->second.result;
-      hit_result_bytes = it->second.result_bytes;
-      hit_rows_touched = it->second.rows_touched;
-    } else {
-      ++misses_;
-    }
-  }
-  if (hit != nullptr) {
-    // The row copy happens outside the lock: concurrent warm hits
+  const SharedResultCache::Lookup lookup = results_->Find(key);
+  if (lookup.result != nullptr) {
+    // The row copy happens outside every cache lock: concurrent warm hits
     // (ExecuteBatch) must not serialize on it.
     if (stats != nullptr) {
       *stats = QueryStats{};
       stats->backend = name();
       stats->cache_hit = true;
       stats->cache_lookup_seconds = lookup_sw.ElapsedSeconds();
-      stats->result_rows = hit->rows.size();
-      stats->result_bytes = hit_result_bytes;
-      stats->rows_touched = hit_rows_touched;
+      stats->result_rows = lookup.result->rows.size();
+      stats->result_bytes = lookup.result_bytes;
+      stats->rows_touched = lookup.rows_touched;
     }
-    return *hit;
+    return *lookup.result;
   }
   const double lookup_seconds = lookup_sw.ElapsedSeconds();
 
@@ -151,77 +116,24 @@ ResultSet CachingSeabedBackend::Execute(const Query& query, QueryStats* stats) {
     if (!inner_->snapshot_isolated()) {
       serve_lock.lock();
     }
-    result = inner_->Execute(query, inner_stats);
+    result = run_inner(inner_stats);
   }
 
-  Entry entry;
-  entry.result = std::make_shared<const ResultSet>(result);
-  entry.result_bytes = inner_stats->result_bytes;
-  entry.rows_touched = inner_stats->rows_touched;
-  entry.bytes = key.size() + EstimateResultBytes(result);
-  entry.tables.push_back(query.table);
-  if (query.join.has_value()) {
-    entry.tables.push_back(query.join->right_table);
+  std::vector<std::string> tables;
+  tables.push_back(bound.table);
+  if (bound.join.has_value()) {
+    tables.push_back(bound.join->right_table);
   }
 
   Stopwatch insert_sw;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    // Publish only if no invalidation ran since the lookup — a result
-    // computed over the pre-append snapshot must not outlive the append.
-    if (epoch_.load(std::memory_order_acquire) == lookup_epoch) {
-      InsertLocked(key, std::move(entry));
-    }
-  }
+  results_->Insert(key, std::make_shared<const ResultSet>(result), inner_stats->result_bytes,
+                   inner_stats->rows_touched, std::move(tables), lookup.epoch);
   if (stats != nullptr) {
     stats->backend = name();
     stats->cache_hit = false;
     stats->cache_lookup_seconds = lookup_seconds + insert_sw.ElapsedSeconds();
   }
   return result;
-}
-
-void CachingSeabedBackend::InvalidateResults() {
-  std::lock_guard<std::mutex> lock(mu_);
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
-  results_.clear();
-  lru_.clear();
-  total_bytes_ = 0;
-}
-
-void CachingSeabedBackend::InvalidateTable(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
-  for (auto it = results_.begin(); it != results_.end();) {
-    const Entry& entry = it->second;
-    if (std::find(entry.tables.begin(), entry.tables.end(), table) != entry.tables.end()) {
-      total_bytes_ -= entry.bytes;
-      lru_.erase(entry.lru);
-      it = results_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-uint64_t CachingSeabedBackend::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-uint64_t CachingSeabedBackend::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
-}
-
-size_t CachingSeabedBackend::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return results_.size();
-}
-
-size_t CachingSeabedBackend::cached_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_bytes_;
 }
 
 }  // namespace seabed

@@ -7,10 +7,13 @@
 //
 //   * a RESULT CACHE keyed by Query::Fingerprint() (filters
 //     order-normalized, literals typed) memoizes the decrypted answer, so a
-//     repeated query skips the untrusted server entirely. Entries are
-//     evicted LRU under both an entry budget and a byte budget, and
-//     invalidated whenever a table they read (fact or join right side) is
-//     appended to or re-attached;
+//     repeated query skips the untrusted server entirely. The cache itself
+//     is a SharedResultCache (src/seabed/result_cache.h): LRU under entry +
+//     byte budgets, per-table invalidation, epoch-fenced inserts. By default
+//     each backend owns a private one; pass CacheOptions::shared to attach
+//     many sessions (or a Service fleet) to one cross-session cache — warm
+//     hits travel between sessions, and any session's Append invalidates
+//     the table for all of them;
 //   * a TRANSLATED-PLAN CACHE (TranslatedPlanCache, shared with the inner
 //     backend via Executor::SetPlanCache) memoizes the translator's output
 //     per plan key, so even a cache MISS skips rebuilding Translator state
@@ -25,41 +28,39 @@
 // QueryStats: hits report cache_hit=true, the result shape of the original
 // cold run (result_rows / result_bytes / rows_touched), and only
 // cache_lookup_seconds of latency; misses report the inner backend's full
-// breakdown plus plan_cache_hit when translation was memoized.
+// breakdown plus plan_cache_hit when translation was memoized. Prepared
+// executions (ExecutePrepared) are cached too — the result cache keys on the
+// BOUND query's exact fingerprint, so a prepared hit and an ad-hoc hit of
+// the same literals share one entry.
 //
 // THREAD SAFETY: fully safe for multi-threaded fronts (seabed::Service).
-// The result cache and stats are mutex-guarded. When the inner backend is
+// The result cache is internally synchronized. When the inner backend is
 // snapshot-isolated (Executor::snapshot_isolated), appends run concurrently
 // with in-flight misses — each miss executes over its pinned table version
-// and the atomic invalidation epoch fences its insert: a miss whose lookup
+// and the cache's invalidation epoch fences its insert: a miss whose lookup
 // predates the append's invalidation is dropped instead of republishing a
 // result computed over the old table. Legacy inner backends (no snapshot
 // path) keep the serve rwlock: Prepare/Append exclusive, misses shared.
 #ifndef SEABED_SRC_SEABED_CACHING_BACKEND_H_
 #define SEABED_SRC_SEABED_CACHING_BACKEND_H_
 
-#include <atomic>
 #include <cstdint>
-#include <list>
-#include <map>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <shared_mutex>
 #include <string>
-#include <vector>
 
 #include "src/seabed/executor.h"
+#include "src/seabed/result_cache.h"
 
 namespace seabed {
-
-// Rough client-memory footprint of a cached ResultSet, used for the byte
-// budget (value payloads + per-row/-string overheads).
-size_t EstimateResultBytes(const ResultSet& result);
 
 class CachingSeabedBackend : public Executor {
  public:
   // Wraps `inner` (built by MakeExecutor from `options.inner`); installs the
-  // plan cache into it unless `options.cache_plans` is off.
+  // plan cache into it unless `options.cache_plans` is off. Uses
+  // `options.shared` as the result cache when set, else builds a private one
+  // from the options' limits.
   CachingSeabedBackend(const CacheOptions& options, std::unique_ptr<Executor> inner);
 
   const char* name() const override { return "caching-seabed"; }
@@ -67,75 +68,50 @@ class CachingSeabedBackend : public Executor {
   void Append(AttachedTable& table, const Table& new_rows,
               JobStats* stats = nullptr) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
+  ResultSet ExecutePrepared(const PreparedQuery& prepared, std::span<const Value> params,
+                            QueryStats* stats) override;
   std::optional<RebalanceStats> rebalance_stats() const override {
     return inner_->rebalance_stats();
   }
   bool snapshot_isolated() const override { return inner_->snapshot_isolated(); }
 
   // Drops every cached result (plan cache untouched — plans never go stale).
-  void InvalidateResults();
+  void InvalidateResults() { results_->InvalidateAll(); }
   // Drops cached results that read `table` as fact or join right side.
-  void InvalidateTable(const std::string& table);
+  void InvalidateTable(const std::string& table) { results_->InvalidateTable(table); }
 
   // --- observability, exposed for tests and benches --------------------------
-  uint64_t hits() const;
-  uint64_t misses() const;
-  size_t entries() const;
-  size_t cached_bytes() const;
-  const TranslatedPlanCache& plan_cache() const { return plan_cache_; }
+  // Forwarded from the result cache — cache-global counters when `shared`
+  // attaches several sessions to one cache.
+  uint64_t hits() const { return results_->hits(); }
+  uint64_t misses() const { return results_->misses(); }
+  size_t entries() const { return results_->entries(); }
+  size_t cached_bytes() const { return results_->bytes(); }
+  const SharedResultCache& result_cache() const { return *results_; }
+  const TranslatedPlanCache& plan_cache() const { return *plan_cache_; }
   Executor& inner() { return *inner_; }
 
  private:
-  struct Entry {
-    // Immutable shared payload: hits snapshot the pointer under the lock
-    // and copy the rows outside it, so concurrent warm hits in ExecuteBatch
-    // never serialize on the row copy (and a hit outlives eviction).
-    std::shared_ptr<const ResultSet> result;
-    // Result-shape stats of the cold run, replayed into hit stats.
-    size_t result_bytes = 0;
-    uint64_t rows_touched = 0;
-    size_t bytes = 0;                  // EstimateResultBytes at insert time
-    std::vector<std::string> tables;   // fact + join right side
-    std::list<std::string>::iterator lru;  // position in lru_ (front = hottest)
-  };
-
-  // All three require `mu_` held.
-  void TouchLocked(Entry& entry, const std::string& key);
-  void InsertLocked(const std::string& key, Entry entry);
-  void EvictLocked();
+  // The shared miss/hit protocol of Execute and ExecutePrepared: probes the
+  // cache under `bound`'s exact fingerprint, else runs `run_inner` (outside
+  // every cache lock, under the serve lock for legacy inner backends) and
+  // publishes its result epoch-fenced.
+  ResultSet ExecuteVia(const Query& bound, QueryStats* stats,
+                       const std::function<ResultSet(QueryStats*)>& run_inner);
 
   CacheOptions options_;
   std::unique_ptr<Executor> inner_;
-  TranslatedPlanCache plan_cache_;
+  std::shared_ptr<SharedResultCache> results_;
+  std::shared_ptr<TranslatedPlanCache> plan_cache_;
 
   // Structural serve lock for LEGACY (non-snapshot-isolated) inner backends:
   // a miss holds it SHARED across the inner execution; Prepare/Append hold
   // it EXCLUSIVE while mutating the inner backend's tables. Snapshot-
   // isolated inner backends synchronize internally, so Append skips this
   // lock entirely and misses overlap appends (Prepare stays exclusive: a
-  // re-attach also rewires catalog state). Ordered before `mu_` (never
-  // acquire serve_mu_ while holding mu_).
+  // re-attach also rewires catalog state). Ordered before the result cache's
+  // internal mutex (never acquire serve_mu_ from inside the cache).
   mutable std::shared_mutex serve_mu_;
-
-  // Result cache. Guarded by `mu_`: Session::ExecuteBatch issues concurrent
-  // Execute calls. Misses run the inner backend OUTSIDE the lock — two
-  // concurrent misses on one key both execute and the later insert wins
-  // (idempotent: equivalence says both computed the same rows).
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> results_;
-  std::list<std::string> lru_;  // most-recently-used at the front
-  size_t total_bytes_ = 0;
-  // Invalidation epoch, fencing misses against invalidation: an insert whose
-  // lookup predates an InvalidateTable/InvalidateResults is dropped instead
-  // of republishing a result computed over the old table. Atomic with
-  // acquire/release ordering — with a snapshot-isolated inner backend an
-  // append's invalidation races the miss path, and the fence must be visible
-  // without relying on `mu_` alone: the release increment happens after the
-  // inner backend published its post-append version, so a miss whose acquire
-  // load still sees the old epoch pinned the old version and is dropped.
-  std::atomic<uint64_t> epoch_{0};
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
 };
 
 }  // namespace seabed

@@ -170,6 +170,13 @@ ResultSet Client::Decrypt(const EncryptedResponse& response, const TranslatedQue
       }
     }
 
+    // SPLASHE-filtered GROUP BY: a group where the filtered value never
+    // occurs decrypts to an all-zero row plaintext semantics would not emit.
+    if (cplan.splashe_filter_count >= 0 &&
+        decrypted[static_cast<size_t>(cplan.splashe_filter_count)] == 0) {
+      continue;
+    }
+
     std::vector<Value> row;
     row.reserve(cplan.group_outputs.size() + cplan.outputs.size());
     for (size_t g = 0; g < cplan.group_outputs.size(); ++g) {

@@ -53,6 +53,20 @@ const AttachedTable* TableCatalog::Find(const std::string& name) const {
 
 Executor::~Executor() = default;
 
+ResultSet Executor::ExecutePrepared(const PreparedQuery& prepared,
+                                    std::span<const Value> params, QueryStats* stats) {
+  SEABED_CHECK_MSG(prepared.valid(), "ExecutePrepared on an invalid (default) handle");
+  Stopwatch bind_sw;
+  const Query bound = prepared.Bind(params);
+  const double bind_seconds = bind_sw.ElapsedSeconds();
+  ResultSet result = Execute(bound, stats);
+  if (stats != nullptr) {
+    stats->prepared = true;
+    stats->bind_seconds = bind_seconds;
+  }
+  return result;
+}
+
 void GrowPlainTable(Table& dst, const Table& src, const Table* shared_with) {
   for (const std::string& name : dst.column_names()) {
     const ColumnPtr& col = dst.GetColumn(name);
@@ -277,6 +291,18 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
   }
   const double translate_seconds = translate_sw.ElapsedSeconds();
 
+  ResultSet result = RunTranslated(query, fact, fver, right_db, *tq, stats);
+  if (stats != nullptr) {
+    stats->translate_seconds = translate_seconds;
+    stats->plan_cache_hit = plan_cache_hit;
+  }
+  return result;
+}
+
+ResultSet SeabedBackend::RunTranslated(const Query& query, const AttachedTable& fact,
+                                       const TableVersion* fver,
+                                       const EncryptedDatabase* right_db,
+                                       const TranslatedQuery& tq, QueryStats* stats) {
   // Round one (adaptive two-round execution): evaluate the plan's probe
   // section against the pinned version's row-group summaries, then scan only
   // the surviving groups — or skip round two entirely when nothing can
@@ -286,13 +312,13 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
   const ProbeOptions& popts = context_->probe;
   bool probe_used = false;
   ServerProbeResult probe;
-  if (popts.mode != ProbeMode::kOff && tq->probe.prunable) {
+  if (popts.mode != ProbeMode::kOff && tq.probe.prunable) {
     bool go = popts.mode == ProbeMode::kForced || query.needs_two_round_trips;
     if (!go) {
       go = EstimateFilterSelectivity(query, fact.schema) <= popts.auto_selectivity_threshold;
     }
     if (go) {
-      probe = fver->probe.Probe(*fver->enc.table, tq->probe, popts.row_group_size);
+      probe = fver->probe.Probe(*fver->enc.table, tq.probe, popts.row_group_size);
       probe_used = true;
     }
   }
@@ -305,20 +331,85 @@ ResultSet SeabedBackend::Execute(const Query& query, QueryStats* stats) {
     // row).
     response = EncryptedResponse{};
   } else {
-    response = server_.Execute(tq->server, *context_->cluster, fver->enc.table.get(),
+    response = server_.Execute(tq.server, *context_->cluster, fver->enc.table.get(),
                                right_db == nullptr ? nullptr : right_db->table.get(),
                                probe_used ? &probe.surviving : nullptr);
   }
   const Client client(fver->enc, *context_->keys);
-  ResultSet result = client.Decrypt(response, *tq, *context_->cluster, right_db, stats);
+  ResultSet result = client.Decrypt(response, tq, *context_->cluster, right_db, stats);
   if (stats != nullptr) {
-    stats->translate_seconds = translate_seconds;
-    stats->plan_cache_hit = plan_cache_hit;
     stats->probe_used = probe_used;
     stats->probe_seconds = probe.seconds;
     stats->row_groups_total = probe.total_groups;
     stats->row_groups_pruned = probe.pruned_groups;
     stats->server_seconds += probe.seconds;  // round one is server latency too
+  }
+  return result;
+}
+
+ResultSet SeabedBackend::ExecutePrepared(const PreparedQuery& prepared,
+                                         std::span<const Value> params, QueryStats* stats) {
+  SEABED_CHECK_MSG(prepared.valid(), "ExecutePrepared on an invalid (default) handle");
+  if (!prepared.parameterized()) {
+    // A placeholder rides on a SPLASHE column: its rewrite depends on the
+    // literal value, so the shape cannot be translated once. Bind, then run
+    // the ad-hoc path (the base implementation reports prepared/bind stats).
+    return Executor::ExecutePrepared(prepared, params, stats);
+  }
+  const Query& shape = prepared.shape();
+  const AttachedTable& fact = context_->catalog->Get(shape.table);
+
+  // The bound Query still exists per call — the probe cost gate estimates
+  // selectivity from the literals — but it is a plain struct copy, not a
+  // parse or a translation.
+  Stopwatch bind_sw;
+  const Query bound = prepared.Bind(params);
+  double bind_seconds = bind_sw.ElapsedSeconds();
+
+  EpochDomain::Guard guard(epochs_);
+  const TableVersion* fver = CurrentVersion(shape.table);
+  SEABED_CHECK_MSG(fver != nullptr, "table " << fact.name << " was not prepared");
+
+  Stopwatch translate_sw;
+  TranslatorOptions topts = context_->translator;
+  topts.cluster_workers = context_->cluster->num_workers();
+
+  const EncryptedDatabase* right_db = nullptr;
+  if (shape.join.has_value()) {
+    const TableVersion* rver = CurrentVersion(shape.join->right_table);
+    SEABED_CHECK_MSG(rver != nullptr,
+                     "joined table " << shape.join->right_table << " not prepared");
+    right_db = &rver->enc;
+  }
+
+  // One translation per shape: the handle carries the fingerprint half of
+  // the plan key, so a warm call is one map lookup away from its plan.
+  TranslatedPlanCache& cache = plan_cache_ != nullptr ? *plan_cache_ : own_plan_cache_;
+  const std::string plan_key =
+      prepared.plan_key_base() + PlanCacheKeySuffix(shape.expected_groups, topts);
+  std::shared_ptr<const TranslatedQuery> shape_tq = cache.Find(plan_key);
+  const bool plan_cache_hit = shape_tq != nullptr;
+  if (shape_tq == nullptr) {
+    const Translator translator(fver->enc, *context_->keys);
+    auto fresh = std::make_shared<TranslatedQuery>(translator.Translate(shape, topts));
+    if (fresh->server.join.has_value()) {
+      fresh->server.join->right_table = right_db->table->name();
+    }
+    shape_tq = std::move(fresh);
+    cache.Insert(plan_key, shape_tq);
+  }
+  const double translate_seconds = translate_sw.ElapsedSeconds();
+
+  Stopwatch plan_bind_sw;
+  const TranslatedQuery bound_tq = BindTranslatedQuery(*shape_tq, params);
+  bind_seconds += plan_bind_sw.ElapsedSeconds();
+
+  ResultSet result = RunTranslated(bound, fact, fver, right_db, bound_tq, stats);
+  if (stats != nullptr) {
+    stats->translate_seconds = translate_seconds;
+    stats->plan_cache_hit = plan_cache_hit;
+    stats->prepared = true;
+    stats->bind_seconds = bind_seconds;
   }
   return result;
 }

@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,12 +24,15 @@
 #include "src/seabed/encryptor.h"
 #include "src/seabed/paillier_baseline.h"
 #include "src/seabed/planner.h"
+#include "src/seabed/prepared.h"
 #include "src/seabed/probe.h"
 #include "src/seabed/server.h"
 #include "src/seabed/snapshot.h"
 #include "src/seabed/translator.h"
 
 namespace seabed {
+
+class SharedResultCache;  // src/seabed/result_cache.h
 
 enum class BackendKind {
   kPlain,          // NoEnc: plaintext execution on the cluster model
@@ -46,14 +50,22 @@ struct CacheOptions {
   BackendKind inner = BackendKind::kSeabed;
 
   // Result-cache budget: entries beyond either limit evict in LRU order.
+  // Ignored when `shared` is set — the shared cache carries its own limits.
   size_t max_entries = 1024;
   size_t max_bytes = 64u << 20;
+
+  // Cross-session result cache (src/seabed/result_cache.h). When set, this
+  // session's kCachingSeabed serves hits from — and inserts misses into —
+  // the given cache, so a fleet of sessions shares warm results; any
+  // session's Append invalidates the table for all of them. When null the
+  // backend creates a private cache from the limits above.
+  std::shared_ptr<SharedResultCache> shared;
 
   // Disables the translated-plan cache (result caching is unaffected).
   bool cache_plans = true;
 
   // Plan-memo budget: keys embed filter literals, so parameter sweeps mint
-  // fresh keys; beyond this many plans the oldest insertion is dropped.
+  // fresh keys; beyond this many plans the least recently used is dropped.
   size_t plan_cache_entries = 4096;
 };
 
@@ -148,11 +160,25 @@ class Executor {
   // latency breakdown of this call.
   virtual ResultSet Execute(const Query& query, QueryStats* stats) = 0;
 
-  // Points the backend at a shared translated-plan memo (non-owning; must
-  // outlive the executor). Backends that translate per call (kSeabed,
-  // kShardedSeabed) consult it before rebuilding Translator state; the
-  // default ignores the cache. Installed by the kCachingSeabed decorator.
-  virtual void SetPlanCache(TranslatedPlanCache* cache) { (void)cache; }
+  // Prepared execution: runs `prepared` with `params` bound to its
+  // placeholder slots. Every backend returns exactly the rows of
+  // Execute(prepared.Bind(params)); backends with a translation step
+  // (kSeabed, kShardedSeabed) additionally reuse the shape's cached plan and
+  // only encrypt the bound literals per call. The base implementation binds
+  // and delegates to Execute — correct for backends with no translation to
+  // skip (kPlain) or none worth parameterizing (kPaillier re-encrypts the
+  // whole plan anyway). All implementations set stats->prepared and
+  // stats->bind_seconds.
+  virtual ResultSet ExecutePrepared(const PreparedQuery& prepared,
+                                    std::span<const Value> params, QueryStats* stats);
+
+  // Points the backend at a shared translated-plan memo. Shared ownership:
+  // the cache may be installed into many backends across sessions (and into
+  // a Service), so it must be able to outlive any one of them. Backends that
+  // translate per call (kSeabed, kShardedSeabed) consult it before
+  // rebuilding Translator state; the default ignores the cache. Installed by
+  // the kCachingSeabed decorator and by seabed::Service.
+  virtual void SetPlanCache(std::shared_ptr<TranslatedPlanCache> cache) { (void)cache; }
 
   // Snapshot of the cumulative skew-rebalancing detail, or nullopt on
   // backends that never migrate rows (everything but kShardedSeabed; the
@@ -217,7 +243,11 @@ class SeabedBackend : public Executor {
   void Append(AttachedTable& table, const Table& new_rows,
               JobStats* stats = nullptr) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
-  void SetPlanCache(TranslatedPlanCache* cache) override { plan_cache_ = cache; }
+  ResultSet ExecutePrepared(const PreparedQuery& prepared, std::span<const Value> params,
+                            QueryStats* stats) override;
+  void SetPlanCache(std::shared_ptr<TranslatedPlanCache> cache) override {
+    plan_cache_ = std::move(cache);
+  }
   bool snapshot_isolated() const override { return true; }
 
   // The untrusted side, exposed for tests that inspect what the server sees.
@@ -244,9 +274,21 @@ class SeabedBackend : public Executor {
   const TableVersion* CurrentVersion(const std::string& name) const;
   TableState& StateFor(const std::string& name);
 
+  // Post-translation execution shared by the ad-hoc and prepared paths:
+  // probe round, server scan, client decryption, probe stats. `query` must
+  // be fully bound; the caller holds the epoch guard that pins `fver`.
+  ResultSet RunTranslated(const Query& query, const AttachedTable& fact,
+                          const TableVersion* fver, const EncryptedDatabase* right_db,
+                          const TranslatedQuery& tq, QueryStats* stats);
+
   const ExecutionContext* context_;
   Server server_;
-  TranslatedPlanCache* plan_cache_ = nullptr;
+  std::shared_ptr<TranslatedPlanCache> plan_cache_;
+  // Shape-plan memo for the prepared path when no external cache was
+  // installed: Prepare+bind must never retranslate per call even on a bare
+  // kSeabed session. The ad-hoc path keeps ignoring it so uncached Execute
+  // semantics (and its benchmarked translate cost) are unchanged.
+  TranslatedPlanCache own_plan_cache_{256};
 
   mutable EpochDomain epochs_;
   std::mutex writer_mu_;  // serializes Prepare/Append (never held by readers)

@@ -1,0 +1,74 @@
+// Prepared statements: translate once per shape, bind per execution.
+//
+// The paper's target workload (Section 5) is BI dashboards re-issuing the
+// same handful of query shapes with different literals. A PreparedQuery is
+// the client-side handle for one such shape: Session::Prepare validates the
+// placeholder slots and freezes the shape's fingerprints; the first
+// execution translates the shape (server plan, client plan, probe section,
+// per-slot column keys) into the shape-keyed plan cache; every later
+// execution only encrypts the bound literals (DET token / ORE ciphertext per
+// slot) — no parser, no planner lookup, no retranslation.
+//
+// Handles are cheap to copy (shared immutable state) and safe to use from
+// many threads concurrently, including through seabed::Service.
+#ifndef SEABED_SRC_SEABED_PREPARED_H_
+#define SEABED_SRC_SEABED_PREPARED_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/query/query.h"
+
+namespace seabed {
+
+class PreparedQuery {
+ public:
+  // An invalid handle; Session::Prepare returns valid ones.
+  PreparedQuery() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  // The shape query with its unbound placeholder predicates.
+  const Query& shape() const { return state_->shape; }
+
+  // Fingerprint(kShape), frozen at Prepare: Service batches on it, and
+  // diagnostics name the shape with it.
+  const std::string& shape_key() const { return state_->shape_key; }
+
+  // Fingerprint(kExact) of the shape (placeholders render as `?N`), frozen
+  // at Prepare: backends append the translator-options digest to form the
+  // plan-cache key without re-walking the query per execution.
+  const std::string& plan_key_base() const { return state_->plan_key_base; }
+
+  size_t num_params() const { return state_->num_params; }
+
+  // False when some placeholder sits on a SPLASHE-protected column: its
+  // rewrite depends on the literal value, so backends bind first and
+  // translate per execution (correct, just not accelerated).
+  bool parameterized() const { return state_->parameterized; }
+
+  // The fully-bound Query (every backend's fallback, and what result caches
+  // and plaintext backends execute).
+  Query Bind(std::span<const Value> params) const { return state_->shape.BindParams(params); }
+
+ private:
+  friend class Session;
+
+  struct State {
+    Query shape;
+    std::string shape_key;
+    std::string plan_key_base;
+    size_t num_params = 0;
+    bool parameterized = false;
+  };
+
+  explicit PreparedQuery(std::shared_ptr<const State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_PREPARED_H_

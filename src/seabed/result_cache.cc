@@ -1,0 +1,140 @@
+#include "src/seabed/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace seabed {
+
+size_t EstimateResultBytes(const ResultSet& result) {
+  size_t bytes = sizeof(ResultSet);
+  for (const std::string& name : result.column_names) {
+    bytes += sizeof(std::string) + name.size();
+  }
+  for (const auto& row : result.rows) {
+    bytes += sizeof(row) + row.size() * sizeof(Value);
+    for (const Value& v : row) {
+      if (const auto* s = std::get_if<std::string>(&v)) {
+        bytes += s->size();
+      }
+    }
+  }
+  return bytes;
+}
+
+SharedResultCache::SharedResultCache() : SharedResultCache(Limits{}) {}
+
+SharedResultCache::SharedResultCache(Limits limits) : limits_(limits) {
+  SEABED_CHECK_MSG(limits_.max_entries >= 1, "result cache needs room for one entry");
+}
+
+SharedResultCache::Lookup SharedResultCache::Find(const std::string& key) {
+  Lookup lookup;
+  std::lock_guard<std::mutex> lock(mu_);
+  lookup.epoch = epoch_.load(std::memory_order_acquire);
+  const auto it = results_.find(key);
+  if (it == results_.end()) {
+    ++misses_;
+    return lookup;
+  }
+  ++hits_;
+  Entry& entry = it->second;
+  lru_.splice(lru_.begin(), lru_, entry.lru);  // touch
+  lookup.result = entry.result;
+  lookup.result_bytes = entry.result_bytes;
+  lookup.rows_touched = entry.rows_touched;
+  return lookup;
+}
+
+void SharedResultCache::Insert(const std::string& key,
+                               std::shared_ptr<const ResultSet> result, size_t result_bytes,
+                               uint64_t rows_touched, std::vector<std::string> tables,
+                               uint64_t lookup_epoch) {
+  Entry entry;
+  entry.bytes = key.size() + EstimateResultBytes(*result);
+  entry.result = std::move(result);
+  entry.result_bytes = result_bytes;
+  entry.rows_touched = rows_touched;
+  entry.tables = std::move(tables);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Publish only if no invalidation ran since the lookup — a result computed
+  // over the pre-append snapshot must not outlive the append.
+  if (epoch_.load(std::memory_order_acquire) != lookup_epoch) {
+    return;
+  }
+  InsertLocked(key, std::move(entry));
+}
+
+void SharedResultCache::InsertLocked(const std::string& key, Entry entry) {
+  const auto it = results_.find(key);
+  if (it != results_.end()) {
+    // Concurrent miss on the same key: keep one copy, refresh its payload.
+    total_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru);
+    results_.erase(it);
+  }
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+  total_bytes_ += entry.bytes;
+  results_.emplace(key, std::move(entry));
+  EvictLocked();
+}
+
+void SharedResultCache::EvictLocked() {
+  while (!lru_.empty() &&
+         (results_.size() > limits_.max_entries || total_bytes_ > limits_.max_bytes)) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    const auto it = results_.find(victim);
+    SEABED_CHECK(it != results_.end());
+    total_bytes_ -= it->second.bytes;
+    results_.erase(it);
+  }
+}
+
+void SharedResultCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  for (auto it = results_.begin(); it != results_.end();) {
+    const Entry& entry = it->second;
+    if (std::find(entry.tables.begin(), entry.tables.end(), table) != entry.tables.end()) {
+      total_bytes_ -= entry.bytes;
+      lru_.erase(entry.lru);
+      it = results_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SharedResultCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  results_.clear();
+  lru_.clear();
+  total_bytes_ = 0;
+}
+
+uint64_t SharedResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SharedResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t SharedResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
+}
+
+size_t SharedResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace seabed

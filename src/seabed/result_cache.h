@@ -1,0 +1,117 @@
+// A standalone, thread-safe, cross-session result cache.
+//
+// Lifted out of CachingSeabedBackend (which is now a thin adapter over it)
+// so that many Sessions — or a whole seabed::Service fleet — can attach to
+// ONE cache via SessionOptions::cache.shared: a dashboard answered warm in
+// session A stays warm for sessions B..N, and any session's Append
+// invalidates the table for all of them.
+//
+// Semantics are exactly the PR 3/PR 7 cache: entries keyed by
+// Query::Fingerprint(kExact), LRU eviction under an entry budget and a byte
+// budget, per-table invalidation, and an atomic invalidation EPOCH fencing
+// miss-inserts — Find returns the epoch observed at lookup time, and Insert
+// drops the entry when the epoch has advanced since, so a result computed
+// over a pre-append snapshot never outlives the append.
+//
+// The cache stores final DECRYPTED rows and therefore lives on the client
+// side of the trust boundary; sharing it across sessions is sound only when
+// those sessions belong to the same trust domain (same master key — e.g. the
+// proxy process the paper places all clients behind).
+#ifndef SEABED_SRC_SEABED_RESULT_CACHE_H_
+#define SEABED_SRC_SEABED_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/query/query.h"
+
+namespace seabed {
+
+// Rough client-memory footprint of a cached ResultSet, used for the byte
+// budget (value payloads + per-row/-string overheads).
+size_t EstimateResultBytes(const ResultSet& result);
+
+class SharedResultCache {
+ public:
+  struct Limits {
+    size_t max_entries = 1024;
+    size_t max_bytes = 64u << 20;
+  };
+
+  SharedResultCache();  // default Limits
+  explicit SharedResultCache(Limits limits);
+
+  struct Lookup {
+    // The cached payload, or null on a miss. Immutable and shared: callers
+    // copy rows outside any lock, and a hit outlives concurrent eviction.
+    std::shared_ptr<const ResultSet> result;
+    // Result-shape stats of the cold run, replayed into hit stats.
+    size_t result_bytes = 0;
+    uint64_t rows_touched = 0;
+    // Invalidation epoch observed under the lookup's lock; pass to Insert.
+    uint64_t epoch = 0;
+  };
+
+  // Probes the cache (counting a hit or miss, touching the LRU on a hit).
+  Lookup Find(const std::string& key);
+
+  // Publishes a miss's result. `tables` lists what the query read (fact +
+  // join right side) for per-table invalidation; `lookup_epoch` is the epoch
+  // Find returned — when any invalidation ran in between, the insert is
+  // dropped (the result may predate the invalidating append).
+  void Insert(const std::string& key, std::shared_ptr<const ResultSet> result,
+              size_t result_bytes, uint64_t rows_touched, std::vector<std::string> tables,
+              uint64_t lookup_epoch);
+
+  // Drops entries that read `table`; bumps the epoch.
+  void InvalidateTable(const std::string& table);
+  // Drops everything; bumps the epoch.
+  void InvalidateAll();
+
+  // --- observability ----------------------------------------------------------
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t entries() const;
+  size_t bytes() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ResultSet> result;
+    size_t result_bytes = 0;
+    uint64_t rows_touched = 0;
+    size_t bytes = 0;                      // EstimateResultBytes at insert time
+    std::vector<std::string> tables;       // fact + join right side
+    std::list<std::string>::iterator lru;  // position in lru_ (front = hottest)
+  };
+
+  // Both require `mu_` held.
+  void InsertLocked(const std::string& key, Entry entry);
+  void EvictLocked();
+
+  const Limits limits_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> results_;
+  std::list<std::string> lru_;  // most-recently-used at the front
+  size_t total_bytes_ = 0;
+  // Invalidation epoch, fencing misses against invalidation (see file
+  // comment). Atomic with acquire/release ordering: with a snapshot-isolated
+  // backend an append's invalidation races the miss path, and the fence must
+  // be visible without relying on `mu_` alone — the release increment
+  // happens after the backend published its post-append version, so a miss
+  // whose acquire load still saw the old epoch pinned the old version and is
+  // dropped.
+  std::atomic<uint64_t> epoch_{0};
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_RESULT_CACHE_H_

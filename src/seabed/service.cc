@@ -35,7 +35,7 @@ const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
 Service::Service(ServiceOptions options)
     : options_(std::move(options)),
       session_(options_.session),
-      plan_cache_(options_.session.cache.plan_cache_entries),
+      plan_cache_(std::make_shared<TranslatedPlanCache>(options_.session.cache.plan_cache_entries)),
       quiesce_appends_(options_.force_quiesce_appends ||
                        !session_.executor().snapshot_isolated()),
       queue_(options_.max_queue_depth, kLanes, /*quiesce_barriers=*/quiesce_appends_) {
@@ -43,7 +43,7 @@ Service::Service(ServiceOptions options)
   SEABED_CHECK_MSG(options_.max_batch >= 1, "max_batch must be >= 1");
   // Share one translated-plan memo across every worker. A no-op on backends
   // that keep their own (kCachingSeabed) or never translate (kPlain).
-  session_.executor().SetPlanCache(&plan_cache_);
+  session_.executor().SetPlanCache(plan_cache_);
   if (options_.autostart) {
     Start();
   }
@@ -86,12 +86,16 @@ std::future<ServiceResult> Service::Submit(Query query, SubmitOptions options) {
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
   Job job;
   job.kind = Job::Kind::kQuery;
-  job.shape_key = query.Fingerprint(Query::FingerprintMode::kShape);
+  job.shape_key = "q:" + query.Fingerprint(Query::FingerprintMode::kShape);
   job.exact_key = query.Fingerprint(Query::FingerprintMode::kExact);
   job.query = std::move(query);
   job.lane = options.lane;
   job.deadline = options.deadline;
   job.enqueued = std::chrono::steady_clock::now();
+  return Enqueue(std::move(job), static_cast<size_t>(options.lane));
+}
+
+std::future<ServiceResult> Service::Enqueue(Job job, size_t lane) {
   std::future<ServiceResult> future = job.promise.get_future();
 
   if (!accepting_.load(std::memory_order_acquire)) {
@@ -99,7 +103,6 @@ std::future<ServiceResult> Service::Submit(Query query, SubmitOptions options) {
     Reject(std::move(job), AdmissionOutcome::kRejectedShutdown, "service is shut down");
     return future;
   }
-  const size_t lane = static_cast<size_t>(options.lane);
   if (!queue_.TryPush(std::move(job), lane)) {
     // TryPush fails both on depth and on a racing Close (it never consumes
     // the job on failure); report the honest cause where we can tell.
@@ -113,6 +116,34 @@ std::future<ServiceResult> Service::Submit(Query query, SubmitOptions options) {
     }
   }
   return future;
+}
+
+PreparedQuery Service::Prepare(const Query& shape) {
+  // Shared: Prepare only reads the catalog, so it may overlap query groups —
+  // it just must not race an Attach rewiring the tables it validates against.
+  std::shared_lock<std::shared_mutex> lock(serve_mu_);
+  return session_.Prepare(shape);
+}
+
+std::future<ServiceResult> Service::SubmitPrepared(const PreparedQuery& prepared,
+                                                   std::vector<Value> params,
+                                                   SubmitOptions options) {
+  SEABED_CHECK_MSG(prepared.valid(), "SubmitPrepared requires a prepared handle");
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  job.kind = Job::Kind::kQuery;
+  job.prepared = prepared;
+  // The bound query rides along for the coalescing key and the group's
+  // dispatch-side bookkeeping; the backend re-binds against its cached
+  // translated plan.
+  job.query = prepared.Bind(params);
+  job.params = std::move(params);
+  job.shape_key = "p:" + prepared.plan_key_base();
+  job.exact_key = job.query.Fingerprint(Query::FingerprintMode::kExact);
+  job.lane = options.lane;
+  job.deadline = options.deadline;
+  job.enqueued = std::chrono::steady_clock::now();
+  return Enqueue(std::move(job), static_cast<size_t>(options.lane));
 }
 
 std::vector<std::future<ServiceResult>> Service::SubmitBatch(std::vector<Query> queries,
@@ -134,24 +165,7 @@ std::future<ServiceResult> Service::SubmitAppend(std::string table,
   job.append_rows = std::move(rows);
   job.lane = ServiceLane::kInteractive;  // lane 0: ingest must not starve
   job.enqueued = std::chrono::steady_clock::now();
-  std::future<ServiceResult> future = job.promise.get_future();
-
-  if (!accepting_.load(std::memory_order_acquire)) {
-    counters_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
-    Reject(std::move(job), AdmissionOutcome::kRejectedShutdown, "service is shut down");
-    return future;
-  }
-  if (!queue_.TryPush(std::move(job), 0)) {
-    if (!accepting_.load(std::memory_order_acquire) || queue_.closed()) {
-      counters_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
-      Reject(std::move(job), AdmissionOutcome::kRejectedShutdown, "service is shut down");
-    } else {
-      counters_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
-      Reject(std::move(job), AdmissionOutcome::kRejectedQueueFull,
-             "queue full (max_queue_depth=" + std::to_string(options_.max_queue_depth) + ")");
-    }
-  }
-  return future;
+  return Enqueue(std::move(job), 0);
 }
 
 void Service::Shutdown(bool drain) {
@@ -339,7 +353,12 @@ void Service::RunGroup(std::vector<Job> jobs) {
   }
 
   // Coalesce byte-identical queries: one execution answers all duplicates.
+  // Prepared groups (never mixed with ad-hoc ones — the shape-key prefix
+  // keeps them apart) coalesce on the same bound-exact key, but dedupe into
+  // parameter vectors for ExecutePreparedBatch instead of full queries.
+  const bool is_prepared = live.front().prepared.valid();
   std::vector<Query> distinct;
+  std::vector<std::vector<Value>> distinct_params;
   std::vector<size_t> owner(live.size());
   {
     std::map<std::string, size_t> seen;
@@ -354,6 +373,9 @@ void Service::RunGroup(std::vector<Job> jobs) {
         owner[i] = distinct.size();
       }
       distinct.push_back(live[i].query);
+      if (is_prepared) {
+        distinct_params.push_back(live[i].params);
+      }
     }
   }
 
@@ -366,7 +388,15 @@ void Service::RunGroup(std::vector<Job> jobs) {
   const auto exec_begin = std::chrono::steady_clock::now();
   {
     std::shared_lock<std::shared_mutex> lock(serve_mu_);
-    if (distinct.size() == 1) {
+    if (is_prepared) {
+      const PreparedQuery& prepared = live.front().prepared;
+      if (distinct_params.size() == 1) {
+        stats.emplace_back();
+        results.push_back(session_.Execute(prepared, distinct_params[0], &stats[0]));
+      } else {
+        results = session_.ExecutePreparedBatch(prepared, distinct_params, &stats);
+      }
+    } else if (distinct.size() == 1) {
       stats.emplace_back();
       results.push_back(session_.Execute(distinct[0], &stats[0]));
     } else {

@@ -30,7 +30,10 @@
 //     Query::Fingerprint(kShape) pop as one group, translate once via the
 //     service-owned TranslatedPlanCache, and execute as one
 //     Session::ExecuteBatch. Identical queries (equal kExact fingerprints)
-//     additionally coalesce onto a single execution;
+//     additionally coalesce onto a single execution. Prepared submissions
+//     (SubmitPrepared) batch on the prepared handle's shape and serve as one
+//     Session::ExecutePreparedBatch — the group binds per member but
+//     translates at most once, ever;
 //   * appends ride the SAME queue as barrier jobs. On snapshot-isolated
 //     backends (Executor::snapshot_isolated — kSeabed, kShardedSeabed and
 //     caching stacks over them) the barrier is ORDERING ONLY: the append
@@ -186,6 +189,19 @@ class Service {
   std::future<ServiceResult> Submit(Query query, SubmitOptions options = {});
   std::vector<std::future<ServiceResult>> SubmitBatch(std::vector<Query> queries,
                                                       SubmitOptions options = {});
+  // Prepares a placeholder shape against the owned session (see
+  // Session::Prepare). Call after Attach; the handle stays valid for the
+  // service's lifetime and is safe to Submit from many threads.
+  PreparedQuery Prepare(const Query& shape);
+  // Submits one execution of a prepared shape with `params` bound to its
+  // slots. Prepared submissions batch on the prepared shape (all queued
+  // executions of one handle's shape pop as a single group served by
+  // Session::ExecutePreparedBatch) and never mix into ad-hoc shape groups;
+  // identical parameter vectors coalesce exactly like identical ad-hoc
+  // queries.
+  std::future<ServiceResult> SubmitPrepared(const PreparedQuery& prepared,
+                                            std::vector<Value> params,
+                                            SubmitOptions options = {});
   // Queues an exclusive barrier job appending `rows` to `table`. Completes
   // after everything dequeued before it and before everything queued after.
   std::future<ServiceResult> SubmitAppend(std::string table,
@@ -199,7 +215,7 @@ class Service {
 
   // --- observability ---------------------------------------------------------
   ServiceCounters counters() const;
-  const TranslatedPlanCache& plan_cache() const { return plan_cache_; }
+  const TranslatedPlanCache& plan_cache() const { return *plan_cache_; }
   size_t queue_depth() const { return queue_.size(); }
   // The owned session. Execute/Append through it directly only when no
   // workers are running — traffic belongs in Submit/SubmitAppend.
@@ -210,8 +226,17 @@ class Service {
     enum class Kind { kQuery, kAppend };
     Kind kind = Kind::kQuery;
     Query query;
-    std::string shape_key;  // Fingerprint(kShape), precomputed at submit
-    std::string exact_key;  // Fingerprint(kExact), for coalescing
+    // Prepared submissions carry the handle and the bound values instead of a
+    // full Query; `prepared.valid()` distinguishes the two flavors.
+    PreparedQuery prepared;
+    std::vector<Value> params;
+    // Grouping key, precomputed at submit. Ad-hoc: "q:" + Fingerprint(kShape).
+    // Prepared: "p:" + the handle's plan_key_base — the kExact shape
+    // fingerprint, NOT the kShape one, because two shapes differing only in a
+    // FIXED literal share a kShape fingerprint but translate to different
+    // plans. The prefixes keep prepared and ad-hoc groups from ever mixing.
+    std::string shape_key;
+    std::string exact_key;  // bound Fingerprint(kExact), for coalescing
     std::string append_table;
     std::shared_ptr<const Table> append_rows;
     ServiceLane lane = ServiceLane::kInteractive;
@@ -220,6 +245,8 @@ class Service {
     std::promise<ServiceResult> promise;
   };
 
+  // Admission tail shared by every Submit flavor: push or reject-with-cause.
+  std::future<ServiceResult> Enqueue(Job job, size_t lane);
   void WorkerLoop();
   void RunAppend(Job job);
   void RunGroup(std::vector<Job> jobs);
@@ -228,7 +255,9 @@ class Service {
 
   ServiceOptions options_;
   Session session_;
-  TranslatedPlanCache plan_cache_;
+  // Shared (not owned solely by the service) so SetPlanCache's installee can
+  // outlive a torn-down service without dangling.
+  std::shared_ptr<TranslatedPlanCache> plan_cache_;
   // True when appends must exclude queries: the backend is not snapshot-
   // isolated (or force_quiesce_appends is set). Decides both the queue's
   // barrier mode and RunAppend's serve-lock mode. Initialized after

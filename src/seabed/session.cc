@@ -55,6 +55,69 @@ ResultSet Session::Execute(const Query& query, QueryStats* stats) {
   return executor_->Execute(query, stats);
 }
 
+PreparedQuery Session::Prepare(const Query& shape) const {
+  const AttachedTable& fact = catalog_.Get(shape.table);  // aborts when unattached
+  const size_t num_params = shape.num_params();
+
+  // Slots must be contiguous and unique: BindParams positions values by
+  // slot, so a gap or duplicate is a client bug worth failing loudly at
+  // Prepare time rather than silently mis-binding at execution time.
+  std::vector<char> seen(num_params, 0);
+  bool parameterized = true;
+  for (const Predicate& p : shape.filters) {
+    if (p.param < 0) {
+      continue;
+    }
+    SEABED_CHECK_MSG(!seen[static_cast<size_t>(p.param)],
+                     "Prepare: placeholder slot " << p.param << " used twice");
+    seen[static_cast<size_t>(p.param)] = 1;
+    // SPLASHE rewrites depend on the literal value (splayed vs. "others"
+    // columns), so such a shape cannot be translated once; mark the handle
+    // for the bind-then-ad-hoc fallback.
+    if (p.column.rfind("right:", 0) != 0 && fact.plan.FindSplashe(p.column) != nullptr) {
+      parameterized = false;
+    }
+  }
+  for (size_t slot = 0; slot < num_params; ++slot) {
+    SEABED_CHECK_MSG(seen[slot], "Prepare: placeholder slots are not contiguous (slot "
+                                     << slot << " of " << num_params << " is unused)");
+  }
+
+  auto state = std::make_shared<PreparedQuery::State>();
+  state->shape = shape;
+  state->shape_key = shape.Fingerprint(Query::FingerprintMode::kShape);
+  state->plan_key_base = shape.Fingerprint(Query::FingerprintMode::kExact);
+  state->num_params = num_params;
+  state->parameterized = parameterized;
+  return PreparedQuery(std::move(state));
+}
+
+ResultSet Session::Execute(const PreparedQuery& prepared, std::span<const Value> params,
+                           QueryStats* stats) {
+  return executor_->ExecutePrepared(prepared, params, stats);
+}
+
+std::vector<ResultSet> Session::ExecutePreparedBatch(
+    const PreparedQuery& prepared, std::span<const std::vector<Value>> param_sets,
+    std::vector<QueryStats>* stats) {
+  std::vector<ResultSet> results(param_sets.size());
+  if (stats != nullptr) {
+    stats->assign(param_sets.size(), QueryStats{});
+  }
+  if (param_sets.empty()) {
+    return results;
+  }
+  const size_t threads =
+      std::min(param_sets.size(),
+               static_cast<size_t>(std::max(1u, std::thread::hardware_concurrency())));
+  ThreadPool pool(threads);
+  pool.ParallelFor(param_sets.size(), [&](size_t i) {
+    results[i] = executor_->ExecutePrepared(prepared, param_sets[i],
+                                            stats != nullptr ? &(*stats)[i] : nullptr);
+  });
+  return results;
+}
+
 std::vector<ResultSet> Session::ExecuteBatch(std::span<const Query> queries,
                                              std::vector<QueryStats>* stats) {
   std::vector<ResultSet> results(queries.size());

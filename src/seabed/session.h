@@ -98,6 +98,27 @@ class Session {
   // non-null, receives the per-call latency breakdown.
   ResultSet Execute(const Query& query, QueryStats* stats = nullptr);
 
+  // --- prepared statements (src/seabed/prepared.h) ---------------------------
+  // Validates `shape` (table attached, placeholder slots contiguous and
+  // unique) and freezes its fingerprints into a reusable handle. The first
+  // Execute of the handle translates the shape into the plan cache; every
+  // later Execute binds and runs — no parser, no planner lookup, no
+  // retranslation. Shapes whose placeholders land on SPLASHE-protected
+  // columns are marked non-parameterized and transparently fall back to
+  // bind-then-ad-hoc execution (same rows, no plan reuse).
+  PreparedQuery Prepare(const Query& shape) const;
+
+  // Executes the prepared shape with `params` bound to its slots. Returns
+  // exactly the rows of Execute(prepared.Bind(params)).
+  ResultSet Execute(const PreparedQuery& prepared, std::span<const Value> params,
+                    QueryStats* stats = nullptr);
+
+  // Concurrent prepared executions, one per parameter vector (the prepared
+  // analogue of ExecuteBatch — same contract, same stats caveat).
+  std::vector<ResultSet> ExecutePreparedBatch(const PreparedQuery& prepared,
+                                              std::span<const std::vector<Value>> param_sets,
+                                              std::vector<QueryStats>* stats = nullptr);
+
   // Runs a batch concurrently on the host pool, reusing the session's
   // prepared translation state. `stats`, when non-null, is resized to one
   // entry per query. Rows are identical to serial Execute calls; the timing

@@ -580,6 +580,87 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   }
   const double translate_seconds = translate_sw.ElapsedSeconds();
 
+  ResultSet result = RunTranslated(query, fact, ver, right_db, right_table, tq, stats);
+  if (stats != nullptr) {
+    stats->translate_seconds = translate_seconds;
+    stats->plan_cache_hit = plan_cache_hit;
+  }
+  return result;
+}
+
+ResultSet ShardedSeabedBackend::ExecutePrepared(const PreparedQuery& prepared,
+                                                std::span<const Value> params,
+                                                QueryStats* stats) {
+  SEABED_CHECK_MSG(prepared.valid(), "ExecutePrepared on an invalid (default) handle");
+  if (!prepared.parameterized()) {
+    // A placeholder rides on a SPLASHE column: bind, then run the ad-hoc
+    // path (the base implementation reports prepared/bind stats).
+    return Executor::ExecutePrepared(prepared, params, stats);
+  }
+  const Query& shape = prepared.shape();
+  const AttachedTable& fact = context_->catalog->Get(shape.table);
+  if (shape.join.has_value()) {
+    EnsureReplica(context_->catalog->Get(shape.join->right_table));
+  }
+
+  // The bound Query is still materialized per call — the intra-shard prune
+  // gate estimates selectivity from the literals — but it is a plain struct
+  // copy, not a parse or a translation.
+  Stopwatch bind_sw;
+  const Query bound = prepared.Bind(params);
+  double bind_seconds = bind_sw.ElapsedSeconds();
+
+  EpochDomain::Guard guard(epochs_);
+  const ShardedTableVersion* ver = CurrentVersion(shape.table);
+  SEABED_CHECK_MSG(ver != nullptr, "table " << fact.name << " was not prepared");
+
+  // One translation per shape, shared by the whole fleet: the handle carries
+  // the fingerprint half of the plan key, so a warm call is one map lookup.
+  Stopwatch translate_sw;
+  TranslatorOptions topts = context_->translator;
+  topts.cluster_workers = context_->cluster->num_workers();
+  TranslatedPlanCache& cache = plan_cache_ != nullptr ? *plan_cache_ : own_plan_cache_;
+  const std::string plan_key =
+      prepared.plan_key_base() + PlanCacheKeySuffix(shape.expected_groups, topts);
+  std::shared_ptr<const TranslatedQuery> shape_tq = cache.Find(plan_key);
+  const bool plan_cache_hit = shape_tq != nullptr;
+  if (shape_tq == nullptr) {
+    const Translator translator(ver->view, *context_->keys);
+    shape_tq = std::make_shared<TranslatedQuery>(translator.Translate(shape, topts));
+    cache.Insert(plan_key, shape_tq);
+  }
+
+  const EncryptedDatabase* right_db = nullptr;
+  const Table* right_table = nullptr;
+  if (shape_tq->server.join.has_value()) {
+    const ShardedTableVersion* rver = CurrentVersion(shape.join->right_table);
+    SEABED_CHECK_MSG(rver != nullptr,
+                     "joined table " << shape.join->right_table << " not prepared");
+    SEABED_CHECK(rver->replica != nullptr);
+    right_db = rver->replica.get();
+    right_table = right_db->table.get();
+  }
+  const double translate_seconds = translate_sw.ElapsedSeconds();
+
+  Stopwatch plan_bind_sw;
+  const TranslatedQuery bound_tq = BindTranslatedQuery(*shape_tq, params);
+  bind_seconds += plan_bind_sw.ElapsedSeconds();
+
+  ResultSet result = RunTranslated(bound, fact, ver, right_db, right_table, bound_tq, stats);
+  if (stats != nullptr) {
+    stats->translate_seconds = translate_seconds;
+    stats->plan_cache_hit = plan_cache_hit;
+    stats->prepared = true;
+    stats->bind_seconds = bind_seconds;
+  }
+  return result;
+}
+
+ResultSet ShardedSeabedBackend::RunTranslated(const Query& query, const AttachedTable& fact,
+                                              const ShardedTableVersion* ver,
+                                              const EncryptedDatabase* right_db,
+                                              const Table* right_table,
+                                              const TranslatedQuery& tq, QueryStats* stats) {
   // Round one: probe all shards with a cheap row count (the shared
   // CountProbePlan, src/seabed/probe.h); round two then skips shards with no
   // matching rows. Two-round-trip queries always probe (the PR-2 contract);
@@ -685,8 +766,6 @@ ResultSet ShardedSeabedBackend::Execute(const Query& query, QueryStats* stats) {
   ResultSet result = client.Decrypt(merged, tq, *context_->cluster, right_db, stats);
   if (stats != nullptr) {
     stats->backend = name();
-    stats->translate_seconds = translate_seconds;
-    stats->plan_cache_hit = plan_cache_hit;
     // Shards are independent clusters running in parallel: total simulated
     // server latency is the probe round (if any) plus the slowest shard of
     // round two plus the coordinator merge (already inside driver_seconds).

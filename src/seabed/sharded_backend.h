@@ -76,7 +76,11 @@ class ShardedSeabedBackend : public Executor {
   void Append(AttachedTable& table, const Table& new_rows,
               JobStats* stats = nullptr) override;
   ResultSet Execute(const Query& query, QueryStats* stats) override;
-  void SetPlanCache(TranslatedPlanCache* cache) override { plan_cache_ = cache; }
+  ResultSet ExecutePrepared(const PreparedQuery& prepared, std::span<const Value> params,
+                            QueryStats* stats) override;
+  void SetPlanCache(std::shared_ptr<TranslatedPlanCache> cache) override {
+    plan_cache_ = std::move(cache);
+  }
   bool snapshot_isolated() const override { return true; }
   std::optional<RebalanceStats> rebalance_stats() const override;
 
@@ -140,6 +144,16 @@ class ShardedSeabedBackend : public Executor {
                                         const ServerPlan& plan, const std::vector<bool>& active,
                                         const Table* right) const;
 
+  // Post-translation execution shared by the ad-hoc and prepared paths:
+  // shard count probe, intra-shard pruning, round-two fan-out, coordinator
+  // merge, client decryption, stats fill (except translate_seconds /
+  // plan_cache_hit — the callers own those). `query` must be fully bound;
+  // the caller holds the epoch guard that pins `ver`.
+  ResultSet RunTranslated(const Query& query, const AttachedTable& fact,
+                          const ShardedTableVersion* ver, const EncryptedDatabase* right_db,
+                          const Table* right_table, const TranslatedQuery& tq,
+                          QueryStats* stats);
+
   // Migrates whole row-groups between shards when an Append left the fleet
   // skewed past `context_->rebalance.max_skew_ratio`. Operates on the
   // unpublished successor version `next`; `rebuilt[s]` marks shards whose
@@ -151,7 +165,11 @@ class ShardedSeabedBackend : public Executor {
 
   const ExecutionContext* context_;
   size_t shards_;
-  TranslatedPlanCache* plan_cache_ = nullptr;
+  std::shared_ptr<TranslatedPlanCache> plan_cache_;
+  // Shape-plan memo for the prepared path when no external cache was
+  // installed (mirrors SeabedBackend::own_plan_cache_; the ad-hoc path
+  // ignores it).
+  TranslatedPlanCache own_plan_cache_{256};
   std::vector<Server> servers_;
   RebalanceStats rebalance_stats_;  // guarded by writer_mu_
 

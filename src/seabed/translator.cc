@@ -55,6 +55,11 @@ TranslatedQuery Translator::Translate(const Query& query,
     }
     SEABED_CHECK_MSG(pred.op == CmpOp::kEq,
                      "SPLASHE dimensions support equality predicates only");
+    SEABED_CHECK_MSG(pred.param < 0,
+                     "placeholder on SPLASHE-protected column '"
+                         << pred.column
+                         << "': the rewrite depends on the literal value; bind before "
+                            "translating (Session::Prepare falls back automatically)");
     SEABED_CHECK_MSG(!have_splashe_filter,
                      "at most one SPLASHE-protected dimension per query");
     have_splashe_filter = true;
@@ -101,11 +106,14 @@ TranslatedQuery Translator::Translate(const Query& query,
     ServerPredicate sp;
     sp.on_right = on_right;
     sp.op = pred.op;
+    sp.param = pred.param;
     if (on_right) {
       // Right-table columns are assumed plaintext or pre-translated by the
       // caller; only plain predicates are supported through this path.
       sp.column = col;
-      if (const auto* i = std::get_if<int64_t>(&pred.operand)) {
+      if (pred.param >= 0) {
+        sp.kind = ServerPredicate::Kind::kPlainInt;  // refined by the bound value's type
+      } else if (const auto* i = std::get_if<int64_t>(&pred.operand)) {
         sp.kind = ServerPredicate::Kind::kPlainInt;
         sp.int_operand = *i;
       } else {
@@ -119,7 +127,9 @@ TranslatedQuery Translator::Translate(const Query& query,
     const bool is_range = pred.op != CmpOp::kEq && pred.op != CmpOp::kNe;
     if (cp.scheme == EncScheme::kPlain) {
       sp.column = col;
-      if (const auto* i = std::get_if<int64_t>(&pred.operand)) {
+      if (pred.param >= 0) {
+        sp.kind = ServerPredicate::Kind::kPlainInt;  // refined by the bound value's type
+      } else if (const auto* i = std::get_if<int64_t>(&pred.operand)) {
         sp.kind = ServerPredicate::Kind::kPlainInt;
         sp.int_operand = *i;
       } else {
@@ -131,19 +141,25 @@ TranslatedQuery Translator::Translate(const Query& query,
                        "range predicate on column '" << col << "' which has no OPE column");
       sp.kind = ServerPredicate::Kind::kOreCmp;
       sp.column = col + "#ope";
-      const Ore ore(keys_->DeriveColumnKey(ColumnKeyLabel(plan.table_name, sp.column)));
-      sp.ore_operand = ore.Encrypt(static_cast<uint64_t>(std::get<int64_t>(pred.operand)));
+      const AesKey key = keys_->DeriveColumnKey(ColumnKeyLabel(plan.table_name, sp.column));
+      if (pred.param >= 0) {
+        sp.bind_key = key;
+      } else {
+        const Ore ore(key);
+        sp.ore_operand = ore.Encrypt(static_cast<uint64_t>(std::get<int64_t>(pred.operand)));
+      }
     } else {
       SEABED_CHECK_MSG(cp.scheme == EncScheme::kDet || cp.add_det,
                        "equality predicate on column '" << col << "' which has no DET column");
       sp.kind = ServerPredicate::Kind::kDetEq;
       sp.column = col + "#det";
-      if (const auto* i = std::get_if<int64_t>(&pred.operand)) {
-        const DetInt det(keys_->DeriveColumnKey(plan.DetKeyLabelFor(col)));
-        sp.det_token = det.Encrypt(static_cast<uint64_t>(*i));
+      const AesKey key = keys_->DeriveColumnKey(plan.DetKeyLabelFor(col));
+      if (pred.param >= 0) {
+        sp.bind_key = key;
+      } else if (const auto* i = std::get_if<int64_t>(&pred.operand)) {
+        sp.det_token = DetInt(key).Encrypt(static_cast<uint64_t>(*i));
       } else {
-        const DetToken det(keys_->DeriveColumnKey(plan.DetKeyLabelFor(col)));
-        sp.det_token = det.Tag(std::get<std::string>(pred.operand));
+        sp.det_token = DetToken(key).Tag(std::get<std::string>(pred.operand));
       }
     }
     server.predicates.push_back(sp);
@@ -262,6 +278,15 @@ TranslatedQuery Translator::Translate(const Query& query,
     client.outputs.push_back(std::move(output));
   }
 
+  // A SPLASHE-rewritten filter never reaches the server as a predicate, so
+  // grouped scans materialize every group the OTHER predicates admit — even
+  // ones where the filtered value never occurs. Ship the filter's count
+  // aggregate (deduped against any COUNT/AVG already using it) so the client
+  // can drop those all-zero groups, matching plaintext GROUP BY semantics.
+  if (!splashe_count_column.empty() && !query.group_by.empty()) {
+    client.splashe_filter_count = static_cast<int>(add_count_agg());
+  }
+
   // --- group by ---------------------------------------------------------------
   for (const std::string& g : query.group_by) {
     const bool on_right = IsRightRef(g);
@@ -316,11 +341,86 @@ TranslatedQuery Translator::Translate(const Query& query,
   return out;
 }
 
+// --- parameter binding -------------------------------------------------------
+
+TranslatedQuery BindTranslatedQuery(const TranslatedQuery& shape,
+                                    std::span<const Value> params) {
+  TranslatedQuery out = shape;
+  for (ServerPredicate& sp : out.server.predicates) {
+    if (sp.param < 0) {
+      continue;
+    }
+    SEABED_CHECK_MSG(static_cast<size_t>(sp.param) < params.size(),
+                     "bind: no value for placeholder slot " << sp.param);
+    const Value& v = params[static_cast<size_t>(sp.param)];
+    switch (sp.kind) {
+      case ServerPredicate::Kind::kOreCmp: {
+        const auto* i = std::get_if<int64_t>(&v);
+        SEABED_CHECK_MSG(i != nullptr, "bind: range placeholder on '"
+                                           << sp.column << "' requires an integer value");
+        sp.ore_operand = Ore(sp.bind_key).Encrypt(static_cast<uint64_t>(*i));
+        break;
+      }
+      case ServerPredicate::Kind::kDetEq: {
+        if (const auto* i = std::get_if<int64_t>(&v)) {
+          sp.det_token = DetInt(sp.bind_key).Encrypt(static_cast<uint64_t>(*i));
+        } else {
+          const auto* s = std::get_if<std::string>(&v);
+          SEABED_CHECK_MSG(s != nullptr, "bind: equality placeholder on '"
+                                             << sp.column
+                                             << "' requires an int or string value");
+          sp.det_token = DetToken(sp.bind_key).Tag(*s);
+        }
+        break;
+      }
+      case ServerPredicate::Kind::kPlainInt:
+      case ServerPredicate::Kind::kPlainString: {
+        if (const auto* i = std::get_if<int64_t>(&v)) {
+          sp.kind = ServerPredicate::Kind::kPlainInt;
+          sp.int_operand = *i;
+        } else {
+          const auto* s = std::get_if<std::string>(&v);
+          SEABED_CHECK_MSG(s != nullptr, "bind: plain placeholder on '"
+                                             << sp.column
+                                             << "' requires an int or string value");
+          sp.kind = ServerPredicate::Kind::kPlainString;
+          sp.str_operand = *s;
+        }
+        break;
+      }
+    }
+  }
+  // The probe section holds verbatim copies of the fact-side predicates
+  // (DeriveProbeSection), so its slots mirror the server ones — copy each
+  // bound predicate over by slot instead of re-deriving (and re-copying)
+  // the whole section on the per-execution warm path.
+  for (ServerPredicate& pp : out.probe.predicates) {
+    if (pp.param < 0) {
+      continue;
+    }
+    for (const ServerPredicate& sp : out.server.predicates) {
+      if (sp.param == pp.param && !sp.on_right) {
+        pp = sp;
+        break;
+      }
+    }
+    pp.param = -1;
+  }
+  for (ServerPredicate& sp : out.server.predicates) {
+    sp.param = -1;
+  }
+  return out;
+}
+
 // --- translated-plan cache ---------------------------------------------------
 
 std::string PlanCacheKey(const Query& query, const TranslatorOptions& options) {
-  std::string key = query.Fingerprint(Query::FingerprintMode::kExact);
-  key += ";eg=" + std::to_string(query.expected_groups);
+  return query.Fingerprint(Query::FingerprintMode::kExact) +
+         PlanCacheKeySuffix(query.expected_groups, options);
+}
+
+std::string PlanCacheKeySuffix(size_t expected_groups, const TranslatorOptions& options) {
+  std::string key = ";eg=" + std::to_string(expected_groups);
   key += ";w=" + std::to_string(options.cluster_workers);
   key += ";gi=" + std::to_string(options.enable_group_inflation ? 1 : 0);
   key += ";il=" + std::to_string(options.idlist.use_range ? 1 : 0) +
@@ -342,7 +442,8 @@ std::shared_ptr<const TranslatedQuery> TranslatedPlanCache::Find(const std::stri
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
+  return it->second.plan;
 }
 
 void TranslatedPlanCache::Insert(const std::string& key,
@@ -350,21 +451,22 @@ void TranslatedPlanCache::Insert(const std::string& key,
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = plans_.find(key);
   if (it != plans_.end()) {
-    it->second = std::move(plan);  // refresh in place, keep its slot
+    it->second.plan = std::move(plan);  // refresh in place, keep its slot
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
     return;
   }
   while (plans_.size() >= max_entries_) {
-    plans_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
+    plans_.erase(lru_.back());
+    lru_.pop_back();
   }
-  insertion_order_.push_back(key);
-  plans_.emplace(key, std::move(plan));
+  lru_.push_front(key);
+  plans_.emplace(key, Entry{std::move(plan), lru_.begin()});
 }
 
 void TranslatedPlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   plans_.clear();
-  insertion_order_.clear();
+  lru_.clear();
 }
 
 size_t TranslatedPlanCache::size() const {

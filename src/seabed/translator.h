@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,14 @@ struct ServerPredicate {
   uint64_t det_token = 0;
   OreCiphertext ore_operand;
   bool on_right = false;  // evaluated against the joined table
+
+  // Prepared-statement slot: -1 means the operand above is final; >= 0 means
+  // this predicate is a typed placeholder — the operand is filled per
+  // execution by BindTranslatedQuery, which encrypts params[param] under
+  // bind_key (the per-column key, derived once at translation time so the
+  // bind path pays only the DET/ORE encryption, not the KDF).
+  int param = -1;
+  AesKey bind_key;
 };
 
 struct ServerAggregate {
@@ -103,6 +112,13 @@ struct ClientPlan {
   std::vector<ClientOutput> outputs;
   std::vector<ClientGroupOutput> group_outputs;
   size_t inflation = 1;
+  // Index into ServerPlan::aggregates of the SPLASHE filter's matching-row
+  // count, or -1. A SPLASHE-rewritten filter has no server predicate — the
+  // server aggregates splayed columns over every scanned row — so with GROUP
+  // BY, groups where the filtered value never occurs still reach the client
+  // as all-zero rows. Plaintext semantics drop them (no matching rows, no
+  // group); the client skips groups whose count decrypts to zero.
+  int splashe_filter_count = -1;
 };
 
 // The round-one probe section of a translated plan (derived by
@@ -147,21 +163,38 @@ class Translator {
   const ClientKeys* keys_;
 };
 
+// Binds a parameterized plan: copies `shape`, encrypts params[slot] into
+// each placeholder predicate (DET token for equality, ORE ciphertext for
+// ranges, plain operand otherwise) under the pre-derived per-slot key, and
+// re-derives the probe section over the now-bound predicates. The input plan
+// is untouched, so concurrent executions may bind the same cached shape.
+// Aborts on a type mismatch (e.g. a string bound to a range slot).
+TranslatedQuery BindTranslatedQuery(const TranslatedQuery& shape,
+                                    std::span<const Value> params);
+
 // The plan-cache key: everything Translate reads beyond the encrypted schema
 // — the exact query fingerprint (filters order-normalized, literals typed)
 // plus the inflation hint and the TranslatorOptions digest. Translation is a
 // pure function of (schema plan, keys, this key): DET tokens are
 // deterministic per key, and appends never change column schemes, so a plan
 // cached under this key stays valid for the lifetime of the attached table.
+// Parameterized queries participate too: unbound placeholders fingerprint as
+// their slot (`?N`), so one entry covers every binding of the shape.
 std::string PlanCacheKey(const Query& query, const TranslatorOptions& options);
 
+// The non-fingerprint tail of PlanCacheKey. Prepared statements cache the
+// fingerprint half in the handle and append this per call, skipping the
+// per-execution fingerprint walk.
+std::string PlanCacheKeySuffix(size_t expected_groups, const TranslatorOptions& options);
+
 // Thread-safe memo of translated plans, shared by the backends of one
-// session (Session::ExecuteBatch translates concurrently). Entries are
-// immutable shared_ptrs, so a hit outlives a concurrent Clear(). Bounded:
-// keys embed exact filter literals, so a dashboard sweeping a parameter
-// (WHERE ts >= <moving t>) would otherwise grow the memo without limit —
-// at capacity the oldest insertion is dropped (plans are cheap to rebuild;
-// FIFO keeps the hot steady-state shapes without LRU bookkeeping).
+// session (Session::ExecuteBatch translates concurrently) or by a whole
+// Service fleet. Entries are immutable shared_ptrs, so a hit outlives a
+// concurrent Clear(). Bounded, with LRU eviction: ad-hoc keys embed exact
+// filter literals, so a dashboard sweeping a parameter (WHERE ts >= <moving
+// t>) churns one-shot entries without limit — eviction must follow recency,
+// or that churn flushes the hot shape-keyed entries prepared statements
+// live on (FIFO would drop them in insertion order regardless of use).
 class TranslatedPlanCache {
  public:
   explicit TranslatedPlanCache(size_t max_entries = 4096);
@@ -176,10 +209,15 @@ class TranslatedPlanCache {
   uint64_t misses() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const TranslatedQuery> plan;
+    std::list<std::string>::iterator lru;
+  };
+
   const size_t max_entries_;
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const TranslatedQuery>> plans_;
-  std::list<std::string> insertion_order_;  // oldest at the front
+  std::map<std::string, Entry> plans_;
+  std::list<std::string> lru_;  // most recently used at the front
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

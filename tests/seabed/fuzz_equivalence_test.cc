@@ -21,6 +21,12 @@
 // batch), so a cache serving a stale pre-append result, or a plan cache
 // serving a mistranslation, shows up as a row mismatch here.
 //
+// PREPARED AXIS: each trial additionally re-issues its query through
+// Session::Prepare + bound Execute, with a random subset of the filter
+// literals turned into placeholder slots — the translate-once/bind-per-call
+// path (and its SPLASHE bind-then-ad-hoc fallback) must byte-match the
+// ad-hoc rows on every backend.
+//
 // PROBE AXIS: the Seabed-pipeline backends additionally replay every query
 // at probe mode off, auto and forced (src/seabed/probe.h) — the two-round
 // row-group pruning (kSeabed) and the forced shard-level probe
@@ -395,6 +401,26 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
     const std::vector<std::string> reference =
         RowsAsStrings(backends.front().session->Execute(q, nullptr));
 
+    // --- prepared axis --------------------------------------------------------
+    // The same query re-issued through Prepare+bind: a random subset of the
+    // filter literals become placeholder slots (placeholders that land on
+    // SPLASHE-protected columns exercise the bind-then-ad-hoc fallback), and
+    // the bound execution must byte-match the ad-hoc answer on every backend.
+    // One parameterization per trial so all backends prepare the same shape.
+    Query shape = q;
+    std::vector<Value> params;
+    for (Predicate& p : shape.filters) {
+      if (rng.Chance(0.75)) {
+        p.param = static_cast<int>(params.size());
+        params.push_back(p.operand);
+      }
+    }
+    const bool prepared_axis = !params.empty();
+    if (prepared_axis) {
+      const PreparedQuery prep = backends.front().session->Prepare(shape);
+      EXPECT_EQ(RowsAsStrings(backends.front().session->Execute(prep, params)), reference);
+    }
+
     // Small row groups so the ~300-900-row tables still span several groups
     // and the probes genuinely prune.
     constexpr ProbeMode kProbeModes[] = {ProbeMode::kOff, ProbeMode::kAuto, ProbeMode::kForced};
@@ -414,6 +440,13 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
         backend.session->set_translator_options(topts);
       }
       SCOPED_TRACE("backend=" + backend.label);
+      if (prepared_axis) {
+        const PreparedQuery prep = backend.session->Prepare(shape);
+        QueryStats pstats;
+        EXPECT_EQ(RowsAsStrings(backend.session->Execute(prep, params, &pstats)), reference);
+        EXPECT_TRUE(pstats.prepared);
+        EXPECT_GE(pstats.bind_seconds, 0.0);
+      }
       if (backend.probe_axis && !backend.caching) {
         // Probe axis: identical rows at off, auto and forced.
         for (const ProbeMode mode : kProbeModes) {

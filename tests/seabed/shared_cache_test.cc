@@ -1,0 +1,274 @@
+// SharedResultCache across sessions: one cache attached to a fleet of
+// kCachingSeabed sessions via SessionOptions::cache.shared. A dashboard
+// answered cold in session A must be warm in session B, any session's
+// Append must invalidate the table for every session, the counters are
+// cache-global (identical through every backend's accessors), and the
+// epoch fence holds when readers on BOTH sessions race a cross-session
+// append sequence (the TSan-relevant variant).
+#include "src/seabed/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/seabed/caching_backend.h"
+#include "src/seabed/session.h"
+#include "tests/seabed/test_util.h"
+
+namespace seabed {
+namespace {
+
+SessionOptions TestOptions(BackendKind backend) {
+  SessionOptions options;
+  options.backend = backend;
+  options.shards = 2;
+  options.cluster.num_workers = 4;
+  options.cluster.job_overhead_seconds = 0;
+  options.cluster.task_overhead_seconds = 0;
+  options.planner.expected_rows = 800;
+  options.key_seed = 4321;
+  return options;
+}
+
+std::shared_ptr<Table> MakeFactTable(size_t rows, uint64_t seed) {
+  auto table = std::make_shared<Table>("sales");
+  auto region = std::make_shared<StringColumn>();
+  auto store = std::make_shared<StringColumn>();
+  auto ts = std::make_shared<Int64Column>();
+  auto amount = std::make_shared<Int64Column>();
+  Rng rng(seed);
+  const char* regions[] = {"na", "eu", "apac"};
+  const char* stores[] = {"s1", "s2", "s3", "s4"};
+  for (size_t i = 0; i < rows; ++i) {
+    region->Append(regions[rng.Below(3)]);
+    store->Append(stores[rng.Below(4)]);
+    ts->Append(static_cast<int64_t>(rng.Below(100)));
+    amount->Append(rng.Range(-100, 1000));
+  }
+  table->AddColumn("region", region);
+  table->AddColumn("store", store);
+  table->AddColumn("ts", ts);
+  table->AddColumn("amount", amount);
+  return table;
+}
+
+PlainSchema FactSchema() {
+  PlainSchema schema;
+  schema.table_name = "sales";
+  ValueDistribution regions;
+  regions.values = {"na", "eu", "apac"};
+  regions.frequencies = {0.34, 0.33, 0.33};
+  schema.columns.push_back({"region", ColumnType::kString, true, regions});
+  schema.columns.push_back({"store", ColumnType::kString, true, std::nullopt});
+  schema.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+  schema.columns.push_back({"amount", ColumnType::kInt64, true, std::nullopt});
+  return schema;
+}
+
+std::vector<Query> SampleQueries() {
+  std::vector<Query> samples;
+  {
+    Query q;
+    q.table = "sales";
+    q.Sum("amount").Count();
+    q.Where("region", CmpOp::kEq, std::string("na"));
+    q.GroupBy("store");
+    samples.push_back(q);
+  }
+  {
+    // Teaches the planner `ts` needs an OPE column (RevenueByStore ranges
+    // over it).
+    Query q;
+    q.table = "sales";
+    q.Sum("amount").Where("ts", CmpOp::kGe, int64_t{0});
+    samples.push_back(q);
+  }
+  return samples;
+}
+
+Query RevenueByStore() {
+  Query q;
+  q.table = "sales";
+  q.Sum("amount", "revenue").Count("n");
+  q.Where("ts", CmpOp::kGe, int64_t{10});
+  q.GroupBy("store");
+  return q;
+}
+
+Query RevenueSince(int64_t ts) {
+  Query q = RevenueByStore();
+  q.filters[0].operand = ts;
+  return q;
+}
+
+// Two caching sessions over identical data, attached to ONE result cache —
+// the proxy-fleet topology the shared cache exists for. `plain_` tracks the
+// same appends as the reference answer.
+class SharedCacheTest : public ::testing::Test {
+ protected:
+  void Build(SharedResultCache::Limits limits) {
+    shared_ = std::make_shared<SharedResultCache>(limits);
+    fact_ = MakeFactTable(800, 99);
+
+    SessionOptions options = TestOptions(BackendKind::kCachingSeabed);
+    options.cache.shared = shared_;
+    a_ = std::make_unique<Session>(options);
+    b_ = std::make_unique<Session>(options);
+    plain_ = std::make_unique<Session>(TestOptions(BackendKind::kPlain));
+    for (Session* s : {a_.get(), b_.get(), plain_.get()}) {
+      s->Attach(CloneTable(*fact_), FactSchema(), SampleQueries());
+    }
+    backend_a_ = &dynamic_cast<CachingSeabedBackend&>(a_->executor());
+    backend_b_ = &dynamic_cast<CachingSeabedBackend&>(b_->executor());
+  }
+
+  // Appends one batch everywhere, keeping the fleet's tables identical.
+  void AppendEverywhere(const Table& batch) {
+    b_->Append("sales", batch);
+    a_->Append("sales", batch);
+    plain_->Append("sales", batch);
+  }
+
+  std::shared_ptr<SharedResultCache> shared_;
+  std::shared_ptr<Table> fact_;
+  std::unique_ptr<Session> a_, b_, plain_;
+  CachingSeabedBackend* backend_a_ = nullptr;
+  CachingSeabedBackend* backend_b_ = nullptr;
+};
+
+TEST_F(SharedCacheTest, ColdInOneSessionIsWarmInTheOther) {
+  Build(SharedResultCache::Limits{});
+  const Query q = RevenueByStore();
+  const auto reference = RowsAsStrings(plain_->Execute(q));
+
+  QueryStats cold;
+  EXPECT_EQ(RowsAsStrings(a_->Execute(q, &cold)), reference);
+  EXPECT_FALSE(cold.cache_hit);
+
+  // Session B never ran this query cold — the hit travelled via the cache.
+  QueryStats warm;
+  EXPECT_EQ(RowsAsStrings(b_->Execute(q, &warm)), reference);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.rows_touched, cold.rows_touched);  // cold-run stats replayed
+
+  // Counters are CACHE-global, not per-session: both backends forward to the
+  // one SharedResultCache and must agree with it exactly.
+  EXPECT_EQ(shared_->hits(), 1u);
+  EXPECT_EQ(shared_->misses(), 1u);
+  EXPECT_EQ(shared_->entries(), 1u);
+  EXPECT_EQ(backend_a_->hits(), shared_->hits());
+  EXPECT_EQ(backend_b_->hits(), shared_->hits());
+  EXPECT_EQ(backend_a_->misses(), shared_->misses());
+  EXPECT_EQ(backend_b_->misses(), shared_->misses());
+  EXPECT_EQ(backend_a_->entries(), backend_b_->entries());
+  EXPECT_EQ(backend_a_->cached_bytes(), shared_->bytes());
+}
+
+TEST_F(SharedCacheTest, AppendInAnySessionInvalidatesTheWholeFleet) {
+  Build(SharedResultCache::Limits{});
+  const Query q = RevenueByStore();
+  a_->Execute(q);  // warm the fleet
+  QueryStats warm;
+  b_->Execute(q, &warm);
+  ASSERT_TRUE(warm.cache_hit);
+
+  // B ingests; A must NOT keep serving the pre-append answer.
+  AppendEverywhere(*MakeFactTable(60, 1234));
+  const auto post_append = RowsAsStrings(plain_->Execute(q));
+  QueryStats recomputed;
+  EXPECT_EQ(RowsAsStrings(a_->Execute(q, &recomputed)), post_append);
+  EXPECT_FALSE(recomputed.cache_hit);
+
+  // ...and A's recomputation re-warms B.
+  QueryStats rewarmed;
+  EXPECT_EQ(RowsAsStrings(b_->Execute(q, &rewarmed)), post_append);
+  EXPECT_TRUE(rewarmed.cache_hit);
+}
+
+TEST_F(SharedCacheTest, EntryBudgetIsSharedAcrossSessions) {
+  SharedResultCache::Limits limits;
+  limits.max_entries = 2;
+  Build(limits);
+  // Three distinct shapes issued round-robin across the fleet can never hold
+  // more than the shared budget of two entries.
+  a_->Execute(RevenueSince(10));
+  b_->Execute(RevenueSince(20));
+  a_->Execute(RevenueSince(30));
+  EXPECT_EQ(shared_->entries(), 2u);
+  // LRU is cache-wide: the oldest shape (ts>=10) was evicted, the newest two
+  // are warm from either session.
+  QueryStats warm;
+  b_->Execute(RevenueSince(30), &warm);
+  EXPECT_TRUE(warm.cache_hit);
+  QueryStats evicted;
+  b_->Execute(RevenueSince(10), &evicted);
+  EXPECT_FALSE(evicted.cache_hit);
+}
+
+// The threaded variant (TSan target): readers on BOTH sessions race a
+// cross-session append sequence. Sessions agree at append boundaries, so
+// every observed answer must equal the table at SOME boundary — a stale
+// entry surviving another session's invalidation, or a racing miss
+// republishing a pre-append result past the epoch fence, would surface as
+// an answer outside the staged reference set or as a wrong steady state.
+TEST_F(SharedCacheTest, FleetReadersRacingCrossSessionAppendsStayPrefixConsistent) {
+  Build(SharedResultCache::Limits{});
+  const Query q = RevenueByStore();
+  constexpr int kAppends = 8;
+
+  std::vector<std::shared_ptr<Table>> batches;
+  std::vector<std::vector<std::string>> references;
+  references.push_back(RowsAsStrings(plain_->Execute(q)));
+  for (int i = 0; i < kAppends; ++i) {
+    batches.push_back(MakeFactTable(40, 5000 + static_cast<uint64_t>(i)));
+    plain_->Append("sales", *batches.back());
+    references.push_back(RowsAsStrings(plain_->Execute(q)));
+  }
+
+  a_->Execute(q);  // the race starts warm
+  std::atomic<bool> done{false};
+  std::atomic<size_t> inconsistent{0};
+  std::vector<std::thread> readers;
+  for (Session* session : {a_.get(), b_.get()}) {
+    for (int t = 0; t < 2; ++t) {
+      readers.emplace_back([&, session] {
+        while (!done.load(std::memory_order_acquire)) {
+          const std::vector<std::string> got = RowsAsStrings(session->Execute(q));
+          if (std::find(references.begin(), references.end(), got) == references.end()) {
+            inconsistent.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  for (int i = 0; i < kAppends; ++i) {
+    // Alternate which session ingests first — every append invalidates for
+    // the whole fleet either way.
+    Session* first = (i % 2 == 0) ? b_.get() : a_.get();
+    Session* second = (i % 2 == 0) ? a_.get() : b_.get();
+    first->Append("sales", *batches[static_cast<size_t>(i)]);
+    second->Append("sales", *batches[static_cast<size_t>(i)]);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+
+  EXPECT_EQ(inconsistent.load(), 0u);
+  // Steady state: the final table, from both sessions, and warm again.
+  EXPECT_EQ(RowsAsStrings(a_->Execute(q)), references.back());
+  EXPECT_EQ(RowsAsStrings(b_->Execute(q)), references.back());
+  QueryStats warm;
+  b_->Execute(q, &warm);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(RowsAsStrings(b_->Execute(q)), references.back());
+}
+
+}  // namespace
+}  // namespace seabed

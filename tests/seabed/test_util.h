@@ -94,6 +94,40 @@ inline void ExpectProbeStatsInvariants(Session& session, const Query& q,
   session.set_probe_options(saved);
 }
 
+// Stats-invariant helper for the prepared-statement path, applied across the
+// backend tests: executing `shape` via Prepare+bind must (a) return
+// `reference` (the ad-hoc answer), (b) report prepared=true with a
+// non-negative bind time on every backend — including fallback executions of
+// non-parameterized handles — while the ad-hoc run of the bound query
+// reports prepared=false, and (c) on a parameterized handle, re-executing
+// with fresh params must not retranslate (plan_cache_hit on the second run;
+// result-cache hits replay client-side and never translate at all).
+inline void ExpectPreparedStatsInvariants(Session& session, const Query& shape,
+                                          const std::vector<Value>& params,
+                                          const std::vector<std::string>& reference) {
+  const PreparedQuery prepared = session.Prepare(shape);
+  EXPECT_EQ(prepared.num_params(), params.size());
+
+  QueryStats adhoc;
+  EXPECT_EQ(RowsAsStrings(session.Execute(prepared.Bind(params), &adhoc)), reference);
+  EXPECT_FALSE(adhoc.prepared);
+  EXPECT_EQ(adhoc.bind_seconds, 0.0);
+
+  QueryStats first;
+  EXPECT_EQ(RowsAsStrings(session.Execute(prepared, params, &first)), reference);
+  EXPECT_TRUE(first.prepared);
+  EXPECT_GE(first.bind_seconds, 0.0);
+
+  QueryStats second;
+  EXPECT_EQ(RowsAsStrings(session.Execute(prepared, params, &second)), reference);
+  EXPECT_TRUE(second.prepared);
+  if (prepared.parameterized() && !second.cache_hit &&
+      session.backend_kind() != BackendKind::kPlain &&
+      session.backend_kind() != BackendKind::kPaillier) {
+    EXPECT_TRUE(second.plan_cache_hit);
+  }
+}
+
 }  // namespace seabed
 
 #endif  // SEABED_TESTS_SEABED_TEST_UTIL_H_
