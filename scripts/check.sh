@@ -11,6 +11,10 @@
 #   SEABED_SANITIZE=thread CTEST_ARGS="-LE slow" SMOKE_BENCH=0 ./scripts/check.sh
 #                                       # the CI TSan job (data races in the
 #                                       # serving layer); keeps optimization on
+#   SEABED_NO_SIMD=1 SMOKE_BENCH=0 ./scripts/check.sh
+#                                       # the CI scalar-fallback job: scan
+#                                       # kernels compiled without intrinsics,
+#                                       # full suite incl. the fuzz tier
 #   COMPARE_BENCH=0 ./scripts/check.sh  # skip the bench-regression gate
 #
 # Bench smoke mode runs a representative subset on a tiny synthetic table
@@ -28,6 +32,7 @@ JOBS="${JOBS:-$(nproc)}"
 SMOKE_BENCH="${SMOKE_BENCH:-1}"
 SMOKE_ROWS="${SMOKE_ROWS:-20000}"
 SEABED_SANITIZE="${SEABED_SANITIZE:-0}"
+SEABED_NO_SIMD="${SEABED_NO_SIMD:-0}"
 CTEST_ARGS="${CTEST_ARGS:-}"
 COMPARE_BENCH="${COMPARE_BENCH:-1}"
 
@@ -43,6 +48,13 @@ elif [[ "$SEABED_SANITIZE" == "thread" ]]; then
   CMAKE_ARGS+=(-DSEABED_SANITIZE=thread -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}")
 else
   CMAKE_ARGS+=(-DSEABED_SANITIZE=OFF -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}")
+fi
+# Same cache hygiene for the scan-kernel escape hatch: pass it explicitly
+# both ways so a scalar-fallback run cannot leak into the next plain run.
+if [[ "$SEABED_NO_SIMD" == "1" ]]; then
+  CMAKE_ARGS+=(-DSEABED_NO_SIMD=ON)
+else
+  CMAKE_ARGS+=(-DSEABED_NO_SIMD=OFF)
 fi
 # ccache keeps the two-job CI matrix under its timeout; harmless locally.
 if command -v ccache > /dev/null 2>&1; then
@@ -67,7 +79,8 @@ if [[ "$SMOKE_BENCH" == "1" ]]; then
   export SEABED_GIT_SHA
   for bench in bench_fig6_latency_rows bench_fig7_scalability bench_fig9a_groupby \
                bench_fig11_dashboard bench_fig12_probe bench_fig13_rebalance \
-               bench_fig14_service bench_fig15_snapshot bench_fig16_prepared; do
+               bench_fig14_service bench_fig15_snapshot bench_fig16_prepared \
+               bench_fig17_kernels; do
     echo "--- smoke: $bench (rows=$SMOKE_ROWS) ---"
     SEABED_BENCH_ROWS="$SMOKE_ROWS" SEABED_BENCH_JSON_DIR="$JSON_DIR" \
       "$BUILD_DIR/bench/$bench" > /dev/null

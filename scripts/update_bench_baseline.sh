@@ -17,7 +17,7 @@ BASELINE_DIR="bench/baseline"
 
 # Explicit release flags: a prior sanitizer configure of the same build dir
 # must not poison the committed baseline with ASan/Debug timings.
-CMAKE_ARGS=(-DSEABED_SANITIZE=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+CMAKE_ARGS=(-DSEABED_SANITIZE=OFF -DSEABED_NO_SIMD=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo)
 if command -v ccache > /dev/null 2>&1; then
   CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
@@ -31,7 +31,8 @@ SEABED_GIT_SHA="$(git rev-parse --short HEAD 2> /dev/null || echo unknown)"
 export SEABED_GIT_SHA
 for bench in bench_fig6_latency_rows bench_fig7_scalability bench_fig9a_groupby \
              bench_fig11_dashboard bench_fig12_probe bench_fig13_rebalance \
-             bench_fig14_service bench_fig15_snapshot bench_fig16_prepared; do
+             bench_fig14_service bench_fig15_snapshot bench_fig16_prepared \
+             bench_fig17_kernels; do
   echo "--- baseline: $bench (rows=$SMOKE_ROWS) ---"
   SEABED_BENCH_ROWS="$SMOKE_ROWS" SEABED_BENCH_JSON_DIR="$STAGE_DIR" \
     "$BUILD_DIR/bench/$bench" > /dev/null

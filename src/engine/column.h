@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,11 @@ class StringColumn : public Column {
   const std::string& Get(size_t row) const { return dictionary_[codes_[row]]; }
   uint32_t GetCode(size_t row) const { return codes_[row]; }
 
+  // Contiguous code span for the scan kernels: dictionary codes compare like
+  // the strings they encode (the dictionary dedups), so an equality filter
+  // is one code compare per row.
+  std::span<const uint32_t> codes() const { return codes_; }
+
   // Code for `v`, or UINT32_MAX when absent from the dictionary.
   uint32_t Lookup(const std::string& v) const;
 
@@ -96,6 +102,9 @@ class AsheColumn : public Column {
   uint64_t Get(size_t row) const { return cells_[row]; }
   void Append(uint64_t cipher) { cells_.push_back(cipher); }
 
+  // Contiguous cell span for batched ASHE accumulation over a selection.
+  std::span<const uint64_t> cells() const { return cells_; }
+
  private:
   uint64_t base_id_;
   std::vector<uint64_t> cells_;
@@ -110,6 +119,9 @@ class DetColumn : public Column {
   uint64_t Get(size_t row) const { return tokens_[row]; }
   void Append(uint64_t token) { tokens_.push_back(token); }
 
+  // Contiguous token span for the SIMD equality kernel.
+  std::span<const uint64_t> tokens() const { return tokens_; }
+
  private:
   std::vector<uint64_t> tokens_;
 };
@@ -122,6 +134,9 @@ class OreColumn : public Column {
 
   const OreCiphertext& Get(size_t row) const { return cells_[row]; }
   void Append(const OreCiphertext& ct) { cells_.push_back(ct); }
+
+  // Contiguous ciphertext span for the vectorized ORE comparison kernel.
+  std::span<const OreCiphertext> cells() const { return cells_; }
 
  private:
   std::vector<OreCiphertext> cells_;

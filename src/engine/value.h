@@ -8,11 +8,37 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 
 namespace seabed {
 
 using Value = std::variant<int64_t, double, std::string>;
+
+// Appends one part of a serialized group key: varint length prefix, then the
+// raw bytes. The prefix makes the concatenation a prefix code, so distinct
+// part tuples can never serialize to the same key — raw '\x1f'-separated
+// concatenation collided ("a\x1f", "b") with ("a", "\x1fb") and silently
+// merged their aggregates. Every group-key builder (plain executor, Seabed
+// server, Paillier baseline, client deflation) must share this one encoding:
+// the client's deflation key must byte-match the server's key minus the
+// inflation suffix, and the sharded coordinator merges groups by key bytes.
+inline void AppendGroupKeyPart(std::string& key, std::string_view part) {
+  uint64_t len = part.size();
+  while (len >= 0x80) {
+    key.push_back(static_cast<char>(len | 0x80));
+    len >>= 7;
+  }
+  key.push_back(static_cast<char>(len));
+  key.append(part);
+}
+
+// Fixed-width parts (DET tokens, plain int64s, inflation suffixes) use the
+// same encoding as an 8-byte part, so mixed string/int key tuples stay
+// unambiguous too.
+inline void AppendGroupKeyPart(std::string& key, uint64_t part) {
+  AppendGroupKeyPart(key, std::string_view(reinterpret_cast<const char*>(&part), 8));
+}
 
 // Render a value for test assertions and example output.
 inline std::string ValueToString(const Value& v) {

@@ -188,8 +188,10 @@ ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cl
       ++touched[p];
       std::string key;
       for (const ResolvedColumn& rc : group_cols) {
-        key += ValueToString(CellValue(*rc.table, rc.name, rc.on_right ? right_row : row));
-        key.push_back('\x1f');
+        // Length-prefixed so adjacent parts can never alias (see
+        // AppendGroupKeyPart in src/engine/value.h).
+        AppendGroupKeyPart(key,
+                           ValueToString(CellValue(*rc.table, rc.name, rc.on_right ? right_row : row)));
       }
       GroupState& group = local[key];
       if (group.aggs.empty()) {
@@ -257,6 +259,19 @@ ResultSet ExecutePlain(const Table& table, const Query& query, const Cluster& cl
     result_bytes += row.size() * 8;
     result.rows.push_back(std::move(row));
   }
+  // Rows sorted by group values. The serialized keys are length-prefixed
+  // (collision-proofing), which makes their byte order diverge from value
+  // order — e.g. "west" (4 bytes) would sort before "north" (5 bytes).
+  const size_t num_group_cols = query.group_by.size();
+  std::sort(result.rows.begin(), result.rows.end(),
+            [num_group_cols](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t g = 0; g < num_group_cols; ++g) {
+                if (a[g] != b[g]) {
+                  return a[g] < b[g];
+                }
+              }
+              return false;
+            });
   if (stats != nullptr) {
     stats->backend = "plain";
     stats->job = job;

@@ -31,14 +31,16 @@ struct MergedGroup {
 };
 
 std::string BaseKey(const ServerGroup& g) {
-  // Re-serialize key parts without the inflation suffix.
+  // Re-serialize key parts without the inflation suffix. Must byte-match the
+  // server's key builder (Server::Execute) exactly — deflation merges the
+  // server's inflated groups by this key — so it uses the same
+  // length-prefixed AppendGroupKeyPart encoding.
   std::string key;
   for (const Value& v : g.key_parts) {
     if (const auto* i = std::get_if<int64_t>(&v)) {
-      key.append(reinterpret_cast<const char*>(i), 8);
+      AppendGroupKeyPart(key, static_cast<uint64_t>(*i));
     } else {
-      key += std::get<std::string>(v);
-      key.push_back('\x1f');
+      AppendGroupKeyPart(key, std::get<std::string>(v));
     }
   }
   return key;

@@ -112,18 +112,20 @@ ResultSet PaillierBaseline::Execute(const EncryptedDatabase& db, const Translate
         const Table& t = table_of(g.on_right);
         const size_t r = g.on_right ? right_row : row;
         const ColumnPtr& col = t.GetColumn(g.column);
+        // Same length-prefixed encoding as the Seabed server's keys (see
+        // AppendGroupKeyPart in src/engine/value.h): adjacent parts must
+        // never alias, and mixed string/int tuples must stay unambiguous.
         if (col->type() == ColumnType::kDet) {
           const uint64_t token = static_cast<const DetColumn*>(col.get())->Get(r);
-          key.append(reinterpret_cast<const char*>(&token), 8);
+          AppendGroupKeyPart(key, token);
           key_parts.emplace_back(static_cast<int64_t>(token));
         } else if (col->type() == ColumnType::kInt64) {
           const int64_t v = static_cast<const Int64Column*>(col.get())->Get(r);
-          key.append(reinterpret_cast<const char*>(&v), 8);
+          AppendGroupKeyPart(key, static_cast<uint64_t>(v));
           key_parts.emplace_back(v);
         } else {
           const std::string& v = static_cast<const StringColumn*>(col.get())->Get(r);
-          key += v;
-          key.push_back('\x1f');
+          AppendGroupKeyPart(key, v);
           key_parts.emplace_back(v);
         }
       }

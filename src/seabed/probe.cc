@@ -264,7 +264,14 @@ std::vector<std::vector<RowRange>> PartitionRanges(const std::vector<RowRange>& 
         tasks.emplace_back();
         filled = 0;
       }
-      const size_t take = std::min(r.size(), per_task - filled);
+      size_t take = std::min(r.size(), per_task - filled);
+      if (take < r.size()) {
+        // Align intra-range split points to whole 64-row bitmap words: the
+        // vectorized scan fills one selection-bitmap word per 64 rows, and a
+        // split mid-word would leave both neighboring tasks a partial tail
+        // word where full-word kernels degrade to the masked-tail path.
+        take = std::min(r.size(), (take + 63) & ~size_t{63});
+      }
       tasks.back().push_back({r.begin, r.begin + take});
       r.begin += take;
       filled += take;

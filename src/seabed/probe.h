@@ -141,7 +141,9 @@ class RowGroupIndex {
 
 // Splits `ranges` (disjoint, ordered) into at most `max_tasks` lists of
 // near-equal total row count, splitting large ranges at task boundaries so a
-// pruned scan still parallelizes across the cluster's workers.
+// pruned scan still parallelizes across the cluster's workers. Intra-range
+// split points are rounded up to 64-row multiples so the scan kernels'
+// selection-bitmap words never straddle a task boundary.
 std::vector<std::vector<RowRange>> PartitionRanges(const std::vector<RowRange>& ranges,
                                                    size_t max_tasks);
 

@@ -1,10 +1,14 @@
 #include "src/seabed/server.h"
 
+#include <algorithm>
+#include <map>
 #include <unordered_map>
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
+#include "src/encoding/bitmap.h"
 #include "src/encoding/id_list_codec.h"
+#include "src/seabed/scan_kernels.h"
 
 namespace seabed {
 namespace {
@@ -65,9 +69,10 @@ struct PartialGroup {
   std::vector<Bytes> blobs;  // one per ASHE aggregate after worker encode
 };
 
-void AppendKeyPart(std::string& key, uint64_t v) {
-  key.append(reinterpret_cast<const char*>(&v), 8);
-}
+// Rows per kernel row group: the unit the vectorized scan fills one
+// selection bitmap for. 4096 rows = 64 bitmap words; even the widest
+// per-group column slice (ORE, 16 B/row = 64 KiB) stays cache-resident.
+constexpr size_t kKernelRowGroup = 4096;
 
 }  // namespace
 
@@ -138,46 +143,59 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
     tasks = PartitionRanges(*scan_ranges, cluster.num_workers());
   }
   std::vector<std::unordered_map<std::string, PartialGroup>> partials(tasks.size());
-  std::vector<uint64_t> touched(tasks.size(), 0);
+
+  // Per-task scan state, padded to cache-line granularity: the touched
+  // counter is bumped once per surviving row by concurrent workers, and
+  // adjacent uint64_t slots in a plain vector false-share on the hottest
+  // counter (the same treatment src/common/epoch.h applies to its slots).
+  struct alignas(64) TaskScanState {
+    uint64_t touched = 0;
+  };
+  std::vector<TaskScanState> task_state(tasks.size());
+
+  // Kernel-scan classification (vectorized mode, non-join plans): DET and
+  // plain-int predicates run first (whole 64-row words per compare), then
+  // ORE (per-row SIMD that skips dead words), and plain-string predicates
+  // run scalar over the surviving bits only. Reordering is safe — the
+  // predicates AND. Joined scans keep the row-at-a-time path: the join
+  // fan-out is inherently per-row.
+  const bool use_kernels =
+      ServerScanMode() == ScanMode::kVectorized && !plan.join.has_value();
+  std::vector<size_t> kernel_preds;    // det + int, then ore, in plan order
+  std::vector<size_t> residual_preds;  // plain strings, scalar over survivors
+  std::vector<uint32_t> residual_codes(plan.predicates.size(), UINT32_MAX);
+  if (use_kernels) {
+    for (size_t i = 0; i < plan.predicates.size(); ++i) {
+      const ServerPredicate::Kind kind = plan.predicates[i].kind;
+      if (kind == ServerPredicate::Kind::kDetEq || kind == ServerPredicate::Kind::kPlainInt) {
+        kernel_preds.push_back(i);
+      }
+    }
+    for (size_t i = 0; i < plan.predicates.size(); ++i) {
+      if (plan.predicates[i].kind == ServerPredicate::Kind::kOreCmp) {
+        kernel_preds.push_back(i);
+      }
+    }
+    for (size_t i = 0; i < plan.predicates.size(); ++i) {
+      if (plan.predicates[i].kind == ServerPredicate::Kind::kPlainString) {
+        residual_preds.push_back(i);
+        // Dictionary codes compare like the strings they encode; an absent
+        // operand (UINT32_MAX, never a valid code) matches no row.
+        residual_codes[i] = pred_cols[i].str->Lookup(plan.predicates[i].str_operand);
+      }
+    }
+  }
 
   const JobStats job = cluster.RunJob(tasks.size(), [&](size_t p) {
     auto& local = partials[p];
-    auto process = [&](size_t row, size_t right_row) {
-      // Predicates.
-      for (size_t i = 0; i < plan.predicates.size(); ++i) {
-        const ServerPredicate& sp = plan.predicates[i];
-        const ColRef& ref = pred_cols[i];
-        const size_t r = ref.on_right ? right_row : row;
-        bool pass = true;
-        switch (sp.kind) {
-          case ServerPredicate::Kind::kPlainInt: {
-            const int64_t v = ref.i64->Get(r);
-            pass = CmpOpMatchesOrder(sp.op, v < sp.int_operand ? -1 : (v > sp.int_operand ? 1 : 0));
-            break;
-          }
-          case ServerPredicate::Kind::kPlainString: {
-            const bool eq = ref.str->Get(r) == sp.str_operand;
-            pass = sp.op == CmpOp::kEq ? eq : !eq;
-            break;
-          }
-          case ServerPredicate::Kind::kDetEq: {
-            const bool eq = ref.det->Get(r) == sp.det_token;
-            pass = sp.op == CmpOp::kEq ? eq : !eq;
-            break;
-          }
-          case ServerPredicate::Kind::kOreCmp: {
-            const OreComparison cmp = Ore::Compare(ref.ore->Get(r), sp.ore_operand);
-            pass = CmpOpMatchesOrder(sp.op, cmp.order);
-            break;
-          }
-        }
-        if (!pass) {
-          return;
-        }
-      }
-      ++touched[p];
 
-      // Group key.
+    // Aggregation for one surviving row: group-key building + accumulation.
+    // Shared by both scan paths — the kernel path drives it from the set
+    // bits of the final bitmap, the row path after the predicate chain.
+    auto accumulate = [&](size_t row, size_t right_row) {
+      // Group key. Every part is length-prefixed (AppendGroupKeyPart): raw
+      // '\x1f'-separated concatenation let distinct keys like ("a\x1f", "b")
+      // and ("a", "\x1fb") collide and silently merge their aggregates.
       std::string key;
       std::vector<Value> key_parts;
       key_parts.reserve(group_cols.size());
@@ -185,15 +203,14 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
         const size_t r = ref.on_right ? right_row : row;
         if (ref.det != nullptr) {
           const uint64_t token = ref.det->Get(r);
-          AppendKeyPart(key, token);
+          AppendGroupKeyPart(key, token);
           key_parts.emplace_back(static_cast<int64_t>(token));
         } else if (ref.i64 != nullptr) {
           const int64_t v = ref.i64->Get(r);
-          AppendKeyPart(key, static_cast<uint64_t>(v));
+          AppendGroupKeyPart(key, static_cast<uint64_t>(v));
           key_parts.emplace_back(v);
         } else if (ref.str != nullptr) {
-          key += ref.str->Get(r);
-          key.push_back('\x1f');
+          AppendGroupKeyPart(key, ref.str->Get(r));
           key_parts.emplace_back(ref.str->Get(r));
         } else {
           SEABED_CHECK_MSG(false, "group-by on an unsupported encrypted column");
@@ -204,7 +221,7 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
         // The artificial group id of Section 4.5. Hashed rather than
         // row % inflation so it cannot correlate with data-derived groups.
         suffix = (row * 0x9e3779b97f4a7c15ULL >> 33) % plan.inflation;
-        AppendKeyPart(key, suffix);
+        AppendGroupKeyPart(key, suffix);
       }
 
       PartialGroup& group = local[key];
@@ -247,15 +264,104 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
       }
     };
 
-    for (const RowRange& range : tasks[p]) {
-      for (size_t row = range.begin; row < range.end; ++row) {
-        if (join_left != nullptr) {
-          const auto [lo, hi] = join_index.equal_range(join_left->Get(row));
-          for (auto it = lo; it != hi; ++it) {
-            process(row, it->second);
+    // Row-at-a-time evaluation: the join path and the kRowAtATime fallback.
+    auto process = [&](size_t row, size_t right_row) {
+      for (size_t i = 0; i < plan.predicates.size(); ++i) {
+        const ServerPredicate& sp = plan.predicates[i];
+        const ColRef& ref = pred_cols[i];
+        const size_t r = ref.on_right ? right_row : row;
+        bool pass = true;
+        switch (sp.kind) {
+          case ServerPredicate::Kind::kPlainInt: {
+            const int64_t v = ref.i64->Get(r);
+            pass = CmpOpMatchesOrder(sp.op, v < sp.int_operand ? -1 : (v > sp.int_operand ? 1 : 0));
+            break;
           }
-        } else {
-          process(row, 0);
+          case ServerPredicate::Kind::kPlainString: {
+            const bool eq = ref.str->Get(r) == sp.str_operand;
+            pass = sp.op == CmpOp::kEq ? eq : !eq;
+            break;
+          }
+          case ServerPredicate::Kind::kDetEq: {
+            const bool eq = ref.det->Get(r) == sp.det_token;
+            pass = sp.op == CmpOp::kEq ? eq : !eq;
+            break;
+          }
+          case ServerPredicate::Kind::kOreCmp: {
+            const OreComparison cmp = Ore::Compare(ref.ore->Get(r), sp.ore_operand);
+            pass = CmpOpMatchesOrder(sp.op, cmp.order);
+            break;
+          }
+        }
+        if (!pass) {
+          return;
+        }
+      }
+      ++task_state[p].touched;
+      accumulate(row, right_row);
+    };
+
+    if (use_kernels) {
+      // Columnar path: per kernel row group, fill one selection bitmap by
+      // ANDing each predicate's verdicts, then aggregate the set bits.
+      SelectionBitmap sel;
+      for (const RowRange& range : tasks[p]) {
+        for (size_t begin = range.begin; begin < range.end; begin += kKernelRowGroup) {
+          const size_t n = std::min<size_t>(kKernelRowGroup, range.end - begin);
+          sel.Reset(n, /*all_set=*/true);
+          bool dead = false;
+          for (const size_t i : kernel_preds) {
+            const ServerPredicate& sp = plan.predicates[i];
+            const ColRef& ref = pred_cols[i];
+            switch (sp.kind) {
+              case ServerPredicate::Kind::kDetEq:
+                FilterDetEq(ref.det->tokens().data() + begin, n, sp.op != CmpOp::kEq,
+                            sp.det_token, sel);
+                break;
+              case ServerPredicate::Kind::kPlainInt:
+                FilterInt64Cmp(ref.i64->values().data() + begin, n, sp.op, sp.int_operand, sel);
+                break;
+              case ServerPredicate::Kind::kOreCmp:
+                FilterOreCmp(ref.ore->cells().data() + begin, n, sp.op, sp.ore_operand, sel);
+                break;
+              default:
+                break;
+            }
+            if (!sel.Any()) {
+              dead = true;
+              break;
+            }
+          }
+          if (dead) {
+            continue;
+          }
+          for (const size_t i : residual_preds) {
+            const ServerPredicate& sp = plan.predicates[i];
+            const StringColumn* str = pred_cols[i].str;
+            const uint32_t code = residual_codes[i];
+            const bool want_eq = sp.op == CmpOp::kEq;
+            sel.Retain(
+                [&](size_t bit) { return (str->GetCode(begin + bit) == code) == want_eq; });
+          }
+          const size_t hits = sel.Count();
+          if (hits == 0) {
+            continue;
+          }
+          task_state[p].touched += hits;
+          sel.ForEachSet([&](size_t bit) { accumulate(begin + bit, 0); });
+        }
+      }
+    } else {
+      for (const RowRange& range : tasks[p]) {
+        for (size_t row = range.begin; row < range.end; ++row) {
+          if (join_left != nullptr) {
+            const auto [lo, hi] = join_index.equal_range(join_left->Get(row));
+            for (auto it = lo; it != hi; ++it) {
+              process(row, it->second);
+            }
+          } else {
+            process(row, 0);
+          }
         }
       }
     }
@@ -421,8 +527,8 @@ EncryptedResponse Server::Execute(const ServerPlan& plan, const Cluster& cluster
   response.response_bytes = bytes;
   response.job = job;
   response.driver_seconds = driver_seconds;
-  for (const uint64_t t : touched) {
-    response.rows_touched += t;
+  for (const TaskScanState& t : task_state) {
+    response.rows_touched += t.touched;
   }
   return response;
 }

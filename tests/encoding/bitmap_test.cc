@@ -43,5 +43,94 @@ TEST(BitmapTest, SizeIsWidthDriven) {
   EXPECT_GT(bytes.size(), 100000u / 8 * 7);
 }
 
+// SelectionBitmap edge cases: the scan kernels rely on the tail-mask
+// invariant (bits >= size() stay zero) and on AND-only semantics.
+
+TEST(SelectionBitmapTest, TailMaskLengthsNotMultipleOf64) {
+  for (const size_t bits : {1u, 63u, 64u, 65u, 127u, 129u, 4095u}) {
+    SelectionBitmap sel(bits, /*all_set=*/true);
+    EXPECT_EQ(sel.Count(), bits) << bits;
+    // Every bit past the end must be zero in the tail word.
+    if (bits % 64 != 0) {
+      const uint64_t tail = sel.words()[sel.num_words() - 1];
+      EXPECT_EQ(tail & ~SelectionBitmap::TailMask(bits), 0u) << bits;
+    }
+    size_t seen = 0;
+    sel.ForEachSet([&](size_t i) {
+      EXPECT_LT(i, bits);
+      ++seen;
+    });
+    EXPECT_EQ(seen, bits) << bits;
+  }
+}
+
+TEST(SelectionBitmapTest, TailSurvivesGarbageAnd) {
+  // A kernel may write garbage ones above size() into a word it ANDs in —
+  // as long as the destination tail is masked, ANDing can never resurrect
+  // an out-of-range bit.
+  SelectionBitmap sel(70, /*all_set=*/true);
+  SelectionBitmap other(70, /*all_set=*/true);
+  other.words()[1] = ~uint64_t{0};  // garbage beyond bit 70
+  sel.And(other);
+  EXPECT_EQ(sel.Count(), 70u);
+  EXPECT_EQ(sel.words()[1] & ~SelectionBitmap::TailMask(70), 0u);
+}
+
+TEST(SelectionBitmapTest, EmptySelection) {
+  SelectionBitmap sel(100, /*all_set=*/false);
+  EXPECT_FALSE(sel.Any());
+  EXPECT_EQ(sel.Count(), 0u);
+  size_t seen = 0;
+  sel.ForEachSet([&](size_t) { ++seen; });
+  EXPECT_EQ(seen, 0u);
+
+  SelectionBitmap zero(0, /*all_set=*/true);
+  EXPECT_FALSE(zero.Any());
+  EXPECT_EQ(zero.Count(), 0u);
+}
+
+TEST(SelectionBitmapTest, AllSetSelection) {
+  SelectionBitmap sel(256, /*all_set=*/true);
+  EXPECT_TRUE(sel.Any());
+  EXPECT_EQ(sel.Count(), 256u);
+  size_t expect = 0;
+  sel.ForEachSet([&](size_t i) { EXPECT_EQ(i, expect++); });
+  EXPECT_EQ(expect, 256u);
+}
+
+TEST(SelectionBitmapTest, AndCombinesEqualLengths) {
+  SelectionBitmap a(130, /*all_set=*/false);
+  SelectionBitmap b(130, /*all_set=*/false);
+  for (size_t i = 0; i < 130; i += 2) {
+    a.Set(i);  // evens
+  }
+  for (size_t i = 0; i < 130; i += 3) {
+    b.Set(i);  // multiples of 3
+  }
+  a.And(b);
+  for (size_t i = 0; i < 130; ++i) {
+    EXPECT_EQ(a.Test(i), i % 6 == 0) << i;
+  }
+}
+
+TEST(SelectionBitmapTest, RetainClearsRejectedBits) {
+  SelectionBitmap sel(100, /*all_set=*/true);
+  sel.Retain([](size_t i) { return i % 7 == 0; });
+  EXPECT_EQ(sel.Count(), 15u);  // 0, 7, ..., 98
+  sel.ForEachSet([](size_t i) { EXPECT_EQ(i % 7, 0u); });
+}
+
+TEST(SelectionBitmapTest, ResetReusesStorageAndRedimensions) {
+  SelectionBitmap sel(4096, /*all_set=*/true);
+  sel.Reset(10, /*all_set=*/true);
+  EXPECT_EQ(sel.size(), 10u);
+  EXPECT_EQ(sel.Count(), 10u);
+  sel.Reset(65, /*all_set=*/false);
+  EXPECT_EQ(sel.Count(), 0u);
+  sel.Set(64);
+  EXPECT_TRUE(sel.Test(64));
+  EXPECT_EQ(sel.Count(), 1u);
+}
+
 }  // namespace
 }  // namespace seabed

@@ -1,0 +1,134 @@
+// Scan-kernel correctness: every vectorized kernel must agree bit-for-bit
+// with the scalar predicate it replaces, across all CmpOps, negation, word
+// tails (n not a multiple of 64) and pre-thinned bitmaps. On a SIMD build
+// this exercises the dispatched ISA paths; under SEABED_NO_SIMD the same
+// assertions pin the portable fallback.
+#include "src/seabed/scan_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/crypto/ore.h"
+
+namespace seabed {
+namespace {
+
+constexpr CmpOp kAllOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                             CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+
+// Sizes straddling word and SIMD-lane boundaries, plus a full row group.
+constexpr size_t kSizes[] = {0, 1, 3, 63, 64, 65, 127, 128, 130, 1000, 4096};
+
+TEST(ScanKernelsTest, IsaNameIsKnown) {
+  const std::string isa = ScanKernelIsaName();
+  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "neon" || isa == "scalar") << isa;
+}
+
+TEST(ScanKernelsTest, DetEqMatchesScalar) {
+  Rng rng(11);
+  for (const size_t n : kSizes) {
+    std::vector<uint64_t> tokens(n);
+    const uint64_t needle = 0xabcdef0123456789ULL;
+    for (size_t i = 0; i < n; ++i) {
+      // ~1/4 of rows match so both verdicts are well represented.
+      tokens[i] = rng.Below(4) == 0 ? needle : rng.Next();
+    }
+    for (const bool negate : {false, true}) {
+      SelectionBitmap sel(n, /*all_set=*/true);
+      FilterDetEq(tokens.data(), n, negate, needle, sel);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(sel.Test(i), (tokens[i] == needle) != negate) << n << " @" << i;
+      }
+    }
+  }
+}
+
+TEST(ScanKernelsTest, Int64CmpMatchesScalarAllOps) {
+  Rng rng(12);
+  for (const size_t n : kSizes) {
+    std::vector<int64_t> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Small range around the operand, including negatives, so every
+      // comparison outcome occurs; a few extremes to catch overflow tricks.
+      values[i] = static_cast<int64_t>(rng.Below(41)) - 20;
+      if (rng.Below(32) == 0) {
+        values[i] = rng.Below(2) ? INT64_MAX : INT64_MIN;
+      }
+    }
+    for (const CmpOp op : kAllOps) {
+      for (const int64_t operand : {int64_t{0}, int64_t{-7}, INT64_MAX, INT64_MIN}) {
+        SelectionBitmap sel(n, /*all_set=*/true);
+        FilterInt64Cmp(values.data(), n, op, operand, sel);
+        for (size_t i = 0; i < n; ++i) {
+          const int64_t v = values[i];
+          const int order = v < operand ? -1 : (v > operand ? 1 : 0);
+          EXPECT_EQ(sel.Test(i), CmpOpMatchesOrder(op, order))
+              << n << " @" << i << " op=" << static_cast<int>(op);
+        }
+      }
+    }
+  }
+}
+
+TEST(ScanKernelsTest, OreCmpMatchesScalarAllOps) {
+  const Ore ore(AesKey::FromSeed(99));
+  Rng rng(13);
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{65}, size_t{1000}}) {
+    // Cluster plaintexts around the operand so ciphertexts share long
+    // prefixes (the realistic timestamp case) and equality occurs.
+    const uint64_t pivot = 1'600'000'000;
+    std::vector<uint64_t> plain(n);
+    std::vector<OreCiphertext> cells(n);
+    for (size_t i = 0; i < n; ++i) {
+      plain[i] = pivot + rng.Below(200) - 100;
+      cells[i] = ore.Encrypt(plain[i]);
+    }
+    const OreCiphertext operand = ore.Encrypt(pivot);
+    for (const CmpOp op : kAllOps) {
+      SelectionBitmap sel(n, /*all_set=*/true);
+      FilterOreCmp(cells.data(), n, op, operand, sel);
+      for (size_t i = 0; i < n; ++i) {
+        const int order = Ore::Compare(cells[i], operand).order;
+        EXPECT_EQ(sel.Test(i), CmpOpMatchesOrder(op, order))
+            << n << " @" << i << " op=" << static_cast<int>(op);
+      }
+    }
+  }
+}
+
+TEST(ScanKernelsTest, KernelsAndIntoPrethinnedBitmap) {
+  // Kernels AND into the bitmap: a bit cleared by an earlier predicate must
+  // stay cleared even where the later predicate matches.
+  const size_t n = 200;
+  std::vector<uint64_t> tokens(n, 42);  // every row matches DET eq
+  SelectionBitmap sel(n, /*all_set=*/true);
+  for (size_t i = 0; i < n; i += 2) {
+    sel.Clear(i);
+  }
+  FilterDetEq(tokens.data(), n, /*negate=*/false, 42, sel);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(sel.Test(i), i % 2 == 1) << i;
+  }
+
+  // Same for the ORE kernel (it skips already-dead words).
+  const Ore ore(AesKey::FromSeed(7));
+  std::vector<OreCiphertext> cells(n, ore.Encrypt(5));
+  FilterOreCmp(cells.data(), n, CmpOp::kLe, ore.Encrypt(9), sel);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(sel.Test(i), i % 2 == 1) << i;
+  }
+}
+
+TEST(ScanKernelsTest, ScanModeRoundTrips) {
+  EXPECT_EQ(ServerScanMode(), ScanMode::kVectorized);
+  SetServerScanMode(ScanMode::kRowAtATime);
+  EXPECT_EQ(ServerScanMode(), ScanMode::kRowAtATime);
+  SetServerScanMode(ScanMode::kVectorized);
+  EXPECT_EQ(ServerScanMode(), ScanMode::kVectorized);
+}
+
+}  // namespace
+}  // namespace seabed

@@ -7,6 +7,7 @@
 #include "src/common/rng.h"
 #include "src/seabed/client.h"
 #include "src/seabed/planner.h"
+#include "src/seabed/scan_kernels.h"
 
 namespace seabed {
 namespace {
@@ -151,6 +152,79 @@ TEST_F(ServerTest, ResponseBytesGrowWithSelectivityFragmentation) {
   const EncryptedResponse r_odd =
       server_.Execute(Translate(odd, topts).server, cluster_, db_.table.get(), nullptr);
   EXPECT_GT(r_odd.response_bytes, r_all.response_bytes);
+}
+
+TEST_F(ServerTest, ScanModesProduceIdenticalResponses) {
+  // The vectorized kernel path and the legacy row-at-a-time loop must be
+  // bit-identical: same groups, same aggregates, same touched accounting.
+  Query q;
+  q.table = "s";
+  q.Sum("m").Where("g", CmpOp::kEq, std::string("odd")).GroupBy("g");
+  const TranslatedQuery tq = Translate(q);
+
+  SetServerScanMode(ScanMode::kVectorized);
+  const EncryptedResponse vec = server_.Execute(tq.server, cluster_, db_.table.get(), nullptr);
+  SetServerScanMode(ScanMode::kRowAtATime);
+  const EncryptedResponse row = server_.Execute(tq.server, cluster_, db_.table.get(), nullptr);
+  SetServerScanMode(ScanMode::kVectorized);
+
+  EXPECT_EQ(vec.rows_touched, row.rows_touched);
+  ASSERT_EQ(vec.groups.size(), row.groups.size());
+  for (size_t g = 0; g < vec.groups.size(); ++g) {
+    EXPECT_EQ(vec.groups[g].key, row.groups[g].key);
+    ASSERT_EQ(vec.groups[g].aggs.size(), row.groups[g].aggs.size());
+    for (size_t a = 0; a < vec.groups[g].aggs.size(); ++a) {
+      EXPECT_EQ(vec.groups[g].aggs[a].ashe_value, row.groups[g].aggs[a].ashe_value);
+      EXPECT_EQ(vec.groups[g].aggs[a].row_count, row.groups[g].aggs[a].row_count);
+    }
+  }
+}
+
+TEST(ServerGroupKeyTest, AdjacentStringPartsNeverAlias) {
+  // Regression for the group-key encoding: keys used to be raw
+  // '\x1f'-separated concatenation, so the distinct tuples ("a\x1f", "b")
+  // and ("a", "\x1fb") serialized identically and their aggregates merged
+  // into one group. Length-prefixed parts keep them distinct.
+  PlainSchema schema;
+  schema.table_name = "t";
+  schema.columns.push_back({"g1", ColumnType::kString, false, std::nullopt});
+  schema.columns.push_back({"g2", ColumnType::kString, false, std::nullopt});
+
+  auto table = std::make_shared<Table>("t");
+  auto g1 = std::make_shared<StringColumn>();
+  auto g2 = std::make_shared<StringColumn>();
+  g1->Append("a\x1f");
+  g2->Append("b");
+  g1->Append("a");
+  g2->Append("\x1f" "b");
+  table->AddColumn("g1", g1);
+  table->AddColumn("g2", g2);
+
+  Query sample;
+  sample.table = "t";
+  sample.Count().GroupBy("g1").GroupBy("g2");
+  PlannerOptions popts;
+  popts.expected_rows = 2;
+  const EncryptionPlan plan = PlanEncryption(schema, {sample}, popts);
+  const ClientKeys keys = ClientKeys::FromSeed(17);
+  const Encryptor encryptor(keys);
+  const EncryptedDatabase db = encryptor.Encrypt(*table, schema, plan);
+
+  ClusterConfig cfg;
+  cfg.num_workers = 1;
+  const Cluster cluster(cfg);
+  TranslatorOptions topts;
+  topts.cluster_workers = 1;
+  const Translator translator(db, keys);
+  const TranslatedQuery tq = translator.Translate(sample, topts);
+
+  const Server server;
+  const EncryptedResponse r = server.Execute(tq.server, cluster, db.table.get(), nullptr);
+  // Two distinct key tuples -> two groups, one row each. The old encoding
+  // collapsed them into a single group of count 2.
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(r.groups[0].aggs[0].row_count, 1u);
+  EXPECT_EQ(r.groups[1].aggs[0].row_count, 1u);
 }
 
 }  // namespace
