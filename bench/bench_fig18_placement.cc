@@ -1,0 +1,367 @@
+// "Figure 18" (beyond the paper): value-aware shard placement and
+// coordinator-side routing on the scale-out backend.
+//
+// Seabed's ad-analytics workloads are time-ordered and their queries are
+// time-sliced, but hash placement scatters every time range across the whole
+// fleet: a 1%-selective slice still fans out to — and scans — all shards.
+// Under PlacementPolicy::kKeyRange (src/seabed/placement.h) each shard owns a
+// contiguous clustering-key range, so the coordinator routes a clustering-key
+// range predicate to the owning shard subset before any fan-out (round-zero
+// pruning, QueryStats::shards_routed). This bench builds the same
+// time-ordered table under both policies and gates three claims:
+//
+//   * ROUTING: at <= 1% selectivity the key-range fleet's median *fleet
+//     compute* (sum of per-shard probe + round-two seconds plus the
+//     coordinator merge) must be >= 3x below the hash fleet's, with
+//     shards_routed < shards_total on every routed query and rows identical
+//     to the plaintext reference. Fleet compute, not the parallel critical
+//     path, is the gated metric: it is what an N-query workload actually
+//     buys in throughput when slices stop occupying all 8 shards.
+//   * NO REGRESSION: a non-routable full-table aggregate (no clustering-key
+//     filter) reports the full fleet and its fleet compute stays within 1.5x
+//     of hash placement — routing must not tax queries it cannot help.
+//   * ZERO-MATCH: a slice beyond the occupied key space routes to zero
+//     shards, skips both rounds outright (no probe, no rows touched), and
+//     still returns the plaintext answer.
+//
+// Prepared execution is exercised on the same slice shape: routing happens
+// after bind, so bound parameters must route identically to the ad-hoc query.
+//
+// Cluster job/task overheads and the client link latency are zeroed as in
+// bench_fig12/fig13: both fleets pay identical constants, and at smoke scale
+// those constants would swamp the compute ratio the gate measures. The probe
+// is forced off for the timed runs so the gate isolates round-zero routing
+// from round-one count-probe pruning (which also helps the hash fleet).
+//
+// Exit status is the CI gate: nonzero when any claim fails.
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/rng.h"
+#include "src/seabed/sharded_backend.h"
+
+namespace seabed {
+namespace {
+
+constexpr size_t kShards = 8;
+
+// Time-ordered events: ts is the row index (monotone, as an ingest timestamp
+// would be), value is the aggregated payload.
+std::shared_ptr<Table> MakeEventTable(uint64_t rows) {
+  auto table = std::make_shared<Table>("events");
+  auto ts = std::make_shared<Int64Column>();
+  auto value = std::make_shared<Int64Column>();
+  Rng rng(4242);
+  for (uint64_t row = 0; row < rows; ++row) {
+    ts->Append(static_cast<int64_t>(row));
+    value->Append(rng.Range(0, 1000));
+  }
+  table->AddColumn("ts", ts);
+  table->AddColumn("value", value);
+  return table;
+}
+
+PlainSchema EventSchema() {
+  PlainSchema schema;
+  schema.table_name = "events";
+  schema.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+  schema.columns.push_back({"value", ColumnType::kInt64, true, std::nullopt});
+  return schema;
+}
+
+// The planner sees the slice shape it will serve: a closed ts range feeding
+// an aggregate, so ts is realized with ORE.
+std::vector<Query> EventSamples(uint64_t rows) {
+  std::vector<Query> samples;
+  Query q;
+  q.table = "events";
+  q.Sum("value", "total").Count("n");
+  q.Where("ts", CmpOp::kGe, static_cast<int64_t>(rows / 4));
+  q.Where("ts", CmpOp::kLe, static_cast<int64_t>(rows / 4 + rows / 100));
+  samples.push_back(q);
+  return samples;
+}
+
+Query SliceQuery(int64_t lo, int64_t hi) {
+  Query q;
+  q.table = "events";
+  q.Sum("value", "total").Count("n");
+  q.Where("ts", CmpOp::kGe, lo);
+  q.Where("ts", CmpOp::kLe, hi);
+  return q;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+// Total work the fleet performed for one query: every shard's probe and
+// round-two seconds plus the coordinator merge. Unlike server_seconds (the
+// parallel critical path), this is the capacity a routed query frees up.
+double FleetSeconds(const QueryStats& stats) {
+  double total = stats.merge_seconds;
+  total += std::accumulate(stats.shard_probe_seconds.begin(),
+                           stats.shard_probe_seconds.end(), 0.0);
+  total += std::accumulate(stats.shard_server_seconds.begin(),
+                           stats.shard_server_seconds.end(), 0.0);
+  return total;
+}
+
+// Order-insensitive row digest (doubles rounded), so encrypted pipelines
+// compare equal to the plaintext reference regardless of group order.
+std::vector<std::string> RowsKey(const ResultSet& r) {
+  std::vector<std::string> rows;
+  for (const auto& row : r.rows) {
+    std::string s;
+    for (const Value& v : row) {
+      if (const auto* d = std::get_if<double>(&v)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", *d);
+        s += buf;
+      } else {
+        s += ValueToString(v);
+      }
+      s += "|";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+SessionOptions MakeOptions(BackendKind backend, uint64_t rows,
+                           PlacementPolicy policy, size_t row_group_size) {
+  SessionOptions options;
+  options.backend = backend;
+  options.shards = kShards;
+  options.cluster.num_workers = 4;
+  options.cluster.job_overhead_seconds = 0;
+  options.cluster.task_overhead_seconds = 0;
+  options.cluster.client_link.latency_seconds = 0;
+  options.planner.expected_rows = rows;
+  options.probe.row_group_size = row_group_size;
+  options.probe.mode = ProbeMode::kOff;  // isolate routing from probe pruning
+  options.shards_placement.policy = policy;
+  if (policy == PlacementPolicy::kKeyRange) {
+    options.shards_placement.clustering_columns["events"] = "ts";
+  }
+  return options;
+}
+
+int Main() {
+  // 50k-row floor as in fig12/fig13: below that the gate measures timer noise.
+  const uint64_t rows = std::max<uint64_t>(50000, EnvU64("SEABED_BENCH_ROWS", 400000));
+  const uint64_t repeat = std::max<uint64_t>(3, EnvU64("SEABED_BENCH_REPEAT", 5));
+  const size_t row_group_size = rows <= 100000 ? 256 : 1024;
+  BenchRecorder recorder("fig18_placement");
+
+  const auto data = MakeEventTable(rows);
+  const PlainSchema schema = EventSchema();
+  const std::vector<Query> samples = EventSamples(rows);
+
+  Session plain(MakeOptions(BackendKind::kPlain, rows, PlacementPolicy::kHash,
+                            row_group_size));
+  Session hashed(MakeOptions(BackendKind::kShardedSeabed, rows,
+                             PlacementPolicy::kHash, row_group_size));
+  Session ranged(MakeOptions(BackendKind::kShardedSeabed, rows,
+                             PlacementPolicy::kKeyRange, row_group_size));
+  for (Session* s : {&plain, &hashed, &ranged}) {
+    s->Attach(data, schema, samples);
+  }
+
+  std::printf("=== Figure 18: value-aware placement + shard routing "
+              "(rows=%llu, shards=%zu, repeat=%llu) ===\n",
+              static_cast<unsigned long long>(rows), kShards,
+              static_cast<unsigned long long>(repeat));
+  const auto& ranged_backend = static_cast<const ShardedSeabedBackend&>(ranged.executor());
+  std::printf("%-10s", "key-range:");
+  for (const size_t c : ranged_backend.ShardRowCounts("events")) {
+    std::printf(" %8zu", c);
+  }
+  std::printf("\n");
+
+  bool gate_failed = false;
+
+  // --- claim 1: routed selective slices >= 3x less fleet compute -------------
+  const struct {
+    const char* label;
+    double selectivity;
+  } kSlices[] = {{"slice-1pct", 0.01}, {"slice-0.1pct", 0.001}};
+  struct Fleet {
+    const char* label;
+    Session* session;
+    bool routable;
+  };
+  const Fleet fleets[] = {{"hash", &hashed, false}, {"keyrange", &ranged, true}};
+  for (const auto& slice : kSlices) {
+    const int64_t width =
+        std::max<int64_t>(1, static_cast<int64_t>(static_cast<double>(rows) * slice.selectivity));
+    const int64_t lo = static_cast<int64_t>(rows) / 2;
+    const Query q = SliceQuery(lo, lo + width - 1);
+    const std::vector<std::string> reference = RowsKey(plain.Execute(q, nullptr));
+
+    double medians[2] = {};
+    uint64_t routed[2] = {};
+    for (size_t f = 0; f < std::size(fleets); ++f) {
+      fleets[f].session->Execute(q, nullptr);  // untimed warm-up
+      std::vector<double> seconds;
+      for (uint64_t r = 0; r < repeat; ++r) {
+        QueryStats stats;
+        const ResultSet result = fleets[f].session->Execute(q, &stats);
+        if (RowsKey(result) != reference) {
+          std::printf("REGRESSION: %s %s diverged from kPlain\n", fleets[f].label,
+                      slice.label);
+          gate_failed = true;
+        }
+        seconds.push_back(FleetSeconds(stats));
+        routed[f] = stats.shards_routed;
+        if (stats.shards_total != kShards) {
+          std::printf("REGRESSION: %s %s reported shards_total=%llu (fleet is %zu)\n",
+                      fleets[f].label, slice.label,
+                      static_cast<unsigned long long>(stats.shards_total), kShards);
+          gate_failed = true;
+        }
+        const bool subset = stats.shards_routed < stats.shards_total;
+        if (subset != fleets[f].routable) {
+          std::printf("REGRESSION: %s %s routed %llu/%llu shards (expected %s)\n",
+                      fleets[f].label, slice.label,
+                      static_cast<unsigned long long>(stats.shards_routed),
+                      static_cast<unsigned long long>(stats.shards_total),
+                      fleets[f].routable ? "a strict subset" : "the full fleet");
+          gate_failed = true;
+        }
+        recorder.AddStats(fleets[f].label,
+                          {{"selectivity", slice.selectivity},
+                           {"fleet_seconds", FleetSeconds(stats)},
+                           {"shards_routed", static_cast<double>(stats.shards_routed)}},
+                          stats);
+      }
+      medians[f] = Median(std::move(seconds));
+    }
+    const double speedup = medians[1] > 0 ? medians[0] / medians[1] : 0;
+    std::printf("%s fleet compute: hash=%.6f keyrange=%.6f (%.1fx, routed %llu/%zu)\n",
+                slice.label, medians[0], medians[1], speedup,
+                static_cast<unsigned long long>(routed[1]), kShards);
+    if (speedup < 3.0) {
+      std::printf("REGRESSION: %s key-range routing is only %.2fx better than hash "
+                  "(>= 3x required)\n", slice.label, speedup);
+      gate_failed = true;
+    }
+  }
+
+  // --- claim 2: non-routable queries pay no routing tax ----------------------
+  Query scan;
+  scan.table = "events";
+  scan.Sum("value", "total").Count("n");
+  const std::vector<std::string> scan_reference = RowsKey(plain.Execute(scan, nullptr));
+  double scan_medians[2] = {};
+  for (size_t f = 0; f < std::size(fleets); ++f) {
+    fleets[f].session->Execute(scan, nullptr);  // untimed warm-up
+    std::vector<double> seconds;
+    for (uint64_t r = 0; r < repeat; ++r) {
+      QueryStats stats;
+      const ResultSet result = fleets[f].session->Execute(scan, &stats);
+      if (RowsKey(result) != scan_reference) {
+        std::printf("REGRESSION: %s full scan diverged from kPlain\n", fleets[f].label);
+        gate_failed = true;
+      }
+      if (stats.shards_routed != stats.shards_total) {
+        std::printf("REGRESSION: %s full scan routed %llu/%llu shards "
+                    "(non-routable queries must fan out)\n", fleets[f].label,
+                    static_cast<unsigned long long>(stats.shards_routed),
+                    static_cast<unsigned long long>(stats.shards_total));
+        gate_failed = true;
+      }
+      seconds.push_back(FleetSeconds(stats));
+      recorder.AddStats(fleets[f].label,
+                        {{"selectivity", 1.0},
+                         {"fleet_seconds", FleetSeconds(stats)},
+                         {"shards_routed", static_cast<double>(stats.shards_routed)}},
+                        stats);
+    }
+    scan_medians[f] = Median(std::move(seconds));
+  }
+  std::printf("full scan fleet compute: hash=%.6f keyrange=%.6f (%.2fx)\n",
+              scan_medians[0], scan_medians[1],
+              scan_medians[0] > 0 ? scan_medians[1] / scan_medians[0] : 0);
+  if (scan_medians[1] > scan_medians[0] * 1.5) {
+    std::printf("REGRESSION: key-range full scan costs %.2fx hash placement "
+                "(<= 1.5x required on non-routable queries)\n",
+                scan_medians[1] / scan_medians[0]);
+    gate_failed = true;
+  }
+
+  // --- claim 3: zero-owner slices skip both rounds ---------------------------
+  {
+    const Query q = SliceQuery(static_cast<int64_t>(rows) * 2,
+                               static_cast<int64_t>(rows) * 2 + 10);
+    const std::vector<std::string> expect = RowsKey(plain.Execute(q, nullptr));
+    QueryStats stats;
+    const ResultSet result = ranged.Execute(q, &stats);
+    std::printf("zero-match slice: routed %llu/%llu, rows_touched=%llu\n",
+                static_cast<unsigned long long>(stats.shards_routed),
+                static_cast<unsigned long long>(stats.shards_total),
+                static_cast<unsigned long long>(stats.rows_touched));
+    if (RowsKey(result) != expect) {
+      std::printf("REGRESSION: zero-match slice diverged from kPlain\n");
+      gate_failed = true;
+    }
+    if (stats.shards_routed != 0 || stats.rows_touched != 0 || stats.probe_used) {
+      std::printf("REGRESSION: zero-match slice did not short-circuit "
+                  "(routed=%llu rows=%llu probe=%d)\n",
+                  static_cast<unsigned long long>(stats.shards_routed),
+                  static_cast<unsigned long long>(stats.rows_touched),
+                  stats.probe_used ? 1 : 0);
+      gate_failed = true;
+    }
+  }
+
+  // --- prepared execution routes on bound params -----------------------------
+  {
+    Query shape;
+    shape.table = "events";
+    shape.Sum("value", "total").Count("n");
+    shape.WhereParam("ts", CmpOp::kGe);
+    shape.WhereParam("ts", CmpOp::kLe);
+    const int64_t lo = static_cast<int64_t>(rows) / 4;
+    const int64_t hi = lo + static_cast<int64_t>(rows) / 200;
+    const std::vector<Value> params = {lo, hi};
+    const std::vector<std::string> expect =
+        RowsKey(plain.Execute(SliceQuery(lo, hi), nullptr));
+    const PreparedQuery prepared = ranged.Prepare(shape);
+    QueryStats stats;
+    const ResultSet result = ranged.Execute(prepared, params, &stats);
+    std::printf("prepared slice: routed %llu/%llu\n",
+                static_cast<unsigned long long>(stats.shards_routed),
+                static_cast<unsigned long long>(stats.shards_total));
+    if (RowsKey(result) != expect) {
+      std::printf("REGRESSION: prepared slice diverged from kPlain\n");
+      gate_failed = true;
+    }
+    if (stats.shards_routed >= stats.shards_total) {
+      std::printf("REGRESSION: prepared slice did not route on bound params "
+                  "(%llu/%llu)\n",
+                  static_cast<unsigned long long>(stats.shards_routed),
+                  static_cast<unsigned long long>(stats.shards_total));
+      gate_failed = true;
+    }
+    recorder.AddStats("keyrange-prepared",
+                      {{"selectivity", 0.005},
+                       {"fleet_seconds", FleetSeconds(stats)},
+                       {"shards_routed", static_cast<double>(stats.shards_routed)}},
+                      stats);
+  }
+  return gate_failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace seabed
+
+int main() { return seabed::Main(); }

@@ -11,7 +11,9 @@ Both directories hold BenchRecorder output:
 
 Records are matched by (bench, build_type, series, config), where the
 config is every field that is not a measurement (measurements: *_seconds,
-result_bytes, prf_calls, median_speedup, queries_per_second). build_type is part of the
+result_bytes, prf_calls, median_speedup, queries_per_second, and shards_routed
+— a routing outcome, not a timing, so it must not fork record identities or be
+gated as a latency). build_type is part of the
 identity so Debug/sanitized records can never be gated against a release
 baseline — they simply do not match. Repeat records with the same identity
 collapse to their median metric. The gate FAILS (exit 1) when a matching identity
@@ -31,7 +33,8 @@ import pathlib
 import statistics
 import sys
 
-MEASUREMENT_KEYS = {"result_bytes", "prf_calls", "median_speedup", "queries_per_second"}
+MEASUREMENT_KEYS = {"result_bytes", "prf_calls", "median_speedup", "queries_per_second",
+                    "shards_routed"}
 
 
 def is_measurement(key):

@@ -32,7 +32,7 @@ export SEABED_GIT_SHA
 for bench in bench_fig6_latency_rows bench_fig7_scalability bench_fig9a_groupby \
              bench_fig11_dashboard bench_fig12_probe bench_fig13_rebalance \
              bench_fig14_service bench_fig15_snapshot bench_fig16_prepared \
-             bench_fig17_kernels; do
+             bench_fig17_kernels bench_fig18_placement; do
   echo "--- baseline: $bench (rows=$SMOKE_ROWS) ---"
   SEABED_BENCH_ROWS="$SMOKE_ROWS" SEABED_BENCH_JSON_DIR="$STAGE_DIR" \
     "$BUILD_DIR/bench/$bench" > /dev/null

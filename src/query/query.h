@@ -192,6 +192,16 @@ struct QueryStats {
   std::vector<double> shard_probe_seconds;
   double merge_seconds = 0;
 
+  // Round-zero shard routing (kShardedSeabed under key-range placement,
+  // src/seabed/placement.h): how many of the fleet's shards the coordinator
+  // routed this query to before any fan-out, and the fleet size. Equal when
+  // the query is not routable (hash placement, or no clustering-key filter
+  // — full fan-out); routed == 0 means no shard's key range intersects the
+  // predicate and both rounds were skipped outright. Both zero on
+  // single-server backends.
+  uint64_t shards_routed = 0;
+  uint64_t shards_total = 0;
+
   // Caching detail (kCachingSeabed): whether this call was answered from the
   // result cache, whether the inner backend reused a cached translated plan,
   // and the time spent probing/updating the result cache. All zero/false on

@@ -131,6 +131,7 @@ struct ExecutionContext {
   TranslatorOptions translator;
   ProbeOptions probe;
   ShardRebalanceOptions rebalance;
+  ShardPlacementOptions placement;
 };
 
 // Abstract execution backend. Implementations are stateless per call apart

@@ -1,0 +1,194 @@
+#include "src/seabed/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace seabed {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kHash:
+      return "hash";
+    case PlacementPolicy::kKeyRange:
+      return "key-range";
+  }
+  return "unknown";
+}
+
+const std::string* ShardPlacementOptions::ClusteringColumnFor(const std::string& table) const {
+  if (policy != PlacementPolicy::kKeyRange) {
+    return nullptr;
+  }
+  const auto it = clustering_columns.find(table);
+  return it == clustering_columns.end() ? nullptr : &it->second;
+}
+
+Placement::Placement(PlacementPolicy policy, std::string clustering_column, size_t shards)
+    : policy_(policy), column_(std::move(clustering_column)), shards_(shards) {
+  SEABED_CHECK(shards_ >= 1);
+  SEABED_CHECK(policy_ == PlacementPolicy::kHash || !column_.empty());
+}
+
+Placement Placement::Resolve(const ShardPlacementOptions& options, const std::string& table_name,
+                             const Table& plain, size_t shards) {
+  const std::string* column = options.ClusteringColumnFor(table_name);
+  if (column == nullptr) {
+    return Placement(PlacementPolicy::kHash, "", shards);
+  }
+  // A configured clustering column that doesn't hold sortable keys is a
+  // session misconfiguration, not a fallback case — fail loudly.
+  SEABED_CHECK_MSG(plain.HasColumn(*column),
+                   "clustering column " << *column << " not in table " << table_name);
+  SEABED_CHECK_MSG(plain.GetColumn(*column)->type() == ColumnType::kInt64,
+                   "clustering column " << *column << " of " << table_name << " must be int64");
+  return Placement(PlacementPolicy::kKeyRange, *column, shards);
+}
+
+int64_t Placement::KeyAt(const Table& table, size_t row) const {
+  SEABED_CHECK(policy_ == PlacementPolicy::kKeyRange);
+  const auto* col = static_cast<const Int64Column*>(table.GetColumn(column_).get());
+  return col->Get(row);
+}
+
+std::vector<std::vector<size_t>> Placement::PartitionRows(const Table& table) const {
+  const size_t rows = table.NumRows();
+  std::vector<std::vector<size_t>> assignment(shards_);
+  if (policy_ == PlacementPolicy::kHash) {
+    for (size_t row = 0; row < rows; ++row) {
+      assignment[HashShardOfRow(row, shards_)].push_back(row);
+    }
+    return assignment;
+  }
+
+  // Key-range: sort rows by (key, row), cut the sorted order at near-equal
+  // quantile positions, never inside a run of equal keys (ranges must stay
+  // disjoint), and hand each shard its slice restored to row order.
+  const auto* col = static_cast<const Int64Column*>(table.GetColumn(column_).get());
+  std::vector<size_t> order(rows);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const int64_t ka = col->Get(a), kb = col->Get(b);
+    return ka != kb ? ka < kb : a < b;
+  });
+  size_t start = 0;
+  for (size_t s = 0; s < shards_; ++s) {
+    size_t end = s + 1 == shards_ ? rows : ((s + 1) * rows) / shards_;
+    end = std::max(end, start);
+    while (end > start && end < rows && col->Get(order[end - 1]) == col->Get(order[end])) {
+      ++end;  // keep the equal-key run whole
+    }
+    std::vector<size_t> slice(order.begin() + start, order.begin() + end);
+    std::sort(slice.begin(), slice.end());
+    assignment[s] = std::move(slice);
+    start = end;
+  }
+  return assignment;
+}
+
+std::vector<ShardKeyBoundary> Placement::InitialBoundaries(
+    const Table& table, const std::vector<std::vector<size_t>>& assignment) const {
+  std::vector<ShardKeyBoundary> bounds(shards_);
+  if (policy_ != PlacementPolicy::kKeyRange) {
+    return bounds;
+  }
+  for (size_t s = 0; s < shards_; ++s) {
+    bounds[s] = BoundaryOfRows(table, assignment[s]);
+  }
+  return bounds;
+}
+
+ShardKeyBoundary Placement::BoundaryOfRows(const Table& table,
+                                           const std::vector<size_t>& rows) const {
+  ShardKeyBoundary bound;
+  for (const size_t row : rows) {
+    const int64_t key = KeyAt(table, row);
+    if (!bound.occupied) {
+      bound.occupied = true;
+      bound.lo = bound.hi = key;
+    } else {
+      bound.lo = std::min(bound.lo, key);
+      bound.hi = std::max(bound.hi, key);
+    }
+  }
+  return bound;
+}
+
+void Placement::WidenBoundary(const Table& table, const std::vector<size_t>& rows,
+                              ShardKeyBoundary& bound) const {
+  for (const size_t row : rows) {
+    const int64_t key = KeyAt(table, row);
+    if (!bound.occupied) {
+      bound.occupied = true;
+      bound.lo = bound.hi = key;
+    } else {
+      bound.lo = std::min(bound.lo, key);
+      bound.hi = std::max(bound.hi, key);
+    }
+  }
+}
+
+std::vector<std::vector<size_t>> Placement::AssignAppend(
+    const Table& batch, size_t prior_rows, const std::vector<ShardKeyBoundary>& bounds) const {
+  std::vector<std::vector<size_t>> assignment(shards_);
+  const size_t rows = batch.NumRows();
+  if (policy_ == PlacementPolicy::kHash) {
+    // Append locality, unchanged: the whole batch lands on the shard that
+    // owns its first global row.
+    std::vector<size_t>& dest = assignment[HashShardOfRow(prior_rows, shards_)];
+    dest.resize(rows);
+    std::iota(dest.begin(), dest.end(), size_t{0});
+    return assignment;
+  }
+
+  SEABED_CHECK(bounds.size() == shards_);
+  const auto* col = static_cast<const Int64Column*>(batch.GetColumn(column_).get());
+  for (size_t row = 0; row < rows; ++row) {
+    const int64_t key = col->Get(row);
+    // Owner: the lowest-index occupied shard whose range holds the key;
+    // otherwise the occupied shard with the smallest lo above the key (a gap
+    // or below-all key extends that shard downward — ranges stay disjoint);
+    // otherwise the key sits above every range and extends the shard with
+    // the greatest hi. An entirely unoccupied fleet collects on shard 0.
+    size_t dest = shards_;
+    size_t next_above = shards_;
+    size_t top = shards_;
+    for (size_t s = 0; s < shards_; ++s) {
+      if (!bounds[s].occupied) {
+        continue;
+      }
+      if (key >= bounds[s].lo && key <= bounds[s].hi) {
+        dest = s;
+        break;
+      }
+      if (bounds[s].lo > key &&
+          (next_above == shards_ || bounds[s].lo < bounds[next_above].lo)) {
+        next_above = s;
+      }
+      if (top == shards_ || bounds[s].hi > bounds[top].hi) {
+        top = s;
+      }
+    }
+    if (dest == shards_) {
+      dest = next_above != shards_ ? next_above : (top != shards_ ? top : 0);
+    }
+    assignment[dest].push_back(row);
+  }
+  return assignment;
+}
+
+std::vector<bool> Placement::RouteShards(const std::vector<ShardKeyBoundary>& bounds,
+                                         const ClusteringKeyRange& range) {
+  std::vector<bool> active(bounds.size(), false);
+  if (range.empty || range.lo > range.hi) {
+    return active;
+  }
+  for (size_t s = 0; s < bounds.size(); ++s) {
+    active[s] = bounds[s].occupied && bounds[s].lo <= range.hi && bounds[s].hi >= range.lo;
+  }
+  return active;
+}
+
+}  // namespace seabed

@@ -1,0 +1,153 @@
+// Pluggable shard placement for the scale-out backend.
+//
+// PR 2 welded row→shard assignment into ShardedSeabedBackend as a fixed
+// multiplicative hash. This module lifts placement into a first-class policy
+// so the coordinator can also place rows by VALUE: the ad-analytics workloads
+// Seabed targets are time-ordered, and under `kKeyRange` each shard owns a
+// contiguous range of a per-table clustering column (e.g. a timestamp). The
+// owning ranges — per-shard `[lo, hi]` boundary metadata — are part of the
+// table's immutable published snapshot (ShardedTableVersion), which is what
+// makes coordinator-side routing safe against concurrent rebalancing: a query
+// routes against the same version's boundaries its scan pins, never against
+// live mutable state.
+//
+//   * kHash     — today's placement, bit-for-bit: multiplicative hash of the
+//                 global row index at attach, whole batches by first global
+//                 row on append. Not routable (a range predicate says nothing
+//                 about which hash bucket matches).
+//   * kKeyRange — contiguous clustering-key ranges. Attach splits the sorted
+//                 key space into per-shard quantiles (equal keys never split
+//                 across shards); appends place each row into the owning
+//                 range, widening boundaries at the edges; rebalance moves
+//                 boundary segments between neighbors. A clustering-key
+//                 range predicate routes to the shards whose `[lo, hi]`
+//                 intersects it — round-zero pruning before any fan-out.
+#ifndef SEABED_SRC_SEABED_PLACEMENT_H_
+#define SEABED_SRC_SEABED_PLACEMENT_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/engine/table.h"
+
+namespace seabed {
+
+enum class PlacementPolicy {
+  kHash,      // multiplicative hash of the global row index (PR-2 behavior)
+  kKeyRange,  // contiguous ranges of a per-table clustering column
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+// SessionOptions::shards_placement — how the kShardedSeabed backend assigns
+// rows to shards. kKeyRange applies per table: only tables with an entry in
+// `clustering_columns` place by value (the named column must exist and be
+// int64); every other table keeps hash placement, so mixed catalogs work.
+struct ShardPlacementOptions {
+  PlacementPolicy policy = PlacementPolicy::kHash;
+
+  // table name → clustering column (int64, typically a timestamp). Consulted
+  // only when `policy` is kKeyRange.
+  std::map<std::string, std::string> clustering_columns;
+
+  // The configured clustering column for `table`, or nullptr when `table`
+  // should fall back to hash placement.
+  const std::string* ClusteringColumnFor(const std::string& table) const;
+};
+
+// Per-shard clustering-key ownership of one published version: the closed
+// interval [lo, hi] of clustering-column values the shard's partition holds.
+// `occupied == false` marks a shard with no rows (it owns no range and is
+// never routed to). Under kHash every entry stays unoccupied.
+struct ShardKeyBoundary {
+  bool occupied = false;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+// A closed clustering-key interval [lo, hi] implied by a query's filters
+// (planner.h's ExtractClusteringKeyRange). `empty` marks a contradictory
+// conjunction (e.g. ts >= 10 AND ts < 5): no row anywhere can match.
+struct ClusteringKeyRange {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  bool empty = false;
+};
+
+// One table's resolved placement: the policy plus (under kKeyRange) the
+// clustering column. Stateless — boundary state lives in the table's
+// published ShardedTableVersion, not here.
+class Placement {
+ public:
+  // Hash placement for `table_name`, whatever `options` says about others.
+  Placement(PlacementPolicy policy, std::string clustering_column, size_t shards);
+
+  // Resolves `options` for one table: kKeyRange when the table has a
+  // configured clustering column (which must exist in `plain` as int64 —
+  // misconfiguration aborts), kHash otherwise.
+  static Placement Resolve(const ShardPlacementOptions& options, const std::string& table_name,
+                           const Table& plain, size_t shards);
+
+  PlacementPolicy policy() const { return policy_; }
+  const std::string& clustering_column() const { return column_; }
+
+  // The PR-2 multiplicative hash, unchanged: placement must not correlate
+  // with data order. Shared by attach partitioning and append locality.
+  static size_t HashShardOfRow(size_t row, size_t shards) {
+    return static_cast<size_t>((row * 0x9E3779B97F4A7C15ULL) >> 33) % shards;
+  }
+
+  // Attach-time partition of `table`'s rows. kHash assigns row i to
+  // HashShardOfRow(i) in row order (bit-for-bit the PR-2 loop). kKeyRange
+  // splits the key-sorted rows into near-equal contiguous quantile ranges,
+  // shard index order == key order; a run of equal keys never splits across
+  // shards, so owning ranges are disjoint. Rows within a shard keep their
+  // original relative order (time-ordered input stays time-ordered per
+  // shard — row-group pruning composes with placement).
+  std::vector<std::vector<size_t>> PartitionRows(const Table& table) const;
+
+  // Boundary metadata matching a PartitionRows assignment (all-unoccupied
+  // under kHash).
+  std::vector<ShardKeyBoundary> InitialBoundaries(const Table& table,
+                                                  const std::vector<std::vector<size_t>>& assignment) const;
+
+  // Append-time assignment of `batch`'s rows given the parent version's
+  // boundaries. kHash: the whole batch lands on HashShardOfRow(prior_rows)
+  // (append locality, unchanged). kKeyRange: each row goes to the shard
+  // whose range holds its key; keys in a gap extend the right neighbor
+  // downward, keys past either end extend the edge shard, and an entirely
+  // unoccupied fleet collects on shard 0.
+  std::vector<std::vector<size_t>> AssignAppend(const Table& batch, size_t prior_rows,
+                                                const std::vector<ShardKeyBoundary>& bounds) const;
+
+  // Widens `bound` to cover the clustering keys of `rows` in `table`.
+  void WidenBoundary(const Table& table, const std::vector<size_t>& rows,
+                     ShardKeyBoundary& bound) const;
+
+  // Recomputes a shard's boundary from scratch over its remaining rows
+  // (rebalance donors shrink; min/max of what stayed).
+  ShardKeyBoundary BoundaryOfRows(const Table& table, const std::vector<size_t>& rows) const;
+
+  // Clustering key of one row (requires kKeyRange).
+  int64_t KeyAt(const Table& table, size_t row) const;
+
+  // Round-zero routing: which shards may own a row with key in `range`. A
+  // shard is active iff it is occupied and its [lo, hi] intersects `range`
+  // (an empty `range` activates nothing). Pass the boundaries of the SAME
+  // pinned version the scan will run on — never live state — so a query
+  // racing a rebalance can't miss rows.
+  static std::vector<bool> RouteShards(const std::vector<ShardKeyBoundary>& bounds,
+                                       const ClusteringKeyRange& range);
+
+ private:
+  PlacementPolicy policy_;
+  std::string column_;  // empty under kHash
+  size_t shards_;
+};
+
+}  // namespace seabed
+
+#endif  // SEABED_SRC_SEABED_PLACEMENT_H_

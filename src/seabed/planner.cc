@@ -307,4 +307,62 @@ double EstimateFilterSelectivity(const Query& query, const PlainSchema& schema) 
   return std::clamp(selectivity, 0.0, 1.0);
 }
 
+std::optional<ClusteringKeyRange> ExtractClusteringKeyRange(const Query& query,
+                                                            const std::string& column) {
+  if (column.empty()) {
+    return std::nullopt;
+  }
+  ClusteringKeyRange range;
+  bool constrained = false;
+  for (const Predicate& pred : query.filters) {
+    if (pred.column != column || pred.param >= 0) {
+      continue;  // a different column, or a still-unbound placeholder slot
+    }
+    const int64_t* v = std::get_if<int64_t>(&pred.operand);
+    if (v == nullptr) {
+      continue;  // non-integer operand can't bound an int64 key
+    }
+    // Half-open ops tighten to closed bounds; at the domain edge the
+    // interval is provably empty (x < INT64_MIN has no solutions).
+    switch (pred.op) {
+      case CmpOp::kEq:
+        range.lo = std::max(range.lo, *v);
+        range.hi = std::min(range.hi, *v);
+        constrained = true;
+        break;
+      case CmpOp::kNe:
+        break;  // punches a hole, doesn't shrink the hull
+      case CmpOp::kLt:
+        if (*v == std::numeric_limits<int64_t>::min()) {
+          range.empty = true;
+        } else {
+          range.hi = std::min(range.hi, *v - 1);
+        }
+        constrained = true;
+        break;
+      case CmpOp::kLe:
+        range.hi = std::min(range.hi, *v);
+        constrained = true;
+        break;
+      case CmpOp::kGt:
+        if (*v == std::numeric_limits<int64_t>::max()) {
+          range.empty = true;
+        } else {
+          range.lo = std::max(range.lo, *v + 1);
+        }
+        constrained = true;
+        break;
+      case CmpOp::kGe:
+        range.lo = std::max(range.lo, *v);
+        constrained = true;
+        break;
+    }
+  }
+  if (!constrained) {
+    return std::nullopt;
+  }
+  range.empty = range.empty || range.lo > range.hi;
+  return range;
+}
+
 }  // namespace seabed

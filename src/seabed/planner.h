@@ -15,9 +15,11 @@
 #ifndef SEABED_SRC_SEABED_PLANNER_H_
 #define SEABED_SRC_SEABED_PLANNER_H_
 
+#include <optional>
 #include <vector>
 
 #include "src/query/query.h"
+#include "src/seabed/placement.h"
 #include "src/seabed/schema.h"
 
 namespace seabed {
@@ -65,6 +67,21 @@ EncryptionPlan PlanEncryption(const PlainSchema& schema, const std::vector<Query
 // scan and are ignored. This is the cost gate for ProbeMode::kAuto: probe
 // only when the estimate predicts round two will skip most of the table.
 double EstimateFilterSelectivity(const Query& query, const PlainSchema& schema);
+
+// The routing companion of EstimateFilterSelectivity's filter walk: the
+// closed interval [lo, hi] of `column` values `query`'s fact-side filters
+// admit, intersected across the conjunction. `query` must be fully bound
+// (prepared statements route on the bound copy, so placeholder slots carry
+// literals by the time this runs; an unbound placeholder is skipped, which
+// only widens the interval — conservative). kNe filters, string operands and
+// joined-table ("right:"-prefixed) references don't constrain the column and
+// are ignored. Returns nullopt when no filter constrains `column` at all —
+// the query is not routable and must fan out to the whole fleet — and an
+// `empty` interval when the conjunction is contradictory (no row anywhere
+// can match). Used by the sharded backend's round-zero shard routing under
+// key-range placement (src/seabed/placement.h).
+std::optional<ClusteringKeyRange> ExtractClusteringKeyRange(const Query& query,
+                                                            const std::string& column);
 
 }  // namespace seabed
 

@@ -21,6 +21,7 @@ Session::Session(SessionOptions options)
   context_.translator = options_.translator;
   context_.probe = options_.probe;
   context_.rebalance = options_.shards_rebalance;
+  context_.placement = options_.shards_placement;
   executor_ = MakeExecutor(options_.backend, &context_, options_.paillier, options_.shards,
                            options_.cache);
 }

@@ -52,6 +52,14 @@ struct SessionOptions {
   // attached table; queries fan out and merge at the coordinator.
   size_t shards = 4;
 
+  // Row→shard placement of the kShardedSeabed backend (ignored by the
+  // others). The default reproduces the PR-2 multiplicative hash bit-for-bit;
+  // PlacementPolicy::kKeyRange places each table named in
+  // `shards_placement.clustering_columns` by contiguous ranges of that
+  // column, enabling round-zero shard routing of clustering-key range
+  // predicates (see src/seabed/placement.h and QueryStats::shards_routed).
+  ShardPlacementOptions shards_placement;
+
   // Skew-aware rebalancing of the kShardedSeabed backend (off by default;
   // ignored by the others). Appends place whole batches on one shard, so a
   // skewed stream unbalances the fleet; past the configured skew ratio,

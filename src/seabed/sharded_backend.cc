@@ -8,6 +8,7 @@
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
 #include "src/seabed/client.h"
+#include "src/seabed/placement.h"
 #include "src/seabed/planner.h"
 #include "src/seabed/probe.h"
 
@@ -154,7 +155,7 @@ ShardedSeabedBackend::ShardedSeabedBackend(const ExecutionContext* context, size
 
 size_t ShardedSeabedBackend::ShardOfRow(size_t row) const {
   // Multiplicative hash so placement cannot correlate with data order.
-  return static_cast<size_t>((row * 0x9E3779B97F4A7C15ULL) >> 33) % shards_;
+  return Placement::HashShardOfRow(row, shards_);
 }
 
 ShardedSeabedBackend::TableState& ShardedSeabedBackend::StateFor(const std::string& table) {
@@ -266,12 +267,17 @@ void ShardedSeabedBackend::Prepare(AttachedTable& table) {
   // lazily built join replica; rebalancing allocates fresh slots from here.
   version->next_id_slot = shards_ + 1;
 
-  // Hash-partition the rows.
-  std::vector<std::vector<size_t>> assignment(shards_);
-  const size_t rows = table.plain->NumRows();
-  for (size_t row = 0; row < rows; ++row) {
-    assignment[ShardOfRow(row)].push_back(row);
-  }
+  // Partition the rows under the session's placement policy (hash by
+  // default; contiguous clustering-key quantiles for tables configured
+  // kKeyRange). The policy and its boundary metadata become part of the
+  // published version, so routing and later appends read placement state
+  // consistent with the parts they touch.
+  const Placement placement =
+      Placement::Resolve(context_->placement, table.name, *table.plain, shards_);
+  const std::vector<std::vector<size_t>> assignment = placement.PartitionRows(*table.plain);
+  version->placement = placement.policy();
+  version->clustering_column = placement.clustering_column();
+  version->boundaries = placement.InitialBoundaries(*table.plain, assignment);
 
   version->plain_parts.resize(shards_);
   version->parts.resize(shards_);
@@ -327,27 +333,52 @@ void ShardedSeabedBackend::Append(AttachedTable& table, const Table& new_rows,
   // never touches it); grow it in place for the session's own accessors.
   GrowPlainTable(*table.plain, new_rows, nullptr);
 
-  // Append locality: the whole batch lands on the shard that owns its first
-  // global row — one encryption stream per batch, the way log-structured
-  // ingest appends land in one partition. A skewed stream of batches can
-  // therefore concentrate rows on few shards; MaybeRebalance repairs that
-  // when SessionOptions::shards_rebalance says to. Only the destination
-  // shard is copied; the other shards' parts stay shared with `old`.
-  const size_t dest = ShardOfRow(prior_rows);
-  next->plain_parts[dest] = DeepCopyTable(*old->plain_parts[dest]);
-  GrowPlainTable(*next->plain_parts[dest], new_rows, nullptr);
-  next->parts[dest] = CopyEncryptedDatabase(old->parts[dest]);
-  encryptor.AppendRows(next->parts[dest], new_rows, table.schema);
-  auto dest_probe = std::make_shared<VersionProbeIndex>();
-  dest_probe->SeedFrom(*old->probes[dest], *next->parts[dest].table);
-  next->probes[dest] = std::move(dest_probe);
+  // Row→shard assignment is the placement policy's call. Hash placement
+  // keeps append locality: the whole batch lands on the shard that owns its
+  // first global row — one encryption stream per batch, the way
+  // log-structured ingest appends land in one partition (a skewed stream of
+  // batches can therefore concentrate rows on few shards; MaybeRebalance
+  // repairs that when SessionOptions::shards_rebalance says to). Key-range
+  // placement splits the batch by owning range against the parent version's
+  // boundaries, widening the destination shards' boundaries to cover their
+  // new keys. Only destination shards are copied; everything else stays
+  // structurally shared with `old`.
+  const Placement placement(old->placement, old->clustering_column, shards_);
+  const std::vector<std::vector<size_t>> assignment =
+      placement.AssignAppend(new_rows, prior_rows, old->boundaries);
+  std::vector<char> rebuilt(shards_, 0);
+  for (size_t dest = 0; dest < shards_; ++dest) {
+    if (assignment[dest].empty()) {
+      continue;
+    }
+    // The whole-batch case (always under hash) appends `new_rows` directly —
+    // the same encryption stream as before placement was pluggable.
+    std::shared_ptr<Table> owned;
+    const Table* segment = &new_rows;
+    if (assignment[dest].size() != new_rows.NumRows()) {
+      owned = SubsetRows(new_rows, table.name + "#append", assignment[dest]);
+      segment = owned.get();
+    }
+    next->plain_parts[dest] = DeepCopyTable(*old->plain_parts[dest]);
+    GrowPlainTable(*next->plain_parts[dest], *segment, nullptr);
+    next->parts[dest] = CopyEncryptedDatabase(old->parts[dest]);
+    encryptor.AppendRows(next->parts[dest], *segment, table.schema);
+    auto dest_probe = std::make_shared<VersionProbeIndex>();
+    dest_probe->SeedFrom(*old->probes[dest], *next->parts[dest].table);
+    next->probes[dest] = std::move(dest_probe);
+    if (old->placement == PlacementPolicy::kKeyRange) {
+      placement.WidenBoundary(new_rows, assignment[dest], next->boundaries[dest]);
+    }
+    rebuilt[dest] = 1;
+  }
 
   // Appends may mint new DET tokens (dictionary growth); refresh the view.
   next->view.table = next->parts.front().table;
-  MergeDictionaries(next->parts[dest], next->view);
-
-  std::vector<char> rebuilt(shards_, 0);
-  rebuilt[dest] = 1;
+  for (size_t dest = 0; dest < shards_; ++dest) {
+    if (rebuilt[dest]) {
+      MergeDictionaries(next->parts[dest], next->view);
+    }
+  }
   const double encrypt_seconds = append_sw.ElapsedSeconds();
   const uint64_t moved_before = rebalance_stats_.rows_moved;
   MaybeRebalance(table, *next, encryptor, rebuilt);
@@ -382,6 +413,13 @@ void ShardedSeabedBackend::MaybeRebalance(const AttachedTable& table, ShardedTab
                                           std::vector<char>& rebuilt) {
   const ShardRebalanceOptions& opts = context_->rebalance;
   if (!opts.enabled || shards_ < 2) {
+    return;
+  }
+  if (next.placement == PlacementPolicy::kKeyRange) {
+    // Key-range tables rebalance by boundary moves between key-space
+    // neighbors — migrating arbitrary row-groups anywhere would shred the
+    // contiguous owning ranges routing depends on.
+    MaybeRebalanceKeyRange(table, next, encryptor, rebuilt);
     return;
   }
   const size_t group = std::max<size_t>(1, opts.row_group_size);
@@ -505,6 +543,184 @@ void ShardedSeabedBackend::MaybeRebalance(const AttachedTable& table, ShardedTab
     next.probes[s] = std::make_shared<VersionProbeIndex>();
     rebuilt[s] = 1;
     rebalance_stats_.rows_reencrypted += tail[s];
+  }
+  rebalance_stats_.seconds += sw.ElapsedSeconds();
+}
+
+void ShardedSeabedBackend::MaybeRebalanceKeyRange(const AttachedTable& table,
+                                                  ShardedTableVersion& next,
+                                                  const Encryptor& encryptor,
+                                                  std::vector<char>& rebuilt) {
+  const ShardRebalanceOptions& opts = context_->rebalance;
+  const size_t group = std::max<size_t>(1, opts.row_group_size);
+  const Placement placement(PlacementPolicy::kKeyRange, next.clustering_column, shards_);
+
+  std::vector<size_t> counts(shards_);
+  size_t total = 0;
+  for (size_t s = 0; s < shards_; ++s) {
+    counts[s] = next.plain_parts[s]->NumRows();
+    total += counts[s];
+  }
+  if (total == 0) {
+    return;
+  }
+  const double ideal = static_cast<double>(total) / static_cast<double>(shards_);
+  const double trigger = std::max(ideal * opts.max_skew_ratio, ideal + static_cast<double>(group));
+
+  // Plan boundary moves on row counts (deterministic — same trigger
+  // arithmetic as the hash arm). The recipient is constrained to a key-space
+  // neighbor of the donor: shard index order IS key order under key-range
+  // placement (attach assigns quantiles in index order and appends preserve
+  // range disjointness), so donor s sheds its lowest keys to s-1 or its
+  // highest to s+1 and every owning range stays contiguous.
+  //
+  // Unlike the hash arm, moves CASCADE: a hot-tail append stream piles
+  // everything onto one edge shard, and a single neighbor hop per pass can
+  // never carry the surplus past that neighbor — the fleet diverges. So a
+  // recipient may itself donate onward (3→2 then 2→1 in one pass), the only
+  // exclusion being the reversal of an earlier move's pair, which would
+  // ping-pong the same segment. Segments are always drawn from a shard's
+  // PRE-PASS rows: cascaded donations at a shard's far end never contain
+  // keys it received this pass (neighbor ranges are disjoint and ordered),
+  // so the planned `taken` budget below keeps every slice valid.
+  struct Move {
+    size_t donor = 0;
+    size_t recipient = 0;
+    size_t rows = 0;
+    bool low_end = false;  // true: donor's smallest keys move (left neighbor)
+  };
+  std::vector<Move> moves;
+  const std::vector<size_t> orig_counts = counts;
+  std::vector<size_t> taken(shards_, 0);  // pre-pass rows already promised away
+  std::vector<char> was_donor(shards_, 0), was_recipient(shards_, 0);
+  std::vector<char> paired(shards_ * shards_, 0);  // donor*shards_+recipient
+  for (size_t iter = 0; iter < shards_ * 8; ++iter) {
+    const size_t donor =
+        std::max_element(counts.begin(), counts.end()) - counts.begin();
+    if (static_cast<double>(counts[donor]) <= trigger) {
+      break;
+    }
+    // The lighter of the donor's eligible neighbors takes the segment
+    // (left on a tie — deterministic). A neighbor is eligible when it is
+    // lighter than the donor and the reverse pair hasn't moved this pass.
+    size_t recipient = shards_;
+    bool low_end = false;
+    if (donor > 0 && counts[donor - 1] < counts[donor] &&
+        !paired[(donor - 1) * shards_ + donor]) {
+      recipient = donor - 1;
+      low_end = true;
+    }
+    if (donor + 1 < shards_ && counts[donor + 1] < counts[donor] &&
+        !paired[(donor + 1) * shards_ + donor] &&
+        (recipient == shards_ || counts[donor + 1] < counts[recipient])) {
+      recipient = donor + 1;
+      low_end = false;
+    }
+    if (recipient == shards_) {
+      break;
+    }
+    const size_t surplus = counts[donor] - static_cast<size_t>(ideal);
+    const size_t deficit = static_cast<size_t>(ideal) > counts[recipient]
+                               ? static_cast<size_t>(ideal) - counts[recipient]
+                               : 0;
+    size_t rows = std::min(surplus, std::max(deficit, group));
+    if (rows == 0) {
+      rows = std::min(counts[donor], group);
+    }
+    if (rows + taken[donor] >= orig_counts[donor] || rows >= counts[donor] ||
+        counts[recipient] + rows >= counts[donor] - rows + group) {
+      break;  // never drain a shard's pre-pass rows or mint a new hotspot
+    }
+    moves.push_back({donor, recipient, rows, low_end});
+    was_donor[donor] = 1;
+    was_recipient[recipient] = 1;
+    paired[donor * shards_ + recipient] = 1;
+    taken[donor] += rows;
+    counts[donor] -= rows;
+    counts[recipient] += rows;
+  }
+  if (moves.empty()) {
+    return;
+  }
+
+  Stopwatch sw;
+  rebalance_stats_.rebalances += 1;
+  // Per-donor key order over the shard's PRE-PASS rows (ties broken by row
+  // index — deterministic) with two cursors: a donor may shed its low end to
+  // the left neighbor and its high end to the right in the same pass. Rows a
+  // cascading shard receives this pass land past orig_counts (GrowPlainTable
+  // appends) and so never enter its order — matching the planner's `taken`
+  // budget, which only promised away pre-pass rows.
+  std::vector<std::vector<size_t>> key_order(shards_);
+  std::vector<size_t> low_taken(shards_, 0), high_taken(shards_, 0);
+  for (const Move& move : moves) {
+    std::vector<size_t>& order = key_order[move.donor];
+    if (order.empty()) {
+      const Table& part = *next.plain_parts[move.donor];
+      order.resize(orig_counts[move.donor]);
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const int64_t ka = placement.KeyAt(part, a), kb = placement.KeyAt(part, b);
+        return ka != kb ? ka < kb : a < b;
+      });
+    }
+    if (!rebuilt[move.recipient]) {
+      next.plain_parts[move.recipient] = DeepCopyTable(*next.plain_parts[move.recipient]);
+      next.parts[move.recipient] = CopyEncryptedDatabase(next.parts[move.recipient]);
+      auto probe = std::make_shared<VersionProbeIndex>();
+      probe->SeedFrom(*next.probes[move.recipient], *next.parts[move.recipient].table);
+      next.probes[move.recipient] = std::move(probe);
+      rebuilt[move.recipient] = 1;
+    }
+    // The boundary segment: the donor's `rows` smallest (or largest) not-yet-
+    // taken keys, restored to row order so the moved slice keeps its relative
+    // time order inside the recipient. Re-encrypting into the recipient's
+    // identifier space is the canonical append path, as in the hash arm — but
+    // a recipient that donates onward re-encrypts wholesale below, so feeding
+    // its encrypted side here would be wasted work (the plain part must still
+    // grow either way; it is the source of truth for the re-encryption).
+    std::vector<size_t> segment_rows(
+        move.low_end ? order.begin() + low_taken[move.donor]
+                     : order.end() - high_taken[move.donor] - move.rows,
+        move.low_end ? order.begin() + low_taken[move.donor] + move.rows
+                     : order.end() - high_taken[move.donor]);
+    (move.low_end ? low_taken : high_taken)[move.donor] += move.rows;
+    std::sort(segment_rows.begin(), segment_rows.end());
+    const auto segment =
+        SubsetRows(*next.plain_parts[move.donor], table.name + "#migrate", segment_rows);
+    GrowPlainTable(*next.plain_parts[move.recipient], *segment, nullptr);
+    if (!was_donor[move.recipient]) {
+      encryptor.AppendRows(next.parts[move.recipient], *segment, table.schema);
+    }
+    placement.WidenBoundary(*next.plain_parts[move.donor], segment_rows,
+                            next.boundaries[move.recipient]);
+    rebalance_stats_.rows_moved += move.rows;
+    rebalance_stats_.row_groups_moved += (move.rows + group - 1) / group;
+  }
+  for (size_t s = 0; s < shards_; ++s) {
+    if (!was_donor[s]) {
+      continue;
+    }
+    // The donor's remainder — everything between the two cursors, plus any
+    // rows received this pass (appended past its pre-pass count) — re-
+    // encrypts into a fresh identifier-space slot, with a fresh probe index
+    // and a recomputed boundary, for exactly the reasons the hash arm
+    // documents: truncation in place would re-mint retired identifiers.
+    const std::vector<size_t>& order = key_order[s];
+    std::vector<size_t> kept(order.begin() + low_taken[s], order.end() - high_taken[s]);
+    std::sort(kept.begin(), kept.end());
+    for (size_t r = orig_counts[s]; r < next.plain_parts[s]->NumRows(); ++r) {
+      kept.push_back(r);
+    }
+    auto remainder = SubsetRows(*next.plain_parts[s],
+                                table.name + "#shard" + std::to_string(s), kept);
+    next.parts[s] = encryptor.EncryptWithBaseId(*remainder, table.schema, table.plan,
+                                                ShardBaseId(next.next_id_slot++));
+    next.boundaries[s] = placement.BoundaryOfRows(*next.plain_parts[s], kept);
+    next.plain_parts[s] = std::move(remainder);
+    next.probes[s] = std::make_shared<VersionProbeIndex>();
+    rebuilt[s] = 1;
+    rebalance_stats_.rows_reencrypted += kept.size();
   }
   rebalance_stats_.seconds += sw.ElapsedSeconds();
 }
@@ -670,17 +886,43 @@ ResultSet ShardedSeabedBackend::RunTranslated(const Query& query, const Attached
   std::vector<double> shard_probe_seconds(shards_, 0.0);
   bool shard_probe_used = false;
   size_t shards_skipped = 0;
+
+  // Round zero — coordinator-side shard routing, before any fan-out. Under
+  // key-range placement, a clustering-key range predicate can only match
+  // rows on shards whose owning [lo, hi] intersects it; every other shard is
+  // excluded without ever being contacted. Routing reads the SAME pinned
+  // version's boundaries the scan below runs on, so a rebalance publishing
+  // moved boundaries concurrently can't make this query miss rows — it
+  // either pinned the old version (old boundaries, old parts) or the new one
+  // (both updated together). Non-routable queries (hash placement, no
+  // clustering-key filter) keep the full fleet active.
+  size_t shards_routed = shards_;
+  if (ver->placement == PlacementPolicy::kKeyRange) {
+    const std::optional<ClusteringKeyRange> range =
+        ExtractClusteringKeyRange(query, ver->clustering_column);
+    if (range.has_value()) {
+      active = Placement::RouteShards(ver->boundaries, *range);
+      shards_routed = static_cast<size_t>(std::count(active.begin(), active.end(), true));
+    }
+  }
+
   // kForced is still gated on the plan being prunable at the shard level —
   // without a predicate or join every non-empty shard reports matches and
   // the probe round is a second full fan-out for nothing. (Client-flagged
   // two-round queries keep probing unconditionally: the PR-2 contract.)
+  // A query routed to zero shards skips the probe round outright: round two
+  // is already decided.
   const bool shard_prunable = !tq.server.predicates.empty() || tq.server.join.has_value();
-  if (query.needs_two_round_trips ||
-      (popts.mode == ProbeMode::kForced && shard_prunable)) {
+  if (shards_routed > 0 &&
+      (query.needs_two_round_trips ||
+       (popts.mode == ProbeMode::kForced && shard_prunable))) {
     shard_probe_used = true;
     std::vector<EncryptedResponse> probes =
         FanOut(*ver, CountProbePlan(tq.server), active, right_table);
     for (size_t s = 0; s < shards_; ++s) {
+      if (!active[s]) {
+        continue;  // routed out in round zero, not pruned by the probe
+      }
       active[s] = probes[s].rows_touched > 0;
       shards_skipped += active[s] ? 0 : 1;
       shard_probe_seconds[s] = probes[s].ServerSeconds();
@@ -775,6 +1017,8 @@ ResultSet ShardedSeabedBackend::RunTranslated(const Query& query, const Attached
     stats->shard_server_seconds = std::move(shard_round_two_seconds);
     stats->shard_probe_seconds = std::move(shard_probe_seconds);
     stats->merge_seconds = merge_seconds;
+    stats->shards_routed = shards_routed;
+    stats->shards_total = shards_;
     stats->probe_used = probe_used;
     stats->probe_seconds = probe_seconds;
     if (intra_probed) {

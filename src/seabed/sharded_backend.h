@@ -2,7 +2,12 @@
 //
 // The paper's Figure 7 sweeps cluster cores inside ONE simulated Spark
 // cluster; this backend adds the next axis — multiple servers. Attach
-// hash-partitions each table's rows into one encrypted database per shard;
+// partitions each table's rows into one encrypted database per shard under
+// the session's placement policy (src/seabed/placement.h): multiplicative
+// hash by default, or contiguous clustering-key ranges (kKeyRange), whose
+// per-shard [lo, hi] boundaries ride in the published snapshot and let the
+// coordinator route clustering-key range predicates to the owning shard
+// subset before any fan-out (round-zero pruning, QueryStats::shards_routed);
 // the first join that needs a table as its right side builds one full
 // encrypted replica of it, broadcast to every shard. Execute translates the
 // query once and fans the same server plan out to all shards concurrently,
@@ -101,10 +106,11 @@ class ShardedSeabedBackend : public Executor {
   // benches can observe skew and rebalancing.
   std::vector<size_t> ShardRowCounts(const std::string& table) const;
 
-  // Deterministic placement: which shard owns global row `row` at Attach
-  // time, and which shard an append batch starting at global row `row` lands
-  // on whole (append locality). Exposed so tests can pin — and deliberately
-  // skew — the partitioning.
+  // Deterministic HASH placement: which shard owns global row `row` at
+  // Attach time, and which shard an append batch starting at global row
+  // `row` lands on whole (append locality). Exposed so tests can pin — and
+  // deliberately skew — the partitioning. Key-range tables place by value
+  // instead (see ShardedTableVersion::boundaries).
   size_t ShardOfRow(size_t row) const;
 
   // Summary-build count of shard `shard`'s probe index in the current
@@ -162,6 +168,18 @@ class ShardedSeabedBackend : public Executor {
   // copied before growing). Requires writer_mu_ (called from Append).
   void MaybeRebalance(const AttachedTable& table, ShardedTableVersion& next,
                       const Encryptor& encryptor, std::vector<char>& rebuilt);
+
+  // The key-range arm of MaybeRebalance: policy-mediated boundary moves.
+  // Instead of carving row-groups off the hottest shard's tail for an
+  // arbitrary recipient, the donor sheds a boundary SEGMENT — its lowest or
+  // highest clustering keys — to a key-space neighbor (shard index order ==
+  // key order), so owning ranges stay contiguous and routable. Moved rows
+  // re-encrypt into the recipient's identifier space via the canonical
+  // append path and the donor's remainder into a fresh slot, exactly like
+  // the hash arm; `next`'s boundary metadata is updated alongside the parts
+  // it describes, so the published version is self-consistent.
+  void MaybeRebalanceKeyRange(const AttachedTable& table, ShardedTableVersion& next,
+                              const Encryptor& encryptor, std::vector<char>& rebuilt);
 
   const ExecutionContext* context_;
   size_t shards_;

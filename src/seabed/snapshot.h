@@ -27,6 +27,7 @@
 
 #include "src/engine/table.h"
 #include "src/seabed/encryptor.h"
+#include "src/seabed/placement.h"
 #include "src/seabed/probe.h"
 #include "src/seabed/server.h"
 
@@ -97,6 +98,15 @@ struct ShardedTableVersion {
 
   // Next fresh ASHE id-space slot for rebalance re-encryption.
   uint64_t next_id_slot = 0;
+
+  // Placement of this table's rows, fixed at attach (src/seabed/placement.h).
+  // Under kKeyRange, `boundaries[s]` is the closed clustering-key interval
+  // shard s's partition holds IN THIS VERSION — routing consults the pinned
+  // version's boundaries, never live state, so a query overlapping a
+  // rebalance sees boundaries consistent with the exact parts it scans.
+  PlacementPolicy placement = PlacementPolicy::kHash;
+  std::string clustering_column;                // empty under kHash
+  std::vector<ShardKeyBoundary> boundaries;     // parallel to parts
 };
 
 }  // namespace seabed

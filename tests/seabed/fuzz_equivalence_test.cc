@@ -10,6 +10,14 @@
 //   kShardedSeabed    at shard counts {1, 2, 4, 7},
 //   kCachingSeabed    over both a single-server and a sharded (3) inner.
 //
+// PLACEMENT AXIS: placement is fixed at Attach, so the policies rotate as
+// extra sessions rather than per trial: the sharded fleets at 4 and 7 shards
+// and a caching-over-sharded stack run AGAIN under kKeyRange (clustering on
+// the fact table's `ts`; the dimension table keeps hash placement — mixed
+// catalogs are the common case). Every trial's ts filters route those
+// sessions to shard subsets, and the same rows must come back regardless of
+// which shards were fanned out to.
+//
 // Ten seeds x ~20 trials ≈ 200 random queries per full run. This is the
 // correctness argument for the fan-out/merge layer: coordinator aggregation
 // must be indistinguishable from sequential execution (merge-at-coordinator
@@ -228,10 +236,21 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
   backends.push_back(
       {"paillier", std::make_unique<Session>(options_for(BackendKind::kPaillier, 1)),
        /*supports_variance=*/false, false, false, false});
+  auto key_range = [](SessionOptions options) {
+    options.shards_placement.policy = PlacementPolicy::kKeyRange;
+    options.shards_placement.clustering_columns["fuzz"] = "ts";
+    return options;
+  };
   for (const size_t shards : kShardCounts) {
     backends.push_back({"sharded-" + std::to_string(shards),
                         std::make_unique<Session>(options_for(BackendKind::kShardedSeabed, shards)),
                         true, true, false, true});
+    if (shards >= 4) {
+      backends.push_back(
+          {"sharded-" + std::to_string(shards) + "-keyrange",
+           std::make_unique<Session>(key_range(options_for(BackendKind::kShardedSeabed, shards))),
+           true, true, false, true});
+    }
   }
   {
     SessionOptions copts = options_for(BackendKind::kCachingSeabed, 1);
@@ -244,6 +263,12 @@ TEST_P(FuzzEquivalenceTest, RandomQueriesAgreeAcrossAllBackends) {
     copts.cache.inner = BackendKind::kShardedSeabed;
     backends.push_back(
         {"caching-sharded-3", std::make_unique<Session>(std::move(copts)), true, true, true, true});
+  }
+  {
+    SessionOptions copts = key_range(options_for(BackendKind::kCachingSeabed, 3));
+    copts.cache.inner = BackendKind::kShardedSeabed;
+    backends.push_back({"caching-sharded-3-keyrange", std::make_unique<Session>(std::move(copts)),
+                        true, true, true, true});
   }
   for (Backend& b : backends) {
     // Every session owns its tables: the append rounds below grow them.
@@ -499,6 +524,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
 // rebalancer migrates whole row-groups behind the queries' back. Probe modes
 // rotate per trial so pruned two-round execution also runs over migrated
 // groups.
+//
+// The same stream is the key-range worst case for free: batch timestamps
+// increase monotonically (ts_base = running row count), so under kKeyRange
+// every appended key lands past the top shard's boundary — the hot-tail
+// skew that placement policy rebalances with cascaded boundary moves. Two
+// kKeyRange sessions (rebalance off/on) ride along; the trials' ts filters
+// route them to shard subsets over boundaries that keep shifting.
 class SkewedAppendFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SkewedAppendFuzzTest, SkewedStreamsStayEquivalentWithRebalanceOnAndOff) {
@@ -538,7 +570,7 @@ TEST_P(SkewedAppendFuzzTest, SkewedStreamsStayEquivalentWithRebalanceOnAndOff) {
     samples.push_back(q);
   }
 
-  auto options_for = [&](BackendKind backend, bool rebalance) {
+  auto options_for = [&](BackendKind backend, bool rebalance, bool key_range = false) {
     SessionOptions options;
     options.backend = backend;
     options.shards = kShards;
@@ -551,6 +583,10 @@ TEST_P(SkewedAppendFuzzTest, SkewedStreamsStayEquivalentWithRebalanceOnAndOff) {
       options.shards_rebalance.enabled = true;
       options.shards_rebalance.max_skew_ratio = 1.2;
       options.shards_rebalance.row_group_size = 64;
+    }
+    if (key_range) {
+      options.shards_placement.policy = PlacementPolicy::kKeyRange;
+      options.shards_placement.clustering_columns["skew"] = "ts";
     }
     return options;
   };
@@ -565,6 +601,12 @@ TEST_P(SkewedAppendFuzzTest, SkewedStreamsStayEquivalentWithRebalanceOnAndOff) {
   backends.push_back(
       {"sharded-rebal",
        std::make_unique<Session>(options_for(BackendKind::kShardedSeabed, true))});
+  backends.push_back(
+      {"ranged", std::make_unique<Session>(
+                     options_for(BackendKind::kShardedSeabed, false, /*key_range=*/true))});
+  backends.push_back(
+      {"ranged-rebal", std::make_unique<Session>(
+                           options_for(BackendKind::kShardedSeabed, true, /*key_range=*/true))});
 
   const auto base = make_batch(300 + rng.Below(200), 0);
   for (Backend& b : backends) {
@@ -633,6 +675,17 @@ TEST_P(SkewedAppendFuzzTest, SkewedStreamsStayEquivalentWithRebalanceOnAndOff) {
   ASSERT_TRUE(stats.has_value());
   EXPECT_GT(stats->rebalances, 0u);
   EXPECT_GT(stats->rows_moved, 0u);
+  // ...and on the key-range arm, that the hot tail was real (the top shard
+  // took the stream without rebalancing) and boundary moves fired with it on.
+  const auto ranged_counts = static_cast<const ShardedSeabedBackend&>(
+                                 backends[3].session->executor())
+                                 .ShardRowCounts("skew");
+  EXPECT_EQ(*std::max_element(ranged_counts.begin(), ranged_counts.end()),
+            ranged_counts.back());
+  const std::optional<RebalanceStats> ranged_stats = backends[4].session->rebalance_stats();
+  ASSERT_TRUE(ranged_stats.has_value());
+  EXPECT_GT(ranged_stats->rebalances, 0u);
+  EXPECT_GT(ranged_stats->rows_moved, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SkewedAppendFuzzTest, ::testing::Values(7, 19, 42));

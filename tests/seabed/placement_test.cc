@@ -1,0 +1,673 @@
+// Tests for pluggable shard placement (src/seabed/placement.h) and the
+// coordinator's round-zero routing built on it: quantile partitioning and
+// append assignment under kKeyRange, the planner's clustering-key range
+// extraction, routed / non-routable / zero-match execution with
+// QueryStats::shards_routed accounting, prepared-statement routing on bound
+// params, boundary-move rebalancing, and — the PR's bugfix pin — a query
+// racing a boundary move never missing rows (routing reads the pinned
+// snapshot version's boundaries, never live state).
+#include "src/seabed/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/seabed/planner.h"
+#include "src/seabed/session.h"
+#include "src/seabed/sharded_backend.h"
+#include "tests/seabed/test_util.h"
+
+namespace seabed {
+namespace {
+
+std::shared_ptr<Table> KeyTable(const std::vector<int64_t>& keys) {
+  auto t = std::make_shared<Table>("emp");
+  auto ts = std::make_shared<Int64Column>();
+  for (const int64_t k : keys) {
+    ts->Append(k);
+  }
+  t->AddColumn("ts", ts);
+  return t;
+}
+
+// --- Placement unit tests ---------------------------------------------------
+
+TEST(PlacementTest, KeyRangePartitionIsContiguousDisjointAndCoversAllRows) {
+  // Shuffled keys with a fat run of equal values (40x the key 500).
+  std::vector<int64_t> keys;
+  Rng rng(17);
+  for (int i = 0; i < 360; ++i) {
+    keys.push_back(static_cast<int64_t>(rng.Below(1000)));
+  }
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back(500);
+  }
+  const auto table = KeyTable(keys);
+  const Placement placement(PlacementPolicy::kKeyRange, "ts", 4);
+  const auto assignment = placement.PartitionRows(*table);
+  ASSERT_EQ(assignment.size(), 4u);
+
+  // Exactly-once coverage.
+  std::set<size_t> seen;
+  for (const auto& rows : assignment) {
+    for (const size_t r : rows) {
+      EXPECT_TRUE(seen.insert(r).second) << "row " << r << " assigned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), keys.size());
+
+  // Shard index order == key order, ranges disjoint, equal runs unsplit.
+  const auto bounds = placement.InitialBoundaries(*table, assignment);
+  int64_t prev_hi = std::numeric_limits<int64_t>::min();
+  size_t shard_of_500 = 4;
+  for (size_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(bounds[s].occupied);
+    EXPECT_GT(bounds[s].lo, prev_hi) << "shard " << s << " overlaps its left neighbor";
+    EXPECT_LE(bounds[s].lo, bounds[s].hi);
+    prev_hi = bounds[s].hi;
+    int64_t lo = std::numeric_limits<int64_t>::max();
+    int64_t hi = std::numeric_limits<int64_t>::min();
+    for (const size_t r : assignment[s]) {
+      lo = std::min(lo, keys[r]);
+      hi = std::max(hi, keys[r]);
+      if (keys[r] == 500) {
+        if (shard_of_500 == 4) {
+          shard_of_500 = s;
+        }
+        EXPECT_EQ(s, shard_of_500) << "equal-key run split across shards";
+      }
+    }
+    EXPECT_EQ(bounds[s].lo, lo);
+    EXPECT_EQ(bounds[s].hi, hi);
+    // Rows within a shard keep original relative order.
+    EXPECT_TRUE(std::is_sorted(assignment[s].begin(), assignment[s].end()));
+  }
+}
+
+TEST(PlacementTest, HashPartitionMatchesTheMultiplicativeHashRowByRow) {
+  const auto table = KeyTable(std::vector<int64_t>(100, 7));
+  const Placement placement(PlacementPolicy::kHash, "", 5);
+  const auto assignment = placement.PartitionRows(*table);
+  for (size_t s = 0; s < 5; ++s) {
+    for (const size_t r : assignment[s]) {
+      EXPECT_EQ(Placement::HashShardOfRow(r, 5), s);
+    }
+  }
+}
+
+TEST(PlacementTest, AppendAssignmentRespectsOwnersGapsAndEdges) {
+  const Placement placement(PlacementPolicy::kKeyRange, "ts", 4);
+  std::vector<ShardKeyBoundary> bounds(4);
+  bounds[0] = {true, 0, 9};
+  bounds[1] = {true, 20, 29};
+  bounds[2] = {false, 0, 0};  // empty shard owns nothing
+  bounds[3] = {true, 30, 39};
+
+  //            in s0, gap→s1, in s1, past-top→s3, below-all→s0, in s3
+  const auto batch = KeyTable({5, 15, 25, 50, -5, 33});
+  const auto assignment = placement.AssignAppend(*batch, /*prior_rows=*/123, bounds);
+  EXPECT_EQ(assignment[0], (std::vector<size_t>{0, 4}));
+  EXPECT_EQ(assignment[1], (std::vector<size_t>{1, 2}));
+  EXPECT_TRUE(assignment[2].empty());
+  EXPECT_EQ(assignment[3], (std::vector<size_t>{3, 5}));
+}
+
+TEST(PlacementTest, AppendToUnoccupiedFleetCollectsOnShardZero) {
+  const Placement placement(PlacementPolicy::kKeyRange, "ts", 3);
+  const auto batch = KeyTable({10, -10, 0});
+  const auto assignment =
+      placement.AssignAppend(*batch, 0, std::vector<ShardKeyBoundary>(3));
+  EXPECT_EQ(assignment[0].size(), 3u);
+  EXPECT_TRUE(assignment[1].empty());
+  EXPECT_TRUE(assignment[2].empty());
+}
+
+TEST(PlacementTest, RouteShardsIntersectsOccupiedBoundariesOnly) {
+  std::vector<ShardKeyBoundary> bounds(4);
+  bounds[0] = {true, 0, 9};
+  bounds[1] = {true, 20, 29};
+  bounds[2] = {false, 0, 1000};  // unoccupied: never routed, whatever lo/hi say
+  bounds[3] = {true, 30, 39};
+
+  ClusteringKeyRange mid;  // [15, 25] touches only shard 1
+  mid.lo = 15;
+  mid.hi = 25;
+  EXPECT_EQ(Placement::RouteShards(bounds, mid),
+            (std::vector<bool>{false, true, false, false}));
+
+  ClusteringKeyRange all;  // unconstrained default covers every occupied shard
+  EXPECT_EQ(Placement::RouteShards(bounds, all),
+            (std::vector<bool>{true, true, false, true}));
+
+  ClusteringKeyRange none;  // provably-empty interval activates nothing
+  none.lo = 100;
+  none.hi = 50;
+  EXPECT_EQ(Placement::RouteShards(bounds, none),
+            (std::vector<bool>{false, false, false, false}));
+
+  ClusteringKeyRange flagged;
+  flagged.empty = true;
+  EXPECT_EQ(Placement::RouteShards(bounds, flagged),
+            (std::vector<bool>{false, false, false, false}));
+}
+
+// --- Planner range extraction ----------------------------------------------
+
+TEST(ClusteringKeyRangeTest, ExtractsClosedIntervalsFromComparisons) {
+  Query q;
+  q.table = "emp";
+  q.Count("n");
+  q.Where("ts", CmpOp::kGe, int64_t{10});
+  q.Where("ts", CmpOp::kLt, int64_t{20});
+  const auto range = ExtractClusteringKeyRange(q, "ts");
+  ASSERT_TRUE(range.has_value());
+  EXPECT_FALSE(range->empty);
+  EXPECT_EQ(range->lo, 10);
+  EXPECT_EQ(range->hi, 19);  // kLt tightens to a closed bound
+
+  Query eq;
+  eq.table = "emp";
+  eq.Count("n");
+  eq.Where("ts", CmpOp::kEq, int64_t{42});
+  const auto point = ExtractClusteringKeyRange(eq, "ts");
+  ASSERT_TRUE(point.has_value());
+  EXPECT_EQ(point->lo, 42);
+  EXPECT_EQ(point->hi, 42);
+}
+
+TEST(ClusteringKeyRangeTest, ContradictionIsEmptyNotMissing) {
+  Query q;
+  q.table = "emp";
+  q.Count("n");
+  q.Where("ts", CmpOp::kGe, int64_t{100});
+  q.Where("ts", CmpOp::kLe, int64_t{50});
+  const auto range = ExtractClusteringKeyRange(q, "ts");
+  ASSERT_TRUE(range.has_value());
+  EXPECT_TRUE(range->empty);
+}
+
+TEST(ClusteringKeyRangeTest, NonRoutableShapesReturnNullopt) {
+  // No predicate on the clustering column at all.
+  Query none;
+  none.table = "emp";
+  none.Count("n");
+  none.Where("store", CmpOp::kEq, std::string("s1"));
+  EXPECT_FALSE(ExtractClusteringKeyRange(none, "ts").has_value());
+
+  // kNe punches a hole but doesn't bound the hull.
+  Query ne;
+  ne.table = "emp";
+  ne.Count("n");
+  ne.Where("ts", CmpOp::kNe, int64_t{5});
+  EXPECT_FALSE(ExtractClusteringKeyRange(ne, "ts").has_value());
+
+  // A still-unbound placeholder slot must be skipped (conservative): the
+  // shape alone says nothing about the bound value.
+  Query shape;
+  shape.table = "emp";
+  shape.Count("n");
+  shape.WhereParam("ts", CmpOp::kGe);
+  EXPECT_FALSE(ExtractClusteringKeyRange(shape, "ts").has_value());
+
+  // ...but the bound query routes.
+  const Query bound = shape.BindParams(std::vector<Value>{int64_t{30}});
+  const auto range = ExtractClusteringKeyRange(bound, "ts");
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->lo, 30);
+
+  // No clustering column configured (hash tables).
+  EXPECT_FALSE(ExtractClusteringKeyRange(bound, "").has_value());
+}
+
+// --- End-to-end routing on the sharded backend ------------------------------
+
+// 1200 time-ordered rows: ts == row index, so a 4-shard key-range fleet owns
+// [0,299], [300,599], [600,899], [900,1199] and a narrow time slice routes
+// to exactly one shard.
+class PlacementRoutingTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kShards = 4;
+  static constexpr int kRows = 1200;
+
+  PlacementRoutingTest()
+      : plain_(Options(BackendKind::kPlain, 1, false)),
+        hashed_(Options(BackendKind::kShardedSeabed, kShards, false)),
+        ranged_(Options(BackendKind::kShardedSeabed, kShards, true)) {
+    schema_.table_name = "emp";
+    schema_.columns.push_back({"store", ColumnType::kString, true, std::nullopt});
+    schema_.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+    schema_.columns.push_back({"salary", ColumnType::kInt64, true, std::nullopt});
+
+    table_ = std::make_shared<Table>("emp");
+    auto store_col = std::make_shared<StringColumn>();
+    auto ts_col = std::make_shared<Int64Column>();
+    auto salary_col = std::make_shared<Int64Column>();
+    Rng rng(23);
+    const char* stores[] = {"s1", "s2", "s3"};
+    for (int i = 0; i < kRows; ++i) {
+      store_col->Append(stores[rng.Below(3)]);
+      ts_col->Append(static_cast<int64_t>(i));
+      salary_col->Append(rng.Range(0, 100000));
+    }
+    table_->AddColumn("store", store_col);
+    table_->AddColumn("ts", ts_col);
+    table_->AddColumn("salary", salary_col);
+
+    // Every session owns its plaintext: appends grow the attached table in
+    // place, so sharing one shared_ptr across sessions would double-count.
+    for (Session* s : {&plain_, &hashed_, &ranged_}) {
+      s->Attach(CloneTable(*table_), schema_, Samples());
+    }
+  }
+
+  static SessionOptions Options(BackendKind backend, size_t shards, bool key_range) {
+    SessionOptions options;
+    options.backend = backend;
+    options.shards = shards;
+    options.planner.expected_rows = kRows;
+    options.key_seed = 77;
+    options.cluster.num_workers = 4;
+    options.cluster.job_overhead_seconds = 0;
+    options.cluster.task_overhead_seconds = 0;
+    if (key_range) {
+      options.shards_placement.policy = PlacementPolicy::kKeyRange;
+      options.shards_placement.clustering_columns["emp"] = "ts";
+    }
+    return options;
+  }
+
+  static std::vector<Query> Samples() {
+    std::vector<Query> samples;
+    Query q;
+    q.table = "emp";
+    q.Sum("salary").Count().Min("ts").Max("ts");
+    q.Where("ts", CmpOp::kGe, int64_t{0});
+    q.GroupBy("store");
+    samples.push_back(q);
+    return samples;
+  }
+
+  static Query SliceQuery(int64_t lo, int64_t hi) {
+    Query q;
+    q.table = "emp";
+    q.Sum("salary", "total").Count("n");
+    q.Where("ts", CmpOp::kGe, lo);
+    q.Where("ts", CmpOp::kLe, hi);
+    return q;
+  }
+
+  Session plain_;
+  Session hashed_;
+  Session ranged_;
+  PlainSchema schema_;
+  std::shared_ptr<Table> table_;
+};
+
+TEST_F(PlacementRoutingTest, KeyRangeAttachCoversEveryRowAcrossShards) {
+  auto& backend = static_cast<ShardedSeabedBackend&>(ranged_.executor());
+  const std::vector<size_t> counts = backend.ShardRowCounts("emp");
+  size_t total = 0;
+  for (const size_t c : counts) {
+    EXPECT_GT(c, 0u);
+    total += c;
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kRows));
+  // Quantiles over distinct keys are near-equal.
+  EXPECT_EQ(*std::max_element(counts.begin(), counts.end()), kRows / kShards);
+
+  // Answers match plain everywhere, with stats invariants.
+  const Query q = SliceQuery(100, 200);
+  const auto reference = RowsAsStrings(plain_.Execute(q, nullptr));
+  ExpectProbeStatsInvariants(ranged_, q, reference);
+  ExpectProbeStatsInvariants(hashed_, q, reference);
+}
+
+TEST_F(PlacementRoutingTest, SelectiveSliceRoutesToAShardSubset) {
+  const Query q = SliceQuery(100, 200);  // inside shard 0's [0, 299]
+  QueryStats stats;
+  EXPECT_EQ(RowsAsStrings(ranged_.Execute(q, &stats)),
+            RowsAsStrings(plain_.Execute(q, nullptr)));
+  EXPECT_EQ(stats.shards_total, kShards);
+  EXPECT_EQ(stats.shards_routed, 1u);
+  EXPECT_EQ(stats.rows_touched, 101u);
+
+  // A slice spanning a boundary routes to both owners, nothing else.
+  const Query wide = SliceQuery(250, 350);
+  QueryStats wide_stats;
+  EXPECT_EQ(RowsAsStrings(ranged_.Execute(wide, &wide_stats)),
+            RowsAsStrings(plain_.Execute(wide, nullptr)));
+  EXPECT_EQ(wide_stats.shards_routed, 2u);
+}
+
+TEST_F(PlacementRoutingTest, HashSessionsReportTheFullFleet) {
+  const Query q = SliceQuery(100, 200);
+  QueryStats stats;
+  EXPECT_EQ(RowsAsStrings(hashed_.Execute(q, &stats)),
+            RowsAsStrings(plain_.Execute(q, nullptr)));
+  EXPECT_EQ(stats.shards_total, kShards);
+  EXPECT_EQ(stats.shards_routed, kShards);  // hash placement is not routable
+}
+
+TEST_F(PlacementRoutingTest, NonRoutableQueryFansOutEverywhere) {
+  Query q;
+  q.table = "emp";
+  q.Sum("salary", "total").Count("n");
+  q.Where("store", CmpOp::kEq, std::string("s2"));
+  q.GroupBy("store");
+  QueryStats stats;
+  EXPECT_EQ(RowsAsStrings(ranged_.Execute(q, &stats)),
+            RowsAsStrings(plain_.Execute(q, nullptr)));
+  EXPECT_EQ(stats.shards_routed, stats.shards_total);
+}
+
+TEST_F(PlacementRoutingTest, ZeroOwnerSliceSkipsBothRounds) {
+  // Past every shard's hi — routing proves no owner before any fan-out, even
+  // on the two-round path: no probe round, no rows, still the right answer.
+  Query q = SliceQuery(5000, 6000);
+  q.needs_two_round_trips = true;
+  const auto reference = RowsAsStrings(plain_.Execute(q, nullptr));
+  QueryStats stats;
+  EXPECT_EQ(RowsAsStrings(ranged_.Execute(q, &stats)), reference);
+  EXPECT_EQ(stats.shards_routed, 0u);
+  EXPECT_FALSE(stats.probe_used);
+  EXPECT_EQ(stats.rows_touched, 0u);
+  ExpectProbeStatsInvariants(ranged_, q, reference);
+
+  // A contradictory conjunction routes to zero shards the same way.
+  Query contradiction = SliceQuery(400, 300);
+  QueryStats cstats;
+  EXPECT_EQ(RowsAsStrings(ranged_.Execute(contradiction, &cstats)),
+            RowsAsStrings(plain_.Execute(contradiction, nullptr)));
+  EXPECT_EQ(cstats.shards_routed, 0u);
+}
+
+TEST_F(PlacementRoutingTest, PreparedExecutionRoutesOnBoundParams) {
+  Query shape;
+  shape.table = "emp";
+  shape.Sum("salary", "total").Count("n");
+  shape.WhereParam("ts", CmpOp::kGe);
+  shape.WhereParam("ts", CmpOp::kLe);
+
+  const std::vector<Value> params = {int64_t{700}, int64_t{800}};  // shard 2
+  const auto reference = RowsAsStrings(plain_.Execute(shape.BindParams(params), nullptr));
+  ExpectPreparedStatsInvariants(ranged_, shape, params, reference);
+
+  const PreparedQuery prepared = ranged_.Prepare(shape);
+  QueryStats stats;
+  EXPECT_EQ(RowsAsStrings(ranged_.Execute(prepared, params, &stats)), reference);
+  EXPECT_TRUE(stats.prepared);
+  EXPECT_EQ(stats.shards_total, kShards);
+  EXPECT_LT(stats.shards_routed, stats.shards_total);
+  EXPECT_EQ(stats.shards_routed, 1u);
+
+  // Different binding, different owner subset — the plan is shared, the
+  // routing is per-execution.
+  const std::vector<Value> wide = {int64_t{0}, int64_t{1199}};
+  QueryStats wide_stats;
+  EXPECT_EQ(RowsAsStrings(ranged_.Execute(prepared, wide, &wide_stats)),
+            RowsAsStrings(plain_.Execute(shape.BindParams(wide), nullptr)));
+  EXPECT_EQ(wide_stats.shards_routed, kShards);
+}
+
+TEST_F(PlacementRoutingTest, AppendsLandInOwningRangesAndStayRoutable) {
+  // In-range, gap-free: each row joins its owner; out-of-range extends the
+  // top shard. Either way routed queries keep matching plain.
+  auto batch = std::make_shared<Table>("emp");
+  auto store_col = std::make_shared<StringColumn>();
+  auto ts_col = std::make_shared<Int64Column>();
+  auto salary_col = std::make_shared<Int64Column>();
+  Rng rng(41);
+  for (int i = 0; i < 300; ++i) {
+    store_col->Append("s1");
+    // Alternate between a slice of shard 1's range and brand-new keys past
+    // the fleet's top.
+    ts_col->Append(i % 2 == 0 ? static_cast<int64_t>(400 + rng.Below(100))
+                              : static_cast<int64_t>(2000 + i));
+    salary_col->Append(rng.Range(0, 100000));
+  }
+  batch->AddColumn("store", store_col);
+  batch->AddColumn("ts", ts_col);
+  batch->AddColumn("salary", salary_col);
+  plain_.Append("emp", *batch);
+  ranged_.Append("emp", *batch);
+
+  const Query mid = SliceQuery(400, 499);
+  QueryStats stats;
+  EXPECT_EQ(RowsAsStrings(ranged_.Execute(mid, &stats)),
+            RowsAsStrings(plain_.Execute(mid, nullptr)));
+  EXPECT_LT(stats.shards_routed, stats.shards_total);
+
+  const Query top = SliceQuery(2000, 3000);
+  QueryStats top_stats;
+  EXPECT_EQ(RowsAsStrings(ranged_.Execute(top, &top_stats)),
+            RowsAsStrings(plain_.Execute(top, nullptr)));
+  EXPECT_LT(top_stats.shards_routed, top_stats.shards_total);
+
+  // Disjoint identifier spaces survive value-aware appends (multi-destination
+  // batches split across shards).
+  auto& backend = static_cast<ShardedSeabedBackend&>(ranged_.executor());
+  std::set<uint64_t> seen_ids;
+  for (size_t s = 0; s < kShards; ++s) {
+    const Table& part = *backend.shard_database("emp", s).table;
+    const auto* col = static_cast<const AsheColumn*>(part.GetColumn("salary#ashe").get());
+    for (size_t row = 0; row < col->RowCount(); ++row) {
+      EXPECT_TRUE(seen_ids.insert(col->IdOfRow(row)).second);
+    }
+  }
+}
+
+// Boundary-move rebalancing: a hot-tail (time-ordered) append stream piles
+// rows onto the top shard; the key-range arm must shed boundary segments to
+// index-neighbors, keep ranges contiguous/routable, keep every answer equal
+// to plain, and keep ASHE identifier spaces disjoint through re-encryption.
+TEST_F(PlacementRoutingTest, HotTailRebalanceMovesBoundariesAndStaysCorrect) {
+  SessionOptions options = Options(BackendKind::kShardedSeabed, kShards, true);
+  options.shards_rebalance.enabled = true;
+  options.shards_rebalance.max_skew_ratio = 1.3;
+  options.shards_rebalance.row_group_size = 64;
+  Session rebalanced(std::move(options));
+  Session reference(Options(BackendKind::kPlain, 1, false));
+  for (Session* s : {&rebalanced, &reference}) {
+    s->Attach(CloneTable(*table_), schema_, Samples());
+  }
+
+  int64_t clock = kRows;
+  Rng rng(67);
+  size_t total = kRows;
+  for (int round = 0; round < 8; ++round) {
+    auto batch = std::make_shared<Table>("emp");
+    auto store_col = std::make_shared<StringColumn>();
+    auto ts_col = std::make_shared<Int64Column>();
+    auto salary_col = std::make_shared<Int64Column>();
+    for (int i = 0; i < 200; ++i) {
+      store_col->Append("s1");
+      ts_col->Append(clock++);
+      salary_col->Append(rng.Range(0, 100000));
+    }
+    batch->AddColumn("store", store_col);
+    batch->AddColumn("ts", ts_col);
+    batch->AddColumn("salary", salary_col);
+    rebalanced.Append("emp", *batch);
+    reference.Append("emp", *batch);
+    total += 200;
+  }
+
+  const std::optional<RebalanceStats> stats = rebalanced.rebalance_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->rebalances, 0u);
+  EXPECT_GT(stats->rows_moved, 0u);
+  EXPECT_GT(stats->rows_reencrypted, 0u);
+
+  auto& backend = static_cast<ShardedSeabedBackend&>(rebalanced.executor());
+  const std::vector<size_t> counts = backend.ShardRowCounts("emp");
+  const size_t max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_LE(max_count, static_cast<size_t>(1.3 * static_cast<double>(total) / kShards) + 64);
+
+  // Identifier spaces stay disjoint through boundary-segment re-encryption.
+  std::set<uint64_t> seen_ids;
+  for (size_t s = 0; s < kShards; ++s) {
+    const Table& part = *backend.shard_database("emp", s).table;
+    const auto* col = static_cast<const AsheColumn*>(part.GetColumn("salary#ashe").get());
+    for (size_t row = 0; row < col->RowCount(); ++row) {
+      EXPECT_TRUE(seen_ids.insert(col->IdOfRow(row)).second)
+          << "ASHE id reused in shard " << s;
+    }
+  }
+
+  // Routed, boundary-spanning, non-routable and two-round queries all agree
+  // with plain after the moves, and narrow slices still prune the fleet.
+  std::vector<Query> queries = {SliceQuery(100, 200), SliceQuery(1100, 1400),
+                                SliceQuery(0, clock)};
+  {
+    Query g;
+    g.table = "emp";
+    g.Sum("salary", "total").Count("n");
+    g.GroupBy("store");
+    queries.push_back(g);
+    Query two = SliceQuery(1500, 1600);
+    two.needs_two_round_trips = true;
+    queries.push_back(two);
+  }
+  for (const Query& q : queries) {
+    const auto expected = RowsAsStrings(reference.Execute(q, nullptr));
+    ExpectProbeStatsInvariants(rebalanced, q, expected);
+  }
+  QueryStats narrow;
+  rebalanced.Execute(SliceQuery(100, 200), &narrow);
+  EXPECT_LT(narrow.shards_routed, narrow.shards_total);
+}
+
+// Bugfix pin: a routed query racing a boundary move must never miss rows.
+// Routing reads the SAME pinned version's boundaries the scan runs on, so a
+// fixed time slice of the seed data — whose rows boundary moves keep
+// migrating between shards — always returns exactly the seed answer, while
+// an unbounded count always lands on a legal append-prefix value.
+TEST(PlacementConcurrencyTest, RoutingRacingBoundaryMovesNeverMissesRows) {
+  PlainSchema schema;
+  schema.table_name = "emp";
+  schema.columns.push_back({"store", ColumnType::kString, true, std::nullopt});
+  schema.columns.push_back({"ts", ColumnType::kInt64, true, std::nullopt});
+  schema.columns.push_back({"salary", ColumnType::kInt64, true, std::nullopt});
+
+  auto seed_table = std::make_shared<Table>("emp");
+  {
+    auto store_col = std::make_shared<StringColumn>();
+    auto ts_col = std::make_shared<Int64Column>();
+    auto salary_col = std::make_shared<Int64Column>();
+    Rng rng(29);
+    for (int i = 0; i < 900; ++i) {
+      store_col->Append("s1");
+      ts_col->Append(static_cast<int64_t>(i));
+      salary_col->Append(rng.Range(0, 100000));
+    }
+    seed_table->AddColumn("store", store_col);
+    seed_table->AddColumn("ts", ts_col);
+    seed_table->AddColumn("salary", salary_col);
+  }
+
+  SessionOptions options;
+  options.backend = BackendKind::kShardedSeabed;
+  options.shards = 3;
+  options.planner.expected_rows = 900;
+  options.key_seed = 13;
+  options.cluster.num_workers = 2;
+  options.cluster.job_overhead_seconds = 0;
+  options.cluster.task_overhead_seconds = 0;
+  options.shards_placement.policy = PlacementPolicy::kKeyRange;
+  options.shards_placement.clustering_columns["emp"] = "ts";
+  options.shards_rebalance.enabled = true;  // boundary moves join the race
+  options.shards_rebalance.max_skew_ratio = 1.2;
+  options.shards_rebalance.row_group_size = 64;
+  Session sharded(std::move(options));
+
+  Query sample;
+  sample.table = "emp";
+  sample.Sum("salary").Count().Min("ts").Max("ts");
+  sample.Where("ts", CmpOp::kGe, int64_t{0});
+  sample.GroupBy("store");
+  std::vector<Query> samples = {sample};
+  sharded.Attach(seed_table, schema, samples);
+
+  // The queried slice [200, 400] sits in the seed data; every appended key
+  // is >= 900, so the slice's answer never changes — but its OWNERS do, as
+  // hot-tail rebalances shunt seed rows between shards mid-query.
+  Query slice;
+  slice.table = "emp";
+  slice.Sum("salary", "total").Count("n");
+  slice.Where("ts", CmpOp::kGe, int64_t{200});
+  slice.Where("ts", CmpOp::kLe, int64_t{400});
+  QueryStats fixed_stats;
+  const auto slice_reference = RowsAsStrings(sharded.Execute(slice, &fixed_stats));
+  EXPECT_LT(fixed_stats.shards_routed, fixed_stats.shards_total);
+
+  Query count_all;
+  count_all.table = "emp";
+  count_all.Count("n");
+
+  constexpr int kAppends = 24;
+  constexpr size_t kBatchRows = 150;
+  std::atomic<bool> done{false};
+  std::atomic<int> mismatches{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      QueryStats stats;
+      if (RowsAsStrings(sharded.Execute(slice, &stats)) != slice_reference) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (stats.shards_routed > stats.shards_total) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      const auto rows = RowsAsStrings(sharded.Execute(count_all, nullptr));
+      // A full count must equal 900 + k*150 for some completed prefix k.
+      bool legal = false;
+      for (int k = 0; k <= kAppends && !legal; ++k) {
+        legal = rows == std::vector<std::string>{
+                            std::to_string(900 + k * static_cast<int>(kBatchRows)) + "|"};
+      }
+      if (!legal) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  int64_t clock = 900;
+  Rng rng(71);
+  for (int i = 0; i < kAppends; ++i) {
+    auto batch = std::make_shared<Table>("emp");
+    auto store_col = std::make_shared<StringColumn>();
+    auto ts_col = std::make_shared<Int64Column>();
+    auto salary_col = std::make_shared<Int64Column>();
+    for (size_t r = 0; r < kBatchRows; ++r) {
+      store_col->Append("s1");
+      ts_col->Append(clock++);
+      salary_col->Append(rng.Range(0, 100000));
+    }
+    batch->AddColumn("store", store_col);
+    batch->AddColumn("ts", ts_col);
+    batch->AddColumn("salary", salary_col);
+    sharded.Append("emp", *batch);
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // The race was real: boundary moves actually fired while we queried.
+  ASSERT_TRUE(sharded.rebalance_stats().has_value());
+  EXPECT_GT(sharded.rebalance_stats()->rebalances, 0u);
+
+  // And the dust-settled slice still routes to a strict subset.
+  QueryStats final_stats;
+  EXPECT_EQ(RowsAsStrings(sharded.Execute(slice, &final_stats)), slice_reference);
+  EXPECT_LT(final_stats.shards_routed, final_stats.shards_total);
+}
+
+}  // namespace
+}  // namespace seabed

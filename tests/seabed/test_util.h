@@ -91,6 +91,22 @@ inline void ExpectProbeStatsInvariants(Session& session, const Query& q,
       EXPECT_EQ(s, 0.0);
     }
   }
+  // Round-zero routing accounting (key-range sharded sessions; both fields
+  // zero on single-server backends). Routing reads only the query's
+  // clustering-key predicates and the pinned version's boundaries, so it is
+  // independent of probe mode — both runs must report the same subset; a
+  // non-routable query reports the full fleet. Routing happens before the
+  // probe round, so when it proves zero owners both rounds are skipped: no
+  // probe, no rows touched.
+  EXPECT_LE(off.shards_routed, off.shards_total);
+  EXPECT_LE(forced.shards_routed, forced.shards_total);
+  EXPECT_EQ(off.shards_total, forced.shards_total);
+  EXPECT_EQ(off.shards_routed, forced.shards_routed);
+  if (forced.shards_total > 0 && forced.shards_routed == 0) {
+    EXPECT_FALSE(forced.probe_used);
+    EXPECT_EQ(forced.rows_touched, 0u);
+    EXPECT_EQ(off.rows_touched, 0u);
+  }
   session.set_probe_options(saved);
 }
 
